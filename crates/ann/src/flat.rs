@@ -1,0 +1,132 @@
+//! Exact brute-force index (FAISS `IndexFlat` equivalent).
+
+use crate::metric::Metric;
+use crate::topk::{Hit, TopK};
+use rayon::prelude::*;
+
+/// Exact nearest-neighbour index over densely packed vectors.
+///
+/// Search scans every stored vector; batch probes are rayon-parallel over
+/// queries. At DIAL's list sizes (thousands to a few hundred thousand
+/// records) this is competitive with approximate structures while being
+/// exact, which is why it is the default blocker index.
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    dim: usize,
+    metric: Metric,
+    data: Vec<f32>,
+}
+
+impl FlatIndex {
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        FlatIndex { dim, metric, data: Vec::new() }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append one vector; its id is its insertion position.
+    pub fn add(&mut self, v: &[f32]) -> u32 {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let id = self.len() as u32;
+        self.data.extend_from_slice(v);
+        id
+    }
+
+    /// Append many packed vectors (`flat.len() % dim == 0`).
+    pub fn add_batch(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len() % self.dim, 0, "batch length not a multiple of dim");
+        self.data.extend_from_slice(flat);
+    }
+
+    /// Stored vector by id.
+    pub fn vector(&self, id: u32) -> &[f32] {
+        let i = id as usize * self.dim;
+        &self.data[i..i + self.dim]
+    }
+
+    /// Exact top-`k` nearest vectors to `query`.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut top = TopK::new(k);
+        for id in 0..self.len() {
+            let d = self.metric.distance(query, self.vector(id as u32));
+            top.push(id as u32, d);
+        }
+        top.into_sorted()
+    }
+
+    /// Top-`k` for many queries in parallel. `queries` is packed
+    /// row-major; returns one hit list per query in input order.
+    pub fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        assert_eq!(queries.len() % self.dim, 0, "query batch length not a multiple of dim");
+        queries.par_chunks(self.dim).map(|q| self.search(q, k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_index() -> FlatIndex {
+        // Points at x = 0, 1, 2, ..., 9 on a line.
+        let mut ix = FlatIndex::new(2, Metric::L2);
+        for x in 0..10 {
+            ix.add(&[x as f32, 0.0]);
+        }
+        ix
+    }
+
+    #[test]
+    fn exact_neighbours_on_a_line() {
+        let ix = grid_index();
+        let hits = ix.search(&[3.2, 0.0], 3);
+        let ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn self_is_nearest() {
+        let ix = grid_index();
+        let hits = ix.search(&[7.0, 0.0], 1);
+        assert_eq!(hits[0].id, 7);
+        assert_eq!(hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let ix = grid_index();
+        let queries = [3.2f32, 0.0, 8.9, 0.0];
+        let batch = ix.search_batch(&queries, 2);
+        assert_eq!(batch[0], ix.search(&queries[0..2], 2));
+        assert_eq!(batch[1], ix.search(&queries[2..4], 2));
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_n() {
+        let ix = grid_index();
+        assert_eq!(ix.search(&[0.0, 0.0], 100).len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector dimension mismatch")]
+    fn wrong_dim_panics() {
+        let mut ix = FlatIndex::new(3, Metric::L2);
+        ix.add(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,389 @@
+//! Hierarchical Navigable Small World graphs (Malkov & Yashunin 2016).
+//!
+//! The third FAISS-style index family: logarithmic-ish probe cost with
+//! high recall, at the price of a heavier build. DIAL's related work
+//! (§5.4) contrasts FAISS's quantization approach with LSH (DeepER,
+//! AutoBlock); HNSW rounds out the design space the benchmarks compare.
+
+use crate::metric::Metric;
+use crate::topk::{Hit, TopK};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::collections::{BinaryHeap, HashSet};
+
+/// HNSW tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HnswParams {
+    /// Max neighbours per node on layers > 0 (`M`); layer 0 keeps `2M`.
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Beam width during search (can be raised after build).
+    pub ef_search: usize,
+    /// Level-assignment seed.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams { m: 16, ef_construction: 100, ef_search: 48, seed: 0 }
+    }
+}
+
+/// Graph-based approximate nearest-neighbour index.
+#[derive(Debug, Clone)]
+pub struct HnswIndex {
+    dim: usize,
+    metric: Metric,
+    params: HnswParams,
+    data: Vec<f32>,
+    /// `layers[l][node]` = neighbour ids of `node` at layer `l` (nodes not
+    /// present on a layer have an empty list).
+    layers: Vec<Vec<Vec<u32>>>,
+    /// Top layer of each node.
+    node_level: Vec<usize>,
+    entry: u32,
+    rng: StdRng,
+}
+
+/// Max-heap entry ordered by distance (for the result set).
+#[derive(PartialEq)]
+struct Far(f32, u32);
+impl Eq for Far {}
+impl PartialOrd for Far {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Far {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).unwrap().then(self.1.cmp(&other.1))
+    }
+}
+
+/// Min-heap entry (via reversed ordering) for the candidate frontier.
+#[derive(PartialEq)]
+struct Near(f32, u32);
+impl Eq for Near {}
+impl PartialOrd for Near {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Near {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.partial_cmp(&self.0).unwrap().then(other.1.cmp(&self.1))
+    }
+}
+
+impl HnswIndex {
+    pub fn new(dim: usize, metric: Metric, params: HnswParams) -> Self {
+        assert!(dim > 0 && params.m >= 2);
+        HnswIndex {
+            dim,
+            metric,
+            params,
+            data: Vec::new(),
+            layers: vec![Vec::new()],
+            node_level: Vec::new(),
+            entry: 0,
+            rng: StdRng::seed_from_u64(params.seed),
+        }
+    }
+
+    /// Build from a packed vector set.
+    pub fn build(data: &[f32], dim: usize, metric: Metric, params: HnswParams) -> Self {
+        let mut ix = HnswIndex::new(dim, metric, params);
+        for v in data.chunks(dim) {
+            ix.add(v);
+        }
+        ix
+    }
+
+    pub fn len(&self) -> usize {
+        self.node_level.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.node_level.is_empty()
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Raise/lower the search beam width.
+    pub fn set_ef_search(&mut self, ef: usize) {
+        self.params.ef_search = ef.max(1);
+    }
+
+    fn vector(&self, id: u32) -> &[f32] {
+        let i = id as usize * self.dim;
+        &self.data[i..i + self.dim]
+    }
+
+    fn dist(&self, a: &[f32], id: u32) -> f32 {
+        self.metric.distance(a, self.vector(id))
+    }
+
+    fn max_degree(&self, layer: usize) -> usize {
+        if layer == 0 {
+            2 * self.params.m
+        } else {
+            self.params.m
+        }
+    }
+
+    /// Insert one vector; returns its id.
+    pub fn add(&mut self, v: &[f32]) -> u32 {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let id = self.len() as u32;
+        self.data.extend_from_slice(v);
+
+        // Exponential level assignment with base 1/ln(M).
+        let ml = 1.0 / (self.params.m as f32).ln();
+        let level = (-(self.rng.gen::<f32>().max(1e-12).ln()) * ml).floor() as usize;
+        self.node_level.push(level);
+        while self.layers.len() <= level {
+            self.layers.push(Vec::new());
+        }
+        for l in 0..=level {
+            while self.layers[l].len() <= id as usize {
+                self.layers[l].push(Vec::new());
+            }
+        }
+        // Also size lower layers' adjacency tables.
+        for l in 0..self.layers.len() {
+            while self.layers[l].len() <= id as usize {
+                self.layers[l].push(Vec::new());
+            }
+        }
+
+        if id == 0 {
+            self.entry = 0;
+            return id;
+        }
+
+        let mut cur = self.entry;
+        let top = self.node_level[self.entry as usize];
+        // Greedy descent through layers above the new node's level.
+        for l in ((level + 1)..=top).rev() {
+            cur = self.greedy_closest(v, cur, l);
+        }
+        // Insert with beam search on each shared layer.
+        for l in (0..=level.min(top)).rev() {
+            let neighbours = self.search_layer(v, cur, self.params.ef_construction, l);
+            let selected: Vec<u32> = neighbours
+                .iter()
+                .take(self.max_degree(l))
+                .map(|h| h.id)
+                .collect();
+            for &n in &selected {
+                self.layers[l][id as usize].push(n);
+                self.layers[l][n as usize].push(id);
+                // Prune over-full neighbours.
+                if self.layers[l][n as usize].len() > self.max_degree(l) {
+                    self.prune(n, l);
+                }
+            }
+            if let Some(h) = neighbours.first() {
+                cur = h.id;
+            }
+        }
+        if level > top {
+            self.entry = id;
+        }
+        id
+    }
+
+    /// Keep only the `max_degree` closest neighbours of `node` at `layer`.
+    fn prune(&mut self, node: u32, layer: usize) {
+        let nv = self.vector(node).to_vec();
+        let mut neigh = std::mem::take(&mut self.layers[layer][node as usize]);
+        neigh.sort_by(|&a, &b| {
+            self.dist(&nv, a).partial_cmp(&self.dist(&nv, b)).unwrap().then(a.cmp(&b))
+        });
+        neigh.dedup();
+        neigh.truncate(self.max_degree(layer));
+        self.layers[layer][node as usize] = neigh;
+    }
+
+    /// Greedy best-neighbour walk at one layer.
+    fn greedy_closest(&self, q: &[f32], mut cur: u32, layer: usize) -> u32 {
+        let mut cur_d = self.dist(q, cur);
+        loop {
+            let mut improved = false;
+            for &n in &self.layers[layer][cur as usize] {
+                let d = self.dist(q, n);
+                if d < cur_d {
+                    cur = n;
+                    cur_d = d;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// Beam search at one layer; returns hits sorted ascending.
+    fn search_layer(&self, q: &[f32], entry: u32, ef: usize, layer: usize) -> Vec<Hit> {
+        let mut visited: HashSet<u32> = HashSet::new();
+        visited.insert(entry);
+        let d0 = self.dist(q, entry);
+        let mut frontier = BinaryHeap::new();
+        frontier.push(Near(d0, entry));
+        let mut results: BinaryHeap<Far> = BinaryHeap::new();
+        results.push(Far(d0, entry));
+
+        while let Some(Near(d, node)) = frontier.pop() {
+            let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
+            if d > worst && results.len() >= ef {
+                break;
+            }
+            for &n in &self.layers[layer][node as usize] {
+                if !visited.insert(n) {
+                    continue;
+                }
+                let dn = self.dist(q, n);
+                let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
+                if results.len() < ef || dn < worst {
+                    frontier.push(Near(dn, n));
+                    results.push(Far(dn, n));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut hits: Vec<Hit> =
+            results.into_iter().map(|Far(d, id)| Hit { id, distance: d }).collect();
+        hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap().then(a.id.cmp(&b.id)));
+        hits
+    }
+
+    /// Approximate top-`k` nearest neighbours.
+    pub fn search(&self, q: &[f32], k: usize) -> Vec<Hit> {
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let mut cur = self.entry;
+        let top = self.node_level[self.entry as usize];
+        for l in (1..=top).rev() {
+            cur = self.greedy_closest(q, cur, l);
+        }
+        let ef = self.params.ef_search.max(k);
+        let hits = self.search_layer(q, cur, ef, 0);
+        let mut out = TopK::new(k);
+        for h in hits {
+            out.push(h.id, h.distance);
+        }
+        out.into_sorted()
+    }
+
+    /// Parallel batch probe.
+    pub fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        assert_eq!(queries.len() % self.dim, 0, "bad query batch");
+        queries.par_chunks(self.dim).map(|q| self.search(q, k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+
+    fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn exact_on_tiny_sets() {
+        let data = random_data(30, 4, 1);
+        let hnsw = HnswIndex::build(&data, 4, Metric::L2, HnswParams::default());
+        let mut flat = FlatIndex::new(4, Metric::L2);
+        flat.add_batch(&data);
+        for qi in 0..10 {
+            let q = &data[qi * 4..(qi + 1) * 4];
+            assert_eq!(hnsw.search(q, 1)[0].id, flat.search(q, 1)[0].id);
+        }
+    }
+
+    #[test]
+    fn recall_against_flat_on_larger_set() {
+        let dim = 16;
+        let data = random_data(1500, dim, 7);
+        let hnsw = HnswIndex::build(&data, dim, Metric::L2, HnswParams::default());
+        let mut flat = FlatIndex::new(dim, Metric::L2);
+        flat.add_batch(&data);
+
+        let mut overlap = 0usize;
+        for qi in (0..1500).step_by(75) {
+            let q = &data[qi * dim..(qi + 1) * dim];
+            let exact: std::collections::HashSet<u32> =
+                flat.search(q, 10).into_iter().map(|h| h.id).collect();
+            overlap += hnsw.search(q, 10).iter().filter(|h| exact.contains(&h.id)).count();
+        }
+        let recall = overlap as f32 / 200.0;
+        assert!(recall > 0.85, "HNSW recall@10 {recall} too low");
+    }
+
+    #[test]
+    fn self_query_returns_self() {
+        let data = random_data(200, 8, 3);
+        let hnsw = HnswIndex::build(&data, 8, Metric::L2, HnswParams::default());
+        for qi in [0usize, 57, 199] {
+            let q = &data[qi * 8..(qi + 1) * 8];
+            let hits = hnsw.search(q, 1);
+            assert_eq!(hits[0].id as usize, qi);
+            assert_eq!(hits[0].distance, 0.0);
+        }
+    }
+
+    #[test]
+    fn ef_search_trades_recall(
+    ) {
+        let dim = 16;
+        let data = random_data(1200, dim, 11);
+        let mut hnsw = HnswIndex::build(&data, dim, Metric::L2, HnswParams::default());
+        let mut flat = FlatIndex::new(dim, Metric::L2);
+        flat.add_batch(&data);
+        let recall_at = |hnsw: &HnswIndex| {
+            let mut overlap = 0usize;
+            for qi in (0..1200).step_by(100) {
+                let q = &data[qi * dim..(qi + 1) * dim];
+                let exact: std::collections::HashSet<u32> =
+                    flat.search(q, 10).into_iter().map(|h| h.id).collect();
+                overlap += hnsw.search(q, 10).iter().filter(|h| exact.contains(&h.id)).count();
+            }
+            overlap as f32 / 120.0
+        };
+        hnsw.set_ef_search(8);
+        let low = recall_at(&hnsw);
+        hnsw.set_ef_search(128);
+        let high = recall_at(&hnsw);
+        assert!(high >= low, "ef=128 recall {high} < ef=8 recall {low}");
+        assert!(high > 0.9, "high-ef recall {high}");
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let data = random_data(300, 8, 5);
+        let hnsw = HnswIndex::build(&data, 8, Metric::L2, HnswParams::default());
+        let queries = &data[0..3 * 8];
+        let batch = hnsw.search_batch(queries, 4);
+        for (i, hits) in batch.iter().enumerate() {
+            assert_eq!(*hits, hnsw.search(&queries[i * 8..(i + 1) * 8], 4));
+        }
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let ix = HnswIndex::new(4, Metric::L2, HnswParams::default());
+        assert!(ix.search(&[0.0; 4], 3).is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Inverted-file index with flat residual storage (FAISS `IndexIVFFlat`).
+//!
+//! Vectors are partitioned by a k-means coarse quantizer; a probe scans only
+//! the `nprobe` lists whose centroids are nearest the query. Exactness
+//! degrades gracefully as `nprobe` shrinks — the recall/latency trade-off
+//! the paper delegates to FAISS.
+
+use crate::kmeans::{kmeans, KMeans};
+use crate::metric::Metric;
+use crate::topk::{Hit, TopK};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Tuning parameters for [`IvfFlatIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct IvfParams {
+    /// Number of inverted lists (k-means clusters).
+    pub nlist: usize,
+    /// Lists scanned per query.
+    pub nprobe: usize,
+    /// Lloyd iterations when training the coarse quantizer.
+    pub train_iters: usize,
+    /// Seed for quantizer training.
+    pub seed: u64,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        IvfParams { nlist: 64, nprobe: 8, train_iters: 20, seed: 0 }
+    }
+}
+
+/// IVF-Flat index. Built in one shot from a packed vector set.
+#[derive(Debug, Clone)]
+pub struct IvfFlatIndex {
+    dim: usize,
+    metric: Metric,
+    params: IvfParams,
+    quantizer: KMeans,
+    /// Per-list vector ids.
+    lists: Vec<Vec<u32>>,
+    /// Original vectors, packed (ids index into this).
+    data: Vec<f32>,
+}
+
+impl IvfFlatIndex {
+    /// Train the coarse quantizer on `data` and build the inverted lists.
+    /// `nlist` is clamped to the number of vectors.
+    pub fn build(data: &[f32], dim: usize, metric: Metric, mut params: IvfParams) -> Self {
+        assert!(dim > 0 && data.len() % dim == 0, "bad packed data");
+        let n = data.len() / dim;
+        assert!(n > 0, "cannot build an IVF index over zero vectors");
+        params.nlist = params.nlist.min(n).max(1);
+        params.nprobe = params.nprobe.min(params.nlist).max(1);
+
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let quantizer = kmeans(data, dim, params.nlist, params.train_iters, &mut rng);
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); params.nlist];
+        for (i, &a) in quantizer.assignments.iter().enumerate() {
+            lists[a as usize].push(i as u32);
+        }
+        IvfFlatIndex { dim, metric, params, quantizer, lists, data: data.to_vec() }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn params(&self) -> IvfParams {
+        self.params
+    }
+
+    /// Override `nprobe` after build.
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        self.params.nprobe = nprobe.min(self.params.nlist).max(1);
+    }
+
+    fn vector(&self, id: u32) -> &[f32] {
+        let i = id as usize * self.dim;
+        &self.data[i..i + self.dim]
+    }
+
+    /// Probe the `nprobe` nearest lists for the top-`k` neighbours.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let probes = self.quantizer.nearest_centroids(query, self.params.nprobe);
+        let mut top = TopK::new(k);
+        for list in probes {
+            for &id in &self.lists[list as usize] {
+                let d = self.metric.distance(query, self.vector(id));
+                top.push(id, d);
+            }
+        }
+        top.into_sorted()
+    }
+
+    /// Parallel batch probe; queries packed row-major.
+    pub fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        assert_eq!(queries.len() % self.dim, 0, "query batch length not a multiple of dim");
+        queries.par_chunks(self.dim).map(|q| self.search(q, k)).collect()
+    }
+
+    /// Fraction of vectors scanned by an average probe (cost model helper).
+    pub fn expected_scan_fraction(&self) -> f32 {
+        self.params.nprobe as f32 / self.params.nlist as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use rand::Rng;
+
+    fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn full_probe_is_exact() {
+        let dim = 8;
+        let data = random_data(500, dim, 42);
+        let params = IvfParams { nlist: 16, nprobe: 16, ..Default::default() };
+        let ivf = IvfFlatIndex::build(&data, dim, Metric::L2, params);
+        let mut flat = FlatIndex::new(dim, Metric::L2);
+        flat.add_batch(&data);
+
+        let q = &data[37 * dim..38 * dim];
+        let exact: Vec<u32> = flat.search(q, 10).into_iter().map(|h| h.id).collect();
+        let approx: Vec<u32> = ivf.search(q, 10).into_iter().map(|h| h.id).collect();
+        assert_eq!(exact, approx);
+    }
+
+    #[test]
+    fn partial_probe_recall_reasonable() {
+        let dim = 8;
+        let data = random_data(2000, dim, 7);
+        let params = IvfParams { nlist: 32, nprobe: 8, ..Default::default() };
+        let ivf = IvfFlatIndex::build(&data, dim, Metric::L2, params);
+        let mut flat = FlatIndex::new(dim, Metric::L2);
+        flat.add_batch(&data);
+
+        let mut overlap = 0usize;
+        let mut total = 0usize;
+        for qi in (0..2000).step_by(100) {
+            let q = &data[qi * dim..(qi + 1) * dim];
+            let exact: std::collections::HashSet<u32> =
+                flat.search(q, 10).into_iter().map(|h| h.id).collect();
+            let approx = ivf.search(q, 10);
+            overlap += approx.iter().filter(|h| exact.contains(&h.id)).count();
+            total += 10;
+        }
+        let recall = overlap as f32 / total as f32;
+        assert!(recall > 0.5, "recall@10 {recall} too low for nprobe=8/32");
+    }
+
+    #[test]
+    fn nlist_clamped_to_n() {
+        let data = random_data(5, 4, 3);
+        let params = IvfParams { nlist: 100, nprobe: 100, ..Default::default() };
+        let ivf = IvfFlatIndex::build(&data, 4, Metric::L2, params);
+        assert!(ivf.params().nlist <= 5);
+        assert_eq!(ivf.search(&data[0..4], 3).len(), 3);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let dim = 4;
+        let data = random_data(200, dim, 9);
+        let ivf = IvfFlatIndex::build(&data, dim, Metric::L2, IvfParams::default());
+        let queries = &data[0..3 * dim];
+        let batch = ivf.search_batch(queries, 5);
+        for (i, hits) in batch.iter().enumerate() {
+            assert_eq!(*hits, ivf.search(&queries[i * dim..(i + 1) * dim], 5));
+        }
+    }
+
+    #[test]
+    fn scan_fraction_reflects_params() {
+        let data = random_data(100, 4, 1);
+        let params = IvfParams { nlist: 10, nprobe: 2, ..Default::default() };
+        let ivf = IvfFlatIndex::build(&data, 4, Metric::L2, params);
+        assert!((ivf.expected_scan_fraction() - 0.2).abs() < 1e-6);
+    }
+}

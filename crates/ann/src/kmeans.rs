@@ -1,0 +1,241 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Doubles as (1) the coarse quantizer for the IVF index, (2) the codebook
+//! trainer for product quantization, and (3) the seeding routine behind the
+//! BADGE example selector (which runs k-means++ on gradient embeddings,
+//! paper §2.3.4).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rayon::prelude::*;
+
+use crate::metric::sq_l2;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    pub k: usize,
+    pub dim: usize,
+    /// Packed `k * dim` centroid matrix.
+    pub centroids: Vec<f32>,
+    /// Cluster assignment per input vector.
+    pub assignments: Vec<u32>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f32,
+    /// Lloyd iterations actually executed.
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Centroid `c` as a slice.
+    pub fn centroid(&self, c: usize) -> &[f32] {
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Index of the centroid nearest to `v`.
+    pub fn nearest_centroid(&self, v: &[f32]) -> u32 {
+        nearest(v, &self.centroids, self.dim).0
+    }
+
+    /// Indices of the `n` nearest centroids to `v`, closest first.
+    pub fn nearest_centroids(&self, v: &[f32], n: usize) -> Vec<u32> {
+        let mut order: Vec<(u32, f32)> = (0..self.k)
+            .map(|c| (c as u32, sq_l2(v, self.centroid(c))))
+            .collect();
+        order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        order.truncate(n);
+        order.into_iter().map(|(c, _)| c).collect()
+    }
+}
+
+/// Pick `k` seed indices from packed `data` with the k-means++ D² weighting
+/// (Arthur & Vassilvitskii 2007). Returns indices into the vector set.
+pub fn kmeans_pp_seed(data: &[f32], dim: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let n = data.len() / dim;
+    assert!(n > 0, "cannot seed from an empty set");
+    assert!(k > 0 && k <= n, "k must be in 1..=n (k={k}, n={n})");
+    let vec_at = |i: usize| &data[i * dim..(i + 1) * dim];
+
+    let mut seeds = Vec::with_capacity(k);
+    seeds.push(rng.gen_range(0..n));
+    let mut d2: Vec<f32> = (0..n).map(|i| sq_l2(vec_at(i), vec_at(seeds[0]))).collect();
+
+    while seeds.len() < k {
+        let total: f32 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with chosen seeds; pick any
+            // unchosen index deterministically.
+            (0..n).find(|i| !seeds.contains(i)).unwrap_or(0)
+        } else {
+            let mut target = rng.gen::<f32>() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        seeds.push(next);
+        for i in 0..n {
+            d2[i] = d2[i].min(sq_l2(vec_at(i), vec_at(next)));
+        }
+    }
+    seeds
+}
+
+/// Run k-means++ seeding followed by at most `max_iters` Lloyd iterations.
+/// `data` is packed row-major with `dim` columns.
+pub fn kmeans(data: &[f32], dim: usize, k: usize, max_iters: usize, rng: &mut StdRng) -> KMeans {
+    assert_eq!(data.len() % dim, 0, "data length not a multiple of dim");
+    let n = data.len() / dim;
+    assert!(k <= n, "more clusters than points (k={k}, n={n})");
+
+    let seeds = kmeans_pp_seed(data, dim, k, rng);
+    let mut centroids: Vec<f32> = Vec::with_capacity(k * dim);
+    for &s in &seeds {
+        centroids.extend_from_slice(&data[s * dim..(s + 1) * dim]);
+    }
+
+    let mut assignments = vec![0u32; n];
+    let mut inertia = f32::INFINITY;
+    let mut iterations = 0;
+
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Assignment step (parallel over points).
+        let assigned: Vec<(u32, f32)> = data
+            .par_chunks(dim)
+            .map(|v| {
+                let (c, d) = nearest(v, &centroids, dim);
+                (c, d)
+            })
+            .collect();
+        let new_inertia: f32 = assigned.iter().map(|(_, d)| d).sum();
+        let changed = assigned
+            .iter()
+            .zip(&assignments)
+            .any(|((c, _), old)| c != old);
+        for (i, (c, _)) in assigned.iter().enumerate() {
+            assignments[i] = *c;
+        }
+        inertia = new_inertia;
+        if !changed {
+            break;
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0usize; k];
+        for (i, chunk) in data.chunks(dim).enumerate() {
+            let c = assignments[i] as usize;
+            counts[c] += 1;
+            for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(chunk) {
+                *s += v as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                continue; // Keep the stale centroid; k-means++ makes this rare.
+            }
+            let inv = 1.0 / counts[c] as f64;
+            for (dst, &s) in centroids[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..]) {
+                *dst = (s * inv) as f32;
+            }
+        }
+    }
+
+    KMeans { k, dim, centroids, assignments, inertia, iterations }
+}
+
+#[inline]
+fn nearest(v: &[f32], centroids: &[f32], dim: usize) -> (u32, f32) {
+    let mut best = (0u32, f32::INFINITY);
+    for (c, cen) in centroids.chunks(dim).enumerate() {
+        let d = sq_l2(v, cen);
+        if d < best.1 {
+            best = (c as u32, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Three tight, well-separated blobs on a line.
+    fn blobs() -> (Vec<f32>, usize) {
+        let mut data = Vec::new();
+        for center in [0.0f32, 10.0, 20.0] {
+            for j in 0..20 {
+                data.push(center + (j % 5) as f32 * 0.01);
+                data.push(center - (j % 3) as f32 * 0.01);
+            }
+        }
+        (data, 2)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (data, dim) = blobs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let km = kmeans(&data, dim, 3, 50, &mut rng);
+        // Every point within a blob shares its assignment.
+        for blob in 0..3 {
+            let first = km.assignments[blob * 20];
+            assert!(km.assignments[blob * 20..(blob + 1) * 20].iter().all(|&a| a == first));
+        }
+        assert!(km.inertia < 1.0, "inertia {} too large", km.inertia);
+    }
+
+    #[test]
+    fn seeding_returns_distinct_indices() {
+        let (data, dim) = blobs();
+        let mut rng = StdRng::seed_from_u64(2);
+        let seeds = kmeans_pp_seed(&data, dim, 3, &mut rng);
+        assert_eq!(seeds.len(), 3);
+        let set: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn seeding_spreads_across_blobs() {
+        let (data, dim) = blobs();
+        // k-means++ on three far blobs must pick one seed per blob.
+        let mut rng = StdRng::seed_from_u64(3);
+        let seeds = kmeans_pp_seed(&data, dim, 3, &mut rng);
+        let blobs_hit: std::collections::HashSet<usize> =
+            seeds.iter().map(|&s| s / 20).collect();
+        assert_eq!(blobs_hit.len(), 3);
+    }
+
+    #[test]
+    fn nearest_centroids_ordering() {
+        let (data, dim) = blobs();
+        let mut rng = StdRng::seed_from_u64(4);
+        let km = kmeans(&data, dim, 3, 50, &mut rng);
+        let order = km.nearest_centroids(&[9.0, 0.0], 3);
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], km.nearest_centroid(&[9.0, 0.0]));
+    }
+
+    #[test]
+    fn duplicate_points_do_not_crash_seeding() {
+        let data = vec![1.0f32; 40]; // 20 identical 2-d points
+        let mut rng = StdRng::seed_from_u64(5);
+        let seeds = kmeans_pp_seed(&data, 2, 4, &mut rng);
+        assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (data, dim) = blobs();
+        let a = kmeans(&data, dim, 3, 50, &mut StdRng::seed_from_u64(9));
+        let b = kmeans(&data, dim, 3, 50, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+}

@@ -1,0 +1,33 @@
+//! # dial-ann
+//!
+//! Nearest-neighbour search substrate — the reproduction's stand-in for
+//! FAISS [Johnson et al. 2021], which DIAL uses to index committee
+//! embeddings of list `R` and probe them with embeddings of list `S`.
+//!
+//! Three index families mirror the FAISS types relevant to the paper:
+//!
+//! * [`FlatIndex`] — exact brute-force scan (default blocker index);
+//! * [`IvfFlatIndex`] — inverted lists under a k-means coarse quantizer
+//!   with an `nprobe` recall/latency knob;
+//! * [`PqIndex`] — product-quantized codes scored by asymmetric distance
+//!   computation;
+//! * [`HnswIndex`] — hierarchical navigable small-world graphs.
+//!
+//! [`kmeans`] (with k-means++ seeding) is exported for reuse by the BADGE
+//! selector in `dial-core`.
+
+pub mod flat;
+pub mod hnsw;
+pub mod ivf;
+pub mod kmeans;
+pub mod metric;
+pub mod pq;
+pub mod topk;
+
+pub use flat::FlatIndex;
+pub use hnsw::{HnswIndex, HnswParams};
+pub use ivf::{IvfFlatIndex, IvfParams};
+pub use kmeans::{kmeans, kmeans_pp_seed, KMeans};
+pub use metric::{sq_l2, Metric};
+pub use pq::{PqIndex, ProductQuantizer};
+pub use topk::{Hit, TopK};

@@ -1,0 +1,69 @@
+//! Distance metrics for nearest-neighbour search.
+
+/// Distance function used by an index. Smaller is closer for both variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Metric {
+    /// Squared Euclidean distance. DIAL retrieves under (negative squared)
+    /// L2, matching the paper's default similarity.
+    #[default]
+    L2,
+    /// Cosine distance `1 - cos(u, v)`; vectors need not be pre-normalized.
+    Cosine,
+}
+
+impl Metric {
+    /// Distance between two equal-length vectors.
+    #[inline]
+    pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Metric::L2 => sq_l2(a, b),
+            Metric::Cosine => {
+                let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+                for (x, y) in a.iter().zip(b) {
+                    dot += x * y;
+                    na += x * x;
+                    nb += y * y;
+                }
+                if na == 0.0 || nb == 0.0 {
+                    return 1.0;
+                }
+                1.0 - dot / (na.sqrt() * nb.sqrt())
+            }
+        }
+    }
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_basic() {
+        assert_eq!(Metric::L2.distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn cosine_orthogonal_and_parallel() {
+        let m = Metric::Cosine;
+        assert!((m.distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-6);
+        assert!(m.distance(&[2.0, 0.0], &[5.0, 0.0]).abs() < 1e-6);
+        assert!((m.distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_max_distance() {
+        assert_eq!(Metric::Cosine.distance(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+}

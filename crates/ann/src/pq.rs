@@ -1,0 +1,263 @@
+//! Product quantization with asymmetric distance computation (ADC).
+//!
+//! The paper credits FAISS's speed to "product quantization for fast
+//! asymmetric distance computations" (§5.4). This module reproduces that
+//! substrate: vectors are split into `m` subspaces, each quantized by its
+//! own k-means codebook; a query precomputes per-subspace distance tables
+//! and scores codes with `m` table lookups instead of `dim` multiplies.
+
+use crate::kmeans::kmeans;
+use crate::metric::sq_l2;
+use crate::topk::{Hit, TopK};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// A trained product quantizer.
+#[derive(Debug, Clone)]
+pub struct ProductQuantizer {
+    dim: usize,
+    /// Number of subspaces; `dim % m == 0`.
+    m: usize,
+    /// Codebook size per subspace (≤ 256 so codes fit in a byte).
+    ksub: usize,
+    /// `m` codebooks, each packed `ksub * dsub`.
+    codebooks: Vec<Vec<f32>>,
+}
+
+impl ProductQuantizer {
+    /// Train codebooks on packed `data`. `m` must divide `dim`; `ksub` is
+    /// clamped to the training-set size and to 256.
+    pub fn train(data: &[f32], dim: usize, m: usize, ksub: usize, seed: u64) -> Self {
+        assert!(dim > 0 && data.len() % dim == 0, "bad packed data");
+        assert!(m > 0 && dim % m == 0, "m={m} must divide dim={dim}");
+        let n = data.len() / dim;
+        assert!(n > 0, "cannot train on zero vectors");
+        let ksub = ksub.min(256).min(n).max(1);
+        let dsub = dim / m;
+
+        let codebooks: Vec<Vec<f32>> = (0..m)
+            .into_par_iter()
+            .map(|sub| {
+                // Slice out this subspace from every vector.
+                let mut subdata = Vec::with_capacity(n * dsub);
+                for v in data.chunks(dim) {
+                    subdata.extend_from_slice(&v[sub * dsub..(sub + 1) * dsub]);
+                }
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(sub as u64));
+                kmeans(&subdata, dsub, ksub, 15, &mut rng).centroids
+            })
+            .collect();
+
+        ProductQuantizer { dim, m, ksub, codebooks }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn subspaces(&self) -> usize {
+        self.m
+    }
+
+    pub fn codebook_size(&self) -> usize {
+        self.ksub
+    }
+
+    fn dsub(&self) -> usize {
+        self.dim / self.m
+    }
+
+    /// Encode one vector to `m` bytes.
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let dsub = self.dsub();
+        (0..self.m)
+            .map(|sub| {
+                let part = &v[sub * dsub..(sub + 1) * dsub];
+                let mut best = (0usize, f32::INFINITY);
+                for c in 0..self.ksub {
+                    let cen = &self.codebooks[sub][c * dsub..(c + 1) * dsub];
+                    let d = sq_l2(part, cen);
+                    if d < best.1 {
+                        best = (c, d);
+                    }
+                }
+                best.0 as u8
+            })
+            .collect()
+    }
+
+    /// Reconstruct (decode) a code back to an approximate vector.
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        assert_eq!(code.len(), self.m, "code length mismatch");
+        let dsub = self.dsub();
+        let mut out = Vec::with_capacity(self.dim);
+        for (sub, &c) in code.iter().enumerate() {
+            let cen = &self.codebooks[sub][c as usize * dsub..(c as usize + 1) * dsub];
+            out.extend_from_slice(cen);
+        }
+        out
+    }
+
+    /// Per-subspace distance tables for `query`: `m * ksub` entries.
+    pub fn distance_tables(&self, query: &[f32]) -> Vec<f32> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let dsub = self.dsub();
+        let mut tables = Vec::with_capacity(self.m * self.ksub);
+        for sub in 0..self.m {
+            let part = &query[sub * dsub..(sub + 1) * dsub];
+            for c in 0..self.ksub {
+                let cen = &self.codebooks[sub][c * dsub..(c + 1) * dsub];
+                tables.push(sq_l2(part, cen));
+            }
+        }
+        tables
+    }
+
+    /// ADC distance of one code given precomputed tables.
+    #[inline]
+    pub fn adc(&self, tables: &[f32], code: &[u8]) -> f32 {
+        let mut d = 0.0;
+        for (sub, &c) in code.iter().enumerate() {
+            d += tables[sub * self.ksub + c as usize];
+        }
+        d
+    }
+}
+
+/// Flat list of PQ codes searchable by ADC (FAISS `IndexPQ`).
+#[derive(Debug, Clone)]
+pub struct PqIndex {
+    pq: ProductQuantizer,
+    codes: Vec<u8>,
+}
+
+impl PqIndex {
+    pub fn new(pq: ProductQuantizer) -> Self {
+        PqIndex { pq, codes: Vec::new() }
+    }
+
+    /// Train a quantizer on `data` and encode all of it.
+    pub fn build(data: &[f32], dim: usize, m: usize, ksub: usize, seed: u64) -> Self {
+        let pq = ProductQuantizer::train(data, dim, m, ksub, seed);
+        let mut ix = PqIndex::new(pq);
+        for v in data.chunks(dim) {
+            ix.add(v);
+        }
+        ix
+    }
+
+    pub fn quantizer(&self) -> &ProductQuantizer {
+        &self.pq
+    }
+
+    pub fn len(&self) -> usize {
+        self.codes.len() / self.pq.m
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Bytes per stored vector.
+    pub fn code_bytes(&self) -> usize {
+        self.pq.m
+    }
+
+    pub fn add(&mut self, v: &[f32]) -> u32 {
+        let id = self.len() as u32;
+        self.codes.extend_from_slice(&self.pq.encode(v));
+        id
+    }
+
+    /// Approximate top-`k` by asymmetric distance.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        let tables = self.pq.distance_tables(query);
+        let m = self.pq.m;
+        let mut top = TopK::new(k);
+        for (id, code) in self.codes.chunks(m).enumerate() {
+            top.push(id as u32, self.pq.adc(&tables, code));
+        }
+        top.into_sorted()
+    }
+
+    /// Parallel batch search; queries packed row-major.
+    pub fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        assert_eq!(queries.len() % self.pq.dim, 0, "bad query batch");
+        queries.par_chunks(self.pq.dim).map(|q| self.search(q, k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use crate::metric::Metric;
+    use rand::Rng;
+
+    fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn decode_of_encode_is_close() {
+        let dim = 16;
+        let data = random_data(400, dim, 11);
+        let pq = ProductQuantizer::train(&data, dim, 4, 64, 0);
+        let v = &data[0..dim];
+        let rec = pq.decode(&pq.encode(v));
+        let err = sq_l2(v, &rec);
+        let norm = sq_l2(v, &vec![0.0; dim]);
+        assert!(err < norm, "reconstruction no better than zero vector");
+    }
+
+    #[test]
+    fn adc_equals_distance_to_decoded() {
+        let dim = 8;
+        let data = random_data(300, dim, 5);
+        let pq = ProductQuantizer::train(&data, dim, 2, 32, 0);
+        let q = &data[8..16];
+        let code = pq.encode(&data[0..8]);
+        let tables = pq.distance_tables(q);
+        let adc = pq.adc(&tables, &code);
+        let explicit = sq_l2(q, &pq.decode(&code));
+        assert!((adc - explicit).abs() < 1e-4, "{adc} vs {explicit}");
+    }
+
+    #[test]
+    fn pq_recall_against_flat() {
+        let dim = 16;
+        let data = random_data(1000, dim, 21);
+        let pq = PqIndex::build(&data, dim, 8, 64, 0);
+        let mut flat = FlatIndex::new(dim, Metric::L2);
+        flat.add_batch(&data);
+
+        let mut overlap = 0;
+        for qi in (0..1000).step_by(50) {
+            let q = &data[qi * dim..(qi + 1) * dim];
+            let exact: std::collections::HashSet<u32> =
+                flat.search(q, 10).into_iter().map(|h| h.id).collect();
+            overlap += pq.search(q, 10).iter().filter(|h| exact.contains(&h.id)).count();
+        }
+        let recall = overlap as f32 / 200.0;
+        assert!(recall > 0.4, "PQ recall@10 {recall} too low");
+    }
+
+    #[test]
+    fn code_size_is_m_bytes() {
+        let dim = 8;
+        let data = random_data(100, dim, 2);
+        let pq = PqIndex::build(&data, dim, 4, 16, 0);
+        assert_eq!(pq.code_bytes(), 4);
+        assert_eq!(pq.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide dim")]
+    fn bad_m_panics() {
+        let data = random_data(10, 6, 1);
+        let _ = ProductQuantizer::train(&data, 6, 4, 8, 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Bounded top-k selection under "smaller distance is better".
+
+/// A `(distance, id)` hit returned by an index probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    pub id: u32,
+    pub distance: f32,
+}
+
+/// Keeps the `k` smallest-distance hits seen so far using a max-heap of
+/// size `k`: a new candidate only enters if it beats the current worst.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    // Binary max-heap on distance, stored inline.
+    heap: Vec<Hit>,
+}
+
+impl TopK {
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        TopK { k, heap: Vec::with_capacity(k) }
+    }
+
+    /// Current number of retained hits.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Worst (largest) retained distance, or `f32::INFINITY` while the heap
+    /// is not yet full. Useful as an early-exit bound in scans.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap[0].distance
+        }
+    }
+
+    /// Offer a candidate.
+    #[inline]
+    pub fn push(&mut self, id: u32, distance: f32) {
+        if self.heap.len() < self.k {
+            self.heap.push(Hit { id, distance });
+            self.sift_up(self.heap.len() - 1);
+        } else if distance < self.heap[0].distance {
+            self.heap[0] = Hit { id, distance };
+            self.sift_down(0);
+        }
+    }
+
+    /// Drain into a vector sorted by ascending distance (ties broken by id
+    /// for determinism).
+    pub fn into_sorted(mut self) -> Vec<Hit> {
+        self.heap.sort_by(|a, b| {
+            a.distance.partial_cmp(&b.distance).unwrap().then(a.id.cmp(&b.id))
+        });
+        self.heap
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].distance > self.heap[parent].distance {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < n && self.heap[l].distance > self.heap[largest].distance {
+                largest = l;
+            }
+            if r < n && self.heap[r].distance > self.heap[largest].distance {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut t = TopK::new(3);
+        for (i, d) in [5.0, 1.0, 4.0, 2.0, 3.0, 0.5].iter().enumerate() {
+            t.push(i as u32, *d);
+        }
+        let out = t.into_sorted();
+        let ids: Vec<u32> = out.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![5, 1, 3]);
+        assert_eq!(out[0].distance, 0.5);
+    }
+
+    #[test]
+    fn fewer_than_k_returns_all_sorted() {
+        let mut t = TopK::new(10);
+        t.push(0, 2.0);
+        t.push(1, 1.0);
+        let out = t.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, 1);
+    }
+
+    #[test]
+    fn threshold_tracks_worst() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), f32::INFINITY);
+        t.push(0, 3.0);
+        assert_eq!(t.threshold(), f32::INFINITY);
+        t.push(1, 1.0);
+        assert_eq!(t.threshold(), 3.0);
+        t.push(2, 2.0);
+        assert_eq!(t.threshold(), 2.0);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut t = TopK::new(2);
+        t.push(7, 1.0);
+        t.push(3, 1.0);
+        let out = t.into_sorted();
+        assert_eq!(out[0].id, 3);
+        assert_eq!(out[1].id, 7);
+    }
+}

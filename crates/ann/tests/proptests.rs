@@ -1,0 +1,86 @@
+//! Property-based tests for the ANN indexes.
+
+use dial_ann::{kmeans, sq_l2, FlatIndex, IvfFlatIndex, IvfParams, Metric, PqIndex, TopK};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn packed(n: usize, dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-5.0f32..5.0, n * dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn topk_matches_naive_sort(dists in proptest::collection::vec(0.0f32..100.0, 1..60), k in 1usize..10) {
+        let mut top = TopK::new(k);
+        for (i, &d) in dists.iter().enumerate() {
+            top.push(i as u32, d);
+        }
+        let got: Vec<f32> = top.into_sorted().into_iter().map(|h| h.distance).collect();
+        let mut want = dists.clone();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.truncate(k);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn flat_search_first_hit_is_true_nearest(data in packed(30, 4), q in proptest::collection::vec(-5.0f32..5.0, 4)) {
+        let mut ix = FlatIndex::new(4, Metric::L2);
+        ix.add_batch(&data);
+        let hits = ix.search(&q, 1);
+        let best_naive = data
+            .chunks(4)
+            .map(|v| sq_l2(&q, v))
+            .fold(f32::INFINITY, f32::min);
+        prop_assert!((hits[0].distance - best_naive).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ivf_full_probe_equals_flat(data in packed(50, 4)) {
+        let params = IvfParams { nlist: 8, nprobe: 8, ..Default::default() };
+        let ivf = IvfFlatIndex::build(&data, 4, Metric::L2, params);
+        let mut flat = FlatIndex::new(4, Metric::L2);
+        flat.add_batch(&data);
+        let q = &data[0..4];
+        let a: Vec<u32> = ivf.search(q, 5).into_iter().map(|h| h.id).collect();
+        let b: Vec<u32> = flat.search(q, 5).into_iter().map(|h| h.id).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pq_adc_consistent_with_decode(data in packed(40, 8)) {
+        let pq = PqIndex::build(&data, 8, 2, 16, 0);
+        let q = &data[0..8];
+        let tables = pq.quantizer().distance_tables(q);
+        for i in 0..5 {
+            let code = pq.quantizer().encode(&data[i * 8..(i + 1) * 8]);
+            let adc = pq.quantizer().adc(&tables, &code);
+            let explicit = sq_l2(q, &pq.quantizer().decode(&code));
+            prop_assert!((adc - explicit).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn kmeans_inertia_never_increases_with_k(data in packed(40, 3)) {
+        let mut rng1 = StdRng::seed_from_u64(0);
+        let mut rng4 = StdRng::seed_from_u64(0);
+        let km1 = kmeans(&data, 3, 1, 25, &mut rng1);
+        let km4 = kmeans(&data, 3, 8, 25, &mut rng4);
+        prop_assert!(km4.inertia <= km1.inertia * 1.05 + 1e-3);
+    }
+
+    #[test]
+    fn kmeans_assignments_point_to_nearest_centroid(data in packed(30, 2)) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let km = kmeans(&data, 2, 4, 30, &mut rng);
+        for (i, v) in data.chunks(2).enumerate() {
+            let assigned = km.assignments[i];
+            let d_assigned = sq_l2(v, km.centroid(assigned as usize));
+            for c in 0..km.k {
+                prop_assert!(d_assigned <= sq_l2(v, km.centroid(c)) + 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Classic string-similarity feature vectors for record pairs.
+//!
+//! The Random Forest baseline (Meduri et al. 2020 / Magellan style) scores
+//! pairs on per-attribute similarity features rather than learned
+//! embeddings: word and q-gram Jaccard, overlap coefficient, normalized
+//! Levenshtein, exact equality, and relative numeric difference.
+
+use dial_text::{qgrams, word_tokens, Record};
+use std::collections::HashSet;
+
+/// Number of features produced per attribute.
+pub const FEATURES_PER_ATTR: usize = 5;
+/// Number of whole-record features appended after the per-attribute block.
+pub const GLOBAL_FEATURES: usize = 2;
+
+/// Feature vector length for a schema with `n_attrs` attributes.
+pub fn feature_len(n_attrs: usize) -> usize {
+    n_attrs * FEATURES_PER_ATTR + GLOBAL_FEATURES
+}
+
+/// Compute the similarity feature vector for a record pair. Both records
+/// must share a schema arity (attributes are compared positionally, which
+/// handles the aligned-schema benchmarks the forest baseline runs on).
+pub fn pair_features(r: &Record, s: &Record) -> Vec<f32> {
+    let n = r.values().len().min(s.values().len());
+    let mut out = Vec::with_capacity(feature_len(n));
+    for i in 0..n {
+        let (a, b) = (r.value(i), s.value(i));
+        out.push(word_jaccard(a, b));
+        out.push(qgram_jaccard(a, b, 3));
+        out.push(overlap_coefficient(a, b));
+        out.push(normalized_levenshtein(a, b));
+        out.push(numeric_similarity(a, b));
+    }
+    let (ta, tb) = (r.text(), s.text());
+    out.push(word_jaccard(&ta, &tb));
+    out.push(qgram_jaccard(&ta, &tb, 3));
+    out
+}
+
+/// Jaccard similarity of word-token sets.
+pub fn word_jaccard(a: &str, b: &str) -> f32 {
+    set_jaccard(
+        &word_tokens(a).into_iter().collect::<HashSet<_>>(),
+        &word_tokens(b).into_iter().collect::<HashSet<_>>(),
+    )
+}
+
+/// Jaccard similarity of character q-gram sets.
+pub fn qgram_jaccard(a: &str, b: &str, q: usize) -> f32 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    set_jaccard(
+        &qgrams(a, q).into_iter().collect::<HashSet<_>>(),
+        &qgrams(b, q).into_iter().collect::<HashSet<_>>(),
+    )
+}
+
+/// Overlap coefficient of word-token sets: `|A∩B| / min(|A|, |B|)`.
+pub fn overlap_coefficient(a: &str, b: &str) -> f32 {
+    let sa: HashSet<String> = word_tokens(a).into_iter().collect();
+    let sb: HashSet<String> = word_tokens(b).into_iter().collect();
+    let m = sa.len().min(sb.len());
+    if m == 0 {
+        return if sa.len() == sb.len() { 1.0 } else { 0.0 };
+    }
+    sa.intersection(&sb).count() as f32 / m as f32
+}
+
+/// `1 - lev(a, b) / max(|a|, |b|)`, capped string length for cost safety.
+pub fn normalized_levenshtein(a: &str, b: &str) -> f32 {
+    const CAP: usize = 64;
+    let av: Vec<char> = a.chars().take(CAP).collect();
+    let bv: Vec<char> = b.chars().take(CAP).collect();
+    let m = av.len().max(bv.len());
+    if m == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(&av, &bv) as f32 / m as f32
+}
+
+/// Similarity of two numeric strings: `1 - |x-y| / max(|x|, |y|)`, or
+/// 0.5 (uninformative) when either side is not a number.
+pub fn numeric_similarity(a: &str, b: &str) -> f32 {
+    if a == b {
+        return 1.0;
+    }
+    match (a.trim().parse::<f32>(), b.trim().parse::<f32>()) {
+        (Ok(x), Ok(y)) => {
+            let m = x.abs().max(y.abs());
+            if m == 0.0 {
+                1.0
+            } else {
+                (1.0 - (x - y).abs() / m).max(0.0)
+            }
+        }
+        _ => 0.5,
+    }
+}
+
+fn set_jaccard(a: &HashSet<String>, b: &HashSet<String>) -> f32 {
+    let union = a.union(b).count();
+    if union == 0 {
+        return 1.0;
+    }
+    a.intersection(b).count() as f32 / union as f32
+}
+
+/// Classic dynamic-programming Levenshtein distance (two-row).
+pub fn levenshtein(a: &[char], b: &[char]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_text::Schema;
+
+    #[test]
+    fn levenshtein_basics() {
+        let c = |s: &str| s.chars().collect::<Vec<_>>();
+        assert_eq!(levenshtein(&c("kitten"), &c("sitting")), 3);
+        assert_eq!(levenshtein(&c(""), &c("abc")), 3);
+        assert_eq!(levenshtein(&c("same"), &c("same")), 0);
+    }
+
+    #[test]
+    fn jaccard_bounds_and_identity() {
+        assert_eq!(word_jaccard("a b c", "a b c"), 1.0);
+        assert_eq!(word_jaccard("a b", "c d"), 0.0);
+        let j = word_jaccard("a b c", "a b d");
+        assert!(j > 0.0 && j < 1.0);
+    }
+
+    #[test]
+    fn numeric_similarity_behaviour() {
+        assert!((numeric_similarity("100", "100") - 1.0).abs() < 1e-6);
+        assert!(numeric_similarity("100", "50") < 0.6);
+        assert_eq!(numeric_similarity("n/a", "100"), 0.5);
+    }
+
+    #[test]
+    fn feature_vector_length_matches_schema() {
+        let schema = Schema::new(vec!["title", "brand", "price"]);
+        let r = Record::new(0, schema.clone(), vec!["a b".into(), "x".into(), "9.5".into()]);
+        let s = Record::new(0, schema, vec!["a c".into(), "x".into(), "9.9".into()]);
+        let f = pair_features(&r, &s);
+        assert_eq!(f.len(), feature_len(3));
+        assert!(f.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn identical_records_score_high_everywhere() {
+        let schema = Schema::new(vec!["t"]);
+        let r = Record::new(0, schema.clone(), vec!["stellar gaming router 520".into()]);
+        let s = Record::new(0, schema, vec!["stellar gaming router 520".into()]);
+        let f = pair_features(&r, &s);
+        assert!(f.iter().all(|&v| v >= 0.99), "{f:?}");
+    }
+
+    #[test]
+    fn overlap_coefficient_subset_is_one() {
+        assert_eq!(overlap_coefficient("a b", "a b c d"), 1.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # dial-baselines
+//!
+//! Non-TPLM baselines from the DIAL evaluation (§4.3):
+//!
+//! * [`forest`] — Random Forest with learner-aware Query-by-Committee via
+//!   bootstrap (Mozafari et al. 2014), over classic string-similarity
+//!   features ([`features`]) and CART trees ([`tree`]);
+//! * [`jedai`] — JedAI-style schema-based (similarity join) and
+//!   schema-agnostic (token blocking + meta-blocking) pipelines,
+//!   grid-searched per dataset like the paper.
+//!
+//! The TPLM-based baselines (PairedFixed, PairedAdapt, SentenceBERT
+//! blocking) share DIAL's machinery and live in `dial-core` as
+//! [`dial_core::BlockingStrategy`] variants.
+
+pub mod features;
+pub mod forest;
+pub mod jedai;
+pub mod tree;
+
+pub use features::{feature_len, pair_features};
+pub use forest::{run_forest_al, ForestConfig, ForestRunResult, RandomForest};
+pub use jedai::{schema_agnostic, schema_based, JedaiResult};
+pub use tree::{DecisionTree, TreeParams};

@@ -1,0 +1,232 @@
+//! CART decision trees with random feature subsets (random-forest member).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Tree growth limits.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+    /// Features sampled per split (`0` = sqrt(total)).
+    pub max_features: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 12, min_samples_split: 4, max_features: 0 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        prob: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A binary classification tree over dense `f32` feature vectors.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+}
+
+impl DecisionTree {
+    /// Fit on `(features, label)` rows with gini-impurity splits.
+    pub fn fit(x: &[Vec<f32>], y: &[bool], params: TreeParams, rng: &mut StdRng) -> Self {
+        assert_eq!(x.len(), y.len(), "feature/label count mismatch");
+        assert!(!x.is_empty(), "cannot fit a tree on zero rows");
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let n_features = x[0].len();
+        let max_features = if params.max_features == 0 {
+            (n_features as f32).sqrt().ceil() as usize
+        } else {
+            params.max_features.min(n_features)
+        };
+        let root = grow(x, y, &idx, 0, &params, max_features, n_features, rng);
+        DecisionTree { root }
+    }
+
+    /// Probability of the positive class (leaf purity).
+    pub fn predict_proba(&self, features: &[f32]) -> f32 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { prob } => return *prob,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Hard prediction at the 0.5 boundary.
+    pub fn predict(&self, features: &[f32]) -> bool {
+        self.predict_proba(features) > 0.5
+    }
+
+    /// Tree depth (diagnostics).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    x: &[Vec<f32>],
+    y: &[bool],
+    idx: &[usize],
+    depth: usize,
+    params: &TreeParams,
+    max_features: usize,
+    n_features: usize,
+    rng: &mut StdRng,
+) -> Node {
+    let pos = idx.iter().filter(|&&i| y[i]).count();
+    let prob = pos as f32 / idx.len() as f32;
+    if depth >= params.max_depth
+        || idx.len() < params.min_samples_split
+        || pos == 0
+        || pos == idx.len()
+    {
+        return Node::Leaf { prob };
+    }
+
+    // Random feature subset (Breiman 2001).
+    let mut feats: Vec<usize> = (0..n_features).collect();
+    feats.shuffle(rng);
+    feats.truncate(max_features);
+
+    let parent_gini = gini(pos, idx.len());
+    let mut best: Option<(usize, f32, f32)> = None; // (feature, threshold, gain)
+    for &f in &feats {
+        let mut vals: Vec<(f32, bool)> = idx.iter().map(|&i| (x[i][f], y[i])).collect();
+        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let total_pos = pos;
+        let mut left_pos = 0usize;
+        for split in 1..vals.len() {
+            if vals[split - 1].1 {
+                left_pos += 1;
+            }
+            if vals[split].0 == vals[split - 1].0 {
+                continue; // no boundary between equal values
+            }
+            let left_n = split;
+            let right_n = vals.len() - split;
+            let right_pos = total_pos - left_pos;
+            let w_gini = (left_n as f32 * gini(left_pos, left_n)
+                + right_n as f32 * gini(right_pos, right_n))
+                / vals.len() as f32;
+            let gain = parent_gini - w_gini;
+            let threshold = 0.5 * (vals[split - 1].0 + vals[split].0);
+            if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 1e-7) {
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+
+    match best {
+        None => Node::Leaf { prob },
+        Some((feature, threshold, _)) => {
+            let left_idx: Vec<usize> =
+                idx.iter().copied().filter(|&i| x[i][feature] <= threshold).collect();
+            let right_idx: Vec<usize> =
+                idx.iter().copied().filter(|&i| x[i][feature] > threshold).collect();
+            if left_idx.is_empty() || right_idx.is_empty() {
+                return Node::Leaf { prob };
+            }
+            let left = grow(x, y, &left_idx, depth + 1, params, max_features, n_features, rng);
+            let right = grow(x, y, &right_idx, depth + 1, params, max_features, n_features, rng);
+            Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+        }
+    }
+}
+
+#[inline]
+fn gini(pos: usize, n: usize) -> f32 {
+    if n == 0 {
+        return 0.0;
+    }
+    let p = pos as f32 / n as f32;
+    2.0 * p * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn xor_ish_data() -> (Vec<Vec<f32>>, Vec<bool>) {
+        // Separable by axis-aligned splits: y = x0 > 0.5 && x1 > 0.5.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let (a, b) = (i as f32 / 10.0, j as f32 / 10.0);
+                x.push(vec![a, b]);
+                y.push(a > 0.5 && b > 0.5);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fits_axis_aligned_concept() {
+        let (x, y) = xor_ish_data();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams { max_features: 2, ..Default::default() },
+            &mut rng,
+        );
+        let correct = x.iter().zip(&y).filter(|(f, &l)| t.predict(f) == l).count();
+        assert!(correct as f32 / x.len() as f32 > 0.97, "{correct}/100");
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![true, true];
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = DecisionTree::fit(&x, &y, TreeParams::default(), &mut rng);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict_proba(&[0.5]), 1.0);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (x, y) = xor_ish_data();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams { max_depth: 1, max_features: 2, ..Default::default() },
+            &mut rng,
+        );
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let (x, y) = xor_ish_data();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = DecisionTree::fit(&x, &y, TreeParams::default(), &mut rng);
+        for f in &x {
+            let p = t.predict_proba(f);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

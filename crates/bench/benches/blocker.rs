@@ -1,0 +1,44 @@
+//! Index-By-Committee cost vs committee size: the probe-side scalability
+//! claim of Table 10 (cost grows sub-linearly thanks to shared encoding).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dial_core::{index_by_committee, Committee};
+use dial_core::encode::ListEmbeddings;
+use dial_tensor::ParamStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn emb(n: usize, dim: usize, seed: u64) -> ListEmbeddings {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ListEmbeddings { dim, data: (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect() }
+}
+
+fn bench_blocker(c: &mut Criterion) {
+    let dim = 64;
+    let er = emb(400, dim, 1);
+    let es = emb(2000, dim, 2);
+
+    let mut g = c.benchmark_group("ibc_probe_vs_committee_size");
+    for n in [1usize, 3, 10] {
+        let mut store = ParamStore::new();
+        let committee = Committee::new(&mut store, n, dim, 0.5, 0);
+        let vr = committee.embed_list(&store, &er);
+        let vs = committee.embed_list(&store, &es);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| index_by_committee(&vr, &vs, dim, 3, 6000))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("committee_embed_list");
+    for n in [1usize, 3, 10] {
+        let mut store = ParamStore::new();
+        let committee = Committee::new(&mut store, n, dim, 0.5, 0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| committee.embed_list(&store, &es))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_blocker);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! One full DIAL active-learning round at smoke scale: the end-to-end cost
+//! unit behind every experiment in the harness.
+use criterion::{criterion_group, criterion_main, Criterion};
+use dial_core::{DialConfig, DialSystem};
+use dial_datasets::{Benchmark, ScaleProfile};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let data = Benchmark::AbtBuy.generate(ScaleProfile::Smoke, 0);
+    let mut g = c.benchmark_group("dial_full_run_smoke");
+    g.sample_size(10);
+    g.bench_function("abt_buy_2rounds", |b| {
+        b.iter(|| {
+            let mut sys = DialSystem::new(DialConfig::smoke());
+            sys.run(&data, None)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

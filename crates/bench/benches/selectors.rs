@@ -1,0 +1,49 @@
+//! Selection-strategy costs over a realistic candidate set (Table 9's
+//! "Selection" row).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dial_core::{select, Candidate, SelectionInputs, SelectionStrategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+fn bench_selectors(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let n = 6000;
+    let cands: Vec<Candidate> = (0..n)
+        .map(|i| Candidate { r: i as u32 % 400, s: i as u32, distance: rng.gen(), rank: 0 })
+        .collect();
+    let probs: Vec<f32> = (0..n).map(|_| rng.gen()).collect();
+    let feats: Vec<Vec<f32>> = (0..n).map(|_| (0..72).map(|_| rng.gen::<f32>()).collect()).collect();
+    let labeled: Vec<(Vec<f32>, bool)> =
+        (0..128).map(|i| ((0..72).map(|_| rng.gen::<f32>()).collect(), i % 2 == 0)).collect();
+    let excluded = HashSet::new();
+
+    let mut g = c.benchmark_group("selection_budget32_cand6000");
+    g.sample_size(10);
+    for (name, strat) in [
+        ("uncertainty", SelectionStrategy::Uncertainty),
+        ("random", SelectionStrategy::Random),
+        ("partition2", SelectionStrategy::Partition2),
+        ("qbc", SelectionStrategy::Qbc),
+        ("badge", SelectionStrategy::Badge),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &strat, |b, &strat| {
+            b.iter(|| {
+                let inputs = SelectionInputs {
+                    cands: &cands,
+                    probs: &probs,
+                    feats: &feats,
+                    labeled_feats: &labeled,
+                    excluded: &excluded,
+                    budget: 32,
+                };
+                let mut rng = StdRng::seed_from_u64(7);
+                select(strat, &inputs, &mut rng)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_selectors);
+criterion_main!(benches);

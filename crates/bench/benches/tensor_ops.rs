@@ -1,0 +1,44 @@
+//! Autograd engine micro-benchmarks: the matmul/attention kernels that
+//! dominate matcher training time (Table 9's mechanism).
+use criterion::{criterion_group, criterion_main, Criterion};
+use dial_tensor::{init, Graph, Matrix, ParamStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = init::normal(48, 64, 1.0, &mut rng);
+    let b = init::normal(64, 64, 1.0, &mut rng);
+
+    c.bench_function("matmul_48x64x64", |bch| bch.iter(|| a.matmul(&b)));
+    c.bench_function("matmul_t_48x64_48x64", |bch| bch.iter(|| a.matmul_t(&a)));
+
+    // Forward+backward through an attention-shaped graph.
+    let mut store = ParamStore::new();
+    let wq = store.add("wq", init::normal(64, 64, 0.1, &mut rng));
+    let wk = store.add("wk", init::normal(64, 64, 0.1, &mut rng));
+    let wv = store.add("wv", init::normal(64, 64, 0.1, &mut rng));
+    let x = init::normal(48, 64, 1.0, &mut rng);
+    c.bench_function("attention_fwd_bwd_seq48_d64", |bch| {
+        bch.iter(|| {
+            let mut g = Graph::new();
+            let xin = g.input(x.clone());
+            let q_ = g.param(&store, wq);
+            let k_ = g.param(&store, wk);
+            let v_ = g.param(&store, wv);
+            let q = g.matmul(xin, q_);
+            let k = g.matmul(xin, k_);
+            let v = g.matmul(xin, v_);
+            let scores = g.matmul_t(q, k);
+            let attn = g.softmax_rows(scores);
+            let out = g.matmul(attn, v);
+            let loss = g.mean(out);
+            g.backward(loss, &mut store);
+            store.zero_grads();
+            Matrix::scalar(0.0)
+        })
+    });
+}
+
+criterion_group!(benches, bench_tensor);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! TPLM encoding throughput: single-mode (blocker) vs paired-mode
+//! (matcher) costs explain the RT gap between TPLM and non-TPLM rows of
+//! Table 2.
+use criterion::{criterion_group, criterion_main, Criterion};
+use dial_tensor::ParamStore;
+use dial_tplm::{Tplm, TplmConfig};
+
+fn bench_tplm(c: &mut Criterion) {
+    let mut store = ParamStore::new();
+    let model = Tplm::new(TplmConfig::default(), &mut store);
+    let single: Vec<u32> = (0..24).map(|i| 5 + i % 500).collect();
+    let paired: Vec<u32> = (0..48).map(|i| 5 + i % 500).collect();
+
+    c.bench_function("encode_single_24tok_d64_L2", |b| {
+        b.iter(|| model.embed_single(&store, &single))
+    });
+    c.bench_function("encode_paired_48tok_d64_L2", |b| {
+        b.iter(|| model.embed_single(&store, &paired))
+    });
+}
+
+criterion_group!(benches, bench_tplm);
+criterion_main!(benches);

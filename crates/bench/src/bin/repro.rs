@@ -1,0 +1,359 @@
+//! Reproduce every table and figure of the DIAL paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p dial-bench --bin repro -- <experiment> [...]
+//!
+//! experiments:
+//!   table1   dataset statistics
+//!   fig4     progressive test-set F1 (5 datasets × 4 TPLM methods)
+//!   table2   end-of-AL all-pairs P/R/F1 + RT (8 methods × 5 datasets)
+//!   fig5     progressive blocker recall
+//!   table3   multilingual all-pairs P/R/F1
+//!   fig6     multilingual progressive F1
+//!   table4   labeled vs random negatives ablation
+//!   table5   blocker objective ablation
+//!   table6   candidate-size ablation
+//!   table7   committee-size ablation
+//!   table8   selection strategies (also emits Figure 7 series)
+//!   table9   per-operation timings
+//!   table10  testing time vs committee size
+//!   all      everything above in order
+//! ```
+//!
+//! Environment: `REPRO_SCALE` (bench|smoke|paper), `REPRO_ROUNDS`,
+//! `REPRO_SEEDS`, `REPRO_OUT`, and `REPRO_DATASETS` (comma-separated subset
+//! of `WA,AG,DA,DS,AB`).
+
+use dial_bench::report::{pct, print_table, secs, write_json};
+use dial_bench::runner::{
+    self, run_jedai_row, run_rf_row, run_tplm, ExpContext, TplmRunSummary,
+};
+use dial_core::{
+    BlockerObjective, BlockingStrategy, CandSize, NegativeSource, SelectionStrategy,
+};
+use dial_datasets::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("help");
+    let ctx = ExpContext::from_env();
+    eprintln!(
+        "# context: scale={:?} rounds={} seeds={:?} datasets={:?}",
+        ctx.scale,
+        ctx.rounds,
+        ctx.seeds,
+        five(&ctx)
+    );
+    match which {
+        "table1" => table1(&ctx),
+        "fig4" => fig4_fig5(&ctx, false),
+        "fig5" => fig4_fig5(&ctx, true),
+        "table2" => table2(&ctx),
+        "table3" => table3(&ctx),
+        "fig6" => table3(&ctx), // same runs; fig6 is the progressive view
+        "table4" => table4(&ctx),
+        "table5" => table5(&ctx),
+        "table6" => table6(&ctx),
+        "table7" => table7(&ctx),
+        "table8" | "fig7" => table8(&ctx),
+        "table9" => table9(&ctx),
+        "table10" => table10(&ctx),
+        "all" => {
+            table1(&ctx);
+            fig4_fig5(&ctx, false);
+            table2(&ctx);
+            table3(&ctx);
+            table4(&ctx);
+            table5(&ctx);
+            table6(&ctx);
+            table7(&ctx);
+            table8(&ctx);
+            table9(&ctx);
+            table10(&ctx);
+        }
+        _ => {
+            eprintln!("usage: repro <table1|fig4|table2|fig5|table3|fig6|table4..table10|fig7|all>");
+        }
+    }
+}
+
+/// The five DeepMatcher-style benchmarks, optionally filtered by
+/// `REPRO_DATASETS`.
+fn five(_ctx: &ExpContext) -> Vec<Benchmark> {
+    let all = Benchmark::five();
+    match std::env::var("REPRO_DATASETS") {
+        Err(_) => all.to_vec(),
+        Ok(list) => {
+            let wanted: Vec<&str> = list.split(',').map(str::trim).collect();
+            all.into_iter()
+                .filter(|b| {
+                    wanted.iter().any(|w| w.eq_ignore_ascii_case(b.short_name().replace('-', "").as_str())
+                        || w.eq_ignore_ascii_case(b.short_name()))
+                })
+                .collect()
+        }
+    }
+}
+
+fn table1(ctx: &ExpContext) {
+    let mut rows = Vec::new();
+    for b in Benchmark::all() {
+        let d = runner::dataset(b, ctx.scale, ctx.seeds[0]);
+        let st = d.data.stats();
+        write_json("table1", &st);
+        rows.push(vec![
+            st.name.clone(),
+            st.r_size.to_string(),
+            st.s_size.to_string(),
+            st.dups.to_string(),
+            format!("{:.1e}", st.density),
+            st.test_size.to_string(),
+        ]);
+    }
+    print_table("Table 1: dataset statistics", &["Dataset", "|R|", "|S|", "|dups|", "density", "|Dtest|"], &rows);
+}
+
+const TPLM_METHODS: [(&str, BlockingStrategy); 4] = [
+    ("SentenceBERT", BlockingStrategy::SentenceBert),
+    ("PairedFixed", BlockingStrategy::PairedFixed),
+    ("PairedAdapt", BlockingStrategy::PairedAdapt),
+    ("DIAL", BlockingStrategy::Dial),
+];
+
+fn fig4_fig5(ctx: &ExpContext, recall_view: bool) {
+    let title = if recall_view {
+        "Figure 5: progressive blocker recall on cand"
+    } else {
+        "Figure 4: progressive test-set F1"
+    };
+    let mut rows = Vec::new();
+    for b in five(ctx) {
+        for (name, strat) in TPLM_METHODS {
+            let s = run_tplm(ctx, b, name, runner::strategy_mutator(strat));
+            write_json(if recall_view { "fig5" } else { "fig4" }, &s);
+            rows.push(series_row(&s, recall_view));
+        }
+        if recall_view {
+            let s = run_tplm(ctx, b, "Rules", runner::strategy_mutator(BlockingStrategy::Rules));
+            write_json("fig5", &s);
+            rows.push(series_row(&s, recall_view));
+        }
+    }
+    print_table(title, &["Dataset", "Method", "per-round series (|T| -> value %)"], &rows);
+}
+
+fn series_row(s: &TplmRunSummary, recall_view: bool) -> Vec<String> {
+    let series: Vec<String> = s
+        .rounds
+        .iter()
+        .map(|r| {
+            format!("{}:{}", r.labels, pct(if recall_view { r.recall } else { r.test_f1 }))
+        })
+        .collect();
+    vec![s.dataset.clone(), s.method.clone(), series.join(" ")]
+}
+
+fn table2(ctx: &ExpContext) {
+    let mut rows = Vec::new();
+    for b in five(ctx) {
+        // Non-TPLM baselines.
+        let rf = run_rf_row(ctx, b);
+        write_json("table2", &rf);
+        rows.push(vec![b.name().into(), rf.method.clone(), pct(rf.p), pct(rf.r), pct(rf.f1), secs(rf.rt_secs)]);
+        for agnostic in [false, true] {
+            let j = run_jedai_row(ctx, b, agnostic);
+            write_json("table2", &j);
+            rows.push(vec![b.name().into(), j.method.clone(), pct(j.p), pct(j.r), pct(j.f1), secs(j.rt_secs)]);
+        }
+        // TPLM methods + Rules.
+        for (name, strat) in TPLM_METHODS
+            .into_iter()
+            .chain([("Rules", BlockingStrategy::Rules)])
+        {
+            let s = run_tplm(ctx, b, name, runner::strategy_mutator(strat));
+            write_json("table2", &s);
+            let l = s.last();
+            rows.push(vec![
+                b.name().into(),
+                name.into(),
+                pct(l.all_p),
+                pct(l.all_r),
+                pct(l.all_f1),
+                secs(s.rt_secs),
+            ]);
+        }
+    }
+    print_table(
+        "Table 2: all-pairs P/R/F1 + RT at end of AL",
+        &["Dataset", "Method", "P", "R", "F1", "RT(s)"],
+        &rows,
+    );
+}
+
+fn table3(ctx: &ExpContext) {
+    let mut rows = Vec::new();
+    for (name, strat) in [
+        ("PairedFixed", BlockingStrategy::PairedFixed),
+        ("PairedAdapt", BlockingStrategy::PairedAdapt),
+        ("DIAL", BlockingStrategy::Dial),
+    ] {
+        let s = run_tplm(ctx, Benchmark::Multilingual, name, runner::strategy_mutator(strat));
+        write_json("table3", &s);
+        let l = s.last();
+        rows.push(vec![name.into(), pct(l.all_p), pct(l.all_r), pct(l.all_f1)]);
+        // Figure 6 series.
+        let series: Vec<String> =
+            s.rounds.iter().map(|r| format!("{}:{}", r.labels, pct(r.test_f1))).collect();
+        rows.push(vec![format!("  fig6 {name}"), series.join(" "), String::new(), String::new()]);
+    }
+    print_table("Table 3 / Figure 6: MultiLingual", &["Method", "P", "R", "F1"], &rows);
+}
+
+fn table4(ctx: &ExpContext) {
+    let mut rows = Vec::new();
+    for b in five(ctx) {
+        for (name, neg) in
+            [("Labeled", NegativeSource::Labeled), ("Random", NegativeSource::Random)]
+        {
+            let s = run_tplm(ctx, b, &format!("DIAL-neg-{name}"), runner::negatives_mutator(neg));
+            write_json("table4", &s);
+            let l = s.last();
+            rows.push(vec![
+                b.short_name().into(),
+                name.into(),
+                pct(l.recall),
+                pct(s.rounds.last().unwrap().test_f1),
+                pct(l.all_f1),
+            ]);
+        }
+    }
+    print_table(
+        "Table 4: labeled vs random negatives for the blocker",
+        &["Dataset", "Negatives", "Recall of cand", "Test F1", "All-pairs F1"],
+        &rows,
+    );
+}
+
+fn table5(ctx: &ExpContext) {
+    let mut rows = Vec::new();
+    for b in five(ctx) {
+        for (name, obj) in [
+            ("Classification", BlockerObjective::Classification),
+            ("Triplet", BlockerObjective::Triplet),
+            ("Contrastive", BlockerObjective::Contrastive),
+        ] {
+            let s = run_tplm(ctx, b, &format!("DIAL-obj-{name}"), runner::objective_mutator(obj));
+            write_json("table5", &s);
+            let l = s.last();
+            rows.push(vec![b.short_name().into(), name.into(), pct(l.test_f1), pct(l.all_f1)]);
+        }
+    }
+    print_table(
+        "Table 5: blocker training objective",
+        &["Dataset", "Objective", "Test F1", "All-pairs F1"],
+        &rows,
+    );
+}
+
+fn table6(ctx: &ExpContext) {
+    let mut rows = Vec::new();
+    for b in five(ctx) {
+        for (name, size) in [
+            ("Small", CandSize::Small),
+            ("Medium", CandSize::Medium),
+            ("Large", CandSize::Large),
+        ] {
+            let s = run_tplm(ctx, b, &format!("DIAL-cand-{name}"), runner::cand_size_mutator(size));
+            write_json("table6", &s);
+            let l = s.last();
+            rows.push(vec![b.short_name().into(), name.into(), pct(l.recall), pct(l.all_f1)]);
+        }
+    }
+    print_table(
+        "Table 6: candidate-set size",
+        &["Dataset", "|cand|", "Recall", "All-pairs F1"],
+        &rows,
+    );
+}
+
+fn table7(ctx: &ExpContext) {
+    let mut rows = Vec::new();
+    for b in five(ctx) {
+        for n in [1usize, 3, 5] {
+            let s = run_tplm(ctx, b, &format!("DIAL-N{n}"), runner::committee_mutator(n));
+            write_json("table7", &s);
+            let l = s.last();
+            rows.push(vec![b.short_name().into(), n.to_string(), pct(l.test_f1), pct(l.all_f1)]);
+        }
+    }
+    print_table(
+        "Table 7: committee size N",
+        &["Dataset", "N", "Test F1", "All-pairs F1"],
+        &rows,
+    );
+}
+
+fn table8(ctx: &ExpContext) {
+    let strategies = [
+        ("Random", SelectionStrategy::Random),
+        ("Greedy", SelectionStrategy::Greedy),
+        ("Partition-2", SelectionStrategy::Partition2),
+        ("Partition-4", SelectionStrategy::Partition4),
+        ("QBC", SelectionStrategy::Qbc),
+        ("BADGE", SelectionStrategy::Badge),
+        ("Uncertainty", SelectionStrategy::Uncertainty),
+    ];
+    let mut rows = Vec::new();
+    for b in five(ctx) {
+        for (name, sel) in strategies {
+            let s = run_tplm(ctx, b, &format!("DIAL-sel-{name}"), runner::selection_mutator(sel));
+            write_json("table8", &s);
+            let l = s.last();
+            // Figure 7 = the same runs viewed per round; series stored in JSON.
+            rows.push(vec![b.short_name().into(), name.into(), pct(l.all_f1)]);
+        }
+    }
+    print_table(
+        "Table 8 / Figure 7: selection strategies (all-pairs F1)",
+        &["Dataset", "Selector", "All-pairs F1"],
+        &rows,
+    );
+}
+
+fn table9(ctx: &ExpContext) {
+    let mut rows = Vec::new();
+    for b in five(ctx) {
+        let s = run_tplm(ctx, b, "DIAL", runner::strategy_mutator(BlockingStrategy::Dial));
+        write_json("table9", &s);
+        rows.push(vec![
+            b.short_name().into(),
+            secs(s.timing_train_matcher),
+            secs(s.timing_train_committee),
+            secs(s.timing_indexing_retrieval),
+            secs(s.timing_selection),
+        ]);
+    }
+    print_table(
+        "Table 9: time (s) per operation in the final AL round",
+        &["Dataset", "Train Matcher", "Train Committee", "Indexing&Retrieval", "Selection"],
+        &rows,
+    );
+}
+
+fn table10(ctx: &ExpContext) {
+    let mut rows = Vec::new();
+    for b in five(ctx) {
+        let mut cells = vec![b.short_name().to_string()];
+        for n in [1usize, 3, 10] {
+            let s = run_tplm(ctx, b, &format!("DIAL-N{n}"), runner::committee_mutator(n));
+            write_json("table10", &s);
+            cells.push(secs(s.rt_secs));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "Table 10: testing time (s) vs committee size",
+        &["Dataset", "N=1", "N=3", "N=10"],
+        &rows,
+    );
+}

@@ -1,0 +1,75 @@
+//! Plain-text table rendering and JSON result persistence.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Print a fixed-width table: header row plus data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let parts: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<width$}", width = w))
+            .collect();
+        println!("| {} |", parts.join(" | "));
+    };
+    line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Append a serializable result row to `REPRO_OUT/<name>.json` (JSON Lines).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::env::var("REPRO_OUT").unwrap_or_else(|_| "results".into());
+    let dir = PathBuf::from(dir);
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.jsonl"));
+    if let Ok(line) = serde_json::to_string(value) {
+        use std::io::Write;
+        if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", 100.0 * x)
+}
+
+/// Format seconds with one decimal.
+pub fn secs(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_and_secs_formatting() {
+        assert_eq!(pct(0.8571), "85.7");
+        assert_eq!(secs(12.345), "12.3");
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_widths() {
+        print_table(
+            "t",
+            &["a", "long-header"],
+            &[vec!["xxxxxxxx".into(), "y".into()], vec!["z".into(), "w".into()]],
+        );
+    }
+}

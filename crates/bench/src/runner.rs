@@ -1,0 +1,305 @@
+//! Shared experiment execution: dataset caching, method runs, averaging.
+
+use dial_baselines::{run_forest_al, schema_agnostic, schema_based, ForestConfig};
+use dial_core::{
+    BlockerObjective, BlockingStrategy, CandSize, DialConfig, DialSystem, NegativeSource,
+    RoundMetrics, SelectionStrategy,
+};
+use dial_datasets::{alignment_pairs, rule_candidates, Benchmark, EmDataset, ScaleProfile};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Experiment context: scale, rounds, seeds — read once from the
+/// environment.
+#[derive(Debug, Clone)]
+pub struct ExpContext {
+    pub scale: ScaleProfile,
+    pub rounds: usize,
+    pub seeds: Vec<u64>,
+}
+
+impl ExpContext {
+    pub fn from_env() -> Self {
+        let scale = match std::env::var("REPRO_SCALE").as_deref() {
+            Ok("smoke") => ScaleProfile::Smoke,
+            Ok("paper") => ScaleProfile::Paper,
+            _ => ScaleProfile::Bench,
+        };
+        let rounds = std::env::var("REPRO_ROUNDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5);
+        let n_seeds: u64 =
+            std::env::var("REPRO_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
+        ExpContext { scale, rounds, seeds: (0..n_seeds).collect() }
+    }
+
+    /// Base DIAL configuration for a benchmark at this context's scale.
+    pub fn base_config(&self, bench: Benchmark, seed: u64) -> DialConfig {
+        let mut cfg = match self.scale {
+            ScaleProfile::Smoke => DialConfig::smoke(),
+            _ => DialConfig::default(),
+        };
+        cfg.rounds = self.rounds;
+        cfg.seed = seed;
+        cfg.abt_buy_like = matches!(bench, Benchmark::AbtBuy);
+        if matches!(bench, Benchmark::Multilingual) {
+            // §4.5: freeze the TPLM for the multilingual dataset. The
+            // "pre-trained prior" here is the simulated mBERT alignment,
+            // not corpus SGNS (which would contract the content vocabulary
+            // and erase the cross-lingual signal; DESIGN.md §2).
+            cfg.freeze_trunk = true;
+            cfg.pretrain_epochs = 0;
+        }
+        cfg
+    }
+}
+
+/// Dataset cache keyed by (benchmark, scale, seed) — generation is cheap
+/// but rule blocking is not free.
+static DATASETS: Mutex<Option<HashMap<(Benchmark, u8, u64), &'static CachedData>>> =
+    Mutex::new(None);
+
+/// A generated dataset plus its rule-blocked candidate pairs.
+pub struct CachedData {
+    pub data: EmDataset,
+    pub rules: Option<Vec<(u32, u32)>>,
+}
+
+fn scale_tag(s: ScaleProfile) -> u8 {
+    match s {
+        ScaleProfile::Paper => 0,
+        ScaleProfile::Bench => 1,
+        ScaleProfile::Smoke => 2,
+    }
+}
+
+/// Fetch (or generate) a dataset; leaked into a `'static` cache for the
+/// process lifetime of the harness binary.
+pub fn dataset(bench: Benchmark, scale: ScaleProfile, seed: u64) -> &'static CachedData {
+    let mut guard = DATASETS.lock().unwrap();
+    let map = guard.get_or_insert_with(HashMap::new);
+    let key = (bench, scale_tag(scale), seed);
+    if let Some(d) = map.get(&key) {
+        return d;
+    }
+    let data = bench.generate(scale, seed);
+    let rules = bench.rule_kind().map(|k| rule_candidates(&data, k));
+    let leaked: &'static CachedData = Box::leak(Box::new(CachedData { data, rules }));
+    map.insert(key, leaked);
+    leaked
+}
+
+/// Full per-round trace of a TPLM method, averaged over seeds.
+#[derive(Debug, Clone, Serialize)]
+pub struct TplmRunSummary {
+    pub dataset: String,
+    pub method: String,
+    /// Per-round: (labels, blocker recall, test F1, all-pairs P/R/F1).
+    pub rounds: Vec<RoundRow>,
+    /// Final-round operation timings, seconds (Table 9).
+    pub timing_train_matcher: f64,
+    pub timing_train_committee: f64,
+    pub timing_indexing_retrieval: f64,
+    pub timing_selection: f64,
+    /// The paper's RT: blocking + matching time in the final round.
+    pub rt_secs: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct RoundRow {
+    pub labels: usize,
+    pub recall: f64,
+    pub test_f1: f64,
+    pub all_p: f64,
+    pub all_r: f64,
+    pub all_f1: f64,
+}
+
+impl TplmRunSummary {
+    pub fn last(&self) -> &RoundRow {
+        self.rounds.last().expect("no rounds")
+    }
+}
+
+/// Run one TPLM-based method (DIAL or a blocking baseline) on a benchmark,
+/// averaging metrics over the context's seeds. `mutate` customizes the
+/// configuration (ablations).
+pub fn run_tplm(
+    ctx: &ExpContext,
+    bench: Benchmark,
+    method: &str,
+    mutate: impl Fn(&mut DialConfig),
+) -> TplmRunSummary {
+    let mut acc: Vec<Vec<RoundMetrics>> = Vec::new();
+    let mut last_timings = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &seed in &ctx.seeds {
+        let cached = dataset(bench, ctx.scale, seed);
+        let mut cfg = ctx.base_config(bench, seed);
+        mutate(&mut cfg);
+        let mut sys = DialSystem::new(cfg);
+        sys.pretrain(&cached.data);
+        if matches!(bench, Benchmark::Multilingual) {
+            // Simulated mBERT cross-lingual alignment (DESIGN.md §2).
+            let pairs = alignment_pairs(sys.vocab());
+            sys.align_embeddings(&pairs, 0.35);
+        }
+        let result = sys.run(&cached.data, cached.rules.as_deref());
+        let t = &result.last().timings;
+        last_timings = (
+            t.train_matcher,
+            t.train_committee,
+            t.indexing_retrieval,
+            t.selection,
+            t.find_dups,
+        );
+        acc.push(result.rounds);
+    }
+
+    let n_rounds = acc[0].len();
+    let n = acc.len() as f64;
+    let rounds: Vec<RoundRow> = (0..n_rounds)
+        .map(|r| RoundRow {
+            labels: acc[0][r].labels_used,
+            recall: acc.iter().map(|a| a[r].blocker_recall).sum::<f64>() / n,
+            test_f1: acc.iter().map(|a| a[r].test.f1).sum::<f64>() / n,
+            all_p: acc.iter().map(|a| a[r].all_pairs.precision).sum::<f64>() / n,
+            all_r: acc.iter().map(|a| a[r].all_pairs.recall).sum::<f64>() / n,
+            all_f1: acc.iter().map(|a| a[r].all_pairs.f1).sum::<f64>() / n,
+        })
+        .collect();
+
+    TplmRunSummary {
+        dataset: bench.name().to_string(),
+        method: method.to_string(),
+        rounds,
+        timing_train_matcher: last_timings.0,
+        timing_train_committee: last_timings.1,
+        timing_indexing_retrieval: last_timings.2,
+        timing_selection: last_timings.3,
+        rt_secs: last_timings.4,
+    }
+}
+
+/// Standard mutators for the four TPLM blocking methods plus Rules.
+pub fn strategy_mutator(strategy: BlockingStrategy) -> impl Fn(&mut DialConfig) {
+    move |cfg: &mut DialConfig| cfg.blocking = strategy
+}
+
+/// Mutator for selection-strategy experiments.
+pub fn selection_mutator(sel: SelectionStrategy) -> impl Fn(&mut DialConfig) {
+    move |cfg: &mut DialConfig| cfg.selection = sel
+}
+
+/// Mutator for negative-source experiments (Table 4).
+pub fn negatives_mutator(neg: NegativeSource) -> impl Fn(&mut DialConfig) {
+    move |cfg: &mut DialConfig| cfg.negatives = neg
+}
+
+/// Mutator for blocker-objective experiments (Table 5).
+pub fn objective_mutator(obj: BlockerObjective) -> impl Fn(&mut DialConfig) {
+    move |cfg: &mut DialConfig| cfg.objective = obj
+}
+
+/// Mutator for candidate-size experiments (Table 6).
+pub fn cand_size_mutator(size: CandSize) -> impl Fn(&mut DialConfig) {
+    move |cfg: &mut DialConfig| cfg.cand_size = size
+}
+
+/// Mutator for committee-size experiments (Tables 7, 10).
+pub fn committee_mutator(n: usize) -> impl Fn(&mut DialConfig) {
+    move |cfg: &mut DialConfig| cfg.committee = n
+}
+
+/// Table 2 row for the Random Forest baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct BaselineRow {
+    pub dataset: String,
+    pub method: String,
+    pub p: f64,
+    pub r: f64,
+    pub f1: f64,
+    pub rt_secs: f64,
+}
+
+/// Run the RF + bootstrap-QBC baseline on the rule-blocked pool.
+pub fn run_rf_row(ctx: &ExpContext, bench: Benchmark) -> BaselineRow {
+    let (mut p, mut r, mut f1, mut rt) = (0.0, 0.0, 0.0, 0.0);
+    for &seed in &ctx.seeds {
+        let cached = dataset(bench, ctx.scale, seed);
+        let blocked = cached.rules.as_ref().expect("RF baseline needs rule blocking");
+        let cfg = ForestConfig { rounds: ctx.rounds, seed, ..Default::default() };
+        let res = run_forest_al(&cached.data, blocked, &cfg);
+        p += res.all_pairs.precision;
+        r += res.all_pairs.recall;
+        f1 += res.all_pairs.f1;
+        rt += res.find_dups_secs;
+    }
+    let n = ctx.seeds.len() as f64;
+    BaselineRow {
+        dataset: bench.name().to_string(),
+        method: "Random Forest".into(),
+        p: p / n,
+        r: r / n,
+        f1: f1 / n,
+        rt_secs: rt / n,
+    }
+}
+
+/// Run one of the JedAI-style pipelines.
+pub fn run_jedai_row(ctx: &ExpContext, bench: Benchmark, agnostic: bool) -> BaselineRow {
+    let (mut p, mut r, mut f1, mut rt) = (0.0, 0.0, 0.0, 0.0);
+    for &seed in &ctx.seeds {
+        let cached = dataset(bench, ctx.scale, seed);
+        let res =
+            if agnostic { schema_agnostic(&cached.data) } else { schema_based(&cached.data) };
+        p += res.all_pairs.precision;
+        r += res.all_pairs.recall;
+        f1 += res.all_pairs.f1;
+        rt += res.runtime_secs;
+    }
+    let n = ctx.seeds.len() as f64;
+    BaselineRow {
+        dataset: bench.name().to_string(),
+        method: if agnostic { "JedAI:Schema-agnostic" } else { "JedAI:Schema-based" }.into(),
+        p: p / n,
+        r: r / n,
+        f1: f1 / n,
+        rt_secs: rt / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_defaults() {
+        let ctx = ExpContext::from_env();
+        assert!(ctx.rounds >= 1);
+        assert!(!ctx.seeds.is_empty());
+    }
+
+    #[test]
+    fn dataset_cache_returns_same_instance() {
+        let a = dataset(Benchmark::AbtBuy, ScaleProfile::Smoke, 0);
+        let b = dataset(Benchmark::AbtBuy, ScaleProfile::Smoke, 0);
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn smoke_tplm_run_produces_rounds() {
+        let ctx = ExpContext {
+            scale: ScaleProfile::Smoke,
+            rounds: 2,
+            seeds: vec![0],
+        };
+        let s = run_tplm(&ctx, Benchmark::AbtBuy, "DIAL", |cfg| {
+            *cfg = DialConfig { rounds: 2, ..DialConfig::smoke() };
+            cfg.abt_buy_like = true;
+        });
+        assert_eq!(s.rounds.len(), 2);
+        assert!(s.last().recall >= 0.0);
+    }
+}

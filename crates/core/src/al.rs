@@ -1,0 +1,407 @@
+//! The DIAL active-learning loop (Algorithm 1).
+//!
+//! Each round: (1) reset all parameters to the pre-trained checkpoint (no
+//! warm start, §4.2); (2) fine-tune the matcher on the labeled pairs
+//! (Eq. 6); (3) build the candidate set with the configured blocking
+//! strategy — for DIAL, retrain the committee on frozen trunk embeddings
+//! and run Index-By-Committee; (4) evaluate blocker recall, test-set F1 and
+//! all-pairs F1; (5) select `B` informative pairs (excluding
+//! `Dtest ∩ cand`) and query the oracle.
+//!
+//! Per-operation wall-clock timings are recorded to reproduce Tables 9
+//! and 10.
+
+use crate::blocker::Committee;
+use crate::candidates::{index_by_committee, index_single, CandidateSet};
+use crate::config::{BlockerObjective, BlockingStrategy, DialConfig, NegativeSource};
+use crate::encode::encode_list;
+use crate::eval::{all_pairs_prf, blocker_recall, test_prf, Prf};
+use crate::matcher::Matcher;
+use crate::oracle::Oracle;
+use crate::select::{select, SelectionInputs};
+use dial_datasets::{EmDataset, LabeledPair};
+use dial_tensor::{ParamStore, Snapshot};
+use dial_text::{TokenId, Vocab};
+use dial_tplm::{inject_alignment, pretrain_sgns, PretrainConfig, Tplm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Wall-clock seconds per operation in one round (Table 9's rows).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundTimings {
+    pub train_matcher: f64,
+    pub train_committee: f64,
+    pub indexing_retrieval: f64,
+    pub selection: f64,
+    /// Blocking + matching time over the candidate set — the paper's "RT"
+    /// (time to find all duplicate pairs, Table 2) for this round.
+    pub find_dups: f64,
+}
+
+/// Metrics captured after training/blocking in one round.
+#[derive(Debug, Clone)]
+pub struct RoundMetrics {
+    pub round: usize,
+    /// `|T|` used for this round's training.
+    pub labels_used: usize,
+    pub blocker_recall: f64,
+    pub cand_size: usize,
+    pub test: Prf,
+    pub all_pairs: Prf,
+    pub timings: RoundTimings,
+}
+
+/// Outcome of a full run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub rounds: Vec<RoundMetrics>,
+}
+
+impl RunResult {
+    /// Metrics of the final round.
+    pub fn last(&self) -> &RoundMetrics {
+        self.rounds.last().expect("run produced no rounds")
+    }
+}
+
+/// The integrated matcher–blocker system.
+pub struct DialSystem {
+    pub config: DialConfig,
+    store: ParamStore,
+    model: Tplm,
+    matcher: Matcher,
+    committee: Committee,
+    vocab: Vocab,
+    pretrained: Option<Snapshot>,
+}
+
+impl DialSystem {
+    /// Build the system: register all parameters and the hashed vocabulary.
+    pub fn new(config: DialConfig) -> Self {
+        config.validate();
+        let mut store = ParamStore::new();
+        let model = Tplm::new(config.tplm, &mut store);
+        let matcher = Matcher::new(&mut store, &model);
+        // SentenceBERT blocking uses a single unmasked head trained with the
+        // classification objective; everything else gets the full committee.
+        let committee = match config.blocking {
+            BlockingStrategy::SentenceBert => {
+                Committee::new(&mut store, 1, config.tplm.d_model, 1.0, config.seed)
+            }
+            _ => Committee::new(
+                &mut store,
+                config.committee,
+                config.tplm.d_model,
+                config.mask_p,
+                config.seed,
+            ),
+        };
+        let vocab = Vocab::new(config.tplm.vocab_size as u32 - Vocab::NUM_SPECIAL);
+        DialSystem { config, store, model, matcher, committee, vocab, pretrained: None }
+    }
+
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Run the pre-training substitute over the unlabeled records of both
+    /// lists (must precede [`DialSystem::run`]; called automatically if
+    /// skipped). For the multilingual benchmark, pass the dictionary via
+    /// [`DialSystem::align_embeddings`] *after* this.
+    pub fn pretrain(&mut self, data: &EmDataset) {
+        if self.config.pretrain_epochs > 0 {
+            let max_len = self.config.tplm.max_len;
+            let corpus: Vec<Vec<TokenId>> = data
+                .r
+                .iter()
+                .chain(data.s.iter())
+                .map(|rec| rec.single_mode_ids(&self.vocab, max_len))
+                .collect();
+            pretrain_sgns(
+                &mut self.store,
+                self.model.token_embedding_param(),
+                self.config.tplm.vocab_size,
+                &corpus,
+                PretrainConfig {
+                    epochs: self.config.pretrain_epochs,
+                    seed: self.config.seed,
+                    ..Default::default()
+                },
+            );
+        }
+        self.pretrained = Some(self.store.snapshot());
+    }
+
+    /// Simulate multilingual-BERT alignment: tie translated token
+    /// embeddings up to `noise_std`. Refreshes the pre-trained checkpoint.
+    pub fn align_embeddings(&mut self, pairs: &[(TokenId, TokenId)], noise_std: f32) {
+        inject_alignment(
+            &mut self.store,
+            self.model.token_embedding_param(),
+            pairs,
+            noise_std,
+            self.config.seed ^ 0xa119,
+        );
+        self.pretrained = Some(self.store.snapshot());
+    }
+
+    /// Execute the active-learning loop. `rule_pairs` supplies the fixed
+    /// candidate set for [`BlockingStrategy::Rules`].
+    pub fn run(&mut self, data: &EmDataset, rule_pairs: Option<&[(u32, u32)]>) -> RunResult {
+        if self.pretrained.is_none() {
+            self.pretrain(data);
+        }
+        let cfg = self.config.clone();
+        let cand_cap =
+            cfg.cand_size.resolve(data.s.len(), data.dups().len(), cfg.abt_buy_like);
+        let k = if cfg.abt_buy_like { cfg.k.max(20) } else { cfg.k };
+
+        let mut oracle = Oracle::new(data);
+        let mut labeled: Vec<LabeledPair> =
+            data.seed_labeled(cfg.seed_pos, cfg.seed_neg, cfg.seed);
+        let test_keys = data.test_keys();
+
+        // PairedFixed: candidates from the pre-trained embeddings, computed
+        // once.
+        let fixed_cand: Option<CandidateSet> = match cfg.blocking {
+            BlockingStrategy::PairedFixed => {
+                let snap = self.pretrained.as_ref().unwrap().clone();
+                self.store.restore(&snap);
+                let er = encode_list(&self.model, &self.store, &data.r, &self.vocab);
+                let es = encode_list(&self.model, &self.store, &data.s, &self.vocab);
+                Some(index_single(&er, &es, k, cand_cap))
+            }
+            BlockingStrategy::Rules => Some(CandidateSet::from_pairs(
+                rule_pairs.expect("Rules strategy requires rule_pairs"),
+            )),
+            _ => None,
+        };
+
+        let mut rounds = Vec::with_capacity(cfg.rounds);
+        for round in 0..cfg.rounds {
+            // (1) Reset to pre-trained weights.
+            let snap = self.pretrained.as_ref().unwrap();
+            self.store.restore(snap);
+
+            // (2) Train the matcher.
+            let t0 = Instant::now();
+            self.matcher.train(
+                &mut self.store,
+                &self.model,
+                &self.vocab,
+                &data.r,
+                &data.s,
+                &labeled,
+                &cfg,
+                round,
+            );
+            let train_matcher = t0.elapsed().as_secs_f64();
+
+            // (3) Blocking.
+            let mut train_committee = 0.0;
+            let t_block = Instant::now();
+            let cand = match cfg.blocking {
+                BlockingStrategy::PairedFixed | BlockingStrategy::Rules => {
+                    fixed_cand.clone().unwrap()
+                }
+                BlockingStrategy::PairedAdapt => {
+                    let er = encode_list(&self.model, &self.store, &data.r, &self.vocab);
+                    let es = encode_list(&self.model, &self.store, &data.s, &self.vocab);
+                    index_single(&er, &es, k, cand_cap)
+                }
+                BlockingStrategy::SentenceBert => {
+                    let er = encode_list(&self.model, &self.store, &data.r, &self.vocab);
+                    let es = encode_list(&self.model, &self.store, &data.s, &self.vocab);
+                    let t1 = Instant::now();
+                    let sbert_cfg = DialConfig {
+                        objective: BlockerObjective::Classification,
+                        negatives: NegativeSource::Labeled,
+                        ..cfg.clone()
+                    };
+                    self.committee.reinit(&mut self.store, cfg.seed ^ (round as u64) << 8);
+                    self.model.set_trunk_frozen(&mut self.store, true);
+                    self.committee
+                        .train(&mut self.store, &er, &es, &labeled, &sbert_cfg, round);
+                    self.model.set_trunk_frozen(&mut self.store, false);
+                    train_committee = t1.elapsed().as_secs_f64();
+                    let vr = self.committee.embed_list(&self.store, &er);
+                    let vs = self.committee.embed_list(&self.store, &es);
+                    index_by_committee(&vr, &vs, cfg.tplm.d_model, k, cand_cap)
+                }
+                BlockingStrategy::Dial => {
+                    let er = encode_list(&self.model, &self.store, &data.r, &self.vocab);
+                    let es = encode_list(&self.model, &self.store, &data.s, &self.vocab);
+                    let t1 = Instant::now();
+                    self.committee.reinit(&mut self.store, cfg.seed ^ (round as u64) << 8);
+                    self.model.set_trunk_frozen(&mut self.store, true);
+                    self.committee
+                        .train(&mut self.store, &er, &es, &labeled, &cfg, round);
+                    self.model.set_trunk_frozen(&mut self.store, false);
+                    train_committee = t1.elapsed().as_secs_f64();
+                    let vr = self.committee.embed_list(&self.store, &er);
+                    let vs = self.committee.embed_list(&self.store, &es);
+                    index_by_committee(&vr, &vs, cfg.tplm.d_model, k, cand_cap)
+                }
+            };
+            let indexing_retrieval = t_block.elapsed().as_secs_f64() - train_committee;
+
+            // (4) Matcher probabilities over the candidate set (drives both
+            // evaluation and selection).
+            let t_match = Instant::now();
+            let scored: Vec<(f32, Vec<f32>)> = cand
+                .pairs()
+                .par_iter()
+                .map(|c| {
+                    self.matcher.prob_and_feature(
+                        &self.store,
+                        &self.model,
+                        &self.vocab,
+                        data.r.get(c.r),
+                        data.s.get(c.s),
+                    )
+                })
+                .collect();
+            let matching_time = t_match.elapsed().as_secs_f64();
+            let probs: Vec<f32> = scored.iter().map(|(p, _)| *p).collect();
+            let feats: Vec<Vec<f32>> = scored.into_iter().map(|(_, f)| f).collect();
+
+            let cand_keys = cand.key_set();
+            let predicted: HashSet<(u32, u32)> = cand
+                .pairs()
+                .iter()
+                .zip(&probs)
+                .filter(|(_, &p)| p > 0.5)
+                .map(|(c, _)| (c.r, c.s))
+                .collect();
+
+            // Test-set prediction: in cand AND matcher-positive.
+            let test_preds: HashSet<(u32, u32)> = data
+                .test
+                .par_iter()
+                .filter(|p| cand_keys.contains(&p.key()))
+                .map(|p| (p, self.matcher.prob(
+                    &self.store,
+                    &self.model,
+                    &self.vocab,
+                    data.r.get(p.r),
+                    data.s.get(p.s),
+                )))
+                .filter(|(_, prob)| *prob > 0.5)
+                .map(|(p, _)| p.key())
+                .collect();
+
+            let metrics = RoundMetrics {
+                round,
+                labels_used: labeled.len(),
+                blocker_recall: blocker_recall(data, &cand_keys),
+                cand_size: cand.len(),
+                test: test_prf(&data.test, &test_preds),
+                all_pairs: all_pairs_prf(data, &predicted),
+                timings: RoundTimings {
+                    train_matcher,
+                    train_committee,
+                    indexing_retrieval,
+                    selection: 0.0,
+                    find_dups: train_committee + indexing_retrieval + matching_time,
+                },
+            };
+            rounds.push(metrics);
+
+            // (5) Select and label (skipped after the final round).
+            if round + 1 < cfg.rounds {
+                let t_sel = Instant::now();
+                let mut excluded: HashSet<(u32, u32)> = test_keys.clone();
+                excluded.extend(labeled.iter().map(|p| p.key()));
+                let labeled_feats: Vec<(Vec<f32>, bool)> = labeled
+                    .par_iter()
+                    .map(|p| {
+                        let (_, f) = self.matcher.prob_and_feature(
+                            &self.store,
+                            &self.model,
+                            &self.vocab,
+                            data.r.get(p.r),
+                            data.s.get(p.s),
+                        );
+                        (f, p.label)
+                    })
+                    .collect();
+                let inputs = SelectionInputs {
+                    cands: cand.pairs(),
+                    probs: &probs,
+                    feats: &feats,
+                    labeled_feats: &labeled_feats,
+                    excluded: &excluded,
+                    budget: cfg.budget,
+                };
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5e1e ^ (round as u64) << 16);
+                let picked = select(cfg.selection, &inputs, &mut rng);
+                rounds.last_mut().unwrap().timings.selection = t_sel.elapsed().as_secs_f64();
+                labeled.extend(oracle.label_batch(&picked));
+            }
+        }
+        RunResult { rounds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_datasets::{Benchmark, ScaleProfile};
+
+    fn smoke_run(blocking: BlockingStrategy) -> RunResult {
+        let data = Benchmark::AbtBuy.generate(ScaleProfile::Smoke, 1);
+        let cfg = DialConfig { blocking, ..DialConfig::smoke() };
+        let mut sys = DialSystem::new(cfg);
+        let rules = data
+            .stats()
+            .name
+            .starts_with("Abt")
+            .then(|| dial_datasets::rule_candidates(&data, dial_datasets::RuleKind::Product));
+        sys.run(&data, rules.as_deref())
+    }
+
+    #[test]
+    fn dial_smoke_run_completes_with_sane_metrics() {
+        let result = smoke_run(BlockingStrategy::Dial);
+        assert_eq!(result.rounds.len(), 2);
+        for m in &result.rounds {
+            assert!((0.0..=1.0).contains(&m.blocker_recall));
+            assert!((0.0..=1.0).contains(&m.all_pairs.f1));
+            assert!(m.cand_size > 0);
+        }
+        // Labels grow between rounds.
+        assert!(result.rounds[1].labels_used > result.rounds[0].labels_used);
+    }
+
+    #[test]
+    fn all_blocking_strategies_complete() {
+        for b in [
+            BlockingStrategy::PairedFixed,
+            BlockingStrategy::PairedAdapt,
+            BlockingStrategy::SentenceBert,
+            BlockingStrategy::Rules,
+        ] {
+            let r = smoke_run(b);
+            assert_eq!(r.rounds.len(), 2, "{b:?} wrong round count");
+        }
+    }
+
+    #[test]
+    fn paired_fixed_recall_constant_across_rounds() {
+        let r = smoke_run(BlockingStrategy::PairedFixed);
+        assert_eq!(r.rounds[0].blocker_recall, r.rounds[1].blocker_recall);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let r = smoke_run(BlockingStrategy::Dial);
+        let t = &r.rounds[0].timings;
+        assert!(t.train_matcher > 0.0);
+        assert!(t.train_committee > 0.0);
+        assert!(t.find_dups > 0.0);
+        assert!(r.rounds[0].timings.selection > 0.0, "non-final round must time selection");
+    }
+}

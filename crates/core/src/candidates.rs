@@ -1,0 +1,235 @@
+//! Candidate-set construction: Index-By-Committee retrieval (§3.2.1,
+//! Algorithm 1 lines 9–25) and its single-index variants.
+
+use crate::encode::ListEmbeddings;
+use dial_ann::{FlatIndex, Metric};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// A scored candidate pair `(r, s)` with its smallest observed embedding
+/// distance across committee members and its best per-probe rank (0 = it
+/// was some probe's nearest neighbour).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    pub r: u32,
+    pub s: u32,
+    pub distance: f32,
+    pub rank: u32,
+}
+
+/// The blocked candidate set `cand ⊂ R × S`, ordered by ascending distance.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateSet {
+    pairs: Vec<Candidate>,
+}
+
+impl CandidateSet {
+    /// Build from scored pairs: deduplicate keeping the best (rank,
+    /// distance), order by ascending per-probe rank then distance, truncate
+    /// to `max_size`.
+    ///
+    /// Rank-major ordering matters: absolute distances are not comparable
+    /// across probes or committee members (each member warps the space
+    /// differently), so a global distance cutoff would starve whole regions
+    /// of `S`. Keeping every probe's nearest pairs first preserves coverage
+    /// — the reading of Algorithm 1 line 25 consistent with FAISS per-query
+    /// retrieval.
+    pub fn from_scored(scored: Vec<Candidate>, max_size: usize) -> Self {
+        let mut best: HashMap<(u32, u32), (u32, f32)> = HashMap::with_capacity(scored.len());
+        for c in scored {
+            best.entry((c.r, c.s))
+                .and_modify(|(rk, d)| {
+                    if (c.rank, c.distance) < (*rk, *d) {
+                        *rk = c.rank;
+                        *d = c.distance;
+                    }
+                })
+                .or_insert((c.rank, c.distance));
+        }
+        let mut pairs: Vec<Candidate> = best
+            .into_iter()
+            .map(|((r, s), (rank, distance))| Candidate { r, s, distance, rank })
+            .collect();
+        pairs.sort_by(|a, b| {
+            a.rank
+                .cmp(&b.rank)
+                .then(a.distance.partial_cmp(&b.distance).unwrap())
+                .then(a.r.cmp(&b.r))
+                .then(a.s.cmp(&b.s))
+        });
+        pairs.truncate(max_size);
+        CandidateSet { pairs }
+    }
+
+    /// Build from unscored pairs (rule blocking): distance and rank 0.
+    pub fn from_pairs(pairs: &[(u32, u32)]) -> Self {
+        CandidateSet {
+            pairs: pairs
+                .iter()
+                .map(|&(r, s)| Candidate { r, s, distance: 0.0, rank: 0 })
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    pub fn pairs(&self) -> &[Candidate] {
+        &self.pairs
+    }
+
+    /// Pair keys as a hash set.
+    pub fn key_set(&self) -> std::collections::HashSet<(u32, u32)> {
+        self.pairs.iter().map(|c| (c.r, c.s)).collect()
+    }
+}
+
+/// Index-By-Committee: for each member, index its view of `R` and probe
+/// with its view of `S`, retrieving `k` neighbours per probe; pool all
+/// members' pairs and keep the globally closest `max_size`.
+///
+/// `views_r[k]` / `views_s[k]` are member `k`'s packed embeddings (from
+/// [`crate::blocker::Committee::embed_list`]).
+pub fn index_by_committee(
+    views_r: &[Vec<f32>],
+    views_s: &[Vec<f32>],
+    dim: usize,
+    k: usize,
+    max_size: usize,
+) -> CandidateSet {
+    assert_eq!(views_r.len(), views_s.len(), "committee view count mismatch");
+    let mut scored = Vec::new();
+    for (vr, vs) in views_r.iter().zip(views_s) {
+        let mut index = FlatIndex::new(dim, Metric::L2);
+        index.add_batch(vr);
+        let hits = index.search_batch(vs, k);
+        for (s_id, hs) in hits.into_iter().enumerate() {
+            for (rank, h) in hs.into_iter().enumerate() {
+                scored.push(Candidate {
+                    r: h.id,
+                    s: s_id as u32,
+                    distance: h.distance,
+                    rank: rank as u32,
+                });
+            }
+        }
+    }
+    CandidateSet::from_scored(scored, max_size)
+}
+
+/// Single-index retrieval over raw trunk embeddings (PairedFixed /
+/// PairedAdapt / SentenceBERT blocking).
+pub fn index_single(
+    emb_r: &ListEmbeddings,
+    emb_s: &ListEmbeddings,
+    k: usize,
+    max_size: usize,
+) -> CandidateSet {
+    assert_eq!(emb_r.dim, emb_s.dim, "embedding width mismatch");
+    let mut index = FlatIndex::new(emb_r.dim, Metric::L2);
+    index.add_batch(&emb_r.data);
+    let scored: Vec<Candidate> = (0..emb_s.len() as u32)
+        .into_par_iter()
+        .flat_map_iter(|s_id| {
+            index.search(emb_s.row(s_id), k).into_iter().enumerate().map(move |(rank, h)| {
+                Candidate { r: h.id, s: s_id, distance: h.distance, rank: rank as u32 }
+            })
+        })
+        .collect();
+    CandidateSet::from_scored(scored, max_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emb(rows: &[&[f32]]) -> ListEmbeddings {
+        let dim = rows[0].len();
+        let mut data = Vec::new();
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        ListEmbeddings { dim, data }
+    }
+
+    #[test]
+    fn from_scored_dedups_keeping_min() {
+        let set = CandidateSet::from_scored(
+            vec![
+                Candidate { r: 0, s: 0, distance: 2.0, rank: 0 },
+                Candidate { r: 0, s: 0, distance: 1.0, rank: 0 },
+                Candidate { r: 1, s: 0, distance: 0.5, rank: 0 },
+            ],
+            10,
+        );
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.pairs()[0].r, 1);
+        assert_eq!(set.pairs()[1].distance, 1.0);
+    }
+
+    #[test]
+    fn from_scored_truncates_to_closest() {
+        let scored: Vec<Candidate> =
+            (0..10).map(|i| Candidate { r: i, s: 0, distance: i as f32, rank: 0 }).collect();
+        let set = CandidateSet::from_scored(scored, 3);
+        assert_eq!(set.len(), 3);
+        assert!(set.pairs().iter().all(|c| c.distance < 3.0));
+    }
+
+    #[test]
+    fn rank_dominates_distance_in_truncation() {
+        // A rank-0 pair with a large distance must outlive a rank-2 pair
+        // with a small distance (per-probe fairness).
+        let set = CandidateSet::from_scored(
+            vec![
+                Candidate { r: 0, s: 0, distance: 100.0, rank: 0 },
+                Candidate { r: 1, s: 1, distance: 0.1, rank: 2 },
+            ],
+            1,
+        );
+        assert_eq!(set.pairs()[0].r, 0);
+    }
+
+    #[test]
+    fn single_index_finds_aligned_pairs() {
+        let er = emb(&[&[0.0, 0.0], &[5.0, 5.0], &[10.0, 10.0]]);
+        let es = emb(&[&[0.1, 0.0], &[5.1, 5.0], &[10.1, 10.0]]);
+        let set = index_single(&er, &es, 1, 100);
+        let keys = set.key_set();
+        assert!(keys.contains(&(0, 0)) && keys.contains(&(1, 1)) && keys.contains(&(2, 2)));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn committee_union_covers_more_than_single_member() {
+        // Member views disagree; the union should contain both members'
+        // nearest pairs.
+        let view_r_a = vec![0.0, 0.0, 5.0, 5.0];
+        let view_s_a = vec![0.1, 0.0, 9.0, 9.0];
+        let view_r_b = vec![9.0, 9.0, 5.0, 5.0];
+        let view_s_b = vec![5.1, 5.0, 0.0, 0.1];
+        let set = index_by_committee(
+            &[view_r_a, view_r_b],
+            &[view_s_a, view_s_b],
+            2,
+            1,
+            100,
+        );
+        // Member A proposes (0, 0); member B proposes (1, 0) / others —
+        // the union must have pairs from both probes of both members.
+        assert!(set.len() >= 3, "union too small: {}", set.len());
+    }
+
+    #[test]
+    fn max_size_respected() {
+        let er = emb(&[&[0.0f32, 0.0], &[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let es = er.clone();
+        let set = index_single(&er, &es, 4, 5);
+        assert_eq!(set.len(), 5);
+    }
+}

@@ -1,0 +1,249 @@
+//! DIAL system configuration.
+
+use dial_tplm::TplmConfig;
+
+/// Which embeddings feed the nearest-neighbour blocker (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockingStrategy {
+    /// DIAL's Index-By-Committee over contrastively trained committee
+    /// embeddings (§3.2).
+    Dial,
+    /// Single-mode embeddings of the *pre-trained* TPLM, indexed once and
+    /// never updated.
+    PairedFixed,
+    /// Single-mode embeddings of the matcher-fine-tuned TPLM, re-indexed
+    /// every round.
+    PairedAdapt,
+    /// SentenceBERT-style blocking (DITTO's "advanced blocking"): a
+    /// `(u, v, |u-v|)` classification head trained on the labeled pairs;
+    /// its input projection defines the indexed embeddings.
+    SentenceBert,
+    /// Fixed hand-crafted rule candidates (no embedding index).
+    Rules,
+}
+
+/// Training data for the blocker's negative pairs (§3.2.2, Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NegativeSource {
+    /// Random records from `R` and `S` — DIAL's choice.
+    #[default]
+    Random,
+    /// The hard actively-labeled negatives `T − Tp`.
+    Labeled,
+}
+
+/// Blocker training objective (§3.2.3, Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockerObjective {
+    /// InfoNCE-style contrastive loss (Eq. 8) — DIAL's choice.
+    #[default]
+    Contrastive,
+    /// Margin-based triplet loss (Tracz et al. 2020), margin 1, no hard
+    /// negative mining.
+    Triplet,
+    /// Binary cross-entropy separating duplicates from non-duplicates
+    /// (SentenceBERT-style).
+    Classification,
+}
+
+/// Example-selection strategy (§2.3, §4.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// Entropy of the matcher probability (Eq. 4) — the default.
+    #[default]
+    Uncertainty,
+    /// Uniformly random from the candidate set.
+    Random,
+    /// Most similar pairs first (smallest embedding distance).
+    Greedy,
+    /// Soft query-by-committee disagreement over a bootstrap committee of
+    /// matcher heads.
+    Qbc,
+    /// High-confidence sampling with partition, querying only the
+    /// low-confidence halves.
+    Partition2,
+    /// Partition variant querying all four subsets.
+    Partition4,
+    /// BADGE: k-means++ on hallucinated gradient embeddings.
+    Badge,
+}
+
+/// Candidate-set size policy (§4.6.3, Table 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CandSize {
+    /// `3 · |dups|` (uses gold cardinality; ablation only).
+    Small,
+    /// The per-dataset default: `3 · |S|` (or `20 · |S|` for Abt-Buy).
+    Medium,
+    /// `5 · |S|` (or `20 · |S|` for Abt-Buy — "Large" in Table 6).
+    Large,
+    /// Explicit multiple of `|S|`.
+    MultipleOfS(f64),
+}
+
+impl CandSize {
+    /// Resolve to a pair count.
+    pub fn resolve(self, s_len: usize, n_dups: usize, abt_buy_like: bool) -> usize {
+        let n = match self {
+            CandSize::Small => 3 * n_dups,
+            CandSize::Medium => {
+                if abt_buy_like {
+                    20 * s_len
+                } else {
+                    3 * s_len
+                }
+            }
+            CandSize::Large => {
+                if abt_buy_like {
+                    20 * s_len
+                } else {
+                    5 * s_len
+                }
+            }
+            CandSize::MultipleOfS(m) => (m * s_len as f64).ceil() as usize,
+        };
+        n.max(1)
+    }
+}
+
+/// Full configuration of one active-learning run.
+#[derive(Debug, Clone)]
+pub struct DialConfig {
+    pub tplm: TplmConfig,
+    /// Active-learning rounds (paper: 10).
+    pub rounds: usize,
+    /// Labeling budget per round (paper: 128).
+    pub budget: usize,
+    /// Initial seed positives / negatives (paper: 64 / 64).
+    pub seed_pos: usize,
+    pub seed_neg: usize,
+    /// Matcher fine-tuning epochs per round (paper: 20).
+    pub matcher_epochs: usize,
+    /// Committee training epochs per round (paper: 200).
+    pub blocker_epochs: usize,
+    /// Mini-batch size (paper: 16).
+    pub batch_size: usize,
+    /// Trunk learning rate. The paper uses 3e-5 for RoBERTa; the mini
+    /// transformer trains from a much shallower pre-trained prior and needs
+    /// a proportionally larger step (see DESIGN.md §5).
+    pub lr_trunk: f32,
+    /// Matcher-head learning rate (paper: 1e-3).
+    pub lr_head: f32,
+    /// Committee / SBERT-blocker learning rate.
+    pub lr_committee: f32,
+    /// Committee size `N` (paper: 3).
+    pub committee: usize,
+    /// Committee mask keep-probability `p` (paper: 0.5).
+    pub mask_p: f32,
+    /// Neighbours retrieved per probe `k` (paper: 3; 20 for Abt-Buy).
+    pub k: usize,
+    /// Candidate-set size policy.
+    pub cand_size: CandSize,
+    /// Treat the dataset as Abt-Buy-like (small `|S|`: larger `cand`, `k`).
+    pub abt_buy_like: bool,
+    pub blocking: BlockingStrategy,
+    pub negatives: NegativeSource,
+    pub objective: BlockerObjective,
+    pub selection: SelectionStrategy,
+    /// Freeze the TPLM trunk during matcher training (the paper does this
+    /// for the multilingual dataset, §4.5).
+    pub freeze_trunk: bool,
+    /// Skip-gram pre-training passes (the "pre-trained" prior; 0 disables).
+    pub pretrain_epochs: usize,
+    /// Base RNG seed for the run.
+    pub seed: u64,
+}
+
+impl Default for DialConfig {
+    fn default() -> Self {
+        DialConfig {
+            tplm: TplmConfig::default(),
+            rounds: 6,
+            budget: 32,
+            seed_pos: 24,
+            seed_neg: 24,
+            matcher_epochs: 40,
+            blocker_epochs: 10,
+            batch_size: 16,
+            lr_trunk: 3e-3,
+            lr_head: 3e-2,
+            lr_committee: 1e-3,
+            committee: 3,
+            mask_p: 0.5,
+            k: 3,
+            cand_size: CandSize::Medium,
+            abt_buy_like: false,
+            blocking: BlockingStrategy::Dial,
+            negatives: NegativeSource::Random,
+            objective: BlockerObjective::Contrastive,
+            selection: SelectionStrategy::Uncertainty,
+            freeze_trunk: false,
+            pretrain_epochs: 2,
+            seed: 0,
+        }
+    }
+}
+
+impl DialConfig {
+    /// A configuration small enough for integration tests: one round, tiny
+    /// model, few epochs.
+    pub fn smoke() -> Self {
+        DialConfig {
+            tplm: TplmConfig {
+                vocab_size: 2048 + 5,
+                d_model: 32,
+                n_layers: 1,
+                n_heads: 2,
+                d_ff: 64,
+                max_len: 48,
+                dropout: 0.0,
+                seed: 0,
+            },
+            rounds: 2,
+            budget: 8,
+            seed_pos: 8,
+            seed_neg: 8,
+            matcher_epochs: 20,
+            blocker_epochs: 8,
+            batch_size: 8,
+            committee: 2,
+            pretrain_epochs: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Validate cross-field invariants.
+    pub fn validate(&self) {
+        self.tplm.validate();
+        assert!(self.rounds >= 1, "need at least one AL round");
+        assert!(self.batch_size >= 2, "batch size must allow negatives");
+        assert!(self.committee >= 1, "committee size must be >= 1");
+        assert!((0.0..=1.0).contains(&self.mask_p), "mask_p out of range");
+        assert!(self.k >= 1, "k must be >= 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        DialConfig::default().validate();
+        DialConfig::smoke().validate();
+    }
+
+    #[test]
+    fn cand_size_resolution() {
+        assert_eq!(CandSize::Small.resolve(1000, 50, false), 150);
+        assert_eq!(CandSize::Medium.resolve(1000, 50, false), 3000);
+        assert_eq!(CandSize::Medium.resolve(100, 50, true), 2000);
+        assert_eq!(CandSize::Large.resolve(1000, 50, false), 5000);
+        assert_eq!(CandSize::MultipleOfS(0.5).resolve(1000, 50, false), 500);
+    }
+
+    #[test]
+    fn cand_size_never_zero() {
+        assert_eq!(CandSize::Small.resolve(0, 0, false), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Evaluation metrics (paper §4.1).
+//!
+//! Three views of system quality:
+//! * blocker **recall** — fraction of gold duplicates inside `cand`;
+//! * **test-set F1** — classification quality on the fixed `Dtest` split,
+//!   where the system predicts duplicate iff the pair is in `cand` *and*
+//!   the matcher's probability exceeds 0.5;
+//! * **all-pairs F1** — precision/recall of the final predicted duplicate
+//!   set against the complete gold list, "more aligned with the practical
+//!   utility of any EM system".
+
+use dial_datasets::{EmDataset, LabeledPair};
+use std::collections::HashSet;
+
+/// Precision / recall / F1 triple (fractions in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Prf {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl Prf {
+    /// From counts of true positives, predicted positives and gold
+    /// positives.
+    pub fn from_counts(tp: usize, predicted: usize, gold: usize) -> Self {
+        let precision = if predicted == 0 { 0.0 } else { tp as f64 / predicted as f64 };
+        let recall = if gold == 0 { 0.0 } else { tp as f64 / gold as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Prf { precision, recall, f1 }
+    }
+}
+
+/// Recall of a candidate set against the gold duplicates.
+pub fn blocker_recall(data: &EmDataset, cand: &HashSet<(u32, u32)>) -> f64 {
+    if data.dups().is_empty() {
+        return 1.0;
+    }
+    let hit = data.dups().iter().filter(|p| cand.contains(p)).count();
+    hit as f64 / data.dups().len() as f64
+}
+
+/// Test-set P/R/F1: `preds` holds the pairs of `Dtest` the overall system
+/// predicts as duplicates.
+pub fn test_prf(test: &[LabeledPair], preds: &HashSet<(u32, u32)>) -> Prf {
+    let gold = test.iter().filter(|p| p.label).count();
+    let predicted = test.iter().filter(|p| preds.contains(&p.key())).count();
+    let tp = test.iter().filter(|p| p.label && preds.contains(&p.key())).count();
+    Prf::from_counts(tp, predicted, gold)
+}
+
+/// All-pairs P/R/F1: `preds` is the system's final duplicate set over
+/// `R × S`.
+pub fn all_pairs_prf(data: &EmDataset, preds: &HashSet<(u32, u32)>) -> Prf {
+    let tp = data.dups().iter().filter(|p| preds.contains(p)).count();
+    Prf::from_counts(tp, preds.len(), data.dups().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prf_from_counts_basics() {
+        let p = Prf::from_counts(8, 10, 16);
+        assert!((p.precision - 0.8).abs() < 1e-12);
+        assert!((p.recall - 0.5).abs() < 1e-12);
+        assert!((p.f1 - 2.0 * 0.8 * 0.5 / 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prf_degenerate_cases() {
+        assert_eq!(Prf::from_counts(0, 0, 0), Prf { precision: 0.0, recall: 0.0, f1: 0.0 });
+        let p = Prf::from_counts(0, 5, 5);
+        assert_eq!(p.f1, 0.0);
+    }
+
+    #[test]
+    fn perfect_prediction_is_f1_one() {
+        let p = Prf::from_counts(7, 7, 7);
+        assert_eq!(p.f1, 1.0);
+    }
+
+    #[test]
+    fn test_prf_counts_only_test_pairs() {
+        let test = vec![
+            LabeledPair::new(0, 0, true),
+            LabeledPair::new(0, 1, false),
+            LabeledPair::new(1, 1, true),
+        ];
+        // System predicts (0,0) correctly, misses (1,1), and also predicts
+        // an out-of-test pair (5,5) which must not count.
+        let preds: HashSet<(u32, u32)> = [(0, 0), (5, 5)].into_iter().collect();
+        let p = test_prf(&test, &preds);
+        assert!((p.precision - 1.0).abs() < 1e-12);
+        assert!((p.recall - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,494 @@
+//! The matcher: TPLM in paired mode + RoBERTa-style classification head
+//! (paper §3.1).
+//!
+//! `Pr(y=1 | (r,s)) = sigmoid(F_W(E(r,s)))` where `E(r,s)` is the `[CLS]`
+//! contextual embedding and `F_W` is dropout → linear → tanh → dropout →
+//! linear (the default RoBERTa classification head, §4.2). Training
+//! minimizes binary cross-entropy (Eq. 6) over the labeled pairs with
+//! AdamW, a smaller trunk learning rate, and a linear no-warm-up schedule.
+//!
+//! Gradient batches are data-parallel: the batch is split into chunks, each
+//! chunk accumulates into a cloned parameter store, and the shards are
+//! reduced before the optimizer step — numerically identical to a serial
+//! batch up to float addition order.
+
+use crate::config::DialConfig;
+use dial_datasets::LabeledPair;
+use dial_tensor::optim::{AdamW, LrGroup, Schedule};
+use dial_tensor::{init, sigmoid, Graph, Matrix, ParamId, ParamStore, Var};
+use dial_text::{paired_mode_ids, Record, TokenId, Vocab};
+use dial_tplm::{Tplm, TRUNK_PREFIX};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Parameter-name prefix of the matcher head.
+pub const MATCHER_PREFIX: &str = "matcher.";
+
+/// Paired-mode matcher over a shared TPLM trunk.
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    w1: ParamId,
+    b1: ParamId,
+    w2: ParamId,
+    b2: ParamId,
+    dropout: f32,
+}
+
+impl Matcher {
+    /// Register head parameters. The trunk must already be registered in
+    /// `store` (its handles live in `model`).
+    pub fn new(store: &mut ParamStore, model: &Tplm) -> Self {
+        let d = model.config().d_model;
+        let mut rng = StdRng::seed_from_u64(model.config().seed ^ 0x4ead);
+        Matcher {
+            w1: store.add(
+                format!("{MATCHER_PREFIX}w1"),
+                init::xavier_uniform(4 * d, d, &mut rng),
+            ),
+            b1: store.add(format!("{MATCHER_PREFIX}b1"), Matrix::zeros(1, d)),
+            w2: store.add(
+                format!("{MATCHER_PREFIX}w2"),
+                init::xavier_uniform(d + 8, 1, &mut rng),
+            ),
+            b2: store.add(format!("{MATCHER_PREFIX}b2"), Matrix::zeros(1, 1)),
+            dropout: model.config().dropout,
+        }
+    }
+
+    /// Build the logit graph for one paired token sequence. Returns the
+    /// `[1, 1]` logit variable.
+    ///
+    /// The head reads `[E(r,s); mean_r; mean_s; |mean_r − mean_s|]` where
+    /// `E(r,s)` is the CLS contextual embedding and `mean_r`/`mean_s` are
+    /// the contextual mean-pools of the two segments. A fully pre-trained
+    /// RoBERTa packs this pair-comparison signal into CLS itself; a mini
+    /// transformer trained from a shallow prior needs it spelled out
+    /// (DESIGN.md §2).
+    pub fn logit_graph(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        model: &Tplm,
+        ids: &[TokenId],
+        train: bool,
+        rng: &mut StdRng,
+    ) -> Var {
+        self.logit_and_hidden(g, store, model, ids, train, rng).0
+    }
+
+    /// As [`Matcher::logit_graph`], additionally returning the penultimate
+    /// head activation (used as the BADGE/QBC feature vector).
+    pub fn logit_and_hidden(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        model: &Tplm,
+        ids: &[TokenId],
+        train: bool,
+        rng: &mut StdRng,
+    ) -> (Var, Var) {
+        let p = if train { self.dropout } else { 0.0 };
+        let ctx = model.encode(g, store, ids, p, rng);
+        let n = ids.len();
+        // The middle [SEP] position: first SEP after CLS.
+        let boundary = ids
+            .iter()
+            .position(|&t| t == dial_text::Vocab::SEP)
+            .expect("paired input must contain a separator");
+        let cls = g.slice_rows(ctx, 0, 1);
+        let seg_r = g.slice_rows(ctx, 1, boundary.max(2));
+        let seg_s = g.slice_rows(ctx, (boundary + 1).min(n - 1), n - 1);
+        let mean_r = g.mean_rows(seg_r);
+        let mean_s = g.mean_rows(seg_s);
+        let diff = g.sub(mean_r, mean_s);
+        let diff = g.abs(diff);
+        // Bidirectional soft-containment at two sharpness scales, over both
+        // the *contextual* embeddings and the raw token embeddings (where
+        // token identity is crisp): for each token on one side, the
+        // log-sum-exp of negated scaled distances to the other side ≈ its
+        // best alignment. Duplicates are covered both ways; near-duplicates
+        // leave decisive tokens unmatched. RoBERTa learns this comparison
+        // internally; the mini model gets it as an explicit feature block
+        // wired straight into the output layer (DESIGN.md §2).
+        // The coverage block is *detached*: it is a deterministic reading of
+        // the embeddings, computed outside the tape, so its (large)
+        // gradients cannot crowd out the trunk's under global norm
+        // clipping.
+        let d = model.config().d_model as f32;
+        let tok_table = store.value(model.token_embedding_param());
+        let tok_rows: Vec<&[f32]> = ids.iter().map(|&t| tok_table.row(t as usize)).collect();
+        let ctx_val = g.value(ctx);
+        let ctx_rows: Vec<&[f32]> = (0..n).map(|i| ctx_val.row(i)).collect();
+        let seg = |rows: &[&[f32]]| -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+            let r: Vec<Vec<f32>> =
+                rows[1..boundary.max(2)].iter().map(|x| x.to_vec()).collect();
+            let s_: Vec<Vec<f32>> =
+                rows[(boundary + 1).min(n - 1)..n - 1].iter().map(|x| x.to_vec()).collect();
+            (r, s_)
+        };
+        let (ctx_r_rows, ctx_s_rows) = seg(&ctx_rows);
+        let (tok_r_rows, tok_s_rows) = seg(&tok_rows);
+        // Crisp identity embeddings: fixed hash-random vectors per token id.
+        // Coverage over these is a smooth token-Jaccard, unaffected by how
+        // much pre-training contracts the semantic space.
+        let crisp_rows: Vec<Vec<f32>> = ids.iter().map(|&t| crisp_vec(t)).collect();
+        let crisp_refs: Vec<&[f32]> = crisp_rows.iter().map(|v| v.as_slice()).collect();
+        let (crisp_r, crisp_s) = seg(&crisp_refs);
+        let mut cov_vals: Vec<f32> = Vec::with_capacity(8);
+        for (a, b, tau) in [
+            (&crisp_r, &crisp_s, CRISP_DIM as f32 / 8.0),
+            (&ctx_r_rows, &ctx_s_rows, d / 8.0),
+            (&tok_r_rows, &tok_s_rows, d / 8.0),
+        ] {
+            cov_vals.push(0.25 * coverage(a, b, tau));
+            cov_vals.push(0.25 * coverage(b, a, tau));
+        }
+        // Plus a hard token-Jaccard scalar for good measure.
+        cov_vals.push(hard_jaccard(&ids[1..boundary.max(2)], &ids[(boundary + 1).min(n - 1)..n - 1]));
+        cov_vals.push(0.0); // reserved
+        let cov = g.input(Matrix::row_vector(cov_vals));
+        let feat = g.concat_cols(&[cls, mean_r, mean_s, diff]);
+        let feat = g.dropout(feat, p, rng);
+        let w1 = g.param(store, self.w1);
+        let b1 = g.param(store, self.b1);
+        let h = g.linear(feat, w1, b1);
+        let h = g.tanh(h);
+        let h = g.dropout(h, p, rng);
+        // Output layer reads the deep representation plus the coverage
+        // block through a direct linear path.
+        let h_full = g.concat_cols(&[h, cov]);
+        let w2 = g.param(store, self.w2);
+        let b2 = g.param(store, self.b2);
+        let logit = g.linear(h_full, w2, b2);
+        (logit, h_full)
+    }
+
+    /// Duplicate probability for one record pair (inference).
+    pub fn prob(
+        &self,
+        store: &ParamStore,
+        model: &Tplm,
+        vocab: &Vocab,
+        r: &Record,
+        s: &Record,
+    ) -> f32 {
+        self.prob_and_feature(store, model, vocab, r, s).0
+    }
+
+    /// Probability plus the penultimate head activation (the feature vector
+    /// whose output-layer gradient BADGE embeds).
+    pub fn prob_and_feature(
+        &self,
+        store: &ParamStore,
+        model: &Tplm,
+        vocab: &Vocab,
+        r: &Record,
+        s: &Record,
+    ) -> (f32, Vec<f32>) {
+        let ids = paired_mode_ids(r, s, vocab, model.config().max_len);
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (z, h) = self.logit_and_hidden(&mut g, store, model, &ids, false, &mut rng);
+        let feature = g.value(h).as_slice().to_vec();
+        (sigmoid(g.value(z).item()), feature)
+    }
+
+    /// Duplicate probabilities for many pairs, rayon-parallel.
+    pub fn probs_batch(
+        &self,
+        store: &ParamStore,
+        model: &Tplm,
+        vocab: &Vocab,
+        pairs: &[(&Record, &Record)],
+    ) -> Vec<f32> {
+        pairs
+            .par_iter()
+            .map(|(r, s)| self.prob(store, model, vocab, r, s))
+            .collect()
+    }
+
+    /// Fine-tune trunk + head on `labeled` pairs (Eq. 6). Returns the mean
+    /// loss of the final epoch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train(
+        &self,
+        store: &mut ParamStore,
+        model: &Tplm,
+        vocab: &Vocab,
+        r_list: &dial_text::RecordList,
+        s_list: &dial_text::RecordList,
+        labeled: &[LabeledPair],
+        cfg: &DialConfig,
+        round: usize,
+    ) -> f32 {
+        assert!(!labeled.is_empty(), "cannot train the matcher on zero pairs");
+        if cfg.freeze_trunk {
+            model.set_trunk_frozen(store, true);
+        }
+        let max_len = model.config().max_len;
+        // Pre-tokenize once.
+        // Class-balance weights: actively-selected batches grow increasingly
+        // negative-heavy; without re-weighting the small model collapses to
+        // the majority class (RoBERTa's capacity absorbs this, ours needs
+        // the standard re-weighting).
+        let n_pos = labeled.iter().filter(|p| p.label).count().max(1);
+        let n_neg = (labeled.len() - n_pos.min(labeled.len())).max(1);
+        let w_pos = labeled.len() as f32 / (2.0 * n_pos as f32);
+        let w_neg = labeled.len() as f32 / (2.0 * n_neg as f32);
+        let examples: Vec<(Vec<TokenId>, f32, f32)> = labeled
+            .iter()
+            .map(|p| {
+                let ids = paired_mode_ids(r_list.get(p.r), s_list.get(p.s), vocab, max_len);
+                if p.label {
+                    (ids, 1.0, w_pos)
+                } else {
+                    (ids, 0.0, w_neg)
+                }
+            })
+            .collect();
+
+        let steps_per_epoch = examples.len().div_ceil(cfg.batch_size);
+        let total_steps = steps_per_epoch * cfg.matcher_epochs;
+        let mut opt = AdamW::with_groups(
+            store,
+            cfg.lr_head,
+            vec![LrGroup { prefix: TRUNK_PREFIX.into(), lr: cfg.lr_trunk }],
+            Schedule::LinearDecay { total_steps },
+        );
+
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut epoch_rng = StdRng::seed_from_u64(cfg.seed ^ (round as u64) << 20);
+        let mut last_epoch_loss = 0.0;
+        for epoch in 0..cfg.matcher_epochs {
+            order.shuffle(&mut epoch_rng);
+            let mut loss_sum = 0.0f64;
+            for (step, batch) in order.chunks(cfg.batch_size).enumerate() {
+                let loss = self.grad_step(
+                    store,
+                    model,
+                    &examples,
+                    batch,
+                    cfg.seed ^ hash3(round, epoch, step),
+                );
+                store.clip_grad_norm(5.0);
+                opt.step(store);
+                loss_sum += loss as f64 * batch.len() as f64;
+            }
+            last_epoch_loss = (loss_sum / examples.len() as f64) as f32;
+        }
+        if cfg.freeze_trunk {
+            model.set_trunk_frozen(store, false);
+        }
+        last_epoch_loss
+    }
+
+    /// One data-parallel gradient accumulation over `batch` indices.
+    /// Returns the mean loss.
+    fn grad_step(
+        &self,
+        store: &mut ParamStore,
+        model: &Tplm,
+        examples: &[(Vec<TokenId>, f32, f32)],
+        batch: &[usize],
+        seed: u64,
+    ) -> f32 {
+        let threads = rayon::current_num_threads().max(1);
+        let chunk = batch.len().div_ceil(threads).max(1);
+        let shards: Vec<(ParamStore, f64)> = batch
+            .par_chunks(chunk)
+            .map(|ixs| {
+                let mut shard = store.clone();
+                let mut loss = 0.0f64;
+                for &i in ixs {
+                    let (ids, label, weight) = &examples[i];
+                    let mut rng = StdRng::seed_from_u64(seed ^ (i as u64));
+                    let mut g = Graph::new();
+                    let z = self.logit_graph(&mut g, &shard, model, ids, true, &mut rng);
+                    let l = g.bce_with_logits(z, &[*label]);
+                    let l = g.scale(l, *weight);
+                    loss += g.value(l).item() as f64;
+                    g.backward(l, &mut shard);
+                }
+                (shard, loss)
+            })
+            .collect();
+        let mut loss_sum = 0.0;
+        for (shard, loss) in &shards {
+            store.accumulate_grads_from(shard);
+            loss_sum += loss;
+        }
+        // Mean over the batch: gradients were summed per example, so
+        // rescale to match a mean-reduction batch loss.
+        let scale = 1.0 / batch.len() as f32;
+        for id in store.ids().collect::<Vec<_>>() {
+            if !store.is_frozen(id) {
+                store.grad_mut(id).scale(scale);
+            }
+        }
+        (loss_sum / batch.len() as f64) as f32
+    }
+}
+
+/// Width of the crisp hash-identity embeddings.
+const CRISP_DIM: usize = 16;
+
+/// Deterministic pseudo-random unit-scale vector for a token id
+/// (splitmix64-expanded), identical across runs and machines.
+fn crisp_vec(token: TokenId) -> Vec<f32> {
+    let mut state = (token as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xd1b5_4a32_d192_ed03;
+    (0..CRISP_DIM)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z as f32 / u64::MAX as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Exact token-multiset Jaccard between two id slices.
+fn hard_jaccard(a: &[TokenId], b: &[TokenId]) -> f32 {
+    use std::collections::HashSet;
+    let sa: HashSet<TokenId> = a.iter().copied().collect();
+    let sb: HashSet<TokenId> = b.iter().copied().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    sa.intersection(&sb).count() as f32 / sa.union(&sb).count() as f32
+}
+
+/// Mean over rows of `a` of the soft-min (−τ·LSE) alignment score against
+/// rows of `b`.
+fn coverage(a: &[Vec<f32>], b: &[Vec<f32>], tau: f32) -> f32 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for x in a {
+        let zs: Vec<f32> =
+            b.iter().map(|y| -dial_tensor::sq_dist(x, y) / tau).collect();
+        total += dial_tensor::logsumexp(&zs);
+    }
+    total / a.len() as f32
+}
+
+fn hash3(a: usize, b: usize, c: usize) -> u64 {
+    (a as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((b as u64).wrapping_mul(0x85eb_ca6b))
+        .wrapping_add(c as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_text::{RecordList, Schema};
+    use dial_tplm::TplmConfig;
+
+    fn setup() -> (ParamStore, Tplm, Matcher, Vocab, RecordList, RecordList) {
+        let mut store = ParamStore::new();
+        let model = Tplm::new(TplmConfig::tiny(), &mut store);
+        let matcher = Matcher::new(&mut store, &model);
+        let vocab = Vocab::new(64);
+        let schema = Schema::new(vec!["t"]);
+        let mut r = RecordList::new(schema.clone());
+        let mut s = RecordList::new(schema);
+        // Matching pairs share most tokens; non-matching share only one.
+        let words = ["apple", "berry", "cedar", "dune", "ember", "fig", "grove", "holly"];
+        for i in 0..8 {
+            let text = format!("{} {} {} gadget", words[i], words[(i + 1) % 8], words[(i + 2) % 8]);
+            r.push(vec![text.clone()]);
+            s.push(vec![text]);
+        }
+        (store, model, matcher, vocab, r, s)
+    }
+
+    fn tiny_cfg() -> DialConfig {
+        DialConfig {
+            tplm: TplmConfig::tiny(),
+            matcher_epochs: 30,
+            batch_size: 4,
+            lr_trunk: 1e-3,
+            lr_head: 1e-2,
+            ..DialConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn prob_is_a_probability() {
+        let (store, model, matcher, vocab, r, s) = setup();
+        let p = matcher.prob(&store, &model, &vocab, r.get(0), s.get(0));
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn training_separates_easy_pairs() {
+        let (mut store, model, matcher, vocab, r, s) = setup();
+        let labeled: Vec<LabeledPair> = (0..8)
+            .map(|i| LabeledPair::new(i, i, true))
+            .chain((0..8).map(|i| LabeledPair::new(i, (i + 3) % 8, false)))
+            .collect();
+        let cfg = tiny_cfg();
+        let loss = matcher.train(&mut store, &model, &vocab, &r, &s, &labeled, &cfg, 0);
+        assert!(loss < 0.55, "loss {loss} did not drop");
+        let p_dup = matcher.prob(&store, &model, &vocab, r.get(1), s.get(1));
+        let p_non = matcher.prob(&store, &model, &vocab, r.get(1), s.get(5));
+        assert!(
+            p_dup > p_non,
+            "trained matcher should rank dup {p_dup} above non-dup {p_non}"
+        );
+    }
+
+    #[test]
+    fn probs_batch_matches_single() {
+        let (store, model, matcher, vocab, r, s) = setup();
+        let pairs: Vec<(&Record, &Record)> =
+            vec![(r.get(0), s.get(0)), (r.get(1), s.get(2))];
+        let batch = matcher.probs_batch(&store, &model, &vocab, &pairs);
+        assert_eq!(batch.len(), 2);
+        assert!((batch[0] - matcher.prob(&store, &model, &vocab, r.get(0), s.get(0))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn feature_vector_has_model_width() {
+        let (store, model, matcher, vocab, r, s) = setup();
+        let (_, feat) = matcher.prob_and_feature(&store, &model, &vocab, r.get(0), s.get(1));
+        assert_eq!(feat.len(), 16 + 8);
+    }
+
+    #[test]
+    fn freeze_trunk_leaves_trunk_untouched() {
+        let (mut store, model, matcher, vocab, r, s) = setup();
+        let before = store.value(model.token_embedding_param()).clone();
+        let labeled: Vec<LabeledPair> =
+            (0..4).map(|i| LabeledPair::new(i, i, true)).chain(
+                (0..4).map(|i| LabeledPair::new(i, (i + 2) % 8, false)),
+            ).collect();
+        let cfg = DialConfig { freeze_trunk: true, ..tiny_cfg() };
+        matcher.train(&mut store, &model, &vocab, &r, &s, &labeled, &cfg, 0);
+        assert_eq!(store.value(model.token_embedding_param()), &before);
+        // And the trunk is unfrozen again afterwards.
+        assert!(!store.is_frozen(model.token_embedding_param()));
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let run = || {
+            let (mut store, model, matcher, vocab, r, s) = setup();
+            let labeled: Vec<LabeledPair> = (0..4)
+                .map(|i| LabeledPair::new(i, i, true))
+                .chain((0..4).map(|i| LabeledPair::new(i, (i + 2) % 8, false)))
+                .collect();
+            let cfg = tiny_cfg();
+            matcher.train(&mut store, &model, &vocab, &r, &s, &labeled, &cfg, 0);
+            matcher.prob(&store, &model, &vocab, r.get(0), s.get(0))
+        };
+        // Shard reduction order is deterministic (par_chunks preserves
+        // order in collect), so repeated runs agree exactly.
+        assert_eq!(run(), run());
+    }
+}

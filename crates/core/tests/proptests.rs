@@ -1,0 +1,71 @@
+//! Property-based tests for evaluation metrics and selection invariants.
+
+use dial_core::{entropy, select, Candidate, Prf, SelectionInputs, SelectionStrategy};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn prf_always_in_unit_range(tp in 0usize..50, extra_pred in 0usize..50, extra_gold in 0usize..50) {
+        let p = Prf::from_counts(tp, tp + extra_pred, tp + extra_gold);
+        prop_assert!((0.0..=1.0).contains(&p.precision));
+        prop_assert!((0.0..=1.0).contains(&p.recall));
+        prop_assert!((0.0..=1.0).contains(&p.f1));
+        // F1 is between min and max of P and R (harmonic-mean property).
+        let lo = p.precision.min(p.recall);
+        let hi = p.precision.max(p.recall);
+        prop_assert!(p.f1 >= lo - 1e-12 && p.f1 <= hi + 1e-12);
+    }
+
+    #[test]
+    fn entropy_symmetric_and_bounded(p in 0.0f32..1.0) {
+        let e = entropy(p);
+        prop_assert!(e >= 0.0);
+        prop_assert!(e <= 2.0f32.ln() + 1e-5);
+        prop_assert!((e - entropy(1.0 - p)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn selection_respects_budget_and_exclusions(
+        n in 5usize..40,
+        budget in 0usize..20,
+        strat_ix in 0usize..7,
+        seed in 0u64..100,
+    ) {
+        let strategies = [
+            SelectionStrategy::Random,
+            SelectionStrategy::Greedy,
+            SelectionStrategy::Uncertainty,
+            SelectionStrategy::Qbc,
+            SelectionStrategy::Partition2,
+            SelectionStrategy::Partition4,
+            SelectionStrategy::Badge,
+        ];
+        let cands: Vec<Candidate> = (0..n as u32)
+            .map(|i| Candidate { r: i, s: i, distance: i as f32 * 0.1, rank: 0 })
+            .collect();
+        let probs: Vec<f32> = (0..n).map(|i| (i as f32 / n as f32).clamp(0.01, 0.99)).collect();
+        let feats: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32, 1.0]).collect();
+        let labeled: Vec<(Vec<f32>, bool)> =
+            (0..6).map(|i| (vec![i as f32, 1.0], i % 2 == 0)).collect();
+        let excluded: HashSet<(u32, u32)> =
+            (0..n as u32).filter(|i| i % 3 == 0).map(|i| (i, i)).collect();
+        let inputs = SelectionInputs {
+            cands: &cands,
+            probs: &probs,
+            feats: &feats,
+            labeled_feats: &labeled,
+            excluded: &excluded,
+            budget,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = select(strategies[strat_ix], &inputs, &mut rng);
+        prop_assert!(out.len() <= budget);
+        prop_assert!(out.iter().all(|p| !excluded.contains(p)));
+        // No duplicates in the selection.
+        let set: HashSet<_> = out.iter().collect();
+        prop_assert_eq!(set.len(), out.len());
+    }
+}

@@ -1,0 +1,47 @@
+//! Manual calibration probe (run with --ignored): compares blocking
+//! strategies on one bench-scale dataset.
+use dial_core::*;
+use dial_datasets::*;
+
+#[test]
+#[ignore = "slow calibration probe; run explicitly"]
+fn shape_probe() {
+    let which = std::env::var("DS").unwrap_or_else(|_| "WA".into());
+    let b = match which.as_str() {
+        "WA" => Benchmark::WalmartAmazon,
+        "AG" => Benchmark::AmazonGoogle,
+        "DA" => Benchmark::DblpAcm,
+        "DS" => Benchmark::DblpScholar,
+        "AB" => Benchmark::AbtBuy,
+        _ => Benchmark::Multilingual,
+    };
+    let data = b.generate(ScaleProfile::Bench, 0);
+    println!("dataset {} |R|={} |S|={} dups={}", data.name, data.r.len(), data.s.len(), data.dups().len());
+    let rules = b.rule_kind().map(|k| rule_candidates(&data, k));
+    if let Some(r) = &rules {
+        println!("rules: {} pairs, recall {:.3}", r.len(), candidate_recall(&data, r));
+    }
+    let rounds: usize = std::env::var("ROUNDS").map(|v| v.parse().unwrap()).unwrap_or(3);
+    for strat in [BlockingStrategy::Dial, BlockingStrategy::PairedFixed, BlockingStrategy::PairedAdapt, BlockingStrategy::SentenceBert] {
+        let cfg = DialConfig {
+            blocking: strat,
+            rounds,
+            abt_buy_like: matches!(b, Benchmark::AbtBuy),
+            ..DialConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let mut sys = DialSystem::new(cfg);
+        let res = sys.run(&data, rules.as_deref());
+        let m = res.last();
+        println!(
+            "{strat:?}: recall={:.3} testF1={:.3} allF1={:.3} (P={:.3} R={:.3}) cand={} took {:.1}s",
+            m.blocker_recall, m.test.f1, m.all_pairs.f1, m.all_pairs.precision, m.all_pairs.recall,
+            m.cand_size, t0.elapsed().as_secs_f64()
+        );
+        for r in &res.rounds {
+            println!("  round {} labels {} recall {:.3} testF1 {:.3} allP {:.3} allR {:.3}",
+                r.round, r.labels_used, r.blocker_recall, r.test.f1,
+                r.all_pairs.precision, r.all_pairs.recall);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Citation dataset generator (DBLP-ACM and DBLP-Scholar analogues).
+//!
+//! `R` plays the curated DBLP role (clean, full venue names); `S` plays the
+//! ACM (mildly noisy) or Google Scholar (heavily noisy: abbreviated venues,
+//! initialed authors, dropped years) role. Families are paper series by the
+//! same author group at the same venue — "revisited"/"extended" titles in
+//! adjacent years — providing the hard near-duplicates.
+
+use crate::dataset::EmDataset;
+use crate::noise::{corrupt, NoiseProfile};
+use crate::pools::{pseudo_topic, ACADEMIC, FIRST_NAMES, LAST_NAMES, VENUES};
+use crate::split::build_splits;
+use dial_text::{RecordList, Schema};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a synthetic citation benchmark.
+#[derive(Debug, Clone)]
+pub struct CitationConfig {
+    pub name: String,
+    pub r_size: usize,
+    pub s_size: usize,
+    /// Number of `R` entities with at least one duplicate in `S`.
+    pub n_dup_entities: usize,
+    /// Fraction of duplicated entities with two `S` copies (Scholar often
+    /// has several crawls of the same paper).
+    pub m2m_frac: f64,
+    pub test_size: usize,
+    /// Noise on the `S` side's author field (`R` stays clean).
+    pub s_noise: NoiseProfile,
+    /// Noise on the `S` side's title field. Titles are usually the
+    /// best-preserved field even in Scholar crawls, so this is typically
+    /// milder than `s_noise`.
+    pub title_noise: NoiseProfile,
+    /// Probability the `S` side abbreviates the venue.
+    pub venue_abbrev: f64,
+    /// Probability the `S` side reduces author first names to initials.
+    pub author_initials: f64,
+    /// Probability the `S` side drops the year.
+    pub drop_year: f64,
+    /// Papers per family (same group + venue, different titles/years).
+    pub family_size: usize,
+    /// Fraction of `S` filler drawn from `R` families (hard negatives).
+    pub sibling_fill_frac: f64,
+    pub seed: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Paper {
+    title: Vec<String>,
+    authors: Vec<(String, String)>,
+    venue_ix: usize,
+    year: u32,
+}
+
+impl Paper {
+    fn title_str(&self) -> String {
+        self.title.join(" ")
+    }
+
+    fn authors_full(&self) -> String {
+        self.authors
+            .iter()
+            .map(|(f, l)| format!("{f} {l}"))
+            .collect::<Vec<_>>()
+            .join(" , ")
+    }
+
+    fn authors_initials(&self) -> String {
+        self.authors
+            .iter()
+            .map(|(f, l)| format!("{} {l}", &f[..1]))
+            .collect::<Vec<_>>()
+            .join(" , ")
+    }
+}
+
+fn make_family(size: usize, rng: &mut StdRng) -> Vec<Paper> {
+    // Three rare topic terms shared by the family (real titles carry
+    // coined system/technique names); these are what blocking rules key on.
+    let topic_base: usize = rng.gen_range(0..4_000_000);
+    let topics: Vec<String> = (0..3).map(|t| pseudo_topic(topic_base + t * 977)).collect();
+    let n_authors = rng.gen_range(1..=4);
+    let authors: Vec<(String, String)> = (0..n_authors)
+        .map(|_| {
+            (
+                FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())].to_string(),
+                LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())].to_string(),
+            )
+        })
+        .collect();
+    let venue_ix = rng.gen_range(0..VENUES.len());
+    let base_year: u32 = rng.gen_range(1995..2020);
+    let n_title_words = rng.gen_range(4..=6);
+    let mut base_title: Vec<String> =
+        ACADEMIC.choose_multiple(rng, n_title_words).map(|w| w.to_string()).collect();
+    // Interleave the topic terms at stable positions.
+    base_title.insert(1.min(base_title.len()), topics[0].clone());
+    base_title.push(topics[1].clone());
+    base_title.insert(base_title.len() / 2, topics[2].clone());
+
+    (0..size)
+        .map(|v| {
+            let mut title = base_title.clone();
+            if v > 0 {
+                // Sibling paper: tweak one content word and append a marker.
+                let slot = v % title.len();
+                title[slot] = ACADEMIC[(v * 13 + slot * 7) % ACADEMIC.len()].to_string();
+                title.push(if v % 2 == 1 { "revisited".into() } else { "extended".into() });
+            }
+            Paper {
+                title,
+                authors: authors.clone(),
+                venue_ix,
+                year: base_year + v as u32,
+            }
+        })
+        .collect()
+}
+
+/// Push a clean, DBLP-style record.
+fn push_clean(list: &mut RecordList, p: &Paper) -> u32 {
+    list.push(vec![
+        p.title_str(),
+        p.authors_full(),
+        VENUES[p.venue_ix].0.to_string(),
+        p.year.to_string(),
+    ])
+}
+
+/// Push a dirty, ACM/Scholar-style record.
+fn push_dirty(list: &mut RecordList, p: &Paper, cfg: &CitationConfig, rng: &mut StdRng) -> u32 {
+    let title = corrupt(&p.title_str(), &cfg.title_noise, rng);
+    let authors = if rng.gen_bool(cfg.author_initials) {
+        p.authors_initials()
+    } else {
+        corrupt(&p.authors_full(), &cfg.s_noise, rng)
+    };
+    let venue = if rng.gen_bool(cfg.venue_abbrev) {
+        VENUES[p.venue_ix].1.to_string()
+    } else {
+        VENUES[p.venue_ix].0.to_string()
+    };
+    let year = if rng.gen_bool(cfg.drop_year) { String::new() } else { p.year.to_string() };
+    list.push(vec![title, authors, venue, year])
+}
+
+/// Generate the dataset.
+pub fn generate_citation(cfg: &CitationConfig) -> EmDataset {
+    assert!(cfg.n_dup_entities <= cfg.r_size, "more duplicated entities than R records");
+    assert!(cfg.family_size >= 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let schema = Schema::new(vec!["title", "authors", "venue", "year"]);
+    let mut r = RecordList::new(schema.clone());
+    let mut s = RecordList::new(schema);
+
+    let families: Vec<Vec<Paper>> =
+        (0..cfg.r_size).map(|_| make_family(cfg.family_size, &mut rng)).collect();
+    for fam in &families {
+        push_clean(&mut r, &fam[0]);
+    }
+
+    let mut dup_entities: Vec<usize> = (0..cfg.r_size).collect();
+    dup_entities.shuffle(&mut rng);
+    dup_entities.truncate(cfg.n_dup_entities);
+    let mut dups: Vec<(u32, u32)> = Vec::new();
+    for &f in &dup_entities {
+        let copies = if rng.gen_bool(cfg.m2m_frac) { 2 } else { 1 };
+        for _ in 0..copies {
+            let sid = push_dirty(&mut s, &families[f][0], cfg, &mut rng);
+            dups.push((f as u32, sid));
+        }
+    }
+
+    let mut hard_negs: Vec<(u32, u32)> = Vec::new();
+    let mut sibling_budget =
+        ((cfg.s_size.saturating_sub(s.len())) as f64 * cfg.sibling_fill_frac) as usize;
+    let mut f = 0usize;
+    while sibling_budget > 0 && cfg.family_size > 1 {
+        let fam = f % cfg.r_size;
+        let variant = 1 + (f / cfg.r_size) % (cfg.family_size - 1);
+        if variant < families[fam].len() {
+            let sid = push_dirty(&mut s, &families[fam][variant], cfg, &mut rng);
+            hard_negs.push((fam as u32, sid));
+            sibling_budget -= 1;
+        }
+        f += 1;
+    }
+
+    while s.len() < cfg.s_size {
+        let fam = make_family(1, &mut rng);
+        push_dirty(&mut s, &fam[0], cfg, &mut rng);
+    }
+
+    let mut split_rng = StdRng::seed_from_u64(cfg.seed ^ 0xc17a_7105);
+    let (test, pool) =
+        build_splits(&dups, &hard_negs, r.len(), s.len(), cfg.test_size, &mut split_rng);
+    EmDataset::new(cfg.name.clone(), r, s, dups, test, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> CitationConfig {
+        CitationConfig {
+            name: "test-citations".into(),
+            r_size: 60,
+            s_size: 180,
+            n_dup_entities: 45,
+            m2m_frac: 0.15,
+            test_size: 40,
+            s_noise: NoiseProfile::MILD,
+            title_noise: NoiseProfile::MILD,
+            venue_abbrev: 0.5,
+            author_initials: 0.3,
+            drop_year: 0.2,
+            family_size: 3,
+            sibling_fill_frac: 0.4,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn sizes_and_schema() {
+        let d = generate_citation(&small_cfg());
+        assert_eq!(d.r.len(), 60);
+        assert_eq!(d.s.len(), 180);
+        assert_eq!(d.r.schema().attr_names(), &["title", "authors", "venue", "year"]);
+    }
+
+    #[test]
+    fn r_side_is_clean_full_venues() {
+        let d = generate_citation(&small_cfg());
+        for rec in d.r.iter().take(20) {
+            let venue = rec.value_by_name("venue").unwrap();
+            assert!(
+                VENUES.iter().any(|(full, _)| full == &venue),
+                "R venue should be a full name, got {venue}"
+            );
+        }
+    }
+
+    #[test]
+    fn s_side_sometimes_abbreviates() {
+        let d = generate_citation(&small_cfg());
+        let abbrevs = d
+            .s
+            .iter()
+            .filter(|rec| VENUES.iter().any(|(_, ab)| ab == &rec.value_by_name("venue").unwrap()))
+            .count();
+        assert!(abbrevs > 20, "expected many abbreviated venues, got {abbrevs}");
+    }
+
+    #[test]
+    fn some_years_dropped() {
+        let d = generate_citation(&small_cfg());
+        let missing = d.s.iter().filter(|rec| rec.value_by_name("year").unwrap().is_empty()).count();
+        assert!(missing > 5, "expected dropped years, got {missing}");
+    }
+
+    #[test]
+    fn duplicates_share_title_words() {
+        let d = generate_citation(&small_cfg());
+        for &(ri, si) in d.dups().iter().take(10) {
+            let rt: std::collections::HashSet<String> = d
+                .r
+                .get(ri)
+                .value_by_name("title")
+                .unwrap()
+                .split_whitespace()
+                .map(str::to_string)
+                .collect();
+            let st: std::collections::HashSet<String> = d
+                .s
+                .get(si)
+                .value_by_name("title")
+                .unwrap()
+                .split_whitespace()
+                .map(str::to_string)
+                .collect();
+            let shared = rt.intersection(&st).count();
+            assert!(shared >= 2, "dup titles share only {shared} words");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_citation(&small_cfg());
+        let b = generate_citation(&small_cfg());
+        assert_eq!(a.dups(), b.dups());
+        assert_eq!(a.s.get(10).text(), b.s.get(10).text());
+    }
+}

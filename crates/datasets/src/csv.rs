@@ -1,0 +1,195 @@
+//! Minimal CSV loading for bringing real entity lists into the pipeline.
+//!
+//! The benchmarks in this repository are generated, but a downstream user
+//! will have two CSV files and (optionally) a gold pair list. This module
+//! parses RFC-4180-style CSV (quoted fields, embedded commas/newlines,
+//! doubled quotes) without external dependencies and assembles an
+//! [`EmDataset`] ready for [`dial_core`]'s active-learning loop.
+
+use crate::dataset::EmDataset;
+use crate::split::build_splits;
+use dial_text::{RecordList, Schema};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parse CSV text into rows of fields (RFC-4180 quoting).
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => row.push(std::mem::take(&mut field)),
+                '\r' => {}
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+/// Load a record list from CSV text. The first row is the header (attribute
+/// names); every subsequent row becomes one record. Short rows are padded
+/// with empty strings, long rows truncated.
+pub fn record_list_from_csv(text: &str) -> Result<RecordList, String> {
+    let mut rows = parse_csv(text).into_iter();
+    let header = rows.next().ok_or("empty CSV: no header row")?;
+    if header.is_empty() {
+        return Err("header row has no columns".into());
+    }
+    let schema = Schema::new(header);
+    let width = schema.len();
+    let mut list = RecordList::new(schema);
+    for mut row in rows {
+        row.resize(width, String::new());
+        list.push(row);
+    }
+    Ok(list)
+}
+
+/// Parse a gold pair CSV: rows of `r_id,s_id` (0-based record positions),
+/// header optional.
+pub fn gold_pairs_from_csv(text: &str) -> Result<Vec<(u32, u32)>, String> {
+    let mut out = Vec::new();
+    for (i, row) in parse_csv(text).into_iter().enumerate() {
+        if row.len() < 2 {
+            return Err(format!("row {i}: expected two columns, got {}", row.len()));
+        }
+        match (row[0].trim().parse::<u32>(), row[1].trim().parse::<u32>()) {
+            (Ok(r), Ok(s)) => out.push((r, s)),
+            _ if i == 0 => {} // tolerate a header row
+            _ => return Err(format!("row {i}: non-numeric ids {:?}", row)),
+        }
+    }
+    Ok(out)
+}
+
+/// Assemble an [`EmDataset`] from two loaded lists and gold pairs; splits
+/// are built like the generated benchmarks (test positives removed from the
+/// seed pool). `hard_negs` may be empty — random negatives then fill the
+/// pools.
+pub fn dataset_from_lists(
+    name: impl Into<String>,
+    r: RecordList,
+    s: RecordList,
+    gold: Vec<(u32, u32)>,
+    test_size: usize,
+    seed: u64,
+) -> Result<EmDataset, String> {
+    if gold.is_empty() {
+        return Err("gold pair list is empty".into());
+    }
+    for &(ri, si) in &gold {
+        if ri as usize >= r.len() || si as usize >= s.len() {
+            return Err(format!("gold pair ({ri}, {si}) out of range"));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (test, pool) = build_splits(&gold, &[], r.len(), s.len(), test_size, &mut rng);
+    Ok(EmDataset::new(name, r, s, gold, test, pool))
+}
+
+/// Convenience: `(r_csv, s_csv, gold_csv)` to dataset.
+pub fn dataset_from_csv(
+    name: impl Into<String>,
+    r_csv: &str,
+    s_csv: &str,
+    gold_csv: &str,
+    test_size: usize,
+    seed: u64,
+) -> Result<EmDataset, String> {
+    let r = record_list_from_csv(r_csv)?;
+    let s = record_list_from_csv(s_csv)?;
+    let gold = gold_pairs_from_csv(gold_csv)?;
+    dataset_from_lists(name, r, s, gold, test_size, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_rows() {
+        let rows = parse_csv("a,b,c\n1,2,3\n");
+        assert_eq!(rows, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn parses_quotes_commas_and_newlines() {
+        let rows = parse_csv("title,price\n\"router, wireless\",\"49.99\"\n\"two\nlines\",5\n");
+        assert_eq!(rows[1][0], "router, wireless");
+        assert_eq!(rows[2][0], "two\nlines");
+    }
+
+    #[test]
+    fn doubled_quotes_unescape() {
+        let rows = parse_csv("a\n\"say \"\"hi\"\"\"\n");
+        assert_eq!(rows[1][0], "say \"hi\"");
+    }
+
+    #[test]
+    fn missing_trailing_newline_is_fine() {
+        let rows = parse_csv("a,b\n1,2");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn record_list_pads_and_truncates() {
+        let list = record_list_from_csv("t,brand\nalpha\nbeta,bx,extra\n").unwrap();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.get(0).value(1), "");
+        assert_eq!(list.get(1).value(1), "bx");
+    }
+
+    #[test]
+    fn gold_pairs_tolerate_header() {
+        let pairs = gold_pairs_from_csv("r,s\n0,1\n2,3\n").unwrap();
+        assert_eq!(pairs, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn end_to_end_dataset_from_csv() {
+        let r_csv = "title\nalpha router\nbeta laptop\ngamma camera\ndelta printer\n";
+        let s_csv = "title\nalpha router x\nbeta laptop y\ngamma camera z\ndelta printer w\n";
+        let gold = "r,s\n0,0\n1,1\n2,2\n3,3\n";
+        let d = dataset_from_csv("custom", r_csv, s_csv, gold, 4, 0).unwrap();
+        assert_eq!(d.r.len(), 4);
+        assert_eq!(d.dups().len(), 4);
+        assert!(d.is_dup(0, 0));
+        assert!(!d.test.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_gold_rejected() {
+        let r_csv = "t\na\n";
+        let s_csv = "t\nb\n";
+        let err = dataset_from_csv("x", r_csv, s_csv, "0,5\n", 2, 0).unwrap_err();
+        assert!(err.contains("out of range"));
+    }
+}

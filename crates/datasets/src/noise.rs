@@ -1,0 +1,224 @@
+//! Noise transforms that dirty a clean entity string into a record value.
+//!
+//! Each benchmark dataset has a characteristic noise profile (typos,
+//! dropped tokens, abbreviations, synonym swaps, numeric jitter); the
+//! profile strengths are configured per dataset in the preset modules.
+
+use crate::pools::SYNONYMS;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-field noise strengths, all probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseProfile {
+    /// Per-token probability of a character-level typo.
+    pub typo: f32,
+    /// Per-token probability of being dropped.
+    pub drop: f32,
+    /// Probability of swapping one adjacent token pair in the field.
+    pub swap: f32,
+    /// Per-token probability of being abbreviated (truncated to a prefix).
+    pub abbreviate: f32,
+    /// Per-token probability of a synonym substitution (when one exists).
+    pub synonym: f32,
+}
+
+impl NoiseProfile {
+    /// No corruption at all.
+    pub const CLEAN: NoiseProfile =
+        NoiseProfile { typo: 0.0, drop: 0.0, swap: 0.0, abbreviate: 0.0, synonym: 0.0 };
+
+    /// Mild corruption (structured, well-curated lists like DBLP-ACM).
+    pub const MILD: NoiseProfile =
+        NoiseProfile { typo: 0.02, drop: 0.03, swap: 0.05, abbreviate: 0.02, synonym: 0.05 };
+
+    /// Moderate corruption (product catalogs).
+    pub const MODERATE: NoiseProfile =
+        NoiseProfile { typo: 0.05, drop: 0.10, swap: 0.15, abbreviate: 0.05, synonym: 0.12 };
+
+    /// Heavy corruption (scraped lists like Google products or Scholar).
+    pub const HEAVY: NoiseProfile =
+        NoiseProfile { typo: 0.08, drop: 0.20, swap: 0.25, abbreviate: 0.12, synonym: 0.20 };
+
+    fn validate(&self) {
+        for p in [self.typo, self.drop, self.swap, self.abbreviate, self.synonym] {
+            assert!((0.0..=1.0).contains(&p), "noise probability {p} out of range");
+        }
+    }
+}
+
+/// Apply the profile to a whitespace-tokenized field value.
+pub fn corrupt(value: &str, profile: &NoiseProfile, rng: &mut StdRng) -> String {
+    profile.validate();
+    let mut tokens: Vec<String> = value.split_whitespace().map(str::to_string).collect();
+    if tokens.is_empty() {
+        return String::new();
+    }
+
+    // Synonym substitution first (operates on intact words).
+    for t in tokens.iter_mut() {
+        if rng.gen::<f32>() < profile.synonym {
+            if let Some(rep) = synonym_of(t) {
+                *t = rep.to_string();
+            }
+        }
+    }
+
+    // Abbreviation: keep a prefix of length 2..4.
+    for t in tokens.iter_mut() {
+        if t.len() > 4 && rng.gen::<f32>() < profile.abbreviate {
+            let keep = rng.gen_range(2..=4).min(t.len());
+            let cut: String = t.chars().take(keep).collect();
+            *t = cut;
+        }
+    }
+
+    // Typos.
+    for t in tokens.iter_mut() {
+        if rng.gen::<f32>() < profile.typo {
+            *t = typo(t, rng);
+        }
+    }
+
+    // Token drop — but never drop everything.
+    if tokens.len() > 1 {
+        let mut kept: Vec<String> =
+            tokens.iter().filter(|_| rng.gen::<f32>() >= profile.drop).cloned().collect();
+        if kept.is_empty() {
+            kept.push(tokens[rng.gen_range(0..tokens.len())].clone());
+        }
+        tokens = kept;
+    }
+
+    // One adjacent swap.
+    if tokens.len() >= 2 && rng.gen::<f32>() < profile.swap {
+        let i = rng.gen_range(0..tokens.len() - 1);
+        tokens.swap(i, i + 1);
+    }
+
+    tokens.join(" ")
+}
+
+/// Synonym lookup in either direction.
+pub fn synonym_of(word: &str) -> Option<&'static str> {
+    for (a, b) in SYNONYMS {
+        if *a == word {
+            return Some(b);
+        }
+        if *b == word {
+            return Some(a);
+        }
+    }
+    None
+}
+
+/// Perturb a price-like numeric string by up to ±`pct` percent, keeping two
+/// decimals.
+pub fn jitter_price(value: &str, pct: f32, rng: &mut StdRng) -> String {
+    match value.parse::<f32>() {
+        Ok(v) => {
+            let factor = 1.0 + rng.gen_range(-pct..=pct);
+            format!("{:.2}", (v * factor).max(0.01))
+        }
+        Err(_) => value.to_string(),
+    }
+}
+
+/// One character-level typo: substitution, deletion, insertion or adjacent
+/// transposition, chosen uniformly.
+fn typo(word: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.is_empty() {
+        return String::new();
+    }
+    let mut out = chars.clone();
+    let pos = rng.gen_range(0..chars.len());
+    match rng.gen_range(0..4) {
+        0 => out[pos] = random_letter(rng),                    // substitute
+        1 if out.len() > 1 => {
+            out.remove(pos);                                   // delete
+        }
+        2 => out.insert(pos, random_letter(rng)),              // insert
+        _ if out.len() > 1 && pos + 1 < out.len() => {
+            out.swap(pos, pos + 1);                            // transpose
+        }
+        _ => out[pos] = random_letter(rng),
+    }
+    out.into_iter().collect()
+}
+
+fn random_letter(rng: &mut StdRng) -> char {
+    (b'a' + rng.gen_range(0..26u8)) as char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_profile_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = "stellar wireless router 520";
+        assert_eq!(corrupt(s, &NoiseProfile::CLEAN, &mut rng), s);
+    }
+
+    #[test]
+    fn corruption_never_empties_a_field() {
+        let heavy = NoiseProfile { drop: 0.95, ..NoiseProfile::HEAVY };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let out = corrupt("alpha beta gamma", &heavy, &mut rng);
+            assert!(!out.trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn heavy_profile_changes_most_strings() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = "stellar wireless router with gigabit ports and antennas";
+        let changed = (0..50)
+            .filter(|_| corrupt(s, &NoiseProfile::HEAVY, &mut rng) != s)
+            .count();
+        assert!(changed > 40, "only {changed}/50 corrupted");
+    }
+
+    #[test]
+    fn synonym_lookup_is_bidirectional() {
+        assert_eq!(synonym_of("television"), Some("tv"));
+        assert_eq!(synonym_of("tv"), Some("television"));
+        assert_eq!(synonym_of("qwerty"), None);
+    }
+
+    #[test]
+    fn price_jitter_stays_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let out: f32 = jitter_price("100.00", 0.05, &mut rng).parse().unwrap();
+            assert!((94.9..=105.1).contains(&out), "{out}");
+        }
+    }
+
+    #[test]
+    fn price_jitter_passes_through_non_numeric() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(jitter_price("n/a", 0.1, &mut rng), "n/a");
+    }
+
+    #[test]
+    fn typos_edit_distance_one_ish() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let t = typo("router", &mut rng);
+            let diff = (t.len() as i64 - 6).abs();
+            assert!(diff <= 1, "typo changed length too much: {t}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = corrupt("alpha beta gamma delta", &NoiseProfile::HEAVY, &mut StdRng::seed_from_u64(7));
+        let b = corrupt("alpha beta gamma delta", &NoiseProfile::HEAVY, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

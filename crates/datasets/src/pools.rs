@@ -1,0 +1,185 @@
+//! Word pools used by the synthetic dataset generators.
+//!
+//! The generators mimic the *statistical character* of the DeepMatcher /
+//! Magellan benchmarks (see DESIGN.md §2): product lists need brand names,
+//! category nouns, qualifiers and model codes; citation lists need academic
+//! title words, author names and venues with abbreviation variants.
+
+/// Consumer-electronics / retail brand-like names.
+pub const BRANDS: &[&str] = &[
+    "acme", "nordix", "veltron", "quasar", "bluepeak", "stellar", "omnicore", "zephyr",
+    "pinnacle", "aurora", "titanix", "cobaltec", "redwood", "lumina", "vortexa", "heliant",
+    "maxtor", "silverline", "crestone", "ionix", "polarex", "graviton", "nimbus", "octavia",
+    "solaris", "vantage", "kinetix", "meridian", "falconix", "tundra", "caspian", "orionis",
+    "zenithal", "arcadia", "novatek", "sequoia", "halcyon", "draconis", "emberly", "frostine",
+];
+
+/// Product category nouns.
+pub const CATEGORIES: &[&str] = &[
+    "router", "laptop", "camera", "printer", "monitor", "keyboard", "speaker", "headphones",
+    "tablet", "projector", "scanner", "microphone", "webcam", "charger", "adapter", "drive",
+    "television", "soundbar", "smartwatch", "drone", "turntable", "amplifier", "receiver",
+    "subwoofer", "modem", "switch", "enclosure", "dock", "stylus", "trackball",
+];
+
+/// Synonym pairs among category/qualifier words. The noise model swaps a
+/// word for its synonym; only distributional pre-training can bridge these,
+/// which is exactly the TPLM advantage the paper leverages.
+pub const SYNONYMS: &[(&str, &str)] = &[
+    ("television", "tv"),
+    ("headphones", "earphones"),
+    ("drive", "disk"),
+    ("notebook", "laptop"),
+    ("wireless", "cordless"),
+    ("portable", "compact"),
+    ("black", "ebony"),
+    ("white", "ivory"),
+    ("fast", "rapid"),
+    ("professional", "pro"),
+];
+
+/// Qualifier adjectives for product titles.
+pub const QUALIFIERS: &[&str] = &[
+    "wireless", "portable", "digital", "compact", "professional", "gaming", "ultra", "slim",
+    "black", "white", "silver", "rugged", "premium", "budget", "smart", "hybrid", "dual",
+    "quad", "mini", "max", "fast", "silent", "ergonomic", "waterproof", "refurbished",
+];
+
+/// Capacity/size tokens.
+pub const CAPACITIES: &[&str] = &[
+    "16gb", "32gb", "64gb", "128gb", "256gb", "512gb", "1tb", "2tb", "4tb", "500gb",
+    "13inch", "15inch", "17inch", "24inch", "27inch", "32inch", "1080p", "4k", "8k",
+];
+
+/// Academic title words (content words for citation titles).
+pub const ACADEMIC: &[&str] = &[
+    "efficient", "scalable", "adaptive", "distributed", "parallel", "incremental", "robust",
+    "approximate", "optimal", "learned", "neural", "probabilistic", "streaming", "secure",
+    "query", "index", "join", "transaction", "storage", "cache", "graph", "schema", "entity",
+    "record", "matching", "resolution", "blocking", "deduplication", "integration", "cleaning",
+    "sampling", "sketching", "partitioning", "replication", "recovery", "consensus", "locking",
+    "compression", "encoding", "hashing", "clustering", "classification", "embedding",
+    "optimization", "estimation", "evaluation", "processing", "execution", "planning",
+    "workload", "benchmark", "database", "warehouse", "lake", "stream", "spatial", "temporal",
+    "relational", "columnar", "vectorized", "concurrent", "versioned", "federated", "hybrid",
+    "crowdsourced", "interactive", "declarative", "algebraic", "semantic", "syntactic",
+];
+
+/// Author first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "maria", "james", "wei", "anna", "rahul", "sofia", "ivan", "chen", "fatima", "lucas",
+    "emma", "hiro", "nadia", "omar", "elena", "david", "priya", "jonas", "aisha", "pedro",
+    "ingrid", "tomas", "leila", "marco", "yuki", "sven", "carla", "amir", "greta", "diego",
+];
+
+/// Author last names.
+pub const LAST_NAMES: &[&str] = &[
+    "garcia", "smith", "zhang", "kumar", "petrov", "rossi", "tanaka", "mueller", "silva",
+    "johnson", "lee", "nguyen", "kowalski", "haddad", "eriksson", "moreau", "costa", "novak",
+    "fischer", "brown", "wang", "patel", "jensen", "ricci", "yamada", "weber", "santos",
+    "dubois", "larsen", "okafor",
+];
+
+/// Venues as (full name, abbreviation) pairs; the dirty citation generator
+/// swaps between the two forms.
+pub const VENUES: &[(&str, &str)] = &[
+    ("international conference on management of data", "sigmod"),
+    ("very large data bases", "vldb"),
+    ("international conference on data engineering", "icde"),
+    ("extending database technology", "edbt"),
+    ("knowledge discovery and data mining", "kdd"),
+    ("conference on information and knowledge management", "cikm"),
+    ("international world wide web conference", "www"),
+    ("symposium on principles of database systems", "pods"),
+    ("transactions on knowledge and data engineering", "tkde"),
+    ("journal of machine learning research", "jmlr"),
+];
+
+/// English content words for the multilingual dataset (documentation-style
+/// text, as in the Salesforce structured-documentation corpus the paper
+/// uses).
+pub const DOC_WORDS: &[&str] = &[
+    "account", "settings", "profile", "button", "click", "select", "option", "menu", "field",
+    "value", "record", "object", "report", "dashboard", "filter", "column", "table", "page",
+    "layout", "template", "workflow", "rule", "trigger", "action", "email", "alert", "task",
+    "calendar", "contact", "campaign", "opportunity", "product", "order", "invoice", "payment",
+    "customer", "service", "support", "case", "queue", "permission", "role", "security",
+    "session", "password", "login", "export", "import", "update", "delete", "create", "edit",
+    "view", "search", "sort", "group", "share", "sync", "mobile", "desktop", "browser",
+];
+
+/// German function words sprinkled into the "Deutsch" side.
+pub const DE_FUNCTION_WORDS: &[&str] =
+    &["der", "die", "das", "und", "mit", "für", "auf", "von", "zu", "im", "ein", "eine"];
+
+/// English function words sprinkled into the English side.
+pub const EN_FUNCTION_WORDS: &[&str] =
+    &["the", "a", "an", "and", "with", "for", "on", "of", "to", "in", "this", "your"];
+
+/// Syllables for procedurally generated rare "topic" terms (system names,
+/// technique names) that make citation titles blockable, like real paper
+/// titles containing rare coined words.
+pub const SYLLABLES: &[&str] = &[
+    "ba", "cor", "dex", "fen", "gra", "hol", "jin", "kra", "lum", "mor", "nex", "pra",
+    "quor", "ril", "sto", "tar", "vex", "wol", "yar", "zem",
+];
+
+/// Deterministic rare topic word from an index (e.g. `pseudo_topic(17)`).
+pub fn pseudo_topic(i: usize) -> String {
+    let a = SYLLABLES[i % SYLLABLES.len()];
+    let b = SYLLABLES[(i / SYLLABLES.len()) % SYLLABLES.len()];
+    let c = SYLLABLES[(i / (SYLLABLES.len() * SYLLABLES.len())) % SYLLABLES.len()];
+    format!("{a}{b}{c}")
+}
+
+/// Deterministic pseudo-German translation of an English content word:
+/// a distinct surface form with no character overlap guarantees, so lexical
+/// blocking cannot bridge the two languages (the paper's motivating case).
+pub fn pseudo_german(word: &str) -> String {
+    let reversed: String = word.chars().rev().collect();
+    format!("{reversed}ung")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_lowercase() {
+        for pool in [BRANDS, CATEGORIES, QUALIFIERS, ACADEMIC, FIRST_NAMES, LAST_NAMES, DOC_WORDS]
+        {
+            assert!(!pool.is_empty());
+            assert!(pool.iter().all(|w| w.chars().all(|c| !c.is_uppercase())));
+        }
+    }
+
+    #[test]
+    fn pools_have_no_duplicates() {
+        for pool in [BRANDS, CATEGORIES, ACADEMIC, DOC_WORDS] {
+            let set: std::collections::HashSet<_> = pool.iter().collect();
+            assert_eq!(set.len(), pool.len());
+        }
+    }
+
+    #[test]
+    fn pseudo_german_is_distinct_and_deterministic() {
+        assert_eq!(pseudo_german("account"), "tnuoccaung");
+        assert_ne!(pseudo_german("account"), "account");
+        assert_eq!(pseudo_german("menu"), pseudo_german("menu"));
+    }
+
+    #[test]
+    fn pseudo_topic_is_deterministic_and_varied() {
+        assert_eq!(pseudo_topic(17), pseudo_topic(17));
+        let set: std::collections::HashSet<String> = (0..500).map(pseudo_topic).collect();
+        assert_eq!(set.len(), 500, "topic words collide too early");
+    }
+
+    #[test]
+    fn venue_abbreviations_differ_from_full_names() {
+        for (full, abbr) in VENUES {
+            assert_ne!(full, abbr);
+            assert!(full.len() > abbr.len());
+        }
+    }
+}

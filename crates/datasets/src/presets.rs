@@ -1,0 +1,259 @@
+//! Benchmark presets: the six evaluation datasets at three scales.
+//!
+//! * [`ScaleProfile::Paper`] — Table 1 sizes (generation is cheap; running
+//!   the full AL suite at this scale needs the paper's GPU budget);
+//! * [`ScaleProfile::Bench`] — sizes divided by ~4–50 so every experiment
+//!   in the repro harness completes on a laptop CPU in minutes. This is
+//!   the default for EXPERIMENTS.md numbers;
+//! * [`ScaleProfile::Smoke`] — tiny instances for integration tests.
+
+use crate::citation::{generate_citation, CitationConfig};
+use crate::dataset::EmDataset;
+use crate::multilingual::{generate_multilingual, MultilingualConfig};
+use crate::noise::NoiseProfile;
+use crate::product::{generate_product, ProductConfig};
+use crate::rules::RuleKind;
+
+/// Dataset scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScaleProfile {
+    /// Table 1 sizes.
+    Paper,
+    /// Laptop-scale sizes for benchmark reproduction (default).
+    #[default]
+    Bench,
+    /// Tiny sizes for tests.
+    Smoke,
+}
+
+/// The six benchmarks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    WalmartAmazon,
+    AmazonGoogle,
+    DblpAcm,
+    DblpScholar,
+    AbtBuy,
+    Multilingual,
+}
+
+impl Benchmark {
+    /// The five DeepMatcher-style benchmarks (Figure 4 / Table 2 column
+    /// order).
+    pub fn five() -> [Benchmark; 5] {
+        [
+            Benchmark::WalmartAmazon,
+            Benchmark::AmazonGoogle,
+            Benchmark::DblpAcm,
+            Benchmark::DblpScholar,
+            Benchmark::AbtBuy,
+        ]
+    }
+
+    /// All six benchmarks.
+    pub fn all() -> [Benchmark; 6] {
+        [
+            Benchmark::WalmartAmazon,
+            Benchmark::AmazonGoogle,
+            Benchmark::DblpAcm,
+            Benchmark::DblpScholar,
+            Benchmark::AbtBuy,
+            Benchmark::Multilingual,
+        ]
+    }
+
+    /// Full dataset name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::WalmartAmazon => "Walmart-Amazon",
+            Benchmark::AmazonGoogle => "Amazon-Google",
+            Benchmark::DblpAcm => "DBLP-ACM",
+            Benchmark::DblpScholar => "DBLP-Scholar",
+            Benchmark::AbtBuy => "Abt-Buy",
+            Benchmark::Multilingual => "MultiLingual",
+        }
+    }
+
+    /// Abbreviation used in the ablation tables (W-A, A-G, D-A, D-S, A-B).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Benchmark::WalmartAmazon => "W-A",
+            Benchmark::AmazonGoogle => "A-G",
+            Benchmark::DblpAcm => "D-A",
+            Benchmark::DblpScholar => "D-S",
+            Benchmark::AbtBuy => "A-B",
+            Benchmark::Multilingual => "ML",
+        }
+    }
+
+    /// The hand-crafted blocking rule family applicable to this dataset
+    /// (none for the multilingual benchmark — the paper's point).
+    pub fn rule_kind(self) -> Option<RuleKind> {
+        match self {
+            Benchmark::WalmartAmazon | Benchmark::AmazonGoogle | Benchmark::AbtBuy => {
+                Some(RuleKind::Product)
+            }
+            Benchmark::DblpAcm | Benchmark::DblpScholar => Some(RuleKind::Citation),
+            Benchmark::Multilingual => None,
+        }
+    }
+
+    /// Generate this benchmark at the given scale. `seed` varies the random
+    /// instance (the paper averages over three seed sets).
+    pub fn generate(self, profile: ScaleProfile, seed: u64) -> EmDataset {
+        match self {
+            Benchmark::WalmartAmazon => generate_product(&ProductConfig {
+                name: self.name().into(),
+                r_size: sized(profile, 2554, 320, 48),
+                s_size: sized(profile, 22074, 2400, 96),
+                n_dup_entities: sized(profile, 1100, 140, 30),
+                m2m_frac: 0.05,
+                test_size: sized(profile, 2049, 256, 24),
+                r_noise: NoiseProfile::MILD,
+                s_noise: NoiseProfile::MODERATE,
+                price_jitter: 0.05,
+                family_size: 3,
+                sibling_fill_frac: 0.35,
+                textual: false,
+                seed,
+            }),
+            Benchmark::AmazonGoogle => generate_product(&ProductConfig {
+                name: self.name().into(),
+                r_size: sized(profile, 1363, 340, 48),
+                s_size: sized(profile, 3226, 800, 96),
+                n_dup_entities: sized(profile, 1200, 300, 30),
+                m2m_frac: 0.08,
+                test_size: sized(profile, 2293, 280, 24),
+                r_noise: NoiseProfile::MILD,
+                s_noise: NoiseProfile::HEAVY,
+                price_jitter: 0.10,
+                family_size: 3,
+                sibling_fill_frac: 0.45,
+                textual: false,
+                seed,
+            }),
+            Benchmark::DblpAcm => generate_citation(&CitationConfig {
+                name: self.name().into(),
+                r_size: sized(profile, 2616, 330, 48),
+                s_size: sized(profile, 2294, 290, 60),
+                n_dup_entities: sized(profile, 2120, 260, 30),
+                m2m_frac: 0.02,
+                test_size: sized(profile, 2473, 300, 24),
+                s_noise: NoiseProfile::MILD,
+                title_noise: NoiseProfile { typo: 0.01, drop: 0.01, swap: 0.05, abbreviate: 0.01, synonym: 0.0 },
+                venue_abbrev: 0.15,
+                author_initials: 0.10,
+                drop_year: 0.05,
+                family_size: 3,
+                sibling_fill_frac: 0.5,
+                seed,
+            }),
+            Benchmark::DblpScholar => generate_citation(&CitationConfig {
+                name: self.name().into(),
+                r_size: sized(profile, 2616, 330, 48),
+                s_size: sized(profile, 64263, 3000, 96),
+                n_dup_entities: sized(profile, 2600, 300, 30),
+                m2m_frac: 0.6,
+                test_size: sized(profile, 5742, 300, 24),
+                s_noise: NoiseProfile::HEAVY,
+                title_noise: NoiseProfile { typo: 0.03, drop: 0.04, swap: 0.15, abbreviate: 0.03, synonym: 0.05 },
+                venue_abbrev: 0.6,
+                author_initials: 0.5,
+                drop_year: 0.3,
+                family_size: 3,
+                sibling_fill_frac: 0.3,
+                seed,
+            }),
+            Benchmark::AbtBuy => generate_product(&ProductConfig {
+                name: self.name().into(),
+                r_size: sized(profile, 1081, 270, 48),
+                s_size: sized(profile, 1092, 273, 52),
+                n_dup_entities: sized(profile, 1050, 250, 30),
+                m2m_frac: 0.04,
+                test_size: sized(profile, 1916, 240, 24),
+                r_noise: NoiseProfile::MILD,
+                s_noise: NoiseProfile::HEAVY,
+                price_jitter: 0.08,
+                family_size: 3,
+                sibling_fill_frac: 0.6,
+                textual: true,
+                seed,
+            }),
+            Benchmark::Multilingual => generate_multilingual(&MultilingualConfig {
+                name: self.name().into(),
+                n_pairs: sized(profile, 100_000, 1000, 80),
+                test_size: sized(profile, 2000, 200, 20),
+                seed,
+                ..Default::default()
+            }),
+        }
+    }
+}
+
+fn sized(profile: ScaleProfile, paper: usize, bench: usize, smoke: usize) -> usize {
+    match profile {
+        ScaleProfile::Paper => paper,
+        ScaleProfile::Bench => bench,
+        ScaleProfile::Smoke => smoke,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{candidate_recall, rule_candidates};
+
+    #[test]
+    fn smoke_scale_generates_all_six() {
+        for b in Benchmark::all() {
+            let d = b.generate(ScaleProfile::Smoke, 1);
+            assert!(d.r.len() > 0 && d.s.len() > 0, "{:?} empty", b);
+            assert!(!d.dups().is_empty(), "{:?} has no dups", b);
+            assert!(!d.test.is_empty(), "{:?} has no test split", b);
+            // Seed set must be satisfiable at smoke scale.
+            let _ = d.seed_labeled(8, 8, 0);
+        }
+    }
+
+    #[test]
+    fn bench_scale_density_ordering_matches_paper() {
+        // Table 1: Abt-Buy is densest (~1e-3), Walmart-Amazon and
+        // DBLP-Scholar are sparsest (~1e-5 scale ordering preserved
+        // relatively).
+        let ab = Benchmark::AbtBuy.generate(ScaleProfile::Bench, 0).density();
+        let wa = Benchmark::WalmartAmazon.generate(ScaleProfile::Bench, 0).density();
+        assert!(ab > wa * 3.0, "Abt-Buy {ab} should be much denser than W-A {wa}");
+    }
+
+    #[test]
+    fn rules_exist_for_five_but_not_multilingual() {
+        assert!(Benchmark::Multilingual.rule_kind().is_none());
+        for b in Benchmark::five() {
+            assert!(b.rule_kind().is_some());
+        }
+    }
+
+    #[test]
+    fn bench_scale_rule_recall_in_paper_band() {
+        // Rules recall should be high (>0.7) but typically < 1.0.
+        for b in [Benchmark::WalmartAmazon, Benchmark::DblpAcm] {
+            let d = b.generate(ScaleProfile::Bench, 0);
+            let cands = rule_candidates(&d, b.rule_kind().unwrap());
+            let recall = candidate_recall(&d, &cands);
+            assert!(recall > 0.7, "{} rules recall {recall}", b.name());
+        }
+    }
+
+    #[test]
+    fn short_names_match_table_headers() {
+        let names: Vec<&str> = Benchmark::five().iter().map(|b| b.short_name()).collect();
+        assert_eq!(names, vec!["W-A", "A-G", "D-A", "D-S", "A-B"]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Benchmark::AbtBuy.generate(ScaleProfile::Smoke, 1);
+        let b = Benchmark::AbtBuy.generate(ScaleProfile::Smoke, 2);
+        assert_ne!(a.r.get(0).text(), b.r.get(0).text());
+    }
+}

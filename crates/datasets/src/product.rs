@@ -1,0 +1,305 @@
+//! Product-catalog dataset generator (Walmart-Amazon, Amazon-Google and
+//! Abt-Buy analogues).
+//!
+//! Entities are organized into *families*: products sharing brand, category
+//! and base model code that differ in variant suffix, capacity and price
+//! (think "different editions of the same book", §2.2.1). Family siblings
+//! are exactly the hard near-duplicates that make active learning
+//! informative and that crush blocker recall when used as training
+//! negatives (Table 4's mechanism).
+
+use crate::dataset::EmDataset;
+use crate::noise::{corrupt, jitter_price, NoiseProfile};
+use crate::pools::{BRANDS, CAPACITIES, CATEGORIES, QUALIFIERS};
+use crate::split::build_splits;
+use dial_text::{RecordList, Schema};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a synthetic product benchmark.
+#[derive(Debug, Clone)]
+pub struct ProductConfig {
+    pub name: String,
+    /// Number of records in list `R` (one entity each).
+    pub r_size: usize,
+    /// Number of records in list `S`.
+    pub s_size: usize,
+    /// Number of `R` entities that have at least one duplicate in `S`.
+    pub n_dup_entities: usize,
+    /// Fraction of duplicated entities with *two* `S` copies (many-to-many).
+    pub m2m_frac: f64,
+    /// `|Dtest|`.
+    pub test_size: usize,
+    /// Noise applied to the `R` side.
+    pub r_noise: NoiseProfile,
+    /// Noise applied to the `S` side.
+    pub s_noise: NoiseProfile,
+    /// Price jitter on the dirty side (fraction).
+    pub price_jitter: f32,
+    /// Variants per product family (including the base), ≥ 1.
+    pub family_size: usize,
+    /// Fraction of `S` filler records drawn from families of `R` entities
+    /// (hard negatives) rather than fresh families.
+    pub sibling_fill_frac: f64,
+    /// Use the textual (Abt-Buy style) schema with a long description.
+    pub textual: bool,
+    pub seed: u64,
+}
+
+/// A clean product entity (pre-noise).
+#[derive(Debug, Clone)]
+struct Product {
+    brand: String,
+    category: String,
+    qualifiers: Vec<String>,
+    model: String,
+    capacity: String,
+    price: f32,
+}
+
+impl Product {
+    fn title(&self) -> String {
+        format!(
+            "{} {} {} {} {}",
+            self.brand,
+            self.qualifiers.join(" "),
+            self.category,
+            self.model,
+            self.capacity
+        )
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "the {} {} {} is a {} {} with model number {} featuring {} storage and a one year \
+             warranty ideal for home and office use",
+            self.brand,
+            self.qualifiers.join(" "),
+            self.category,
+            self.qualifiers.first().map(String::as_str).unwrap_or("quality"),
+            self.category,
+            self.model,
+            self.capacity
+        )
+    }
+}
+
+/// One family of product variants.
+fn make_family(family_id: usize, size: usize, rng: &mut StdRng) -> Vec<Product> {
+    let brand = BRANDS[rng.gen_range(0..BRANDS.len())].to_string();
+    let category = CATEGORIES[rng.gen_range(0..CATEGORIES.len())].to_string();
+    let n_quals = rng.gen_range(2..=3);
+    let mut quals: Vec<String> =
+        QUALIFIERS.choose_multiple(rng, n_quals).map(|q| q.to_string()).collect();
+    quals.sort(); // Deterministic order independent of choose_multiple internals.
+    let base_code: u32 = rng.gen_range(100..980);
+    let letter = (b'a' + (family_id % 26) as u8) as char;
+    let base_price: f32 = rng.gen_range(15.0..900.0);
+
+    (0..size)
+        .map(|v| Product {
+            brand: brand.clone(),
+            category: category.clone(),
+            qualifiers: quals.clone(),
+            model: format!("{letter}{}-{}", (family_id / 26) % 10, base_code + v as u32 * 10),
+            capacity: CAPACITIES[(family_id + v) % CAPACITIES.len()].to_string(),
+            price: base_price * (1.0 + 0.17 * v as f32),
+        })
+        .collect()
+}
+
+fn push_record(
+    list: &mut RecordList,
+    p: &Product,
+    noise: &NoiseProfile,
+    price_jitter: f32,
+    textual: bool,
+    rng: &mut StdRng,
+) -> u32 {
+    let price = jitter_price(&format!("{:.2}", p.price), price_jitter, rng);
+    if textual {
+        list.push(vec![
+            corrupt(&p.title(), noise, rng),
+            corrupt(&p.description(), noise, rng),
+            price,
+        ])
+    } else {
+        list.push(vec![
+            corrupt(&p.title(), noise, rng),
+            corrupt(&p.brand, noise, rng),
+            corrupt(&p.model, noise, rng),
+            price,
+        ])
+    }
+}
+
+/// Generate the dataset.
+pub fn generate_product(cfg: &ProductConfig) -> EmDataset {
+    assert!(cfg.n_dup_entities <= cfg.r_size, "more duplicated entities than R records");
+    assert!(cfg.family_size >= 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let schema = if cfg.textual {
+        Schema::new(vec!["name", "description", "price"])
+    } else {
+        Schema::new(vec!["title", "brand", "modelno", "price"])
+    };
+    let mut r = RecordList::new(schema.clone());
+    let mut s = RecordList::new(schema);
+
+    // One family per R record; R takes variant 0.
+    let families: Vec<Vec<Product>> =
+        (0..cfg.r_size).map(|f| make_family(f, cfg.family_size, &mut rng)).collect();
+    for fam in &families {
+        push_record(&mut r, &fam[0], &cfg.r_noise, 0.0, cfg.textual, &mut rng);
+    }
+
+    // Duplicates: dirty copies of variant 0 in S.
+    let mut dup_entities: Vec<usize> = (0..cfg.r_size).collect();
+    dup_entities.shuffle(&mut rng);
+    dup_entities.truncate(cfg.n_dup_entities);
+    let mut dups: Vec<(u32, u32)> = Vec::new();
+    for &f in &dup_entities {
+        let copies = if rng.gen_bool(cfg.m2m_frac) { 2 } else { 1 };
+        for _ in 0..copies {
+            let sid = push_record(
+                &mut s,
+                &families[f][0],
+                &cfg.s_noise,
+                cfg.price_jitter,
+                cfg.textual,
+                &mut rng,
+            );
+            dups.push((f as u32, sid));
+        }
+    }
+
+    // Hard negatives: family siblings of R entities placed in S.
+    let mut hard_negs: Vec<(u32, u32)> = Vec::new();
+    let mut sibling_budget =
+        ((cfg.s_size.saturating_sub(s.len())) as f64 * cfg.sibling_fill_frac) as usize;
+    let mut f = 0usize;
+    while sibling_budget > 0 && cfg.family_size > 1 {
+        let fam = f % cfg.r_size;
+        let variant = 1 + (f / cfg.r_size) % (cfg.family_size - 1);
+        if variant < families[fam].len() {
+            let sid = push_record(
+                &mut s,
+                &families[fam][variant],
+                &cfg.s_noise,
+                cfg.price_jitter,
+                cfg.textual,
+                &mut rng,
+            );
+            hard_negs.push((fam as u32, sid));
+            sibling_budget -= 1;
+        }
+        f += 1;
+    }
+
+    // Filler: fresh families never seen in R.
+    let mut fresh = cfg.r_size;
+    while s.len() < cfg.s_size {
+        let fam = make_family(fresh, 1, &mut rng);
+        push_record(&mut s, &fam[0], &cfg.s_noise, cfg.price_jitter, cfg.textual, &mut rng);
+        fresh += 1;
+    }
+
+    let mut split_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed_5011);
+    let (test, pool) =
+        build_splits(&dups, &hard_negs, r.len(), s.len(), cfg.test_size, &mut split_rng);
+    EmDataset::new(cfg.name.clone(), r, s, dups, test, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ProductConfig {
+        ProductConfig {
+            name: "test-products".into(),
+            r_size: 60,
+            s_size: 200,
+            n_dup_entities: 40,
+            m2m_frac: 0.1,
+            test_size: 40,
+            r_noise: NoiseProfile::MILD,
+            s_noise: NoiseProfile::MODERATE,
+            price_jitter: 0.05,
+            family_size: 3,
+            sibling_fill_frac: 0.4,
+            textual: false,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let d = generate_product(&small_cfg());
+        assert_eq!(d.r.len(), 60);
+        assert_eq!(d.s.len(), 200);
+        assert!(d.dups().len() >= 40, "expected >= 40 dup pairs, got {}", d.dups().len());
+    }
+
+    #[test]
+    fn duplicates_share_most_tokens() {
+        let d = generate_product(&small_cfg());
+        let mut total_jaccard = 0.0;
+        for &(ri, si) in d.dups().iter().take(20) {
+            let a: std::collections::HashSet<String> =
+                d.r.get(ri).word_tokens().into_iter().collect();
+            let b: std::collections::HashSet<String> =
+                d.s.get(si).word_tokens().into_iter().collect();
+            let inter = a.intersection(&b).count() as f64;
+            let union = a.union(&b).count() as f64;
+            total_jaccard += inter / union;
+        }
+        let mean = total_jaccard / 20.0;
+        assert!(mean > 0.4, "duplicate token overlap too low: {mean}");
+    }
+
+    #[test]
+    fn hard_negatives_exist_in_test() {
+        let d = generate_product(&small_cfg());
+        // Some test negatives share the brand token with their R record —
+        // i.e., family siblings.
+        let hard = d
+            .test
+            .iter()
+            .filter(|p| !p.label)
+            .filter(|p| {
+                let rb = d.r.get(p.r).value_by_name("brand").unwrap().to_string();
+                d.s.get(p.s).text().contains(&rb)
+            })
+            .count();
+        assert!(hard > 0, "no hard negatives in the test split");
+    }
+
+    #[test]
+    fn textual_schema_has_description() {
+        let mut cfg = small_cfg();
+        cfg.textual = true;
+        let d = generate_product(&cfg);
+        assert_eq!(d.r.schema().attr_names(), &["name", "description", "price"]);
+        let desc = d.r.get(0).value_by_name("description").unwrap();
+        assert!(desc.split_whitespace().count() > 10, "description too short: {desc}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_product(&small_cfg());
+        let b = generate_product(&small_cfg());
+        assert_eq!(a.dups(), b.dups());
+        assert_eq!(a.r.get(5).text(), b.r.get(5).text());
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn m2m_produces_extra_pairs() {
+        let mut cfg = small_cfg();
+        cfg.m2m_frac = 1.0;
+        let d = generate_product(&cfg);
+        assert_eq!(d.dups().len(), 80, "all dup entities should have two copies");
+    }
+}

@@ -1,0 +1,190 @@
+//! Hand-crafted rule-based blocking — the paper's `Rules` baseline.
+//!
+//! The five DeepMatcher benchmarks come pre-blocked by human-designed
+//! predicates; the paper treats those blocked pairs as the `Rules`
+//! candidate set (§4.3). We reproduce the standard Magellan-style overlap
+//! predicates over an inverted token index so they run in near-linear time:
+//!
+//! * **Product rule** — a pair is blocked if the two records share the
+//!   brand token *and* at least one more title token, or share at least two
+//!   informative (low document-frequency) tokens overall.
+//! * **Citation rule** — blocked if the records share at least two
+//!   informative title words.
+//!
+//! Rule recall is below 100% by construction (typos hit brand and model
+//! tokens), mirroring the benchmarks, where hand-tuned rules famously lose
+//! some true matches — the gap DIAL closes in Table 2 / Figure 5.
+//!
+//! No rule exists for the multilingual dataset: the two sides share no
+//! content tokens, which is the paper's argument for learned blocking.
+
+use crate::dataset::EmDataset;
+use dial_text::Record;
+use std::collections::{HashMap, HashSet};
+
+/// Which hand-crafted predicate family to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    /// Brand + title-token overlap (Walmart-Amazon, Amazon-Google, Abt-Buy).
+    Product,
+    /// Title-word overlap (DBLP-ACM, DBLP-Scholar).
+    Citation,
+}
+
+/// Tokens appearing in more than this fraction of `S` records are too
+/// common to be blocking keys.
+const DF_CAP_FRAC: f64 = 0.05;
+
+/// Minimum shared informative tokens for a pair to be blocked.
+const MIN_OVERLAP: usize = 2;
+
+/// Apply the rule blocker; returns blocked `(r_id, s_id)` pairs, sorted.
+pub fn rule_candidates(data: &EmDataset, kind: RuleKind) -> Vec<(u32, u32)> {
+    let key_tokens: fn(&Record) -> Vec<String> = match kind {
+        RuleKind::Product => |rec| rec.word_tokens(),
+        RuleKind::Citation => |rec| {
+            rec.value_by_name("title")
+                .map(|t| dial_text::word_tokens(t))
+                .unwrap_or_else(|| rec.word_tokens())
+        },
+    };
+
+    // Document frequency over S to identify informative tokens.
+    let mut df: HashMap<String, usize> = HashMap::new();
+    let s_tokens: Vec<Vec<String>> = data
+        .s
+        .iter()
+        .map(|rec| {
+            let toks: HashSet<String> = key_tokens(rec).into_iter().collect();
+            for t in &toks {
+                *df.entry(t.clone()).or_insert(0) += 1;
+            }
+            toks.into_iter().collect()
+        })
+        .collect();
+    let df_cap = ((data.s.len() as f64 * DF_CAP_FRAC).ceil() as usize).max(3);
+
+    // Inverted index over informative S tokens.
+    let mut inverted: HashMap<&str, Vec<u32>> = HashMap::new();
+    for (sid, toks) in s_tokens.iter().enumerate() {
+        for t in toks {
+            if df[t] <= df_cap {
+                inverted.entry(t.as_str()).or_default().push(sid as u32);
+            }
+        }
+    }
+
+    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+    for rec in data.r.iter() {
+        let toks: HashSet<String> = key_tokens(rec).into_iter().collect();
+        let mut overlap: HashMap<u32, usize> = HashMap::new();
+        for t in &toks {
+            if let Some(list) = inverted.get(t.as_str()) {
+                for &sid in list {
+                    *overlap.entry(sid).or_insert(0) += 1;
+                }
+            }
+        }
+        for (sid, n) in overlap {
+            if n >= MIN_OVERLAP {
+                pairs.insert((rec.id, sid));
+            }
+        }
+    }
+
+    let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Recall of a candidate pair set against the gold duplicates.
+pub fn candidate_recall(data: &EmDataset, cands: &[(u32, u32)]) -> f64 {
+    if data.dups().is_empty() {
+        return 1.0;
+    }
+    let set: HashSet<(u32, u32)> = cands.iter().copied().collect();
+    let hit = data.dups().iter().filter(|p| set.contains(p)).count();
+    hit as f64 / data.dups().len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::citation::{generate_citation, CitationConfig};
+    use crate::noise::NoiseProfile;
+    use crate::product::{generate_product, ProductConfig};
+
+    fn product_data() -> EmDataset {
+        generate_product(&ProductConfig {
+            name: "p".into(),
+            r_size: 80,
+            s_size: 300,
+            n_dup_entities: 60,
+            m2m_frac: 0.05,
+            test_size: 40,
+            r_noise: NoiseProfile::MILD,
+            s_noise: NoiseProfile::MODERATE,
+            price_jitter: 0.05,
+            family_size: 3,
+            sibling_fill_frac: 0.4,
+            textual: false,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn product_rule_recall_is_high_but_imperfect_scope() {
+        let d = product_data();
+        let cands = rule_candidates(&d, RuleKind::Product);
+        let recall = candidate_recall(&d, &cands);
+        assert!(recall > 0.6, "rule recall {recall} too low");
+        // And the rule prunes hard: far fewer pairs than the product.
+        let product_size = d.r.len() * d.s.len();
+        assert!(
+            cands.len() < product_size / 5,
+            "rule blocked {} of {} pairs",
+            cands.len(),
+            product_size
+        );
+    }
+
+    #[test]
+    fn citation_rule_recall() {
+        let d = generate_citation(&CitationConfig {
+            name: "c".into(),
+            r_size: 80,
+            s_size: 240,
+            n_dup_entities: 60,
+            m2m_frac: 0.1,
+            test_size: 40,
+            s_noise: NoiseProfile::MILD,
+            title_noise: NoiseProfile::MILD,
+            venue_abbrev: 0.4,
+            author_initials: 0.3,
+            drop_year: 0.2,
+            family_size: 3,
+            sibling_fill_frac: 0.4,
+            seed: 4,
+        });
+        let cands = rule_candidates(&d, RuleKind::Citation);
+        let recall = candidate_recall(&d, &cands);
+        assert!(recall > 0.85, "citation rule recall {recall} too low");
+    }
+
+    #[test]
+    fn recall_helper_on_exact_sets() {
+        let d = product_data();
+        assert_eq!(candidate_recall(&d, d.dups()), 1.0);
+        assert_eq!(candidate_recall(&d, &[]), 0.0);
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_unique() {
+        let d = product_data();
+        let cands = rule_candidates(&d, RuleKind::Product);
+        let mut sorted = cands.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(cands, sorted);
+    }
+}

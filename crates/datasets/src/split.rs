@@ -1,0 +1,133 @@
+//! Test / train-pool split construction shared by all generators.
+//!
+//! The DeepMatcher benchmarks ship pre-blocked labeled pairs partitioned
+//! into train/valid/test; the paper samples its AL seed set from the train
+//! split and evaluates progressive F1 on the test split. Our generators
+//! reproduce that: `Dtest` mixes gold duplicates with *hard* non-duplicates
+//! (family siblings), and the train pool holds the remaining labeled pairs.
+
+use crate::dataset::LabeledPair;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Fraction of `Dtest` that is positive (matches the ~1:3 ratio of the
+/// DeepMatcher test splits).
+const TEST_POS_FRAC: f64 = 0.25;
+
+/// Build `(test, train_pool)`.
+///
+/// * `dups` — all gold duplicate pairs;
+/// * `hard_negs` — near-duplicate non-matching pairs (blocked pairs);
+/// * `r_len`, `s_len` — list sizes, for sampling random easy negatives;
+/// * `test_size` — target `|Dtest|`.
+///
+/// Test positives are *removed* from the train pool so seeding never leaks
+/// test pairs; gold membership is untouched (blocking may still retrieve
+/// test duplicates, as in the paper).
+pub(crate) fn build_splits(
+    dups: &[(u32, u32)],
+    hard_negs: &[(u32, u32)],
+    r_len: usize,
+    s_len: usize,
+    test_size: usize,
+    rng: &mut StdRng,
+) -> (Vec<LabeledPair>, Vec<LabeledPair>) {
+    assert!(!dups.is_empty(), "cannot split a dataset with no duplicates");
+    let dup_set: HashSet<(u32, u32)> = dups.iter().copied().collect();
+
+    let mut dup_shuffled: Vec<(u32, u32)> = dups.to_vec();
+    dup_shuffled.shuffle(rng);
+    let mut negs: Vec<(u32, u32)> =
+        hard_negs.iter().copied().filter(|p| !dup_set.contains(p)).collect();
+    negs.sort_unstable();
+    negs.dedup();
+    negs.shuffle(rng);
+
+    let n_test_pos = ((test_size as f64 * TEST_POS_FRAC) as usize)
+        .clamp(1, dup_shuffled.len() / 2);
+    let n_test_neg = (test_size - n_test_pos).min(negs.len());
+
+    let test: Vec<LabeledPair> = dup_shuffled[..n_test_pos]
+        .iter()
+        .map(|&(r, s)| LabeledPair::new(r, s, true))
+        .chain(negs[..n_test_neg].iter().map(|&(r, s)| LabeledPair::new(r, s, false)))
+        .collect();
+
+    // Train pool: remaining dups, remaining hard negatives, plus random
+    // easy negatives so seed negatives are not exclusively hard.
+    let mut pool: Vec<LabeledPair> = dup_shuffled[n_test_pos..]
+        .iter()
+        .map(|&(r, s)| LabeledPair::new(r, s, true))
+        .collect();
+    pool.extend(negs[n_test_neg..].iter().map(|&(r, s)| LabeledPair::new(r, s, false)));
+
+    let test_keys: HashSet<(u32, u32)> = test.iter().map(|p| p.key()).collect();
+    let want_random = pool.iter().filter(|p| p.label).count().max(8);
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < want_random && attempts < want_random * 50 {
+        attempts += 1;
+        let pair = (rng.gen_range(0..r_len) as u32, rng.gen_range(0..s_len) as u32);
+        if dup_set.contains(&pair) || test_keys.contains(&pair) {
+            continue;
+        }
+        pool.push(LabeledPair::new(pair.0, pair.1, false));
+        added += 1;
+    }
+    pool.shuffle(rng);
+    (test, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn inputs() -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
+        let dups: Vec<(u32, u32)> = (0..40).map(|i| (i, i)).collect();
+        let hard: Vec<(u32, u32)> = (0..40).map(|i| (i, i + 40)).collect();
+        (dups, hard)
+    }
+
+    #[test]
+    fn sizes_and_label_balance() {
+        let (dups, hard) = inputs();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (test, pool) = build_splits(&dups, &hard, 100, 100, 40, &mut rng);
+        let pos = test.iter().filter(|p| p.label).count();
+        assert_eq!(pos, 10);
+        assert_eq!(test.len(), 40);
+        assert!(pool.iter().filter(|p| p.label).count() == 30);
+        assert!(pool.iter().filter(|p| !p.label).count() >= 30);
+    }
+
+    #[test]
+    fn no_test_pair_appears_in_pool() {
+        let (dups, hard) = inputs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (test, pool) = build_splits(&dups, &hard, 100, 100, 40, &mut rng);
+        let test_keys: HashSet<_> = test.iter().map(|p| p.key()).collect();
+        assert!(pool.iter().all(|p| !test_keys.contains(&p.key())));
+    }
+
+    #[test]
+    fn labels_agree_with_gold() {
+        let (dups, hard) = inputs();
+        let dup_set: HashSet<_> = dups.iter().copied().collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (test, pool) = build_splits(&dups, &hard, 100, 100, 40, &mut rng);
+        for p in test.iter().chain(&pool) {
+            assert_eq!(p.label, dup_set.contains(&p.key()));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (dups, hard) = inputs();
+        let a = build_splits(&dups, &hard, 100, 100, 40, &mut StdRng::seed_from_u64(3));
+        let b = build_splits(&dups, &hard, 100, 100, 40, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests for dataset generation invariants.
+
+use dial_datasets::{generate_product, noise::corrupt, NoiseProfile, ProductConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn profile() -> impl Strategy<Value = NoiseProfile> {
+    (0.0f32..0.3, 0.0f32..0.3, 0.0f32..0.5, 0.0f32..0.3, 0.0f32..0.3).prop_map(
+        |(typo, drop, swap, abbreviate, synonym)| NoiseProfile {
+            typo,
+            drop,
+            swap,
+            abbreviate,
+            synonym,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn corruption_never_empties(p in profile(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = corrupt("alpha beta gamma delta epsilon", &p, &mut rng);
+        prop_assert!(!out.trim().is_empty());
+    }
+
+    #[test]
+    fn generated_dataset_invariants(seed in 0u64..50, dups in 10usize..30) {
+        let cfg = ProductConfig {
+            name: "prop".into(),
+            r_size: 40,
+            s_size: 120,
+            n_dup_entities: dups,
+            m2m_frac: 0.1,
+            test_size: 20,
+            r_noise: NoiseProfile::MILD,
+            s_noise: NoiseProfile::MODERATE,
+            price_jitter: 0.05,
+            family_size: 3,
+            sibling_fill_frac: 0.4,
+            textual: false,
+            seed,
+        };
+        let d = generate_product(&cfg);
+        prop_assert_eq!(d.r.len(), 40);
+        prop_assert_eq!(d.s.len(), 120);
+        prop_assert!(d.dups().len() >= dups);
+        for &(r, s) in d.dups() {
+            prop_assert!((r as usize) < d.r.len());
+            prop_assert!((s as usize) < d.s.len());
+        }
+        for p in d.test.iter().chain(&d.train_pool) {
+            prop_assert_eq!(p.label, d.is_dup(p.r, p.s));
+        }
+        let test_keys = d.test_keys();
+        prop_assert!(d.train_pool.iter().all(|p| !test_keys.contains(&p.key())));
+    }
+}

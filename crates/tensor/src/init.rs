@@ -1,0 +1,59 @@
+//! Seeded weight initializers.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Normal initialization with the given standard deviation (Box-Muller).
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut StdRng) -> Matrix {
+    let data = (0..rows * cols).map(|_| std * sample_standard_normal(rng)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// One draw from N(0, 1).
+pub fn sample_standard_normal(rng: &mut StdRng) -> f32 {
+    // Box-Muller transform; clamp u away from 0 to keep ln finite.
+    let u: f32 = rng.gen_range(1e-12f32..1.0);
+    let v: f32 = rng.gen_range(0.0f32..1.0);
+    (-2.0 * u.ln()).sqrt() * (2.0 * std::f32::consts::PI * v).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = xavier_uniform(32, 64, &mut rng);
+        let a = (6.0 / 96.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v > -a && v < a));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = normal(100, 100, 2.0, &mut rng);
+        let n = m.len() as f32;
+        let mean = m.sum() / n;
+        let var = m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+        assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {} too far from 2", var.sqrt());
+    }
+
+    #[test]
+    fn initializers_are_deterministic_per_seed() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(42));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

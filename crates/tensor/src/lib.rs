@@ -1,0 +1,53 @@
+//! # dial-tensor
+//!
+//! A minimal, dependency-light reverse-mode automatic-differentiation engine
+//! powering the DIAL reproduction. It provides:
+//!
+//! * [`Matrix`] — dense row-major `f32` matrices with cache-friendly
+//!   `matmul` / `matmul_t` / `t_matmul` kernels;
+//! * [`ParamStore`] / [`ParamId`] — named trainable parameters with gradient
+//!   buffers, freezing, snapshot/restore (used to reset the matcher to its
+//!   pre-trained weights each active-learning round);
+//! * [`Graph`] / [`Var`] — a define-by-run tape with the ops needed by a
+//!   small transformer (matmul, softmax, layer-norm, GELU, gather, dropout)
+//!   and by DIAL's losses (row/cross squared distances, log-sum-exp, BCE,
+//!   softmax cross-entropy);
+//! * [`optim`] — AdamW with per-prefix learning-rate groups and the paper's
+//!   linear no-warm-up schedule, plus plain SGD.
+//!
+//! The engine is strictly 2-D: sequences are `[seq_len, d]` matrices and
+//! batch parallelism is expressed *across* graphs (one graph per example,
+//! gradients reduced into sharded [`ParamStore`]s), which is both simpler
+//! and faster at DIAL's model sizes than padded batched tensors.
+//!
+//! ```
+//! use dial_tensor::{Graph, Matrix, ParamStore, optim::Sgd};
+//!
+//! // Fit y = 2x with one weight.
+//! let mut store = ParamStore::new();
+//! let w = store.add("w", Matrix::scalar(0.0));
+//! let opt = Sgd::new(0.05);
+//! for _ in 0..200 {
+//!     let mut g = Graph::new();
+//!     let x = g.input(Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]));
+//!     let wv = g.param(&store, w);
+//!     let pred = g.matmul(x, wv);
+//!     let target = g.input(Matrix::from_vec(4, 1, vec![2.0, 4.0, 6.0, 8.0]));
+//!     let err = g.sub(pred, target);
+//!     let sq = g.mul(err, err);
+//!     let loss = g.mean(sq);
+//!     g.backward(loss, &mut store);
+//!     opt.step(&mut store);
+//! }
+//! assert!((store.value(w).item() - 2.0).abs() < 1e-3);
+//! ```
+
+pub mod graph;
+pub mod init;
+pub mod matrix;
+pub mod optim;
+pub mod params;
+
+pub use graph::{logsumexp, sigmoid, softmax_in_place, Graph, Var};
+pub use matrix::{dot, sq_dist, Matrix};
+pub use params::{ParamId, ParamStore, Snapshot};

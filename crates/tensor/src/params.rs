@@ -1,0 +1,236 @@
+//! Parameter store: named, trainable matrices plus their gradient buffers.
+//!
+//! A [`ParamStore`] owns every trainable matrix of a model. Forward passes
+//! build a fresh [`crate::graph::Graph`] per batch that *reads* parameter
+//! values; `Graph::backward` *accumulates* into the store's gradient
+//! buffers. Optimizers then walk the store.
+//!
+//! The store also supports cheap snapshot/restore, which DIAL uses to reset
+//! the matcher to its "pre-trained" weights at the start of every active
+//! learning round (paper §4.2: no warm start between rounds).
+
+use crate::matrix::Matrix;
+
+/// Handle to one parameter matrix inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Raw index into the store (stable for the store's lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A collection of named trainable matrices and their gradients.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Matrix>,
+    grads: Vec<Matrix>,
+    /// Parameters marked frozen are skipped by optimizers and receive no
+    /// gradient accumulation (saves the scatter work for frozen trunks).
+    frozen: Vec<bool>,
+}
+
+/// A point-in-time copy of every parameter value in a store.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    values: Vec<Matrix>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new trainable matrix and return its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let id = ParamId(self.values.len());
+        self.grads.push(Matrix::zeros(value.rows(), value.cols()));
+        self.values.push(value);
+        self.names.push(name.into());
+        self.frozen.push(false);
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar parameters (frozen included).
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(|m| m.len()).sum()
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id.0]
+    }
+
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.grads[id.0]
+    }
+
+    /// Mark a parameter (not) frozen. Frozen parameters are skipped by
+    /// gradient accumulation and by optimizers.
+    pub fn set_frozen(&mut self, id: ParamId, frozen: bool) {
+        self.frozen[id.0] = frozen;
+    }
+
+    pub fn is_frozen(&self, id: ParamId) -> bool {
+        self.frozen[id.0]
+    }
+
+    /// Freeze or unfreeze every parameter whose name starts with `prefix`.
+    pub fn set_frozen_by_prefix(&mut self, prefix: &str, frozen: bool) {
+        for i in 0..self.names.len() {
+            if self.names[i].starts_with(prefix) {
+                self.frozen[i] = frozen;
+            }
+        }
+    }
+
+    /// Iterate over all parameter handles.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Zero every gradient buffer (keeps allocations).
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    /// Sum of squared gradient norms over unfrozen parameters.
+    pub fn grad_sq_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .zip(&self.frozen)
+            .filter(|(_, f)| !**f)
+            .map(|(g, _)| g.sq_norm())
+            .sum()
+    }
+
+    /// Globally rescale unfrozen gradients so their joint L2 norm is at most
+    /// `max_norm`. Returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_sq_norm().sqrt();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for (g, f) in self.grads.iter_mut().zip(&self.frozen) {
+                if !*f {
+                    g.scale(scale);
+                }
+            }
+        }
+        norm
+    }
+
+    /// Add another store's gradients into this one. Both stores must have
+    /// the same layout (same parameters registered in the same order); this
+    /// is how per-thread gradient shards are reduced after a rayon map.
+    pub fn accumulate_grads_from(&mut self, other: &ParamStore) {
+        assert_eq!(self.values.len(), other.values.len(), "param layout mismatch");
+        for (mine, theirs) in self.grads.iter_mut().zip(&other.grads) {
+            mine.add_assign(theirs);
+        }
+    }
+
+    /// Copy of all current parameter values.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { values: self.values.clone() }
+    }
+
+    /// Restore values from a snapshot taken on a store with the same layout.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        assert_eq!(self.values.len(), snap.values.len(), "snapshot layout mismatch");
+        self.values.clone_from(&snap.values);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_two() -> (ParamStore, ParamId, ParamId) {
+        let mut s = ParamStore::new();
+        let a = s.add("layer.w", Matrix::full(2, 2, 1.0));
+        let b = s.add("layer.b", Matrix::full(1, 2, 0.5));
+        (s, a, b)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let (s, a, b) = store_with_two();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_scalars(), 6);
+        assert_eq!(s.name(a), "layer.w");
+        assert_eq!(s.value(b).as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let (mut s, a, _) = store_with_two();
+        let snap = s.snapshot();
+        s.value_mut(a).as_mut_slice()[0] = 99.0;
+        assert_eq!(s.value(a).get(0, 0), 99.0);
+        s.restore(&snap);
+        assert_eq!(s.value(a).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let (mut s, a, b) = store_with_two();
+        s.grad_mut(a).as_mut_slice().copy_from_slice(&[3.0, 0.0, 0.0, 0.0]);
+        s.grad_mut(b).as_mut_slice().copy_from_slice(&[4.0, 0.0]);
+        let pre = s.clip_grad_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post = s.grad_sq_norm().sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn frozen_params_excluded_from_norm() {
+        let (mut s, a, b) = store_with_two();
+        s.grad_mut(a).as_mut_slice().copy_from_slice(&[3.0, 0.0, 0.0, 0.0]);
+        s.grad_mut(b).as_mut_slice().copy_from_slice(&[4.0, 0.0]);
+        s.set_frozen(a, true);
+        assert!((s.grad_sq_norm().sqrt() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn freeze_by_prefix() {
+        let (mut s, a, b) = store_with_two();
+        s.set_frozen_by_prefix("layer.", true);
+        assert!(s.is_frozen(a) && s.is_frozen(b));
+        s.set_frozen_by_prefix("layer.w", false);
+        assert!(!s.is_frozen(a) && s.is_frozen(b));
+    }
+
+    #[test]
+    fn accumulate_grads_sums() {
+        let (mut s1, a, _) = store_with_two();
+        let (mut s2, _, _) = store_with_two();
+        s1.grad_mut(a).as_mut_slice()[0] = 1.0;
+        s2.grad_mut(a).as_mut_slice()[0] = 2.0;
+        s1.accumulate_grads_from(&s2);
+        assert_eq!(s1.grad(a).get(0, 0), 3.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the autograd engine.
+
+use dial_tensor::{logsumexp, softmax_in_place, Graph, Matrix, ParamStore};
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #[test]
+    fn softmax_rows_sum_to_one(vals in small_vec(12)) {
+        let mut row = vals.clone();
+        softmax_in_place(&mut row);
+        let sum: f32 = row.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn logsumexp_bounds(vals in small_vec(8)) {
+        let max = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = logsumexp(&vals);
+        prop_assert!(lse >= max - 1e-5);
+        prop_assert!(lse <= max + (vals.len() as f32).ln() + 1e-4);
+    }
+
+    #[test]
+    fn transpose_is_involution(vals in small_vec(24)) {
+        let m = Matrix::from_vec(4, 6, vals);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_t_variants_agree(a in small_vec(12), b in small_vec(12)) {
+        let ma = Matrix::from_vec(3, 4, a);
+        let mb = Matrix::from_vec(3, 4, b);
+        let fast = ma.matmul_t(&mb);
+        let slow = ma.matmul(&mb.transpose());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in small_vec(6), b in small_vec(6), c in small_vec(6)) {
+        let ma = Matrix::from_vec(2, 3, a);
+        let mb = Matrix::from_vec(3, 2, b);
+        let mc = Matrix::from_vec(3, 2, c);
+        let mut sum = mb.clone();
+        sum.add_assign(&mc);
+        let left = ma.matmul(&sum);
+        let mut right = ma.matmul(&mb);
+        right.add_assign(&ma.matmul(&mc));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn graph_sum_gradient_is_all_ones(vals in small_vec(9)) {
+        let mut store = ParamStore::new();
+        let p = store.add("p", Matrix::from_vec(3, 3, vals));
+        let mut g = Graph::new();
+        let v = g.param(&store, p);
+        let loss = g.sum(v);
+        g.backward(loss, &mut store);
+        prop_assert!(store.grad(p).as_slice().iter().all(|&x| (x - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn chain_rule_linearity(vals in small_vec(4), alpha in -3.0f32..3.0) {
+        let mut store = ParamStore::new();
+        let p = store.add("p", Matrix::from_vec(2, 2, vals));
+        let mut g = Graph::new();
+        let v = g.param(&store, p);
+        let s = g.sum(v);
+        let scaled = g.scale(s, alpha);
+        g.backward(scaled, &mut store);
+        prop_assert!(store
+            .grad(p)
+            .as_slice()
+            .iter()
+            .all(|&x| (x - alpha).abs() < 1e-5));
+    }
+
+    #[test]
+    fn row_sq_dists_nonnegative_and_symmetric(a in small_vec(8), b in small_vec(8)) {
+        let ma = Matrix::from_vec(2, 4, a);
+        let mb = Matrix::from_vec(2, 4, b);
+        let mut g = Graph::new();
+        let va = g.input(ma.clone());
+        let vb = g.input(mb.clone());
+        let d1 = g.row_sq_dists(va, vb);
+        let d2 = g.row_sq_dists(vb, va);
+        for (x, y) in g.value(d1).as_slice().iter().zip(g.value(d2).as_slice()) {
+            prop_assert!(*x >= 0.0);
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

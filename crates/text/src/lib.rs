@@ -1,0 +1,19 @@
+//! # dial-text
+//!
+//! Text preprocessing shared by every layer of the DIAL reproduction:
+//!
+//! * [`token`] — lowercasing word/number/punctuation tokenizer and
+//!   character q-grams;
+//! * [`vocab`] — a fitting-free hashed vocabulary with reserved
+//!   `[PAD] [CLS] [SEP] [MASK] [UNK]` ids;
+//! * [`record`] — entity [`Record`]s under a shared [`Schema`], entity
+//!   [`RecordList`]s, and serialization to the TPLM's single-mode
+//!   (`[CLS] x [SEP]`) and paired-mode (`[CLS] r [SEP] s [SEP]`) inputs.
+
+pub mod record;
+pub mod token;
+pub mod vocab;
+
+pub use record::{paired_mode_boundary, paired_mode_ids, Record, RecordList, Schema};
+pub use token::{qgrams, tokenize, word_tokens};
+pub use vocab::{fnv1a, TokenId, Vocab};

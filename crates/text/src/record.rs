@@ -1,0 +1,290 @@
+//! Entity records and their serialization to token streams.
+//!
+//! A [`Record`] is one row of an entity list: an ordered set of textual
+//! attribute values under a shared [`Schema`]. Records serialize to token
+//! sequences for the TPLM (attribute values concatenated in schema order,
+//! mirroring the DeepMatcher convention the paper follows) and expose raw
+//! values for the rule-based blockers and classic string-similarity
+//! features.
+
+use crate::token::{tokenize, word_tokens};
+use crate::vocab::{TokenId, Vocab};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Ordered attribute names shared by every record in a list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: Vec<String>,
+}
+
+impl Schema {
+    pub fn new<S: Into<String>>(attrs: Vec<S>) -> Arc<Self> {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        assert!(!attrs.is_empty(), "schema needs at least one attribute");
+        Arc::new(Schema { attrs })
+    }
+
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    pub fn attr_names(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Index of an attribute name, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == name)
+    }
+}
+
+/// One entity record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Position of this record within its list; list membership (R or S) is
+    /// tracked by the caller.
+    pub id: u32,
+    #[serde(skip)]
+    schema: Option<Arc<Schema>>,
+    values: Vec<String>,
+}
+
+impl Record {
+    pub fn new(id: u32, schema: Arc<Schema>, values: Vec<String>) -> Self {
+        assert_eq!(values.len(), schema.len(), "record arity must match schema");
+        Record { id, schema: Some(schema), values }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        self.schema.as_ref().expect("record detached from schema")
+    }
+
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Value of attribute `i`.
+    pub fn value(&self, i: usize) -> &str {
+        &self.values[i]
+    }
+
+    /// Value looked up by attribute name.
+    pub fn value_by_name(&self, name: &str) -> Option<&str> {
+        self.schema().index_of(name).map(|i| self.values[i].as_str())
+    }
+
+    /// Full text: attribute values joined in schema order.
+    pub fn text(&self) -> String {
+        self.values.join(" ")
+    }
+
+    /// Word/number/punct tokens of the full text.
+    pub fn tokens(&self) -> Vec<String> {
+        tokenize(&self.text())
+    }
+
+    /// Alphanumeric tokens only (for blocking keys and Jaccard features).
+    pub fn word_tokens(&self) -> Vec<String> {
+        word_tokens(&self.text())
+    }
+
+    /// Single-mode TPLM input: `[CLS] x1 .. xn [SEP]`, truncated so the
+    /// total length never exceeds `max_len`.
+    pub fn single_mode_ids(&self, vocab: &Vocab, max_len: usize) -> Vec<TokenId> {
+        assert!(max_len >= 3, "max_len must fit CLS + 1 token + SEP");
+        let body = vocab.ids(&self.tokens());
+        let take = body.len().min(max_len - 2);
+        let mut out = Vec::with_capacity(take + 2);
+        out.push(Vocab::CLS);
+        out.extend_from_slice(&body[..take]);
+        out.push(Vocab::SEP);
+        out
+    }
+}
+
+/// Paired-mode TPLM input: `[CLS] r1..rn [SEP] s1..sm [SEP]`, with both
+/// sides truncated evenly so the total never exceeds `max_len`.
+pub fn paired_mode_ids(r: &Record, s: &Record, vocab: &Vocab, max_len: usize) -> Vec<TokenId> {
+    assert!(max_len >= 5, "max_len must fit CLS + 1 + SEP + 1 + SEP");
+    let rb = vocab.ids(&r.tokens());
+    let sb = vocab.ids(&s.tokens());
+    let budget = max_len - 3;
+    let (rl, sl) = split_budget(rb.len(), sb.len(), budget);
+    let mut out = Vec::with_capacity(rl + sl + 3);
+    out.push(Vocab::CLS);
+    out.extend_from_slice(&rb[..rl]);
+    out.push(Vocab::SEP);
+    out.extend_from_slice(&sb[..sl]);
+    out.push(Vocab::SEP);
+    out
+}
+
+/// Boundary (index of the first token of the second segment minus one, i.e.
+/// position of the middle `[SEP]`) for a paired sequence produced by
+/// [`paired_mode_ids`] with identical arguments.
+pub fn paired_mode_boundary(r: &Record, s: &Record, vocab: &Vocab, max_len: usize) -> usize {
+    let rb = vocab.ids(&r.tokens()).len();
+    let sb = vocab.ids(&s.tokens()).len();
+    let (rl, _) = split_budget(rb, sb, max_len - 3);
+    rl + 1
+}
+
+/// Split `budget` tokens between two sides of lengths `a` and `b`,
+/// preferring an even split and giving slack from a short side to the
+/// longer one.
+fn split_budget(a: usize, b: usize, budget: usize) -> (usize, usize) {
+    if a + b <= budget {
+        return (a, b);
+    }
+    let half = budget / 2;
+    if a <= half {
+        (a, budget - a)
+    } else if b <= budget - half {
+        (budget - b, b)
+    } else {
+        (half, budget - half)
+    }
+}
+
+/// An entity list (the paper's `R` or `S`).
+#[derive(Debug, Clone)]
+pub struct RecordList {
+    schema: Arc<Schema>,
+    records: Vec<Record>,
+}
+
+impl RecordList {
+    pub fn new(schema: Arc<Schema>) -> Self {
+        RecordList { schema, records: Vec::new() }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Append a record built from attribute values; returns its id.
+    pub fn push(&mut self, values: Vec<String>) -> u32 {
+        let id = self.records.len() as u32;
+        self.records.push(Record::new(id, Arc::clone(&self.schema), values));
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn get(&self, id: u32) -> &Record {
+        &self.records[id as usize]
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Record> {
+        self.records.iter()
+    }
+
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn product_schema() -> Arc<Schema> {
+        Schema::new(vec!["title", "brand", "price"])
+    }
+
+    fn rec(id: u32, title: &str, brand: &str, price: &str) -> Record {
+        Record::new(id, product_schema(), vec![title.into(), brand.into(), price.into()])
+    }
+
+    #[test]
+    fn text_joins_values_in_order() {
+        let r = rec(0, "WL-520GU Router", "Asus", "49.99");
+        assert_eq!(r.text(), "WL-520GU Router Asus 49.99");
+    }
+
+    #[test]
+    fn value_by_name() {
+        let r = rec(0, "X", "Asus", "1");
+        assert_eq!(r.value_by_name("brand"), Some("Asus"));
+        assert_eq!(r.value_by_name("missing"), None);
+    }
+
+    #[test]
+    fn single_mode_has_cls_and_sep() {
+        let v = Vocab::new(256);
+        let r = rec(0, "a b c", "d", "e");
+        let ids = r.single_mode_ids(&v, 64);
+        assert_eq!(ids[0], Vocab::CLS);
+        assert_eq!(*ids.last().unwrap(), Vocab::SEP);
+        assert_eq!(ids.len(), 5 + 2);
+    }
+
+    #[test]
+    fn single_mode_truncates() {
+        let v = Vocab::new(256);
+        let long: String = (0..100).map(|i| format!("w{i} ")).collect();
+        let r = Record::new(0, Schema::new(vec!["t"]), vec![long]);
+        let ids = r.single_mode_ids(&v, 16);
+        assert_eq!(ids.len(), 16);
+        assert_eq!(ids[0], Vocab::CLS);
+        assert_eq!(*ids.last().unwrap(), Vocab::SEP);
+    }
+
+    #[test]
+    fn paired_mode_structure() {
+        let v = Vocab::new(256);
+        let r = rec(0, "a b", "x", "1");
+        let s = rec(1, "c d", "y", "2");
+        let ids = paired_mode_ids(&r, &s, &v, 64);
+        assert_eq!(ids[0], Vocab::CLS);
+        let seps: Vec<usize> =
+            ids.iter().enumerate().filter(|(_, &t)| t == Vocab::SEP).map(|(i, _)| i).collect();
+        assert_eq!(seps.len(), 2);
+        assert_eq!(*seps.last().unwrap(), ids.len() - 1);
+        assert_eq!(seps[0], paired_mode_boundary(&r, &s, &v, 64));
+    }
+
+    #[test]
+    fn paired_mode_budget_split_prefers_even() {
+        assert_eq!(split_budget(100, 100, 60), (30, 30));
+        assert_eq!(split_budget(10, 100, 60), (10, 50));
+        assert_eq!(split_budget(100, 10, 60), (50, 10));
+        assert_eq!(split_budget(20, 30, 60), (20, 30));
+    }
+
+    #[test]
+    fn paired_mode_never_exceeds_max_len() {
+        let v = Vocab::new(256);
+        let long: String = (0..200).map(|i| format!("w{i} ")).collect();
+        let r = Record::new(0, Schema::new(vec!["t"]), vec![long.clone()]);
+        let s = Record::new(1, Schema::new(vec!["t"]), vec![long]);
+        let ids = paired_mode_ids(&r, &s, &v, 32);
+        assert_eq!(ids.len(), 32);
+    }
+
+    #[test]
+    fn record_list_assigns_sequential_ids() {
+        let mut list = RecordList::new(product_schema());
+        let a = list.push(vec!["a".into(), "b".into(), "c".into()]);
+        let b = list.push(vec!["d".into(), "e".into(), "f".into()]);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(list.get(1).value(0), "d");
+    }
+
+    #[test]
+    #[should_panic(expected = "record arity must match schema")]
+    fn arity_mismatch_panics() {
+        let _ = Record::new(0, product_schema(), vec!["only one".into()]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Word-level tokenizer.
+//!
+//! Records in ER benchmarks are short, noisy strings (product titles,
+//! citation fields). The tokenizer lowercases, splits on whitespace and
+//! punctuation boundaries, and keeps digit runs together so that model
+//! numbers ("wl-520gu") fragment deterministically.
+
+/// Split `text` into lowercase word / number / punctuation tokens.
+///
+/// Rules:
+/// * alphabetic runs become one token, lowercased;
+/// * digit runs become one token;
+/// * every other non-whitespace character is a single-char token;
+/// * whitespace separates and is discarded.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut cur_kind = CharKind::None;
+    for ch in text.chars() {
+        let kind = classify(ch);
+        match kind {
+            CharKind::Space => {
+                flush(&mut out, &mut cur);
+                cur_kind = CharKind::None;
+            }
+            CharKind::Alpha | CharKind::Digit => {
+                if kind != cur_kind {
+                    flush(&mut out, &mut cur);
+                }
+                for lc in ch.to_lowercase() {
+                    cur.push(lc);
+                }
+                cur_kind = kind;
+            }
+            CharKind::Punct => {
+                flush(&mut out, &mut cur);
+                out.push(ch.to_string());
+                cur_kind = CharKind::None;
+            }
+            CharKind::None => unreachable!("classify never returns None"),
+        }
+    }
+    flush(&mut out, &mut cur);
+    out
+}
+
+/// Tokenize and keep only alphanumeric tokens (drops punctuation).
+/// Blocking-rule predicates operate on these.
+pub fn word_tokens(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| t.chars().next().map(|c| c.is_alphanumeric()).unwrap_or(false))
+        .collect()
+}
+
+/// Character q-grams of a string (padded with `#`), used by similarity
+/// joins and blocking keys.
+pub fn qgrams(text: &str, q: usize) -> Vec<String> {
+    assert!(q > 0, "q must be positive");
+    let padded: Vec<char> = std::iter::repeat('#')
+        .take(q - 1)
+        .chain(text.to_lowercase().chars())
+        .chain(std::iter::repeat('#').take(q - 1))
+        .collect();
+    if padded.len() < q {
+        return vec![padded.into_iter().collect()];
+    }
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CharKind {
+    None,
+    Space,
+    Alpha,
+    Digit,
+    Punct,
+}
+
+fn classify(ch: char) -> CharKind {
+    if ch.is_whitespace() {
+        CharKind::Space
+    } else if ch.is_alphabetic() {
+        CharKind::Alpha
+    } else if ch.is_ascii_digit() {
+        CharKind::Digit
+    } else {
+        CharKind::Punct
+    }
+}
+
+fn flush(out: &mut Vec<String>, cur: &mut String) {
+    if !cur.is_empty() {
+        out.push(std::mem::take(cur));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_words_and_numbers() {
+        assert_eq!(tokenize("Asus WL-520GU Router"), vec!["asus", "wl", "-", "520", "gu", "router"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("HeLLo WORLD"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn handles_unicode_words() {
+        assert_eq!(tokenize("Über Straße"), vec!["über", "straße"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn word_tokens_drop_punct() {
+        assert_eq!(word_tokens("a, b. c!"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn qgrams_pad_and_slide() {
+        assert_eq!(qgrams("ab", 2), vec!["#a", "ab", "b#"]);
+        assert_eq!(qgrams("a", 3), vec!["##a", "#a#", "a##"]);
+    }
+
+    #[test]
+    fn qgram_count_formula() {
+        // len(padded) = n + 2(q-1); windows = n + q - 1.
+        let g = qgrams("hello", 3);
+        assert_eq!(g.len(), 5 + 3 - 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Hashed vocabulary with reserved special tokens.
+//!
+//! A real TPLM ships a learned subword vocabulary. Here tokens are mapped to
+//! a fixed number of hash buckets with a stable FNV-1a hash, so the
+//! vocabulary needs no fitting pass, is identical across runs and machines,
+//! and gracefully absorbs unseen tokens (they collide into existing
+//! buckets the way rare subwords share pieces). The first
+//! [`Vocab::NUM_SPECIAL`] ids are reserved for `[PAD] [CLS] [SEP] [MASK]
+//! [UNK]` in that order.
+
+/// Token-id type used throughout the workspace.
+pub type TokenId = u32;
+
+/// Hashing vocabulary: token string -> stable bucket id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vocab {
+    buckets: u32,
+}
+
+impl Vocab {
+    /// `[PAD]` id.
+    pub const PAD: TokenId = 0;
+    /// `[CLS]` id — prepended to every sequence; its contextual embedding is
+    /// the paired-mode representation.
+    pub const CLS: TokenId = 1;
+    /// `[SEP]` id — terminates each record in both modes.
+    pub const SEP: TokenId = 2;
+    /// `[MASK]` id — used by the pre-training substitute.
+    pub const MASK: TokenId = 3;
+    /// `[UNK]` id — emitted for empty tokens.
+    pub const UNK: TokenId = 4;
+    /// Number of reserved ids at the bottom of the id space.
+    pub const NUM_SPECIAL: u32 = 5;
+
+    /// Create a vocabulary with `buckets` non-special buckets.
+    pub fn new(buckets: u32) -> Self {
+        assert!(buckets > 0, "vocabulary needs at least one bucket");
+        Vocab { buckets }
+    }
+
+    /// Total id space size (specials + buckets); embedding tables must have
+    /// this many rows.
+    pub fn size(&self) -> u32 {
+        Self::NUM_SPECIAL + self.buckets
+    }
+
+    /// Map one token to its id.
+    pub fn id(&self, token: &str) -> TokenId {
+        if token.is_empty() {
+            return Self::UNK;
+        }
+        Self::NUM_SPECIAL + (fnv1a(token.as_bytes()) % self.buckets as u64) as u32
+    }
+
+    /// Map a token slice to ids.
+    pub fn ids(&self, tokens: &[String]) -> Vec<TokenId> {
+        tokens.iter().map(|t| self.id(t)).collect()
+    }
+
+    /// True for one of the reserved special ids.
+    pub fn is_special(id: TokenId) -> bool {
+        id < Self::NUM_SPECIAL
+    }
+}
+
+/// 64-bit FNV-1a: tiny, stable across platforms, good avalanche for short
+/// word tokens.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_above_specials() {
+        let v = Vocab::new(1000);
+        let a = v.id("router");
+        assert_eq!(a, v.id("router"));
+        assert!(a >= Vocab::NUM_SPECIAL);
+        assert!(a < v.size());
+    }
+
+    #[test]
+    fn different_tokens_usually_differ() {
+        let v = Vocab::new(1 << 14);
+        let words = ["alpha", "beta", "gamma", "delta", "router", "laptop", "520"];
+        let ids: std::collections::HashSet<_> = words.iter().map(|w| v.id(w)).collect();
+        assert_eq!(ids.len(), words.len(), "unexpected collisions in tiny sample");
+    }
+
+    #[test]
+    fn empty_token_is_unk() {
+        let v = Vocab::new(8);
+        assert_eq!(v.id(""), Vocab::UNK);
+    }
+
+    #[test]
+    fn special_ids_are_special() {
+        assert!(Vocab::is_special(Vocab::PAD));
+        assert!(Vocab::is_special(Vocab::UNK));
+        assert!(!Vocab::is_special(Vocab::NUM_SPECIAL));
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

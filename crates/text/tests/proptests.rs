@@ -1,0 +1,48 @@
+//! Property-based tests for tokenization and vocabulary hashing.
+
+use dial_text::{qgrams, tokenize, word_tokens, Vocab};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn tokenize_is_idempotent_on_its_own_output(s in "[a-zA-Z0-9 .,-]{0,60}") {
+        let once = tokenize(&s);
+        let rejoined = once.join(" ");
+        let twice = tokenize(&rejoined);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn tokens_contain_no_whitespace_and_are_lowercased(s in ".{0,60}") {
+        for t in tokenize(&s) {
+            prop_assert!(!t.chars().any(char::is_whitespace));
+            // Lowercasing is idempotent on tokens. (Some code points, such
+            // as mathematical bold capitals, are "uppercase" without a
+            // lowercase mapping — proptest found that one.)
+            prop_assert_eq!(t.to_lowercase(), t.clone());
+            prop_assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn word_tokens_are_subset_of_tokens(s in ".{0,60}") {
+        let all = tokenize(&s);
+        for w in word_tokens(&s) {
+            prop_assert!(all.contains(&w));
+        }
+    }
+
+    #[test]
+    fn qgram_count_formula(s in "[a-z]{1,30}", q in 1usize..5) {
+        prop_assert_eq!(qgrams(&s, q).len(), s.len() + q - 1);
+    }
+
+    #[test]
+    fn vocab_ids_in_range_and_stable(token in "[a-z0-9]{1,16}", buckets in 1u32..10_000) {
+        let v = Vocab::new(buckets);
+        let id = v.id(&token);
+        prop_assert!(id >= Vocab::NUM_SPECIAL);
+        prop_assert!(id < v.size());
+        prop_assert_eq!(id, v.id(&token));
+    }
+}

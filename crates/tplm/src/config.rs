@@ -1,0 +1,94 @@
+//! Transformer configuration.
+
+/// Hyper-parameters of the mini TPLM.
+///
+/// The paper uses 6 layers of a 12-layer RoBERTa base (d=768, 12 heads,
+/// 512 tokens). This reproduction defaults to a CPU-friendly configuration
+/// that preserves the architecture shape (multi-head self-attention, GELU
+/// feed-forward, post-layer-norm, learned positions) at a fraction of the
+/// width; see DESIGN.md §2 for why the substitution preserves the paper's
+/// phenomena.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TplmConfig {
+    /// Embedding-table rows; must cover the hashed vocabulary size.
+    pub vocab_size: usize,
+    /// Model width `d`.
+    pub d_model: usize,
+    /// Encoder layers.
+    pub n_layers: usize,
+    /// Attention heads; must divide `d_model`.
+    pub n_heads: usize,
+    /// Feed-forward inner width.
+    pub d_ff: usize,
+    /// Maximum sequence length (position-table rows).
+    pub max_len: usize,
+    /// Dropout probability applied inside attention output and FFN during
+    /// training.
+    pub dropout: f32,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for TplmConfig {
+    fn default() -> Self {
+        TplmConfig {
+            vocab_size: 8192 + 5,
+            d_model: 64,
+            n_layers: 2,
+            n_heads: 4,
+            d_ff: 128,
+            max_len: 64,
+            dropout: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+impl TplmConfig {
+    /// A deliberately tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        TplmConfig {
+            vocab_size: 64 + 5,
+            d_model: 16,
+            n_layers: 1,
+            n_heads: 2,
+            d_ff: 32,
+            max_len: 24,
+            dropout: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Head width.
+    pub fn d_head(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// Panic with a clear message if the configuration is inconsistent.
+    pub fn validate(&self) {
+        assert!(self.d_model % self.n_heads == 0, "n_heads must divide d_model");
+        assert!(self.vocab_size > 5, "vocab must cover the special tokens");
+        assert!(self.max_len >= 5, "max_len too small for paired mode");
+        assert!((0.0..1.0).contains(&self.dropout), "dropout must be in [0, 1)");
+        assert!(self.n_layers > 0 && self.d_ff > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        TplmConfig::default().validate();
+        assert_eq!(TplmConfig::default().d_head(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_heads must divide d_model")]
+    fn bad_heads_panics() {
+        let mut c = TplmConfig::tiny();
+        c.n_heads = 3;
+        c.validate();
+    }
+}

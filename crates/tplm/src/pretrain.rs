@@ -1,0 +1,255 @@
+//! Pre-training substitute.
+//!
+//! The real DIAL starts from RoBERTa weights pre-trained on 160 GB of text.
+//! What the algorithm actually relies on (see DESIGN.md §2) is that the
+//! token-embedding table encodes distributional semantics: tokens appearing
+//! in similar contexts — synonyms, translations, abbreviations — sit close,
+//! so that mean-pooled single-mode record embeddings of duplicates are
+//! already correlated *before* any fine-tuning. That is all the
+//! `PairedFixed` baseline has to work with.
+//!
+//! We reproduce that property with skip-gram negative sampling (SGNS) run
+//! directly over the unlabeled records of `R ∪ S`, updating the model's
+//! token-embedding table in place. For the multilingual experiment,
+//! [`inject_alignment`] additionally simulates multilingual BERT's imperfect
+//! cross-lingual alignment by tying translated tokens' embeddings up to
+//! controlled noise.
+
+use dial_tensor::{init, sigmoid, ParamId, ParamStore};
+use dial_text::{TokenId, Vocab};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SGNS hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PretrainConfig {
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive.
+    pub negatives: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        PretrainConfig { window: 3, negatives: 4, lr: 0.05, epochs: 2, seed: 0 }
+    }
+}
+
+/// Run SGNS over `corpus` (token-id sequences, typically
+/// `Record::single_mode_ids` outputs) and update the embedding table
+/// `table` inside `store` in place. Special tokens are skipped as centers
+/// and contexts. Returns the mean logistic loss of the final epoch.
+pub fn pretrain_sgns(
+    store: &mut ParamStore,
+    table: ParamId,
+    vocab_size: usize,
+    corpus: &[Vec<TokenId>],
+    cfg: PretrainConfig,
+) -> f32 {
+    assert!(vocab_size > Vocab::NUM_SPECIAL as usize, "vocab too small");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let dim = store.value(table).cols();
+    let mut last_epoch_loss = 0.0;
+
+    for _epoch in 0..cfg.epochs {
+        let mut loss_sum = 0.0f64;
+        let mut loss_n = 0usize;
+        for seq in corpus {
+            for (i, &center) in seq.iter().enumerate() {
+                if Vocab::is_special(center) {
+                    continue;
+                }
+                let lo = i.saturating_sub(cfg.window);
+                let hi = (i + cfg.window + 1).min(seq.len());
+                for (j, &context) in seq.iter().enumerate().take(hi).skip(lo) {
+                    if j == i || Vocab::is_special(context) || context == center {
+                        continue;
+                    }
+                    loss_sum += sgns_update(store, table, dim, center, context, 1.0, cfg.lr) as f64;
+                    loss_n += 1;
+                    for _ in 0..cfg.negatives {
+                        let neg = rng
+                            .gen_range(Vocab::NUM_SPECIAL..vocab_size as u32);
+                        if neg == center || neg == context {
+                            continue;
+                        }
+                        loss_sum +=
+                            sgns_update(store, table, dim, center, neg, 0.0, cfg.lr) as f64;
+                        loss_n += 1;
+                    }
+                }
+            }
+        }
+        last_epoch_loss = if loss_n == 0 { 0.0 } else { (loss_sum / loss_n as f64) as f32 };
+    }
+    last_epoch_loss
+}
+
+/// One symmetric SGNS step on rows `a` and `b` with label `y ∈ {0, 1}`.
+/// Returns the logistic loss before the update.
+fn sgns_update(
+    store: &mut ParamStore,
+    table: ParamId,
+    dim: usize,
+    a: TokenId,
+    b: TokenId,
+    y: f32,
+    lr: f32,
+) -> f32 {
+    let t = store.value_mut(table);
+    let (ai, bi) = (a as usize * dim, b as usize * dim);
+    let buf = t.as_mut_slice();
+    let mut dot = 0.0f32;
+    for k in 0..dim {
+        dot += buf[ai + k] * buf[bi + k];
+    }
+    // Temper the logit so frequent pairs do not saturate instantly.
+    let z = dot.clamp(-10.0, 10.0);
+    let p = sigmoid(z);
+    let g = lr * (p - y);
+    for k in 0..dim {
+        let (va, vb) = (buf[ai + k], buf[bi + k]);
+        buf[ai + k] = va - g * vb;
+        buf[bi + k] = vb - g * va;
+    }
+    if y > 0.5 {
+        -(p.max(1e-7)).ln()
+    } else {
+        -((1.0 - p).max(1e-7)).ln()
+    }
+}
+
+/// Simulated multilingual alignment: for each `(src, dst)` token-id pair,
+/// set `dst`'s embedding to `src`'s plus isotropic Gaussian noise of
+/// standard deviation `noise_std`. This models mBERT's *imperfect*
+/// co-location of translation pairs; `noise_std = 0` is perfect alignment,
+/// larger values degrade the `PairedFixed` baseline exactly as weaker
+/// multilingual pre-training would.
+pub fn inject_alignment(
+    store: &mut ParamStore,
+    table: ParamId,
+    pairs: &[(TokenId, TokenId)],
+    noise_std: f32,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for &(src, dst) in pairs {
+        let src_row: Vec<f32> = store.value(table).row(src as usize).to_vec();
+        let t = store.value_mut(table);
+        for (k, v) in t.row_mut(dst as usize).iter_mut().enumerate() {
+            *v = src_row[k] + noise_std * init::sample_standard_normal(&mut rng);
+        }
+    }
+}
+
+/// Cosine similarity between two embedding rows (test/diagnostic helper).
+pub fn row_cosine(store: &ParamStore, table: ParamId, a: TokenId, b: TokenId) -> f32 {
+    let t = store.value(table);
+    let (ra, rb) = (t.row(a as usize), t.row(b as usize));
+    let dot: f32 = ra.iter().zip(rb).map(|(x, y)| x * y).sum();
+    let na: f32 = ra.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = rb.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_tensor::Matrix;
+
+    fn table_store(vocab: usize, dim: usize) -> (ParamStore, ParamId) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        let id = store.add("tplm.tok_emb", init::normal(vocab, dim, 0.3, &mut rng));
+        (store, id)
+    }
+
+    #[test]
+    fn cooccurring_tokens_move_together() {
+        let (mut store, table) = table_store(50, 8);
+        // Tokens 10 and 11 always co-occur; 10 and 40 never do.
+        let corpus: Vec<Vec<TokenId>> = (0..30).map(|_| vec![1, 10, 11, 2]).collect();
+        let before = row_cosine(&store, table, 10, 11);
+        pretrain_sgns(
+            &mut store,
+            table,
+            50,
+            &corpus,
+            PretrainConfig { epochs: 5, ..Default::default() },
+        );
+        let after = row_cosine(&store, table, 10, 11);
+        assert!(after > before, "co-occurring pair did not converge: {before} -> {after}");
+        assert!(after > 0.5, "similarity {after} too weak");
+    }
+
+    #[test]
+    fn distributional_similarity_emerges() {
+        // 10 and 12 never co-occur with each other but share contexts
+        // {20, 21}: second-order similarity should still pull them together.
+        let (mut store, table) = table_store(50, 8);
+        let mut corpus = Vec::new();
+        for _ in 0..40 {
+            corpus.push(vec![1, 10, 20, 21, 2]);
+            corpus.push(vec![1, 12, 20, 21, 2]);
+        }
+        pretrain_sgns(
+            &mut store,
+            table,
+            50,
+            &corpus,
+            PretrainConfig { epochs: 6, ..Default::default() },
+        );
+        let synonym_sim = row_cosine(&store, table, 10, 12);
+        let unrelated_sim = row_cosine(&store, table, 10, 35);
+        assert!(
+            synonym_sim > unrelated_sim,
+            "shared-context tokens ({synonym_sim}) not closer than unrelated ({unrelated_sim})"
+        );
+    }
+
+    #[test]
+    fn alignment_injection_ties_rows() {
+        let (mut store, table) = table_store(20, 8);
+        inject_alignment(&mut store, table, &[(5, 15)], 0.0, 7);
+        assert!((row_cosine(&store, table, 5, 15) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn alignment_noise_degrades_similarity() {
+        let (mut store, table) = table_store(20, 8);
+        inject_alignment(&mut store, table, &[(5, 15)], 0.0, 7);
+        let perfect = row_cosine(&store, table, 5, 15);
+        let (mut store2, table2) = table_store(20, 8);
+        inject_alignment(&mut store2, table2, &[(5, 15)], 1.0, 7);
+        let noisy = row_cosine(&store2, table2, 5, 15);
+        assert!(noisy < perfect);
+        assert!(noisy > 0.0, "noisy alignment should still correlate, got {noisy}");
+    }
+
+    #[test]
+    fn pretrain_returns_finite_loss() {
+        let (mut store, table) = table_store(30, 4);
+        let corpus = vec![vec![1u32, 6, 7, 8, 2]];
+        let loss = pretrain_sgns(&mut store, table, 30, &corpus, PretrainConfig::default());
+        assert!(loss.is_finite() && loss > 0.0);
+    }
+
+    #[test]
+    fn empty_corpus_is_noop() {
+        let (mut store, table) = table_store(30, 4);
+        let before: Matrix = store.value(table).clone();
+        let loss = pretrain_sgns(&mut store, table, 30, &[], PretrainConfig::default());
+        assert_eq!(loss, 0.0);
+        assert_eq!(store.value(table), &before);
+    }
+}

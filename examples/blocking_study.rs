@@ -1,0 +1,46 @@
+//! Blocking ablation study on one benchmark: what the blocker's training
+//! data (random vs hard labeled negatives, §3.2.2) and objective
+//! (contrastive vs classification, §3.2.3) do to candidate recall — the
+//! paper's central design finding (Tables 4 and 5).
+//!
+//! ```sh
+//! cargo run --release --example blocking_study
+//! ```
+
+use dial::core::{BlockerObjective, DialConfig, DialSystem, NegativeSource};
+use dial_datasets::{Benchmark, ScaleProfile};
+
+fn main() {
+    let data = Benchmark::WalmartAmazon.generate(ScaleProfile::Smoke, 3);
+    println!(
+        "dataset {}: |R|={} |S|={} |dups|={}\n",
+        data.name,
+        data.r.len(),
+        data.s.len(),
+        data.dups().len()
+    );
+
+    let variants: &[(&str, NegativeSource, BlockerObjective)] = &[
+        ("Random + Contrastive (DIAL)", NegativeSource::Random, BlockerObjective::Contrastive),
+        ("Labeled + Contrastive", NegativeSource::Labeled, BlockerObjective::Contrastive),
+        ("Random + Triplet", NegativeSource::Random, BlockerObjective::Triplet),
+        ("Random + Classification", NegativeSource::Random, BlockerObjective::Classification),
+    ];
+
+    println!("{:<30} {:>14} {:>14}", "blocker variant", "cand recall", "all-pairs F1");
+    for &(name, negatives, objective) in variants {
+        let config = DialConfig {
+            rounds: 2,
+            negatives,
+            objective,
+            ..DialConfig::smoke()
+        };
+        let mut system = DialSystem::new(config);
+        let result = system.run(&data, None);
+        let last = result.last();
+        println!(
+            "{name:<30} {:>14.3} {:>14.3}",
+            last.blocker_recall, last.all_pairs.f1
+        );
+    }
+}

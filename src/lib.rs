@@ -1,0 +1,31 @@
+//! # dial
+//!
+//! One-stop facade over the DIAL reproduction workspace — a from-scratch
+//! Rust implementation of *Deep Indexed Active Learning for Matching
+//! Heterogeneous Entity Representations* (Jain, Sarawagi, Sen; PVLDB 15(1),
+//! VLDB 2022).
+//!
+//! * [`core`] — the DIAL system: matcher, Index-By-Committee blocker,
+//!   selection strategies, the active-learning loop;
+//! * [`datasets`] — synthetic analogues of the six evaluation benchmarks;
+//! * [`baselines`] — Random Forest QBC and JedAI-style pipelines;
+//! * [`tplm`] / [`tensor`] / [`text`] / [`ann`] — the substrates: mini
+//!   transformer, autograd engine, tokenizer, FAISS-style indexes.
+//!
+//! ```no_run
+//! use dial::core::{DialConfig, DialSystem};
+//! use dial::datasets::{Benchmark, ScaleProfile};
+//!
+//! let data = Benchmark::AbtBuy.generate(ScaleProfile::Smoke, 0);
+//! let mut system = DialSystem::new(DialConfig::smoke());
+//! let result = system.run(&data, None);
+//! println!("F1 = {:.3}", result.last().all_pairs.f1);
+//! ```
+
+pub use dial_ann as ann;
+pub use dial_baselines as baselines;
+pub use dial_core as core;
+pub use dial_datasets as datasets;
+pub use dial_tensor as tensor;
+pub use dial_text as text;
+pub use dial_tplm as tplm;

@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: the full DIAL pipeline end to end.
+
+use dial::core::{
+    BlockerObjective, BlockingStrategy, DialConfig, DialSystem, NegativeSource,
+    SelectionStrategy,
+};
+use dial::datasets::{rule_candidates, Benchmark, ScaleProfile};
+
+fn smoke_cfg() -> DialConfig {
+    DialConfig::smoke()
+}
+
+#[test]
+fn full_pipeline_on_every_benchmark() {
+    for b in Benchmark::all() {
+        let data = b.generate(ScaleProfile::Smoke, 1);
+        let ml = matches!(b, Benchmark::Multilingual);
+        let cfg = DialConfig {
+            abt_buy_like: matches!(b, Benchmark::AbtBuy),
+            freeze_trunk: ml,
+            pretrain_epochs: if ml { 0 } else { 1 },
+            ..smoke_cfg()
+        };
+        let mut sys = DialSystem::new(cfg);
+        if matches!(b, Benchmark::Multilingual) {
+            sys.pretrain(&data);
+            let dict = dial::datasets::alignment_pairs(sys.vocab());
+            sys.align_embeddings(&dict, 0.35);
+        }
+        let result = sys.run(&data, None);
+        assert_eq!(result.rounds.len(), 2, "{}", b.name());
+        let last = result.last();
+        assert!(last.blocker_recall > 0.0, "{} zero blocker recall", b.name());
+        assert!(last.cand_size > 0);
+    }
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let data = Benchmark::DblpAcm.generate(ScaleProfile::Smoke, 5);
+    let run = || {
+        let mut sys = DialSystem::new(smoke_cfg());
+        let r = sys.run(&data, None);
+        (r.last().blocker_recall, r.last().all_pairs.f1, r.last().labels_used)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_change_the_run() {
+    let data = Benchmark::DblpAcm.generate(ScaleProfile::Smoke, 5);
+    let run = |seed: u64| {
+        let mut sys = DialSystem::new(DialConfig { seed, ..smoke_cfg() });
+        let r = sys.run(&data, None);
+        r.last().all_pairs.f1
+    };
+    // Different seeds resample the labeled seed set; results may
+    // occasionally coincide, but the label counts of intermediate rounds
+    // almost surely differ in content — just assert both complete.
+    let (a, b) = (run(1), run(2));
+    assert!(a.is_finite() && b.is_finite());
+}
+
+#[test]
+fn rules_blocking_integrates_with_al_loop() {
+    let data = Benchmark::WalmartAmazon.generate(ScaleProfile::Smoke, 2);
+    let rules = rule_candidates(&data, Benchmark::WalmartAmazon.rule_kind().unwrap());
+    let cfg = DialConfig { blocking: BlockingStrategy::Rules, ..smoke_cfg() };
+    let mut sys = DialSystem::new(cfg);
+    let result = sys.run(&data, Some(&rules));
+    // Rules candidates never change across rounds.
+    assert_eq!(result.rounds[0].cand_size, result.rounds[1].cand_size);
+    assert_eq!(result.rounds[0].blocker_recall, result.rounds[1].blocker_recall);
+}
+
+#[test]
+fn ablation_axes_all_execute() {
+    let data = Benchmark::AmazonGoogle.generate(ScaleProfile::Smoke, 3);
+    for negatives in [NegativeSource::Random, NegativeSource::Labeled] {
+        for objective in [
+            BlockerObjective::Contrastive,
+            BlockerObjective::Triplet,
+            BlockerObjective::Classification,
+        ] {
+            let cfg = DialConfig { negatives, objective, rounds: 1, ..smoke_cfg() };
+            let mut sys = DialSystem::new(cfg);
+            let r = sys.run(&data, None);
+            assert!(r.last().blocker_recall >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn every_selector_completes_a_round() {
+    let data = Benchmark::AbtBuy.generate(ScaleProfile::Smoke, 4);
+    for sel in [
+        SelectionStrategy::Random,
+        SelectionStrategy::Greedy,
+        SelectionStrategy::Uncertainty,
+        SelectionStrategy::Qbc,
+        SelectionStrategy::Partition2,
+        SelectionStrategy::Partition4,
+        SelectionStrategy::Badge,
+    ] {
+        let cfg = DialConfig { selection: sel, abt_buy_like: true, ..smoke_cfg() };
+        let mut sys = DialSystem::new(cfg);
+        let r = sys.run(&data, None);
+        // Selection happened between rounds: labels grew.
+        assert!(
+            r.rounds[1].labels_used > r.rounds[0].labels_used,
+            "{sel:?} selected nothing"
+        );
+    }
+}
+
+#[test]
+fn committee_size_sweep_executes() {
+    let data = Benchmark::DblpScholar.generate(ScaleProfile::Smoke, 6);
+    for n in [1usize, 3, 5] {
+        let cfg = DialConfig { committee: n, rounds: 1, ..smoke_cfg() };
+        let mut sys = DialSystem::new(cfg);
+        let r = sys.run(&data, None);
+        assert!(r.last().cand_size > 0, "N={n}");
+    }
+}
+
+#[test]
+fn baselines_run_on_the_same_data() {
+    let data = Benchmark::DblpAcm.generate(ScaleProfile::Smoke, 1);
+    let blocked = rule_candidates(&data, dial::datasets::RuleKind::Citation);
+    let cfg = dial::baselines::ForestConfig {
+        rounds: 2,
+        budget: 8,
+        seed_pos: 8,
+        seed_neg: 8,
+        n_trees: 9,
+        ..Default::default()
+    };
+    let rf = dial::baselines::run_forest_al(&data, &blocked, &cfg);
+    let jedai = dial::baselines::schema_agnostic(&data);
+    assert!(rf.all_pairs.f1 > 0.0);
+    assert!(jedai.all_pairs.f1 > 0.0);
+}
