@@ -50,7 +50,7 @@ impl FlatIndex {
 
     /// Append many packed vectors (`flat.len() % dim == 0`).
     pub fn add_batch(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len() % self.dim, 0, "batch length not a multiple of dim");
+        crate::metric::assert_packed(flat.len(), self.dim);
         self.data.extend_from_slice(flat);
     }
 

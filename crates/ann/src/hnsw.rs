@@ -13,7 +13,7 @@ use rayon::prelude::*;
 use std::collections::{BinaryHeap, HashSet};
 
 /// HNSW tuning parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HnswParams {
     /// Max neighbours per node on layers > 0 (`M`); layer 0 keeps `2M`.
     pub m: usize,
@@ -113,6 +113,18 @@ impl HnswIndex {
         self.dim
     }
 
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Append many packed vectors (incremental graph insertion).
+    pub fn add_batch(&mut self, flat: &[f32]) {
+        crate::metric::assert_packed(flat.len(), self.dim);
+        for v in flat.chunks(self.dim) {
+            self.add(v);
+        }
+    }
+
     /// Raise/lower the search beam width.
     pub fn set_ef_search(&mut self, ef: usize) {
         self.params.ef_search = ef.max(1);
@@ -174,11 +186,8 @@ impl HnswIndex {
         // Insert with beam search on each shared layer.
         for l in (0..=level.min(top)).rev() {
             let neighbours = self.search_layer(v, cur, self.params.ef_construction, l);
-            let selected: Vec<u32> = neighbours
-                .iter()
-                .take(self.max_degree(l))
-                .map(|h| h.id)
-                .collect();
+            let selected: Vec<u32> =
+                neighbours.iter().take(self.max_degree(l)).map(|h| h.id).collect();
             for &n in &selected {
                 self.layers[l][id as usize].push(n);
                 self.layers[l][n as usize].push(id);
@@ -345,8 +354,7 @@ mod tests {
     }
 
     #[test]
-    fn ef_search_trades_recall(
-    ) {
+    fn ef_search_trades_recall() {
         let dim = 16;
         let data = random_data(1200, dim, 11);
         let mut hnsw = HnswIndex::build(&data, dim, Metric::L2, HnswParams::default());

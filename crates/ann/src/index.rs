@@ -1,0 +1,336 @@
+//! The unified index abstraction: every ANN family behind one object-safe
+//! trait, plus a runtime-selectable builder.
+//!
+//! The paper offloads committee-embedding retrieval to FAISS and treats the
+//! index type as a deployment knob (§5.4). [`AnnIndex`] makes that knob
+//! first-class here: `dial-core` builds per-member indexes through
+//! [`IndexSpec::build`] and probes them through the trait, so Flat,
+//! IVF-Flat, PQ, and HNSW are interchangeable without generics leaking into
+//! the blocker, the bench harness, or the CLI.
+
+use crate::flat::FlatIndex;
+use crate::hnsw::{HnswIndex, HnswParams};
+use crate::ivf::{IvfFlatIndex, IvfParams};
+use crate::metric::Metric;
+use crate::pq::PqIndex;
+use crate::topk::Hit;
+
+/// A built nearest-neighbour index, ready to probe.
+///
+/// All implementations share the same contract:
+///
+/// * ids are insertion positions (`0..len`), stable across searches;
+/// * `search` returns at most `k` hits sorted by ascending distance with
+///   ties broken by id;
+/// * `search_batch` equals mapping `search` over `queries.chunks(dim)` in
+///   order (implementations parallelize over queries with rayon);
+/// * `add_batch` appends packed rows after the initial build — quantized
+///   families (IVF, PQ) assign/encode against their trained structures, so
+///   additions do not retrain.
+///
+/// Construction is not part of the trait (each family needs different
+/// training); use [`IndexSpec::build`] as the unified
+/// build-from-packed-rows entry point.
+pub trait AnnIndex: Send + Sync {
+    /// Vector dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Number of stored vectors.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distance function probes rank under.
+    fn metric(&self) -> Metric;
+
+    /// Append packed rows (`flat.len()` must be a multiple of `dim`).
+    fn add_batch(&mut self, flat: &[f32]);
+
+    /// Top-`k` nearest neighbours of one query.
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit>;
+
+    /// Top-`k` for many packed queries, one hit list per query in input
+    /// order.
+    fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>>;
+}
+
+impl AnnIndex for FlatIndex {
+    fn dim(&self) -> usize {
+        FlatIndex::dim(self)
+    }
+    fn len(&self) -> usize {
+        FlatIndex::len(self)
+    }
+    fn metric(&self) -> Metric {
+        FlatIndex::metric(self)
+    }
+    fn add_batch(&mut self, flat: &[f32]) {
+        FlatIndex::add_batch(self, flat)
+    }
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        FlatIndex::search(self, query, k)
+    }
+    fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        FlatIndex::search_batch(self, queries, k)
+    }
+}
+
+impl AnnIndex for IvfFlatIndex {
+    fn dim(&self) -> usize {
+        IvfFlatIndex::dim(self)
+    }
+    fn len(&self) -> usize {
+        IvfFlatIndex::len(self)
+    }
+    fn metric(&self) -> Metric {
+        IvfFlatIndex::metric(self)
+    }
+    fn add_batch(&mut self, flat: &[f32]) {
+        IvfFlatIndex::add_batch(self, flat)
+    }
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        IvfFlatIndex::search(self, query, k)
+    }
+    fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        IvfFlatIndex::search_batch(self, queries, k)
+    }
+}
+
+impl AnnIndex for PqIndex {
+    fn dim(&self) -> usize {
+        self.quantizer().dim()
+    }
+    fn len(&self) -> usize {
+        PqIndex::len(self)
+    }
+    fn metric(&self) -> Metric {
+        // ADC scores against L2 distance tables.
+        Metric::L2
+    }
+    fn add_batch(&mut self, flat: &[f32]) {
+        PqIndex::add_batch(self, flat)
+    }
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        PqIndex::search(self, query, k)
+    }
+    fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        PqIndex::search_batch(self, queries, k)
+    }
+}
+
+impl AnnIndex for HnswIndex {
+    fn dim(&self) -> usize {
+        HnswIndex::dim(self)
+    }
+    fn len(&self) -> usize {
+        HnswIndex::len(self)
+    }
+    fn metric(&self) -> Metric {
+        HnswIndex::metric(self)
+    }
+    fn add_batch(&mut self, flat: &[f32]) {
+        HnswIndex::add_batch(self, flat)
+    }
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        HnswIndex::search(self, query, k)
+    }
+    fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        HnswIndex::search_batch(self, queries, k)
+    }
+}
+
+/// Product-quantization build parameters for [`IndexSpec::Pq`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PqParams {
+    /// Requested subspace count; clamped at build time to the largest
+    /// divisor of `dim` that is `<= m`.
+    pub m: usize,
+    /// Bits per subspace code (codebook size `2^nbits`, at most 8).
+    pub nbits: u8,
+    /// Codebook-training seed.
+    pub seed: u64,
+}
+
+impl Default for PqParams {
+    fn default() -> Self {
+        PqParams { m: 8, nbits: 6, seed: 0 }
+    }
+}
+
+/// Runtime description of an index backend: which family plus its build
+/// parameters. The unified build-from-packed-rows entry point for all four
+/// index families.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum IndexSpec {
+    /// Exact brute-force scan.
+    #[default]
+    Flat,
+    /// Inverted lists under a k-means coarse quantizer.
+    IvfFlat(IvfParams),
+    /// Product-quantized codes scored by ADC (L2 only).
+    Pq(PqParams),
+    /// Hierarchical navigable small-world graph.
+    Hnsw(HnswParams),
+}
+
+/// Largest divisor of `dim` that is `<= m` (falls back to 1).
+fn clamp_subspaces(dim: usize, m: usize) -> usize {
+    let m = m.clamp(1, dim);
+    (1..=m).rev().find(|c| dim.is_multiple_of(*c)).unwrap_or(1)
+}
+
+impl IndexSpec {
+    /// Short stable name (CLI values, report rows).
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexSpec::Flat => "flat",
+            IndexSpec::IvfFlat(_) => "ivf_flat",
+            IndexSpec::Pq(_) => "pq",
+            IndexSpec::Hnsw(_) => "hnsw",
+        }
+    }
+
+    /// Build an index of this family over packed row-major `data`.
+    ///
+    /// Panics if `dim == 0`, if `data.len()` is not a multiple of `dim`
+    /// (mirroring [`FlatIndex::add_batch`]'s validation), or if a PQ build
+    /// is requested under a non-L2 metric. An empty `data` yields an empty
+    /// [`FlatIndex`] regardless of family: the quantized families cannot
+    /// train on zero vectors, and an empty exact index is behaviorally
+    /// equivalent (every probe returns no hits).
+    pub fn build(&self, data: &[f32], dim: usize, metric: Metric) -> Box<dyn AnnIndex> {
+        assert!(dim > 0, "index dimension must be positive");
+        crate::metric::assert_packed(data.len(), dim);
+        if data.is_empty() {
+            return Box::new(FlatIndex::new(dim, metric));
+        }
+        match *self {
+            IndexSpec::Flat => {
+                let mut ix = FlatIndex::new(dim, metric);
+                ix.add_batch(data);
+                Box::new(ix)
+            }
+            IndexSpec::IvfFlat(params) => Box::new(IvfFlatIndex::build(data, dim, metric, params)),
+            IndexSpec::Pq(params) => {
+                assert_eq!(
+                    metric,
+                    Metric::L2,
+                    "PQ asymmetric distance computation supports L2 only"
+                );
+                let nbits = params.nbits.clamp(1, 8);
+                Box::new(PqIndex::build(
+                    data,
+                    dim,
+                    clamp_subspaces(dim, params.m),
+                    1usize << nbits,
+                    params.seed,
+                ))
+            }
+            IndexSpec::Hnsw(params) => Box::new(HnswIndex::build(data, dim, metric, params)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    fn all_specs() -> [IndexSpec; 4] {
+        [
+            IndexSpec::Flat,
+            IndexSpec::IvfFlat(IvfParams { nlist: 8, nprobe: 8, ..Default::default() }),
+            IndexSpec::Pq(PqParams { m: 4, nbits: 5, seed: 0 }),
+            IndexSpec::Hnsw(HnswParams::default()),
+        ]
+    }
+
+    #[test]
+    fn every_backend_builds_and_probes() {
+        let dim = 8;
+        let data = random_data(200, dim, 1);
+        for spec in all_specs() {
+            let ix = spec.build(&data, dim, Metric::L2);
+            assert_eq!(ix.len(), 200, "{}", spec.name());
+            assert_eq!(ix.dim(), dim);
+            assert_eq!(ix.metric(), Metric::L2);
+            let hits = ix.search(&data[0..dim], 5);
+            assert_eq!(hits.len(), 5, "{}", spec.name());
+            let batch = ix.search_batch(&data[0..3 * dim], 5);
+            assert_eq!(batch.len(), 3);
+            assert_eq!(batch[0], hits, "{} batch[0] != single", spec.name());
+        }
+    }
+
+    #[test]
+    fn flat_spec_matches_direct_flat_index() {
+        let dim = 4;
+        let data = random_data(100, dim, 2);
+        let via_spec = IndexSpec::Flat.build(&data, dim, Metric::L2);
+        let mut direct = FlatIndex::new(dim, Metric::L2);
+        direct.add_batch(&data);
+        let q = &data[12..16];
+        assert_eq!(via_spec.search(q, 7), direct.search(q, 7));
+    }
+
+    #[test]
+    fn empty_data_builds_empty_index_for_all_backends() {
+        for spec in all_specs() {
+            let ix = spec.build(&[], 6, Metric::L2);
+            assert!(ix.is_empty(), "{}", spec.name());
+            assert!(ix.search(&[0.0; 6], 3).is_empty());
+        }
+    }
+
+    #[test]
+    fn add_batch_after_build_extends_every_backend() {
+        let dim = 4;
+        let data = random_data(64, dim, 3);
+        let extra = random_data(8, dim, 4);
+        for spec in all_specs() {
+            let mut ix = spec.build(&data, dim, Metric::L2);
+            ix.add_batch(&extra);
+            assert_eq!(ix.len(), 72, "{}", spec.name());
+            // The appended vectors are retrievable: probing with an added
+            // vector must surface an id in the appended range for the
+            // exact/probing families (PQ is lossy, so only check growth).
+            if !matches!(spec, IndexSpec::Pq(_)) {
+                let hits = ix.search(&extra[0..dim], 3);
+                assert!(
+                    hits.iter().any(|h| h.id >= 64),
+                    "{}: appended vector not retrieved: {hits:?}",
+                    spec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of dim")]
+    fn build_rejects_ragged_data() {
+        IndexSpec::Flat.build(&[1.0, 2.0, 3.0], 2, Metric::L2);
+    }
+
+    #[test]
+    #[should_panic(expected = "L2 only")]
+    fn pq_rejects_cosine() {
+        let data = random_data(16, 4, 5);
+        IndexSpec::Pq(PqParams::default()).build(&data, 4, Metric::Cosine);
+    }
+
+    #[test]
+    fn pq_subspaces_clamped_to_divisor() {
+        assert_eq!(clamp_subspaces(32, 8), 8);
+        assert_eq!(clamp_subspaces(30, 8), 6);
+        assert_eq!(clamp_subspaces(7, 4), 1);
+        assert_eq!(clamp_subspaces(6, 100), 6);
+    }
+}

@@ -13,7 +13,7 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 
 /// Tuning parameters for [`IvfFlatIndex`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IvfParams {
     /// Number of inverted lists (k-means clusters).
     pub nlist: usize,
@@ -48,7 +48,7 @@ impl IvfFlatIndex {
     /// Train the coarse quantizer on `data` and build the inverted lists.
     /// `nlist` is clamped to the number of vectors.
     pub fn build(data: &[f32], dim: usize, metric: Metric, mut params: IvfParams) -> Self {
-        assert!(dim > 0 && data.len() % dim == 0, "bad packed data");
+        assert!(dim > 0 && data.len().is_multiple_of(dim), "bad packed data");
         let n = data.len() / dim;
         assert!(n > 0, "cannot build an IVF index over zero vectors");
         params.nlist = params.nlist.min(n).max(1);
@@ -75,8 +75,31 @@ impl IvfFlatIndex {
         self.data.is_empty()
     }
 
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
     pub fn params(&self) -> IvfParams {
         self.params
+    }
+
+    /// Append one vector after build: assign it to its nearest trained
+    /// centroid (no retraining). Returns its id.
+    pub fn add(&mut self, v: &[f32]) -> u32 {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let id = self.len() as u32;
+        let list = self.quantizer.nearest_centroid(v);
+        self.lists[list as usize].push(id);
+        self.data.extend_from_slice(v);
+        id
+    }
+
+    /// Append many packed vectors after build.
+    pub fn add_batch(&mut self, flat: &[f32]) {
+        crate::metric::assert_packed(flat.len(), self.dim);
+        for v in flat.chunks(self.dim) {
+            self.add(v);
+        }
     }
 
     /// Override `nprobe` after build.

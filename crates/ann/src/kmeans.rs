@@ -39,9 +39,8 @@ impl KMeans {
 
     /// Indices of the `n` nearest centroids to `v`, closest first.
     pub fn nearest_centroids(&self, v: &[f32], n: usize) -> Vec<u32> {
-        let mut order: Vec<(u32, f32)> = (0..self.k)
-            .map(|c| (c as u32, sq_l2(v, self.centroid(c))))
-            .collect();
+        let mut order: Vec<(u32, f32)> =
+            (0..self.k).map(|c| (c as u32, sq_l2(v, self.centroid(c)))).collect();
         order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         order.truncate(n);
         order.into_iter().map(|(c, _)| c).collect()
@@ -79,8 +78,8 @@ pub fn kmeans_pp_seed(data: &[f32], dim: usize, k: usize, rng: &mut StdRng) -> V
             chosen
         };
         seeds.push(next);
-        for i in 0..n {
-            d2[i] = d2[i].min(sq_l2(vec_at(i), vec_at(next)));
+        for (i, d) in d2.iter_mut().enumerate() {
+            *d = d.min(sq_l2(vec_at(i), vec_at(next)));
         }
     }
     seeds
@@ -114,10 +113,7 @@ pub fn kmeans(data: &[f32], dim: usize, k: usize, max_iters: usize, rng: &mut St
             })
             .collect();
         let new_inertia: f32 = assigned.iter().map(|(_, d)| d).sum();
-        let changed = assigned
-            .iter()
-            .zip(&assignments)
-            .any(|((c, _), old)| c != old);
+        let changed = assigned.iter().zip(&assignments).any(|((c, _), old)| c != old);
         for (i, (c, _)) in assigned.iter().enumerate() {
             assignments[i] = *c;
         }
@@ -207,8 +203,7 @@ mod tests {
         // k-means++ on three far blobs must pick one seed per blob.
         let mut rng = StdRng::seed_from_u64(3);
         let seeds = kmeans_pp_seed(&data, dim, 3, &mut rng);
-        let blobs_hit: std::collections::HashSet<usize> =
-            seeds.iter().map(|&s| s / 20).collect();
+        let blobs_hit: std::collections::HashSet<usize> = seeds.iter().map(|&s| s / 20).collect();
         assert_eq!(blobs_hit.len(), 3);
     }
 

@@ -4,7 +4,7 @@
 //! FAISS [Johnson et al. 2021], which DIAL uses to index committee
 //! embeddings of list `R` and probe them with embeddings of list `S`.
 //!
-//! Three index families mirror the FAISS types relevant to the paper:
+//! Four index families mirror the FAISS types relevant to the paper:
 //!
 //! * [`FlatIndex`] — exact brute-force scan (default blocker index);
 //! * [`IvfFlatIndex`] — inverted lists under a k-means coarse quantizer
@@ -13,11 +13,16 @@
 //!   computation;
 //! * [`HnswIndex`] — hierarchical navigable small-world graphs.
 //!
+//! All four implement the object-safe [`AnnIndex`] trait and build through
+//! [`IndexSpec`], so the backend is a runtime choice — `dial-core` plumbs
+//! it from `DialConfig` down to Index-By-Committee retrieval.
+//!
 //! [`kmeans`] (with k-means++ seeding) is exported for reuse by the BADGE
 //! selector in `dial-core`.
 
 pub mod flat;
 pub mod hnsw;
+pub mod index;
 pub mod ivf;
 pub mod kmeans;
 pub mod metric;
@@ -26,6 +31,7 @@ pub mod topk;
 
 pub use flat::FlatIndex;
 pub use hnsw::{HnswIndex, HnswParams};
+pub use index::{AnnIndex, IndexSpec, PqParams};
 pub use ivf::{IvfFlatIndex, IvfParams};
 pub use kmeans::{kmeans, kmeans_pp_seed, KMeans};
 pub use metric::{sq_l2, Metric};

@@ -34,6 +34,14 @@ impl Metric {
     }
 }
 
+/// Validate a packed row-major buffer: `len` must be a multiple of `dim`.
+/// Shared by every index family's `add_batch` and by `IndexSpec::build`.
+#[inline]
+#[track_caller]
+pub fn assert_packed(len: usize, dim: usize) {
+    assert!(len.is_multiple_of(dim), "batch length {len} is not a multiple of dim {dim}");
+}
+
 /// Squared Euclidean distance.
 #[inline]
 pub fn sq_l2(a: &[f32], b: &[f32]) -> f32 {

@@ -29,8 +29,8 @@ impl ProductQuantizer {
     /// Train codebooks on packed `data`. `m` must divide `dim`; `ksub` is
     /// clamped to the training-set size and to 256.
     pub fn train(data: &[f32], dim: usize, m: usize, ksub: usize, seed: u64) -> Self {
-        assert!(dim > 0 && data.len() % dim == 0, "bad packed data");
-        assert!(m > 0 && dim % m == 0, "m={m} must divide dim={dim}");
+        assert!(dim > 0 && data.len().is_multiple_of(dim), "bad packed data");
+        assert!(m > 0 && dim.is_multiple_of(m), "m={m} must divide dim={dim}");
         let n = data.len() / dim;
         assert!(n > 0, "cannot train on zero vectors");
         let ksub = ksub.min(256).min(n).max(1);
@@ -169,6 +169,14 @@ impl PqIndex {
         let id = self.len() as u32;
         self.codes.extend_from_slice(&self.pq.encode(v));
         id
+    }
+
+    /// Encode and append many packed vectors with the trained quantizer.
+    pub fn add_batch(&mut self, flat: &[f32]) {
+        crate::metric::assert_packed(flat.len(), self.pq.dim);
+        for v in flat.chunks(self.pq.dim) {
+            self.add(v);
+        }
     }
 
     /// Approximate top-`k` by asymmetric distance.

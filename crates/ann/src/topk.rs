@@ -57,9 +57,8 @@ impl TopK {
     /// Drain into a vector sorted by ascending distance (ties broken by id
     /// for determinism).
     pub fn into_sorted(mut self) -> Vec<Hit> {
-        self.heap.sort_by(|a, b| {
-            a.distance.partial_cmp(&b.distance).unwrap().then(a.id.cmp(&b.id))
-        });
+        self.heap
+            .sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap().then(a.id.cmp(&b.id)));
         self.heap
     }
 

@@ -1,6 +1,9 @@
 //! Property-based tests for the ANN indexes.
 
-use dial_ann::{kmeans, sq_l2, FlatIndex, IvfFlatIndex, IvfParams, Metric, PqIndex, TopK};
+use dial_ann::{
+    kmeans, sq_l2, FlatIndex, HnswParams, IndexSpec, IvfFlatIndex, IvfParams, Metric, PqIndex,
+    PqParams, TopK,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -69,6 +72,67 @@ proptest! {
         let km1 = kmeans(&data, 3, 1, 25, &mut rng1);
         let km4 = kmeans(&data, 3, 8, 25, &mut rng4);
         prop_assert!(km4.inertia <= km1.inertia * 1.05 + 1e-3);
+    }
+
+    #[test]
+    fn ivf_full_probe_spec_matches_flat_ground_truth(data in packed(60, 4), qi in 0usize..60) {
+        // Through the unified trait path: IVF with nprobe = nlist scans
+        // every list, so it must reproduce exact retrieval id-for-id.
+        let ivf = IndexSpec::IvfFlat(IvfParams { nlist: 8, nprobe: 8, ..Default::default() })
+            .build(&data, 4, Metric::L2);
+        let flat = IndexSpec::Flat.build(&data, 4, Metric::L2);
+        let q = &data[qi * 4..(qi + 1) * 4];
+        let a: Vec<u32> = ivf.search(q, 10).into_iter().map(|h| h.id).collect();
+        let b: Vec<u32> = flat.search(q, 10).into_iter().map(|h| h.id).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn approximate_backends_clear_recall_floor(data in packed(80, 8), seed in 0u64..32) {
+        // Cross-backend parity on random data: recall@10 against the
+        // FlatIndex ground truth must clear a per-family floor. Queries
+        // are the stored vectors themselves (distance 0 to the true hit),
+        // so the floors are loose bounds on genuinely broken retrieval,
+        // not statistical noise.
+        let dim = 8;
+        let flat = IndexSpec::Flat.build(&data, dim, Metric::L2);
+        let backends = [
+            ("ivf", IndexSpec::IvfFlat(IvfParams { nlist: 8, nprobe: 4, seed, ..Default::default() }), 0.5f32),
+            ("pq", IndexSpec::Pq(PqParams { m: 4, nbits: 6, seed }), 0.35),
+            ("hnsw", IndexSpec::Hnsw(HnswParams { seed, ..Default::default() }), 0.8),
+        ];
+        for (name, spec, floor) in backends {
+            let ix = spec.build(&data, dim, Metric::L2);
+            let mut overlap = 0usize;
+            let mut total = 0usize;
+            for qi in (0..80).step_by(8) {
+                let q = &data[qi * dim..(qi + 1) * dim];
+                let exact: std::collections::HashSet<u32> =
+                    flat.search(q, 10).into_iter().map(|h| h.id).collect();
+                overlap += ix.search(q, 10).iter().filter(|h| exact.contains(&h.id)).count();
+                total += 10;
+            }
+            let recall = overlap as f32 / total as f32;
+            prop_assert!(recall >= floor, "{} recall@10 {} below floor {}", name, recall, floor);
+        }
+    }
+
+    #[test]
+    fn batch_equals_single_through_trait_for_all_backends(data in packed(50, 4)) {
+        let specs = [
+            IndexSpec::Flat,
+            IndexSpec::IvfFlat(IvfParams { nlist: 4, nprobe: 2, ..Default::default() }),
+            IndexSpec::Pq(PqParams { m: 2, nbits: 4, seed: 0 }),
+            IndexSpec::Hnsw(HnswParams::default()),
+        ];
+        for spec in specs {
+            let ix = spec.build(&data, 4, Metric::L2);
+            let queries = &data[0..4 * 4];
+            let batch = ix.search_batch(queries, 5);
+            for (i, hits) in batch.iter().enumerate() {
+                prop_assert_eq!(hits, &ix.search(&queries[i * 4..(i + 1) * 4], 5));
+            }
+        }
     }
 
     #[test]

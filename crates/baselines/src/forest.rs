@@ -8,10 +8,10 @@
 //! baselines assume a fixed blocker, Figure 1).
 
 use crate::features::pair_features;
+use crate::tree::{DecisionTree, TreeParams};
 use dial_core::eval::{all_pairs_prf, Prf};
 use dial_core::Oracle;
 use dial_datasets::{EmDataset, LabeledPair};
-use crate::tree::{DecisionTree, TreeParams};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -64,8 +64,7 @@ impl RandomForest {
             .into_par_iter()
             .map(|seed| {
                 let mut trng = StdRng::seed_from_u64(seed);
-                let sample: Vec<usize> =
-                    (0..x.len()).map(|_| trng.gen_range(0..x.len())).collect();
+                let sample: Vec<usize> = (0..x.len()).map(|_| trng.gen_range(0..x.len())).collect();
                 let sx: Vec<Vec<f32>> = sample.iter().map(|&i| x[i].clone()).collect();
                 let sy: Vec<bool> = sample.iter().map(|&i| y[i]).collect();
                 DecisionTree::fit(&sx, &sy, cfg.tree, &mut trng)
@@ -115,17 +114,13 @@ pub fn run_forest_al(
     let test_keys = data.test_keys();
 
     // Featurize the candidate pool once (fixed blocker).
-    let cand_feats: Vec<Vec<f32>> = blocked
-        .par_iter()
-        .map(|&(r, s)| pair_features(data.r.get(r), data.s.get(s)))
-        .collect();
+    let cand_feats: Vec<Vec<f32>> =
+        blocked.par_iter().map(|&(r, s)| pair_features(data.r.get(r), data.s.get(s))).collect();
 
     let mut forest = None;
     for round in 0..cfg.rounds {
-        let x: Vec<Vec<f32>> = labeled
-            .par_iter()
-            .map(|p| pair_features(data.r.get(p.r), data.s.get(p.s)))
-            .collect();
+        let x: Vec<Vec<f32>> =
+            labeled.par_iter().map(|p| pair_features(data.r.get(p.r), data.s.get(p.s))).collect();
         let y: Vec<bool> = labeled.iter().map(|p| p.label).collect();
         let mut fit_rng = StdRng::seed_from_u64(cfg.seed ^ (round as u64) << 13);
         let f = RandomForest::fit(&x, &y, cfg, &mut fit_rng);

@@ -36,8 +36,7 @@ pub fn schema_based(data: &EmDataset) -> JedaiResult {
     // Candidate generation: inverted index over key-attribute 3-grams.
     let mut inverted: HashMap<String, Vec<u32>> = HashMap::new();
     for rec in data.s.iter() {
-        let grams: HashSet<String> =
-            dial_text::qgrams(rec.value(0), 3).into_iter().collect();
+        let grams: HashSet<String> = dial_text::qgrams(rec.value(0), 3).into_iter().collect();
         for gm in grams {
             inverted.entry(gm).or_default().push(rec.id);
         }
@@ -69,9 +68,7 @@ pub fn schema_based(data: &EmDataset) -> JedaiResult {
     // Score every surviving pair once; grid-search the threshold.
     let scored: Vec<((u32, u32), f32)> = pairs
         .par_iter()
-        .map(|&(r, s)| {
-            ((r, s), qgram_jaccard(&data.r.get(r).text(), &data.s.get(s).text(), 3))
-        })
+        .map(|&(r, s)| ((r, s), qgram_jaccard(&data.r.get(r).text(), &data.s.get(s).text(), 3)))
         .collect();
     let (best, threshold) = grid_best(data, &scored);
     JedaiResult {
@@ -116,11 +113,8 @@ pub fn schema_agnostic(data: &EmDataset) -> JedaiResult {
     // Weight-edge pruning: keep edges above the mean weight.
     let mean_w: f64 =
         edge_weight.values().map(|&w| w as f64).sum::<f64>() / edge_weight.len().max(1) as f64;
-    let survivors: Vec<(u32, u32)> = edge_weight
-        .into_iter()
-        .filter(|&(_, w)| (w as f64) > mean_w)
-        .map(|(p, _)| p)
-        .collect();
+    let survivors: Vec<(u32, u32)> =
+        edge_weight.into_iter().filter(|&(_, w)| (w as f64) > mean_w).map(|(p, _)| p).collect();
 
     let scored: Vec<((u32, u32), f32)> = survivors
         .par_iter()

@@ -20,15 +20,8 @@ impl Default for TreeParams {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf {
-        prob: f32,
-    },
-    Split {
-        feature: usize,
-        threshold: f32,
-        left: Box<Node>,
-        right: Box<Node>,
-    },
+    Leaf { prob: f32 },
+    Split { feature: usize, threshold: f32, left: Box<Node>, right: Box<Node> },
 }
 
 /// A binary classification tree over dense `f32` feature vectors.

@@ -1,7 +1,8 @@
-//! ANN substrate benchmarks: Flat vs IVF vs PQ build and probe cost
-//! (the FAISS trade-offs DIAL §5.4 leans on).
+//! ANN substrate benchmarks: build and probe cost of all four index
+//! families through the unified `AnnIndex` trait (the FAISS trade-offs
+//! DIAL §5.4 leans on).
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dial_ann::{FlatIndex, IvfFlatIndex, IvfParams, Metric, PqIndex};
+use dial_ann::{AnnIndex, HnswParams, IndexSpec, IvfParams, Metric, PqParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -10,35 +11,47 @@ fn data(n: usize, dim: usize) -> Vec<f32> {
     (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
 }
 
+fn specs() -> [(&'static str, IndexSpec); 4] {
+    [
+        ("flat", IndexSpec::Flat),
+        (
+            "ivf_nprobe8",
+            IndexSpec::IvfFlat(IvfParams { nlist: 64, nprobe: 8, ..Default::default() }),
+        ),
+        ("pq_m8", IndexSpec::Pq(PqParams { m: 8, nbits: 6, seed: 0 })),
+        ("hnsw_ef48", IndexSpec::Hnsw(HnswParams::default())),
+    ]
+}
+
 fn bench_ann(c: &mut Criterion) {
     let dim = 64;
     let base = data(4000, dim);
     let queries = data(64, dim);
 
-    let mut flat = FlatIndex::new(dim, Metric::L2);
-    flat.add_batch(&base);
-    let ivf = IvfFlatIndex::build(&base, dim, Metric::L2, IvfParams { nlist: 64, nprobe: 8, ..Default::default() });
-    let pq = PqIndex::build(&base, dim, 8, 64, 0);
-
+    // Probe cost: every backend through the trait object, identical call
+    // sites — exactly how dial-core drives them.
+    let built: Vec<(&str, Box<dyn AnnIndex>)> = specs()
+        .into_iter()
+        .map(|(name, spec)| (name, spec.build(&base, dim, Metric::L2)))
+        .collect();
     let mut g = c.benchmark_group("ann_probe_k3_4000x64");
-    g.bench_function("flat", |b| b.iter(|| flat.search_batch(&queries, 3)));
-    g.bench_function("ivf_nprobe8", |b| b.iter(|| ivf.search_batch(&queries, 3)));
-    g.bench_function("pq_m8", |b| b.iter(|| pq.search_batch(&queries, 3)));
+    for (name, ix) in &built {
+        g.bench_function(name, |b| b.iter(|| ix.search_batch(&queries, 3)));
+    }
     g.finish();
 
+    // Build cost per family.
     let mut g = c.benchmark_group("ann_build_4000x64");
     g.sample_size(10);
-    g.bench_function("ivf_build", |b| {
-        b.iter(|| IvfFlatIndex::build(&base, dim, Metric::L2, IvfParams::default()))
-    });
-    g.bench_function("pq_train", |b| b.iter(|| PqIndex::build(&base, dim, 8, 32, 0)));
+    for (name, spec) in specs() {
+        g.bench_function(name, |b| b.iter(|| spec.build(&base, dim, Metric::L2)));
+    }
     g.finish();
 
     let mut g = c.benchmark_group("ann_scaling_flat");
     for n in [1000usize, 4000] {
         let d = data(n, dim);
-        let mut ix = FlatIndex::new(dim, Metric::L2);
-        ix.add_batch(&d);
+        let ix = IndexSpec::Flat.build(&d, dim, Metric::L2);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| ix.search_batch(&queries, 3))
         });

@@ -1,8 +1,10 @@
-//! Index-By-Committee cost vs committee size: the probe-side scalability
-//! claim of Table 10 (cost grows sub-linearly thanks to shared encoding).
+//! Index-By-Committee cost vs committee size and vs ANN backend: the
+//! probe-side scalability claim of Table 10 (cost grows sub-linearly
+//! thanks to shared encoding) plus the backend recall/latency knob.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dial_core::{index_by_committee, Committee};
+use dial_ann::IndexSpec;
 use dial_core::encode::ListEmbeddings;
+use dial_core::{index_by_committee, Committee, IndexBackend};
 use dial_tensor::ParamStore;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,7 +26,22 @@ fn bench_blocker(c: &mut Criterion) {
         let vr = committee.embed_list(&store, &er);
         let vs = committee.embed_list(&store, &es);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| index_by_committee(&vr, &vs, dim, 3, 6000))
+            b.iter(|| index_by_committee(&vr, &vs, dim, 3, 6000, &IndexSpec::Flat))
+        });
+    }
+    g.finish();
+
+    // Same committee, every ANN backend: the build+probe cost the
+    // `repro backends` report measures end to end.
+    let mut g = c.benchmark_group("ibc_probe_vs_backend_n3");
+    let mut store = ParamStore::new();
+    let committee = Committee::new(&mut store, 3, dim, 0.5, 0);
+    let vr = committee.embed_list(&store, &er);
+    let vs = committee.embed_list(&store, &es);
+    for backend in IndexBackend::presets() {
+        let spec = backend.spec(0);
+        g.bench_with_input(BenchmarkId::from_parameter(backend.label()), &spec, |b, spec| {
+            b.iter(|| index_by_committee(&vr, &vs, dim, 3, 6000, spec))
         });
     }
     g.finish();

@@ -13,7 +13,8 @@ fn bench_selectors(c: &mut Criterion) {
         .map(|i| Candidate { r: i as u32 % 400, s: i as u32, distance: rng.gen(), rank: 0 })
         .collect();
     let probs: Vec<f32> = (0..n).map(|_| rng.gen()).collect();
-    let feats: Vec<Vec<f32>> = (0..n).map(|_| (0..72).map(|_| rng.gen::<f32>()).collect()).collect();
+    let feats: Vec<Vec<f32>> =
+        (0..n).map(|_| (0..72).map(|_| rng.gen::<f32>()).collect()).collect();
     let labeled: Vec<(Vec<f32>, bool)> =
         (0..128).map(|i| ((0..72).map(|_| rng.gen::<f32>()).collect(), i % 2 == 0)).collect();
     let excluded = HashSet::new();

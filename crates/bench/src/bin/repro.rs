@@ -1,7 +1,7 @@
 //! Reproduce every table and figure of the DIAL paper's evaluation.
 //!
 //! ```text
-//! cargo run --release -p dial-bench --bin repro -- <experiment> [...]
+//! cargo run --release --bin repro -- <experiment> [--backend=<spec>]
 //!
 //! experiments:
 //!   table1   dataset statistics
@@ -17,31 +17,90 @@
 //!   table8   selection strategies (also emits Figure 7 series)
 //!   table9   per-operation timings
 //!   table10  testing time vs committee size
+//!   backends ANN backend sweep: recall + latency per index family
 //!   all      everything above in order
+//!
+//! options:
+//!   --backend=<spec>  ANN index backend for every retrieval (default flat):
+//!                     flat | ivf[:nlist[,nprobe]] | pq[:m[,nbits]]
+//!                     | hnsw[:m[,ef_search]]
 //! ```
 //!
 //! Environment: `REPRO_SCALE` (bench|smoke|paper), `REPRO_ROUNDS`,
-//! `REPRO_SEEDS`, `REPRO_OUT`, and `REPRO_DATASETS` (comma-separated subset
-//! of `WA,AG,DA,DS,AB`).
+//! `REPRO_SEEDS`, `REPRO_OUT`, `REPRO_BACKEND` (same values as
+//! `--backend`), and `REPRO_DATASETS` (comma-separated subset of
+//! `WA,AG,DA,DS,AB`).
 
 use dial_bench::report::{pct, print_table, secs, write_json};
-use dial_bench::runner::{
-    self, run_jedai_row, run_rf_row, run_tplm, ExpContext, TplmRunSummary,
-};
+use dial_bench::runner::{self, run_jedai_row, run_rf_row, run_tplm, ExpContext, TplmRunSummary};
 use dial_core::{
-    BlockerObjective, BlockingStrategy, CandSize, NegativeSource, SelectionStrategy,
+    BlockerObjective, BlockingStrategy, CandSize, IndexBackend, NegativeSource, SelectionStrategy,
 };
 use dial_datasets::Benchmark;
 
+const USAGE: &str = "usage: repro <experiment> [--backend=<spec>]
+
+experiments:
+  table1    dataset statistics
+  fig4      progressive test-set F1 (5 datasets x 4 TPLM methods)
+  table2    end-of-AL all-pairs P/R/F1 + RT (8 methods x 5 datasets)
+  fig5      progressive blocker recall
+  table3    multilingual all-pairs P/R/F1  (fig6: progressive view)
+  table4    labeled vs random negatives ablation
+  table5    blocker objective ablation
+  table6    candidate-size ablation
+  table7    committee-size ablation
+  table8    selection strategies (also emits Figure 7 series)
+  table9    per-operation timings
+  table10   testing time vs committee size
+  backends  ANN backend sweep: blocker recall + retrieval latency per family
+  all       everything above in order
+
+options:
+  --backend=<spec>   ANN index backend used for every embedding retrieval.
+                     <spec> is one of:
+                       flat                   exact brute-force (default)
+                       ivf[:nlist[,nprobe]]   IVF-Flat, e.g. ivf:64,8
+                       pq[:m[,nbits]]         product quantization, e.g. pq:8,6
+                       hnsw[:m[,ef_search]]   HNSW graph, e.g. hnsw:16,48
+
+environment:
+  REPRO_SCALE=bench|smoke|paper   dataset scale (default bench)
+  REPRO_ROUNDS=<n>                active-learning rounds (default 5)
+  REPRO_SEEDS=<n>                 averaged seeds (default 1)
+  REPRO_BACKEND=<spec>            same values as --backend
+  REPRO_DATASETS=WA,AG,DA,DS,AB  benchmark subset
+  REPRO_OUT=<dir>                 JSONL output directory (default results/)";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("help");
-    let ctx = ExpContext::from_env();
+    let mut backend_flag: Option<IndexBackend> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if let Some(v) = a.strip_prefix("--backend=") {
+            backend_flag = Some(parse_backend_or_exit(v));
+        } else if a == "--backend" {
+            let v = args.next().unwrap_or_default();
+            backend_flag = Some(parse_backend_or_exit(&v));
+        } else {
+            positional.push(a);
+        }
+    }
+    let which = positional.first().map(String::as_str).unwrap_or("help");
+    if matches!(which, "help" | "--help" | "-h") {
+        eprintln!("{USAGE}");
+        return;
+    }
+    let mut ctx = ExpContext::from_env();
+    if let Some(b) = backend_flag {
+        ctx.backend = b;
+    }
     eprintln!(
-        "# context: scale={:?} rounds={} seeds={:?} datasets={:?}",
+        "# context: scale={:?} rounds={} seeds={:?} backend={} datasets={:?}",
         ctx.scale,
         ctx.rounds,
         ctx.seeds,
+        ctx.backend.label(),
         five(&ctx)
     );
     match which {
@@ -58,6 +117,7 @@ fn main() {
         "table8" | "fig7" => table8(&ctx),
         "table9" => table9(&ctx),
         "table10" => table10(&ctx),
+        "backends" => backends(&ctx),
         "all" => {
             table1(&ctx);
             fig4_fig5(&ctx, false);
@@ -70,11 +130,20 @@ fn main() {
             table8(&ctx);
             table9(&ctx);
             table10(&ctx);
+            backends(&ctx);
         }
-        _ => {
-            eprintln!("usage: repro <table1|fig4|table2|fig5|table3|fig6|table4..table10|fig7|all>");
+        other => {
+            eprintln!("unknown experiment {other:?}\n\n{USAGE}");
+            std::process::exit(2);
         }
     }
+}
+
+fn parse_backend_or_exit(v: &str) -> IndexBackend {
+    IndexBackend::parse(v).unwrap_or_else(|| {
+        eprintln!("--backend {v:?} not recognized\n\n{USAGE}");
+        std::process::exit(2);
+    })
 }
 
 /// The five DeepMatcher-style benchmarks, optionally filtered by
@@ -87,8 +156,10 @@ fn five(_ctx: &ExpContext) -> Vec<Benchmark> {
             let wanted: Vec<&str> = list.split(',').map(str::trim).collect();
             all.into_iter()
                 .filter(|b| {
-                    wanted.iter().any(|w| w.eq_ignore_ascii_case(b.short_name().replace('-', "").as_str())
-                        || w.eq_ignore_ascii_case(b.short_name()))
+                    wanted.iter().any(|w| {
+                        w.eq_ignore_ascii_case(b.short_name().replace('-', "").as_str())
+                            || w.eq_ignore_ascii_case(b.short_name())
+                    })
                 })
                 .collect()
         }
@@ -110,7 +181,11 @@ fn table1(ctx: &ExpContext) {
             st.test_size.to_string(),
         ]);
     }
-    print_table("Table 1: dataset statistics", &["Dataset", "|R|", "|S|", "|dups|", "density", "|Dtest|"], &rows);
+    print_table(
+        "Table 1: dataset statistics",
+        &["Dataset", "|R|", "|S|", "|dups|", "density", "|Dtest|"],
+        &rows,
+    );
 }
 
 const TPLM_METHODS: [(&str, BlockingStrategy); 4] = [
@@ -146,9 +221,7 @@ fn series_row(s: &TplmRunSummary, recall_view: bool) -> Vec<String> {
     let series: Vec<String> = s
         .rounds
         .iter()
-        .map(|r| {
-            format!("{}:{}", r.labels, pct(if recall_view { r.recall } else { r.test_f1 }))
-        })
+        .map(|r| format!("{}:{}", r.labels, pct(if recall_view { r.recall } else { r.test_f1 })))
         .collect();
     vec![s.dataset.clone(), s.method.clone(), series.join(" ")]
 }
@@ -159,17 +232,28 @@ fn table2(ctx: &ExpContext) {
         // Non-TPLM baselines.
         let rf = run_rf_row(ctx, b);
         write_json("table2", &rf);
-        rows.push(vec![b.name().into(), rf.method.clone(), pct(rf.p), pct(rf.r), pct(rf.f1), secs(rf.rt_secs)]);
+        rows.push(vec![
+            b.name().into(),
+            rf.method.clone(),
+            pct(rf.p),
+            pct(rf.r),
+            pct(rf.f1),
+            secs(rf.rt_secs),
+        ]);
         for agnostic in [false, true] {
             let j = run_jedai_row(ctx, b, agnostic);
             write_json("table2", &j);
-            rows.push(vec![b.name().into(), j.method.clone(), pct(j.p), pct(j.r), pct(j.f1), secs(j.rt_secs)]);
+            rows.push(vec![
+                b.name().into(),
+                j.method.clone(),
+                pct(j.p),
+                pct(j.r),
+                pct(j.f1),
+                secs(j.rt_secs),
+            ]);
         }
         // TPLM methods + Rules.
-        for (name, strat) in TPLM_METHODS
-            .into_iter()
-            .chain([("Rules", BlockingStrategy::Rules)])
-        {
+        for (name, strat) in TPLM_METHODS.into_iter().chain([("Rules", BlockingStrategy::Rules)]) {
             let s = run_tplm(ctx, b, name, runner::strategy_mutator(strat));
             write_json("table2", &s);
             let l = s.last();
@@ -258,11 +342,9 @@ fn table5(ctx: &ExpContext) {
 fn table6(ctx: &ExpContext) {
     let mut rows = Vec::new();
     for b in five(ctx) {
-        for (name, size) in [
-            ("Small", CandSize::Small),
-            ("Medium", CandSize::Medium),
-            ("Large", CandSize::Large),
-        ] {
+        for (name, size) in
+            [("Small", CandSize::Small), ("Medium", CandSize::Medium), ("Large", CandSize::Large)]
+        {
             let s = run_tplm(ctx, b, &format!("DIAL-cand-{name}"), runner::cand_size_mutator(size));
             write_json("table6", &s);
             let l = s.last();
@@ -286,11 +368,7 @@ fn table7(ctx: &ExpContext) {
             rows.push(vec![b.short_name().into(), n.to_string(), pct(l.test_f1), pct(l.all_f1)]);
         }
     }
-    print_table(
-        "Table 7: committee size N",
-        &["Dataset", "N", "Test F1", "All-pairs F1"],
-        &rows,
-    );
+    print_table("Table 7: committee size N", &["Dataset", "N", "Test F1", "All-pairs F1"], &rows);
 }
 
 fn table8(ctx: &ExpContext) {
@@ -336,6 +414,38 @@ fn table9(ctx: &ExpContext) {
     print_table(
         "Table 9: time (s) per operation in the final AL round",
         &["Dataset", "Train Matcher", "Train Committee", "Indexing&Retrieval", "Selection"],
+        &rows,
+    );
+}
+
+/// ANN backend sweep: the recall/latency trade-off of §5.4's FAISS knob,
+/// measured end to end through the DIAL loop. Per backend and dataset:
+/// final blocker recall, all-pairs F1, indexing+retrieval seconds, and RT.
+fn backends(ctx: &ExpContext) {
+    let mut rows = Vec::new();
+    for b in five(ctx) {
+        for backend in IndexBackend::presets() {
+            let s = run_tplm(
+                ctx,
+                b,
+                &format!("DIAL-ix-{}", backend.label()),
+                runner::backend_mutator(backend),
+            );
+            write_json("backends", &s);
+            let l = s.last();
+            rows.push(vec![
+                b.short_name().into(),
+                backend.label(),
+                pct(l.recall),
+                pct(l.all_f1),
+                format!("{:.3}", s.timing_indexing_retrieval),
+                secs(s.rt_secs),
+            ]);
+        }
+    }
+    print_table(
+        "Backends: ANN index family vs blocker recall and retrieval latency",
+        &["Dataset", "Backend", "Recall", "All-pairs F1", "Index&Retrieval(s)", "RT(s)"],
         &rows,
     );
 }

@@ -1,6 +1,9 @@
 //! Plain-text table rendering and JSON result persistence.
+//!
+//! The JSON path is hand-rolled (the offline build has no serde): result
+//! rows implement [`ToJson`] and append one object per line to
+//! `REPRO_OUT/<name>.jsonl`.
 
-use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
 
@@ -14,11 +17,8 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         }
     }
     let line = |cells: &[String]| {
-        let parts: Vec<String> = cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:<width$}", width = w))
-            .collect();
+        let parts: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:<width$}", width = w)).collect();
         println!("| {} |", parts.join(" | "));
     };
     line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
@@ -28,19 +28,56 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Append a serializable result row to `REPRO_OUT/<name>.json` (JSON Lines).
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+/// Minimal JSON serialization for result rows.
+pub trait ToJson {
+    fn to_json(&self) -> String;
+}
+
+/// Escape and quote a JSON string.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a finite float (JSON has no NaN/Infinity; map those to null).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Build a JSON object from rendered `(key, value)` pairs.
+pub fn json_obj(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("{}:{}", json_str(k), v)).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Append a result row to `REPRO_OUT/<name>.jsonl` (JSON Lines).
+pub fn write_json<T: ToJson>(name: &str, value: &T) {
     let dir = std::env::var("REPRO_OUT").unwrap_or_else(|_| "results".into());
     let dir = PathBuf::from(dir);
     if fs::create_dir_all(&dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.jsonl"));
-    if let Ok(line) = serde_json::to_string(value) {
-        use std::io::Write;
-        if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) {
-            let _ = writeln!(f, "{line}");
-        }
+    use std::io::Write;
+    if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(f, "{}", value.to_json());
     }
 }
 
@@ -52,6 +89,19 @@ pub fn pct(x: f64) -> String {
 /// Format seconds with one decimal.
 pub fn secs(x: f64) -> String {
     format!("{x:.1}")
+}
+
+impl ToJson for dial_datasets::DatasetStats {
+    fn to_json(&self) -> String {
+        json_obj(&[
+            ("name", json_str(&self.name)),
+            ("r_size", self.r_size.to_string()),
+            ("s_size", self.s_size.to_string()),
+            ("dups", self.dups.to_string()),
+            ("density", json_f64(self.density)),
+            ("test_size", self.test_size.to_string()),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -71,5 +121,12 @@ mod tests {
             &["a", "long-header"],
             &[vec!["xxxxxxxx".into(), "y".into()], vec!["z".into(), "w".into()]],
         );
+    }
+
+    #[test]
+    fn json_escaping_and_objects() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_obj(&[("k", "1".into()), ("s", json_str("v"))]), "{\"k\":1,\"s\":\"v\"}");
     }
 }

@@ -2,21 +2,23 @@
 
 use dial_baselines::{run_forest_al, schema_agnostic, schema_based, ForestConfig};
 use dial_core::{
-    BlockerObjective, BlockingStrategy, CandSize, DialConfig, DialSystem, NegativeSource,
-    RoundMetrics, SelectionStrategy,
+    BlockerObjective, BlockingStrategy, CandSize, DialConfig, DialSystem, IndexBackend,
+    NegativeSource, RoundMetrics, SelectionStrategy,
 };
 use dial_datasets::{alignment_pairs, rule_candidates, Benchmark, EmDataset, ScaleProfile};
-use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-/// Experiment context: scale, rounds, seeds — read once from the
-/// environment.
+/// Experiment context: scale, rounds, seeds, ANN backend — read once from
+/// the environment.
 #[derive(Debug, Clone)]
 pub struct ExpContext {
     pub scale: ScaleProfile,
     pub rounds: usize,
     pub seeds: Vec<u64>,
+    /// ANN index backend every run retrieves through (`REPRO_BACKEND` or
+    /// the `repro --backend=` flag; default exact Flat).
+    pub backend: IndexBackend,
 }
 
 impl ExpContext {
@@ -26,13 +28,23 @@ impl ExpContext {
             Ok("paper") => ScaleProfile::Paper,
             _ => ScaleProfile::Bench,
         };
-        let rounds = std::env::var("REPRO_ROUNDS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(5);
+        let rounds = std::env::var("REPRO_ROUNDS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
         let n_seeds: u64 =
             std::env::var("REPRO_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
-        ExpContext { scale, rounds, seeds: (0..n_seeds).collect() }
+        // Same clean failure as the `--backend` flag: an unrecognized
+        // value must not silently fall back to Flat (that would corrupt a
+        // sweep's measurements) nor panic with a backtrace.
+        let backend = match std::env::var("REPRO_BACKEND") {
+            Err(_) => IndexBackend::Flat,
+            Ok(v) => IndexBackend::parse(&v).unwrap_or_else(|| {
+                eprintln!(
+                    "REPRO_BACKEND {v:?} not recognized \
+                     (flat | ivf[:nlist[,nprobe]] | pq[:m[,nbits]] | hnsw[:m[,ef_search]])"
+                );
+                std::process::exit(2);
+            }),
+        };
+        ExpContext { scale, rounds, seeds: (0..n_seeds).collect(), backend }
     }
 
     /// Base DIAL configuration for a benchmark at this context's scale.
@@ -43,6 +55,7 @@ impl ExpContext {
         };
         cfg.rounds = self.rounds;
         cfg.seed = seed;
+        cfg.index_backend = self.backend;
         cfg.abt_buy_like = matches!(bench, Benchmark::AbtBuy);
         if matches!(bench, Benchmark::Multilingual) {
             // §4.5: freeze the TPLM for the multilingual dataset. The
@@ -58,8 +71,8 @@ impl ExpContext {
 
 /// Dataset cache keyed by (benchmark, scale, seed) — generation is cheap
 /// but rule blocking is not free.
-static DATASETS: Mutex<Option<HashMap<(Benchmark, u8, u64), &'static CachedData>>> =
-    Mutex::new(None);
+type DatasetCache = HashMap<(Benchmark, u8, u64), &'static CachedData>;
+static DATASETS: Mutex<Option<DatasetCache>> = Mutex::new(None);
 
 /// A generated dataset plus its rule-blocked candidate pairs.
 pub struct CachedData {
@@ -92,7 +105,7 @@ pub fn dataset(bench: Benchmark, scale: ScaleProfile, seed: u64) -> &'static Cac
 }
 
 /// Full per-round trace of a TPLM method, averaged over seeds.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TplmRunSummary {
     pub dataset: String,
     pub method: String,
@@ -107,7 +120,7 @@ pub struct TplmRunSummary {
     pub rt_secs: f64,
 }
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RoundRow {
     pub labels: usize,
     pub recall: f64,
@@ -120,6 +133,51 @@ pub struct RoundRow {
 impl TplmRunSummary {
     pub fn last(&self) -> &RoundRow {
         self.rounds.last().expect("no rounds")
+    }
+}
+
+impl crate::report::ToJson for RoundRow {
+    fn to_json(&self) -> String {
+        use crate::report::{json_f64, json_obj};
+        json_obj(&[
+            ("labels", self.labels.to_string()),
+            ("recall", json_f64(self.recall)),
+            ("test_f1", json_f64(self.test_f1)),
+            ("all_p", json_f64(self.all_p)),
+            ("all_r", json_f64(self.all_r)),
+            ("all_f1", json_f64(self.all_f1)),
+        ])
+    }
+}
+
+impl crate::report::ToJson for TplmRunSummary {
+    fn to_json(&self) -> String {
+        use crate::report::{json_f64, json_obj, json_str};
+        let rounds: Vec<String> = self.rounds.iter().map(|r| r.to_json()).collect();
+        json_obj(&[
+            ("dataset", json_str(&self.dataset)),
+            ("method", json_str(&self.method)),
+            ("rounds", format!("[{}]", rounds.join(","))),
+            ("timing_train_matcher", json_f64(self.timing_train_matcher)),
+            ("timing_train_committee", json_f64(self.timing_train_committee)),
+            ("timing_indexing_retrieval", json_f64(self.timing_indexing_retrieval)),
+            ("timing_selection", json_f64(self.timing_selection)),
+            ("rt_secs", json_f64(self.rt_secs)),
+        ])
+    }
+}
+
+impl crate::report::ToJson for BaselineRow {
+    fn to_json(&self) -> String {
+        use crate::report::{json_f64, json_obj, json_str};
+        json_obj(&[
+            ("dataset", json_str(&self.dataset)),
+            ("method", json_str(&self.method)),
+            ("p", json_f64(self.p)),
+            ("r", json_f64(self.r)),
+            ("f1", json_f64(self.f1)),
+            ("rt_secs", json_f64(self.rt_secs)),
+        ])
     }
 }
 
@@ -147,13 +205,8 @@ pub fn run_tplm(
         }
         let result = sys.run(&cached.data, cached.rules.as_deref());
         let t = &result.last().timings;
-        last_timings = (
-            t.train_matcher,
-            t.train_committee,
-            t.indexing_retrieval,
-            t.selection,
-            t.find_dups,
-        );
+        last_timings =
+            (t.train_matcher, t.train_committee, t.indexing_retrieval, t.selection, t.find_dups);
         acc.push(result.rounds);
     }
 
@@ -212,8 +265,13 @@ pub fn committee_mutator(n: usize) -> impl Fn(&mut DialConfig) {
     move |cfg: &mut DialConfig| cfg.committee = n
 }
 
+/// Mutator for ANN-backend experiments (the `backends` report).
+pub fn backend_mutator(b: IndexBackend) -> impl Fn(&mut DialConfig) {
+    move |cfg: &mut DialConfig| cfg.index_backend = b
+}
+
 /// Table 2 row for the Random Forest baseline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BaselineRow {
     pub dataset: String,
     pub method: String,
@@ -252,8 +310,7 @@ pub fn run_jedai_row(ctx: &ExpContext, bench: Benchmark, agnostic: bool) -> Base
     let (mut p, mut r, mut f1, mut rt) = (0.0, 0.0, 0.0, 0.0);
     for &seed in &ctx.seeds {
         let cached = dataset(bench, ctx.scale, seed);
-        let res =
-            if agnostic { schema_agnostic(&cached.data) } else { schema_based(&cached.data) };
+        let res = if agnostic { schema_agnostic(&cached.data) } else { schema_based(&cached.data) };
         p += res.all_pairs.precision;
         r += res.all_pairs.recall;
         f1 += res.all_pairs.f1;
@@ -294,6 +351,7 @@ mod tests {
             scale: ScaleProfile::Smoke,
             rounds: 2,
             seeds: vec![0],
+            backend: IndexBackend::Flat,
         };
         let s = run_tplm(&ctx, Benchmark::AbtBuy, "DIAL", |cfg| {
             *cfg = DialConfig { rounds: 2, ..DialConfig::smoke() };

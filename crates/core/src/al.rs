@@ -155,13 +155,12 @@ impl DialSystem {
             self.pretrain(data);
         }
         let cfg = self.config.clone();
-        let cand_cap =
-            cfg.cand_size.resolve(data.s.len(), data.dups().len(), cfg.abt_buy_like);
+        let index_spec = cfg.index_backend.spec(cfg.seed);
+        let cand_cap = cfg.cand_size.resolve(data.s.len(), data.dups().len(), cfg.abt_buy_like);
         let k = if cfg.abt_buy_like { cfg.k.max(20) } else { cfg.k };
 
         let mut oracle = Oracle::new(data);
-        let mut labeled: Vec<LabeledPair> =
-            data.seed_labeled(cfg.seed_pos, cfg.seed_neg, cfg.seed);
+        let mut labeled: Vec<LabeledPair> = data.seed_labeled(cfg.seed_pos, cfg.seed_neg, cfg.seed);
         let test_keys = data.test_keys();
 
         // PairedFixed: candidates from the pre-trained embeddings, computed
@@ -172,7 +171,7 @@ impl DialSystem {
                 self.store.restore(&snap);
                 let er = encode_list(&self.model, &self.store, &data.r, &self.vocab);
                 let es = encode_list(&self.model, &self.store, &data.s, &self.vocab);
-                Some(index_single(&er, &es, k, cand_cap))
+                Some(index_single(&er, &es, k, cand_cap, &index_spec))
             }
             BlockingStrategy::Rules => Some(CandidateSet::from_pairs(
                 rule_pairs.expect("Rules strategy requires rule_pairs"),
@@ -210,7 +209,7 @@ impl DialSystem {
                 BlockingStrategy::PairedAdapt => {
                     let er = encode_list(&self.model, &self.store, &data.r, &self.vocab);
                     let es = encode_list(&self.model, &self.store, &data.s, &self.vocab);
-                    index_single(&er, &es, k, cand_cap)
+                    index_single(&er, &es, k, cand_cap, &index_spec)
                 }
                 BlockingStrategy::SentenceBert => {
                     let er = encode_list(&self.model, &self.store, &data.r, &self.vocab);
@@ -223,13 +222,12 @@ impl DialSystem {
                     };
                     self.committee.reinit(&mut self.store, cfg.seed ^ (round as u64) << 8);
                     self.model.set_trunk_frozen(&mut self.store, true);
-                    self.committee
-                        .train(&mut self.store, &er, &es, &labeled, &sbert_cfg, round);
+                    self.committee.train(&mut self.store, &er, &es, &labeled, &sbert_cfg, round);
                     self.model.set_trunk_frozen(&mut self.store, false);
                     train_committee = t1.elapsed().as_secs_f64();
                     let vr = self.committee.embed_list(&self.store, &er);
                     let vs = self.committee.embed_list(&self.store, &es);
-                    index_by_committee(&vr, &vs, cfg.tplm.d_model, k, cand_cap)
+                    index_by_committee(&vr, &vs, cfg.tplm.d_model, k, cand_cap, &index_spec)
                 }
                 BlockingStrategy::Dial => {
                     let er = encode_list(&self.model, &self.store, &data.r, &self.vocab);
@@ -237,13 +235,12 @@ impl DialSystem {
                     let t1 = Instant::now();
                     self.committee.reinit(&mut self.store, cfg.seed ^ (round as u64) << 8);
                     self.model.set_trunk_frozen(&mut self.store, true);
-                    self.committee
-                        .train(&mut self.store, &er, &es, &labeled, &cfg, round);
+                    self.committee.train(&mut self.store, &er, &es, &labeled, &cfg, round);
                     self.model.set_trunk_frozen(&mut self.store, false);
                     train_committee = t1.elapsed().as_secs_f64();
                     let vr = self.committee.embed_list(&self.store, &er);
                     let vs = self.committee.embed_list(&self.store, &es);
-                    index_by_committee(&vr, &vs, cfg.tplm.d_model, k, cand_cap)
+                    index_by_committee(&vr, &vs, cfg.tplm.d_model, k, cand_cap, &index_spec)
                 }
             };
             let indexing_retrieval = t_block.elapsed().as_secs_f64() - train_committee;
@@ -282,13 +279,18 @@ impl DialSystem {
                 .test
                 .par_iter()
                 .filter(|p| cand_keys.contains(&p.key()))
-                .map(|p| (p, self.matcher.prob(
-                    &self.store,
-                    &self.model,
-                    &self.vocab,
-                    data.r.get(p.r),
-                    data.s.get(p.s),
-                )))
+                .map(|p| {
+                    (
+                        p,
+                        self.matcher.prob(
+                            &self.store,
+                            &self.model,
+                            &self.vocab,
+                            data.r.get(p.r),
+                            data.s.get(p.s),
+                        ),
+                    )
+                })
                 .filter(|(_, prob)| *prob > 0.5)
                 .map(|(p, _)| p.key())
                 .collect();

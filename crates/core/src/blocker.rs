@@ -65,18 +65,13 @@ impl Normalization {
                 }
             }
         }
-        let inv_std =
-            var.iter().map(|v| (1.0 / ((v / n as f64).sqrt() + 1e-6)) as f32).collect();
+        let inv_std = var.iter().map(|v| (1.0 / ((v / n as f64).sqrt() + 1e-6)) as f32).collect();
         Normalization { mean: mean.into_iter().map(|m| m as f32).collect(), inv_std }
     }
 
     /// Standardize one row.
     pub fn apply(&self, row: &[f32]) -> Vec<f32> {
-        row.iter()
-            .zip(&self.mean)
-            .zip(&self.inv_std)
-            .map(|((&v, m), s)| (v - m) * s)
-            .collect()
+        row.iter().zip(&self.mean).zip(&self.inv_std).map(|((&v, m), s)| (v - m) * s).collect()
     }
 }
 
@@ -148,10 +143,8 @@ impl Committee {
                 // variation" of the base embedding (§3.2.1), which keeps
                 // the pre-trained space's recall and lets the contrastive
                 // objective refine rather than rebuild it.
-                w: store.add(
-                    format!("{COMMITTEE_PREFIX}{k}.w"),
-                    near_identity(dim, 0.05, &mut rng),
-                ),
+                w: store
+                    .add(format!("{COMMITTEE_PREFIX}{k}.w"), near_identity(dim, 0.05, &mut rng)),
                 b: store.add(format!("{COMMITTEE_PREFIX}{k}.b"), Matrix::zeros(1, dim)),
                 clf_w: store.add(
                     format!("{COMMITTEE_PREFIX}{k}.clf_w"),
@@ -174,7 +167,7 @@ impl Committee {
     /// Re-randomize masks and parameters (start of each AL round: the
     /// committee, like the matcher, is not warm-started).
     pub fn reinit(&mut self, store: &mut ParamStore, seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xb10c_2);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb10c2);
         for m in &mut self.members {
             m.mask = sample_mask(self.dim, self.mask_p, &mut rng);
             *store.value_mut(m.w) = near_identity(self.dim, 0.05, &mut rng);
@@ -310,9 +303,8 @@ fn train_member(
                             (0..b).map(|_| rng.gen_range(0..emb_s.len() as u32)).collect();
                         (nr, ns)
                     } else {
-                        let picks: Vec<&LabeledPair> = (0..b)
-                            .map(|_| negatives[rng.gen_range(0..negatives.len())])
-                            .collect();
+                        let picks: Vec<&LabeledPair> =
+                            (0..b).map(|_| negatives[rng.gen_range(0..negatives.len())]).collect();
                         (picks.iter().map(|p| p.r).collect(), picks.iter().map(|p| p.s).collect())
                     }
                 }
@@ -329,9 +321,7 @@ fn train_member(
             let ens = member.embed_graph(&mut g, store, ns_in);
 
             let loss = match cfg.objective {
-                BlockerObjective::Contrastive => {
-                    contrastive_loss(&mut g, epr, eps_, enr, ens, b)
-                }
+                BlockerObjective::Contrastive => contrastive_loss(&mut g, epr, eps_, enr, ens, b),
                 BlockerObjective::Triplet => triplet_loss(&mut g, epr, eps_, enr, ens),
                 BlockerObjective::Classification => {
                     classification_loss(&mut g, store, member, epr, eps_, enr, ens)
@@ -429,7 +419,7 @@ fn classification_loss(
     let b = g.param(store, member.clf_b);
     let z = g.linear(feats, w, b);
     let mut targets = vec![1.0; n_pos];
-    targets.extend(std::iter::repeat(0.0).take(n_neg));
+    targets.extend(std::iter::repeat_n(0.0, n_neg));
     g.bce_with_logits(z, &targets)
 }
 
@@ -532,7 +522,12 @@ mod tests {
         }
     }
 
-    fn recall_at_1(store: &ParamStore, c: &Committee, er: &ListEmbeddings, es: &ListEmbeddings) -> f32 {
+    fn recall_at_1(
+        store: &ParamStore,
+        c: &Committee,
+        er: &ListEmbeddings,
+        es: &ListEmbeddings,
+    ) -> f32 {
         // For each s, is its true partner r the nearest under member 0?
         let views_r = c.embed_list(store, er);
         let views_s = c.embed_list(store, es);
@@ -600,7 +595,10 @@ mod tests {
         let labeled = labeled_pairs(16);
         let mut store = ParamStore::new();
         let mut c = Committee::new(&mut store, 1, 8, 0.6, 2);
-        let cfg = DialConfig { blocker_epochs: 3, ..toy_cfg(BlockerObjective::Contrastive, NegativeSource::Labeled) };
+        let cfg = DialConfig {
+            blocker_epochs: 3,
+            ..toy_cfg(BlockerObjective::Contrastive, NegativeSource::Labeled)
+        };
         let loss = c.train(&mut store, &er, &es, &labeled, &cfg, 0);
         assert!(loss.is_finite());
     }

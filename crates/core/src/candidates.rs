@@ -1,9 +1,15 @@
 //! Candidate-set construction: Index-By-Committee retrieval (§3.2.1,
 //! Algorithm 1 lines 9–25) and its single-index variants.
+//!
+//! Retrieval is backend-agnostic: indexes are built through
+//! [`IndexSpec::build`] and probed through the [`dial_ann::AnnIndex`]
+//! trait, so the Flat / IVF-Flat / PQ / HNSW choice plumbs down from
+//! [`crate::config::IndexBackend`] without this module knowing which
+//! family it runs on. Probe batches are rayon-parallel inside every
+//! backend's `search_batch`.
 
 use crate::encode::ListEmbeddings;
-use dial_ann::{FlatIndex, Metric};
-use rayon::prelude::*;
+use dial_ann::{IndexSpec, Metric};
 use std::collections::HashMap;
 
 /// A scored candidate pair `(r, s)` with its smallest observed embedding
@@ -64,10 +70,7 @@ impl CandidateSet {
     /// Build from unscored pairs (rule blocking): distance and rank 0.
     pub fn from_pairs(pairs: &[(u32, u32)]) -> Self {
         CandidateSet {
-            pairs: pairs
-                .iter()
-                .map(|&(r, s)| Candidate { r, s, distance: 0.0, rank: 0 })
-                .collect(),
+            pairs: pairs.iter().map(|&(r, s)| Candidate { r, s, distance: 0.0, rank: 0 }).collect(),
         }
     }
 
@@ -89,58 +92,60 @@ impl CandidateSet {
     }
 }
 
-/// Index-By-Committee: for each member, index its view of `R` and probe
-/// with its view of `S`, retrieving `k` neighbours per probe; pool all
-/// members' pairs and keep the globally closest `max_size`.
+/// Score every probe's hit list into `(r, s, distance, rank)` candidates.
+fn score_probe_hits(scored: &mut Vec<Candidate>, hits: Vec<Vec<dial_ann::Hit>>) {
+    for (s_id, hs) in hits.into_iter().enumerate() {
+        for (rank, h) in hs.into_iter().enumerate() {
+            scored.push(Candidate {
+                r: h.id,
+                s: s_id as u32,
+                distance: h.distance,
+                rank: rank as u32,
+            });
+        }
+    }
+}
+
+/// Index-By-Committee: for each member, index its view of `R` with the
+/// configured backend and probe with its view of `S`, retrieving `k`
+/// neighbours per probe; pool all members' pairs and keep the globally
+/// closest `max_size`.
 ///
 /// `views_r[k]` / `views_s[k]` are member `k`'s packed embeddings (from
-/// [`crate::blocker::Committee::embed_list`]).
+/// [`crate::blocker::Committee::embed_list`]). `spec` selects the ANN
+/// family — [`IndexSpec::Flat`] reproduces the exact pre-refactor
+/// candidate sets bit-for-bit.
 pub fn index_by_committee(
     views_r: &[Vec<f32>],
     views_s: &[Vec<f32>],
     dim: usize,
     k: usize,
     max_size: usize,
+    spec: &IndexSpec,
 ) -> CandidateSet {
     assert_eq!(views_r.len(), views_s.len(), "committee view count mismatch");
     let mut scored = Vec::new();
     for (vr, vs) in views_r.iter().zip(views_s) {
-        let mut index = FlatIndex::new(dim, Metric::L2);
-        index.add_batch(vr);
-        let hits = index.search_batch(vs, k);
-        for (s_id, hs) in hits.into_iter().enumerate() {
-            for (rank, h) in hs.into_iter().enumerate() {
-                scored.push(Candidate {
-                    r: h.id,
-                    s: s_id as u32,
-                    distance: h.distance,
-                    rank: rank as u32,
-                });
-            }
-        }
+        let index = spec.build(vr, dim, Metric::L2);
+        score_probe_hits(&mut scored, index.search_batch(vs, k));
     }
     CandidateSet::from_scored(scored, max_size)
 }
 
 /// Single-index retrieval over raw trunk embeddings (PairedFixed /
-/// PairedAdapt / SentenceBERT blocking).
+/// PairedAdapt / SentenceBERT blocking), through the same backend-agnostic
+/// build/probe path as [`index_by_committee`].
 pub fn index_single(
     emb_r: &ListEmbeddings,
     emb_s: &ListEmbeddings,
     k: usize,
     max_size: usize,
+    spec: &IndexSpec,
 ) -> CandidateSet {
     assert_eq!(emb_r.dim, emb_s.dim, "embedding width mismatch");
-    let mut index = FlatIndex::new(emb_r.dim, Metric::L2);
-    index.add_batch(&emb_r.data);
-    let scored: Vec<Candidate> = (0..emb_s.len() as u32)
-        .into_par_iter()
-        .flat_map_iter(|s_id| {
-            index.search(emb_s.row(s_id), k).into_iter().enumerate().map(move |(rank, h)| {
-                Candidate { r: h.id, s: s_id, distance: h.distance, rank: rank as u32 }
-            })
-        })
-        .collect();
+    let index = spec.build(&emb_r.data, emb_r.dim, Metric::L2);
+    let mut scored = Vec::new();
+    score_probe_hits(&mut scored, index.search_batch(&emb_s.data, k));
     CandidateSet::from_scored(scored, max_size)
 }
 
@@ -199,7 +204,7 @@ mod tests {
     fn single_index_finds_aligned_pairs() {
         let er = emb(&[&[0.0, 0.0], &[5.0, 5.0], &[10.0, 10.0]]);
         let es = emb(&[&[0.1, 0.0], &[5.1, 5.0], &[10.1, 10.0]]);
-        let set = index_single(&er, &es, 1, 100);
+        let set = index_single(&er, &es, 1, 100, &IndexSpec::Flat);
         let keys = set.key_set();
         assert!(keys.contains(&(0, 0)) && keys.contains(&(1, 1)) && keys.contains(&(2, 2)));
         assert_eq!(set.len(), 3);
@@ -219,6 +224,7 @@ mod tests {
             2,
             1,
             100,
+            &IndexSpec::Flat,
         );
         // Member A proposes (0, 0); member B proposes (1, 0) / others —
         // the union must have pairs from both probes of both members.
@@ -229,7 +235,38 @@ mod tests {
     fn max_size_respected() {
         let er = emb(&[&[0.0f32, 0.0], &[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
         let es = er.clone();
-        let set = index_single(&er, &es, 4, 5);
+        let set = index_single(&er, &es, 4, 5, &IndexSpec::Flat);
         assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn every_backend_yields_nonempty_candidates() {
+        use crate::config::IndexBackend;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let dim = 8;
+        let mut rng = StdRng::seed_from_u64(17);
+        let mk = |n: usize, rng: &mut StdRng| ListEmbeddings {
+            dim,
+            data: (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        };
+        let er = mk(60, &mut rng);
+        let es = mk(40, &mut rng);
+        // Two committee members, each with its own view of the SAME lists
+        // (60-row R, 40-row S), as Committee::embed_list produces.
+        let views_r = [er.data.clone(), mk(60, &mut rng).data];
+        let views_s = [es.data.clone(), mk(40, &mut rng).data];
+        for backend in IndexBackend::presets() {
+            let spec = backend.spec(0);
+            let single = index_single(&er, &es, 3, 1000, &spec);
+            assert!(!single.is_empty(), "{}: empty single-index set", backend.label());
+            let ibc = index_by_committee(&views_r, &views_s, dim, 3, 1000, &spec);
+            assert!(!ibc.is_empty(), "{}: empty committee set", backend.label());
+            assert!(
+                ibc.pairs().iter().all(|c| (c.r as usize) < 60 && (c.s as usize) < 40),
+                "{}: candidate ids outside list bounds",
+                backend.label()
+            );
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! DIAL system configuration.
 
+use dial_ann::{HnswParams, IndexSpec, IvfParams, PqParams};
 use dial_tplm::TplmConfig;
 
 /// Which embeddings feed the nearest-neighbour blocker (paper §4.3).
@@ -66,6 +67,116 @@ pub enum SelectionStrategy {
     Partition4,
     /// BADGE: k-means++ on hallucinated gradient embeddings.
     Badge,
+}
+
+/// Which ANN index family backs nearest-neighbour retrieval — the
+/// FAISS-style deployment knob of §5.4. `Flat` is exact and the default;
+/// the approximate families trade blocker recall for probe latency and are
+/// selected per run (config, `REPRO_BACKEND`, or the `repro --backend`
+/// flag) without touching retrieval code, which goes through
+/// [`dial_ann::AnnIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexBackend {
+    /// Exact brute-force scan (pre-refactor behavior, bit-for-bit).
+    #[default]
+    Flat,
+    /// IVF-Flat: scan only the `nprobe` of `nlist` k-means cells nearest
+    /// each probe.
+    IvfFlat { nlist: usize, nprobe: usize },
+    /// Product quantization with `m` subspaces of `2^nbits` codes, scored
+    /// by asymmetric distance computation.
+    Pq { m: usize, nbits: u8 },
+    /// HNSW graph with degree `m` and search beam `ef_search`.
+    Hnsw { m: usize, ef_search: usize },
+}
+
+impl IndexBackend {
+    /// Default-parameter instance of every backend, for sweeps.
+    pub fn presets() -> [IndexBackend; 4] {
+        [
+            IndexBackend::Flat,
+            IndexBackend::IvfFlat { nlist: 64, nprobe: 8 },
+            IndexBackend::Pq { m: 8, nbits: 6 },
+            IndexBackend::Hnsw { m: 16, ef_search: 48 },
+        ]
+    }
+
+    /// Parse a CLI/env value: `flat`, `ivf[:nlist[,nprobe]]`,
+    /// `pq[:m[,nbits]]`, or `hnsw[:m[,ef_search]]` (family names are
+    /// case-insensitive; `ivf-flat`/`ivf_flat` are accepted).
+    pub fn parse(s: &str) -> Option<IndexBackend> {
+        let s = s.trim().to_ascii_lowercase();
+        let (family, params) = match s.split_once(':') {
+            Some((f, p)) => (f, Some(p)),
+            None => (s.as_str(), None),
+        };
+        let nums: Vec<usize> = match params {
+            None => Vec::new(),
+            Some(p) => p.split(',').map(|x| x.trim().parse().ok()).collect::<Option<_>>()?,
+        };
+        // Reject surplus parameters (and any parameters for flat) so a
+        // typo'd spec errors instead of silently running something else.
+        if nums.len() > if family == "flat" { 0 } else { 2 } {
+            return None;
+        }
+        let get = |i: usize, default: usize| nums.get(i).copied().unwrap_or(default);
+        // Reject parameter values validate() would panic on, so the CLI
+        // surfaces a clean usage error instead of a backtrace.
+        let backend = match family {
+            "flat" => IndexBackend::Flat,
+            "ivf" | "ivf-flat" | "ivf_flat" | "ivfflat" => {
+                IndexBackend::IvfFlat { nlist: get(0, 64), nprobe: get(1, 8) }
+            }
+            "pq" => {
+                let nbits = get(1, 6);
+                if !(1..=8).contains(&nbits) {
+                    return None;
+                }
+                IndexBackend::Pq { m: get(0, 8), nbits: nbits as u8 }
+            }
+            "hnsw" => IndexBackend::Hnsw { m: get(0, 16), ef_search: get(1, 48) },
+            _ => return None,
+        };
+        match backend {
+            IndexBackend::IvfFlat { nlist, nprobe } if nlist == 0 || nprobe == 0 => None,
+            IndexBackend::Pq { m: 0, .. } => None,
+            IndexBackend::Hnsw { m, ef_search } if m < 2 || ef_search == 0 => None,
+            b => Some(b),
+        }
+    }
+
+    /// Short label for report rows.
+    pub fn label(&self) -> String {
+        match self {
+            IndexBackend::Flat => "flat".into(),
+            IndexBackend::IvfFlat { nlist, nprobe } => format!("ivf:{nlist},{nprobe}"),
+            IndexBackend::Pq { m, nbits } => format!("pq:{m},{nbits}"),
+            IndexBackend::Hnsw { m, ef_search } => format!("hnsw:{m},{ef_search}"),
+        }
+    }
+
+    /// Resolve to a `dial-ann` build spec. `seed` keys quantizer/graph
+    /// training so runs stay deterministic per [`DialConfig::seed`].
+    pub fn spec(&self, seed: u64) -> IndexSpec {
+        match *self {
+            IndexBackend::Flat => IndexSpec::Flat,
+            IndexBackend::IvfFlat { nlist, nprobe } => IndexSpec::IvfFlat(IvfParams {
+                nlist,
+                nprobe,
+                seed: seed ^ 0x1d1a11,
+                ..Default::default()
+            }),
+            IndexBackend::Pq { m, nbits } => {
+                IndexSpec::Pq(PqParams { m, nbits, seed: seed ^ 0x1d1a12 })
+            }
+            IndexBackend::Hnsw { m, ef_search } => IndexSpec::Hnsw(HnswParams {
+                m,
+                ef_search,
+                seed: seed ^ 0x1d1a13,
+                ..Default::default()
+            }),
+        }
+    }
 }
 
 /// Candidate-set size policy (§4.6.3, Table 6).
@@ -139,6 +250,9 @@ pub struct DialConfig {
     pub k: usize,
     /// Candidate-set size policy.
     pub cand_size: CandSize,
+    /// ANN backend for all embedding retrieval (Index-By-Committee and the
+    /// single-index strategies).
+    pub index_backend: IndexBackend,
     /// Treat the dataset as Abt-Buy-like (small `|S|`: larger `cand`, `k`).
     pub abt_buy_like: bool,
     pub blocking: BlockingStrategy,
@@ -172,6 +286,7 @@ impl Default for DialConfig {
             mask_p: 0.5,
             k: 3,
             cand_size: CandSize::Medium,
+            index_backend: IndexBackend::Flat,
             abt_buy_like: false,
             blocking: BlockingStrategy::Dial,
             negatives: NegativeSource::Random,
@@ -220,6 +335,30 @@ impl DialConfig {
         assert!(self.committee >= 1, "committee size must be >= 1");
         assert!((0.0..=1.0).contains(&self.mask_p), "mask_p out of range");
         assert!(self.k >= 1, "k must be >= 1");
+        match self.index_backend {
+            IndexBackend::Flat => {}
+            IndexBackend::IvfFlat { nlist, nprobe } => {
+                assert!(nlist >= 1, "IVF nlist must be >= 1");
+                assert!(nprobe >= 1, "IVF nprobe must be >= 1");
+            }
+            IndexBackend::Pq { m, nbits } => {
+                assert!(m >= 1, "PQ m must be >= 1");
+                assert!((1..=8).contains(&nbits), "PQ nbits must be in 1..=8");
+                // IndexSpec::build would clamp a non-divisor m to keep the
+                // trait usable on arbitrary data, but a DIAL run must not
+                // silently measure different parameters than it reports.
+                assert!(
+                    self.tplm.d_model.is_multiple_of(m),
+                    "PQ m={m} must divide d_model={} (a non-divisor would be clamped and the \
+                     run mislabeled)",
+                    self.tplm.d_model
+                );
+            }
+            IndexBackend::Hnsw { m, ef_search } => {
+                assert!(m >= 2, "HNSW m must be >= 2");
+                assert!(ef_search >= 1, "HNSW ef_search must be >= 1");
+            }
+        }
     }
 }
 
@@ -245,5 +384,59 @@ mod tests {
     #[test]
     fn cand_size_never_zero() {
         assert_eq!(CandSize::Small.resolve(0, 0, false), 1);
+    }
+
+    #[test]
+    fn backend_parsing() {
+        assert_eq!(IndexBackend::parse("flat"), Some(IndexBackend::Flat));
+        assert_eq!(IndexBackend::parse("FLAT"), Some(IndexBackend::Flat));
+        assert_eq!(
+            IndexBackend::parse("ivf"),
+            Some(IndexBackend::IvfFlat { nlist: 64, nprobe: 8 })
+        );
+        assert_eq!(
+            IndexBackend::parse("ivf:16,4"),
+            Some(IndexBackend::IvfFlat { nlist: 16, nprobe: 4 })
+        );
+        assert_eq!(IndexBackend::parse("pq:4"), Some(IndexBackend::Pq { m: 4, nbits: 6 }));
+        assert_eq!(
+            IndexBackend::parse("hnsw:8,32"),
+            Some(IndexBackend::Hnsw { m: 8, ef_search: 32 })
+        );
+        assert_eq!(IndexBackend::parse("faiss"), None);
+        assert_eq!(IndexBackend::parse("ivf:x"), None);
+        // Values validate() would reject must fail parse, not panic later.
+        assert_eq!(IndexBackend::parse("ivf:0"), None);
+        assert_eq!(IndexBackend::parse("ivf:64,0"), None);
+        assert_eq!(IndexBackend::parse("pq:0"), None);
+        assert_eq!(IndexBackend::parse("pq:4,0"), None);
+        assert_eq!(IndexBackend::parse("pq:4,9"), None);
+        assert_eq!(IndexBackend::parse("hnsw:1"), None);
+        assert_eq!(IndexBackend::parse("hnsw:8,0"), None);
+        // Surplus parameters are an error, not silently dropped.
+        assert_eq!(IndexBackend::parse("flat:64"), None);
+        assert_eq!(IndexBackend::parse("hnsw:16,48,200"), None);
+        assert_eq!(IndexBackend::parse("ivf:64,8,2"), None);
+    }
+
+    #[test]
+    fn backend_labels_roundtrip_through_parse() {
+        for b in IndexBackend::presets() {
+            assert_eq!(IndexBackend::parse(&b.label()), Some(b), "{}", b.label());
+        }
+    }
+
+    #[test]
+    fn all_backend_presets_validate() {
+        for b in IndexBackend::presets() {
+            DialConfig { index_backend: b, ..DialConfig::smoke() }.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nbits")]
+    fn zero_nbits_rejected() {
+        DialConfig { index_backend: IndexBackend::Pq { m: 4, nbits: 0 }, ..DialConfig::smoke() }
+            .validate();
     }
 }

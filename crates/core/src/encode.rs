@@ -92,10 +92,8 @@ mod tests {
         }
         let emb = encode_list(&model, &store, &list, &vocab);
         for rec in list.iter().take(5) {
-            let direct = model.embed_single(
-                &store,
-                &rec.single_mode_ids(&vocab, model.config().max_len),
-            );
+            let direct =
+                model.embed_single(&store, &rec.single_mode_ids(&vocab, model.config().max_len));
             assert_eq!(emb.row(rec.id), direct.as_slice());
         }
     }

@@ -31,7 +31,8 @@ pub use al::{DialSystem, RoundMetrics, RoundTimings, RunResult};
 pub use blocker::{Committee, CommitteeMember, COMMITTEE_PREFIX};
 pub use candidates::{index_by_committee, index_single, Candidate, CandidateSet};
 pub use config::{
-    BlockerObjective, BlockingStrategy, CandSize, DialConfig, NegativeSource, SelectionStrategy,
+    BlockerObjective, BlockingStrategy, CandSize, DialConfig, IndexBackend, NegativeSource,
+    SelectionStrategy,
 };
 pub use encode::{encode_list, ListEmbeddings};
 pub use eval::{all_pairs_prf, blocker_recall, test_prf, Prf};

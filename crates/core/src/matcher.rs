@@ -43,15 +43,9 @@ impl Matcher {
         let d = model.config().d_model;
         let mut rng = StdRng::seed_from_u64(model.config().seed ^ 0x4ead);
         Matcher {
-            w1: store.add(
-                format!("{MATCHER_PREFIX}w1"),
-                init::xavier_uniform(4 * d, d, &mut rng),
-            ),
+            w1: store.add(format!("{MATCHER_PREFIX}w1"), init::xavier_uniform(4 * d, d, &mut rng)),
             b1: store.add(format!("{MATCHER_PREFIX}b1"), Matrix::zeros(1, d)),
-            w2: store.add(
-                format!("{MATCHER_PREFIX}w2"),
-                init::xavier_uniform(d + 8, 1, &mut rng),
-            ),
+            w2: store.add(format!("{MATCHER_PREFIX}w2"), init::xavier_uniform(d + 8, 1, &mut rng)),
             b2: store.add(format!("{MATCHER_PREFIX}b2"), Matrix::zeros(1, 1)),
             dropout: model.config().dropout,
         }
@@ -122,8 +116,7 @@ impl Matcher {
         let ctx_val = g.value(ctx);
         let ctx_rows: Vec<&[f32]> = (0..n).map(|i| ctx_val.row(i)).collect();
         let seg = |rows: &[&[f32]]| -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
-            let r: Vec<Vec<f32>> =
-                rows[1..boundary.max(2)].iter().map(|x| x.to_vec()).collect();
+            let r: Vec<Vec<f32>> = rows[1..boundary.max(2)].iter().map(|x| x.to_vec()).collect();
             let s_: Vec<Vec<f32>> =
                 rows[(boundary + 1).min(n - 1)..n - 1].iter().map(|x| x.to_vec()).collect();
             (r, s_)
@@ -146,7 +139,8 @@ impl Matcher {
             cov_vals.push(0.25 * coverage(b, a, tau));
         }
         // Plus a hard token-Jaccard scalar for good measure.
-        cov_vals.push(hard_jaccard(&ids[1..boundary.max(2)], &ids[(boundary + 1).min(n - 1)..n - 1]));
+        cov_vals
+            .push(hard_jaccard(&ids[1..boundary.max(2)], &ids[(boundary + 1).min(n - 1)..n - 1]));
         cov_vals.push(0.0); // reserved
         let cov = g.input(Matrix::row_vector(cov_vals));
         let feat = g.concat_cols(&[cls, mean_r, mean_s, diff]);
@@ -203,10 +197,7 @@ impl Matcher {
         vocab: &Vocab,
         pairs: &[(&Record, &Record)],
     ) -> Vec<f32> {
-        pairs
-            .par_iter()
-            .map(|(r, s)| self.prob(store, model, vocab, r, s))
-            .collect()
+        pairs.par_iter().map(|(r, s)| self.prob(store, model, vocab, r, s)).collect()
     }
 
     /// Fine-tune trunk + head on `labeled` pairs (Eq. 6). Returns the mean
@@ -369,8 +360,7 @@ fn coverage(a: &[Vec<f32>], b: &[Vec<f32>], tau: f32) -> f32 {
     }
     let mut total = 0.0;
     for x in a {
-        let zs: Vec<f32> =
-            b.iter().map(|y| -dial_tensor::sq_dist(x, y) / tau).collect();
+        let zs: Vec<f32> = b.iter().map(|y| -dial_tensor::sq_dist(x, y) / tau).collect();
         total += dial_tensor::logsumexp(&zs);
     }
     total / a.len() as f32
@@ -437,17 +427,13 @@ mod tests {
         assert!(loss < 0.55, "loss {loss} did not drop");
         let p_dup = matcher.prob(&store, &model, &vocab, r.get(1), s.get(1));
         let p_non = matcher.prob(&store, &model, &vocab, r.get(1), s.get(5));
-        assert!(
-            p_dup > p_non,
-            "trained matcher should rank dup {p_dup} above non-dup {p_non}"
-        );
+        assert!(p_dup > p_non, "trained matcher should rank dup {p_dup} above non-dup {p_non}");
     }
 
     #[test]
     fn probs_batch_matches_single() {
         let (store, model, matcher, vocab, r, s) = setup();
-        let pairs: Vec<(&Record, &Record)> =
-            vec![(r.get(0), s.get(0)), (r.get(1), s.get(2))];
+        let pairs: Vec<(&Record, &Record)> = vec![(r.get(0), s.get(0)), (r.get(1), s.get(2))];
         let batch = matcher.probs_batch(&store, &model, &vocab, &pairs);
         assert_eq!(batch.len(), 2);
         assert!((batch[0] - matcher.prob(&store, &model, &vocab, r.get(0), s.get(0))).abs() < 1e-6);
@@ -464,10 +450,10 @@ mod tests {
     fn freeze_trunk_leaves_trunk_untouched() {
         let (mut store, model, matcher, vocab, r, s) = setup();
         let before = store.value(model.token_embedding_param()).clone();
-        let labeled: Vec<LabeledPair> =
-            (0..4).map(|i| LabeledPair::new(i, i, true)).chain(
-                (0..4).map(|i| LabeledPair::new(i, (i + 2) % 8, false)),
-            ).collect();
+        let labeled: Vec<LabeledPair> = (0..4)
+            .map(|i| LabeledPair::new(i, i, true))
+            .chain((0..4).map(|i| LabeledPair::new(i, (i + 2) % 8, false)))
+            .collect();
         let cfg = DialConfig { freeze_trunk: true, ..tiny_cfg() };
         matcher.train(&mut store, &model, &vocab, &r, &s, &labeled, &cfg, 0);
         assert_eq!(store.value(model.token_embedding_param()), &before);

@@ -47,7 +47,10 @@ mod tests {
         let mut oracle = Oracle::new(&data);
         let &(r, s) = &data.dups()[0];
         assert!(oracle.label(r, s).label);
-        assert!(!oracle.label(r, (s + 1) % data.s.len() as u32).label || data.is_dup(r, (s + 1) % data.s.len() as u32));
+        assert!(
+            !oracle.label(r, (s + 1) % data.s.len() as u32).label
+                || data.is_dup(r, (s + 1) % data.s.len() as u32)
+        );
         assert_eq!(oracle.labels_spent(), 2);
     }
 

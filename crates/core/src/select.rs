@@ -128,11 +128,9 @@ fn qbc_select(eligible: &[usize], inputs: &SelectionInputs<'_>, rng: &mut StdRng
         .collect();
 
     let score = |i: usize| {
-        let mean: f32 = heads
-            .iter()
-            .map(|(w, b)| logistic_prob(w, *b, &inputs.feats[i]))
-            .sum::<f32>()
-            / COMMITTEE as f32;
+        let mean: f32 =
+            heads.iter().map(|(w, b)| logistic_prob(w, *b, &inputs.feats[i])).sum::<f32>()
+                / COMMITTEE as f32;
         entropy(mean)
     };
     top_by(eligible, inputs.budget, score)
@@ -211,9 +209,8 @@ mod tests {
     }
 
     fn toy() -> (Vec<Candidate>, Vec<f32>, Vec<Vec<f32>>) {
-        let cands: Vec<Candidate> = (0..10)
-            .map(|i| Candidate { r: i, s: i, distance: i as f32, rank: 0 })
-            .collect();
+        let cands: Vec<Candidate> =
+            (0..10).map(|i| Candidate { r: i, s: i, distance: i as f32, rank: 0 }).collect();
         // Probabilities: 0.0, 0.1, ..., 0.9 — most uncertain near 0.5.
         let probs: Vec<f32> = (0..10).map(|i| i as f32 / 10.0).collect();
         let feats: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32, 1.0 - i as f32]).collect();
@@ -266,10 +263,7 @@ mod tests {
             let inputs = make_inputs(&cands, &probs, &feats, &labeled, &excl, 4);
             let mut rng = StdRng::seed_from_u64(1);
             let out = select(strat, &inputs, &mut rng);
-            assert!(
-                out.iter().all(|p| !excl.contains(p)),
-                "{strat:?} selected an excluded pair"
-            );
+            assert!(out.iter().all(|p| !excl.contains(p)), "{strat:?} selected an excluded pair");
             assert!(out.len() <= 4);
         }
     }

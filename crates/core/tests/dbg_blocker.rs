@@ -3,8 +3,8 @@
 use dial_core::*;
 use dial_datasets::*;
 use dial_tensor::*;
-use dial_tplm::*;
 use dial_text::Vocab;
+use dial_tplm::*;
 use std::collections::HashSet;
 
 #[test]
@@ -16,10 +16,19 @@ fn blocker_probe() {
     let model = Tplm::new(cfg.tplm, &mut store);
     let matcher = Matcher::new(&mut store, &model);
     let vocab = Vocab::new(cfg.tplm.vocab_size as u32 - Vocab::NUM_SPECIAL);
-    let corpus: Vec<Vec<u32>> = data.r.iter().chain(data.s.iter())
-        .map(|r| r.single_mode_ids(&vocab, cfg.tplm.max_len)).collect();
-    pretrain_sgns(&mut store, model.token_embedding_param(), cfg.tplm.vocab_size, &corpus,
-        PretrainConfig { epochs: 2, ..Default::default() });
+    let corpus: Vec<Vec<u32>> = data
+        .r
+        .iter()
+        .chain(data.s.iter())
+        .map(|r| r.single_mode_ids(&vocab, cfg.tplm.max_len))
+        .collect();
+    pretrain_sgns(
+        &mut store,
+        model.token_embedding_param(),
+        cfg.tplm.vocab_size,
+        &corpus,
+        PretrainConfig { epochs: 2, ..Default::default() },
+    );
     let labeled = data.seed_labeled(40, 40, 0);
     // fine-tune matcher (to reproduce trunk distortion)
     matcher.train(&mut store, &model, &vocab, &data.r, &data.s, &labeled, &cfg, 0);
@@ -27,14 +36,18 @@ fn blocker_probe() {
     let er = encode_list(&model, &store, &data.r, &vocab);
     let es = encode_list(&model, &store, &data.s, &vocab);
     let cand_cap = 3 * data.s.len();
-    let raw = index_single(&er, &es, 3, cand_cap);
+    let raw = index_single(&er, &es, 3, cand_cap, &dial_ann::IndexSpec::Flat);
     println!("raw trunk recall {:.3}", rec(&data, &raw));
 
     // distance stats in trunk space
-    let mut dup_d = vec![]; let mut rand_d = vec![];
+    let mut dup_d = vec![];
+    let mut rand_d = vec![];
     for (i, &(r, sx)) in data.dups().iter().enumerate().take(60) {
         dup_d.push(dial_ann::sq_l2(er.row(r), es.row(sx)));
-        rand_d.push(dial_ann::sq_l2(er.row((r as usize * 7 + i) as u32 % data.r.len() as u32), es.row((sx as usize * 13 + 3 * i) as u32 % data.s.len() as u32)));
+        rand_d.push(dial_ann::sq_l2(
+            er.row((r as usize * 7 + i) as u32 % data.r.len() as u32),
+            es.row((sx as usize * 13 + 3 * i) as u32 % data.s.len() as u32),
+        ));
     }
     let m = |v: &Vec<f32>| v.iter().sum::<f32>() / v.len() as f32;
     println!("trunk dup d2 {:.2} random d2 {:.2}", m(&dup_d), m(&rand_d));
@@ -49,8 +62,16 @@ fn blocker_probe() {
         let loss = committee.train(&mut store2, &er, &es, &labeled, &ccfg, 0);
         let vr = committee.embed_list(&store2, &er);
         let vs = committee.embed_list(&store2, &es);
-        let ibc = index_by_committee(&vr, &vs, cfg.tplm.d_model, 3, cand_cap);
-        let full = index_by_committee(&vr, &vs, cfg.tplm.d_model, 3, usize::MAX);
+        let ibc =
+            index_by_committee(&vr, &vs, cfg.tplm.d_model, 3, cand_cap, &dial_ann::IndexSpec::Flat);
+        let full = index_by_committee(
+            &vr,
+            &vs,
+            cfg.tplm.d_model,
+            3,
+            usize::MAX,
+            &dial_ann::IndexSpec::Flat,
+        );
         println!("after {} epochs: IBC recall {:.3} union recall {:.3} union size {} loss {:.3} (lrc={lrc} mp={maskp} n={nmem})",
             (chunk + 1) * 10, rec(&data, &ibc), rec(&data, &full), full.len(), loss);
     }
@@ -58,6 +79,6 @@ fn blocker_probe() {
 }
 
 fn rec(data: &EmDataset, c: &CandidateSet) -> f64 {
-    let keys: HashSet<(u32,u32)> = c.key_set();
+    let keys: HashSet<(u32, u32)> = c.key_set();
     blocker_recall(data, &keys)
 }

@@ -3,8 +3,8 @@
 use dial_core::*;
 use dial_datasets::*;
 use dial_tensor::*;
-use dial_tplm::*;
 use dial_text::Vocab;
+use dial_tplm::*;
 
 #[test]
 #[ignore]
@@ -14,35 +14,64 @@ fn matcher_discrimination() {
     let lrh: f32 = std::env::var("LRH").map(|v| v.parse().unwrap()).unwrap_or(1e-2);
     let lrt: f32 = std::env::var("LRT").map(|v| v.parse().unwrap()).unwrap_or(1e-3);
     let nl: usize = std::env::var("NL").map(|v| v.parse().unwrap()).unwrap_or(60);
-    let cfg = DialConfig { matcher_epochs: ep, lr_head: lrh, lr_trunk: lrt, ..DialConfig::default() };
+    let cfg =
+        DialConfig { matcher_epochs: ep, lr_head: lrh, lr_trunk: lrt, ..DialConfig::default() };
     let mut store = ParamStore::new();
     let model = Tplm::new(cfg.tplm, &mut store);
     let matcher = Matcher::new(&mut store, &model);
     let vocab = Vocab::new(cfg.tplm.vocab_size as u32 - Vocab::NUM_SPECIAL);
     // pretrain like the system does
-    let corpus: Vec<Vec<u32>> = data.r.iter().chain(data.s.iter())
-        .map(|r| r.single_mode_ids(&vocab, cfg.tplm.max_len)).collect();
-    pretrain_sgns(&mut store, model.token_embedding_param(), cfg.tplm.vocab_size, &corpus,
-        PretrainConfig { epochs: 2, ..Default::default() });
+    let corpus: Vec<Vec<u32>> = data
+        .r
+        .iter()
+        .chain(data.s.iter())
+        .map(|r| r.single_mode_ids(&vocab, cfg.tplm.max_len))
+        .collect();
+    pretrain_sgns(
+        &mut store,
+        model.token_embedding_param(),
+        cfg.tplm.vocab_size,
+        &corpus,
+        PretrainConfig { epochs: 2, ..Default::default() },
+    );
     let labeled = data.seed_labeled(nl, nl, 0);
     let loss = matcher.train(&mut store, &model, &vocab, &data.r, &data.s, &labeled, &cfg, 0);
     // test separation
-    let mut pos = vec![]; let mut neg = vec![];
+    let mut pos = vec![];
+    let mut neg = vec![];
     for p in &data.test {
         let prob = matcher.prob(&store, &model, &vocab, data.r.get(p.r), data.s.get(p.s));
-        if p.label { pos.push(prob) } else { neg.push(prob) }
+        if p.label {
+            pos.push(prob)
+        } else {
+            neg.push(prob)
+        }
     }
-    pos.sort_by(|a,b| a.partial_cmp(b).unwrap());
-    neg.sort_by(|a,b| a.partial_cmp(b).unwrap());
+    pos.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    neg.sort_by(|a, b| a.partial_cmp(b).unwrap());
     // AUC estimate
     let mut auc = 0.0;
-    for &p in &pos { for &n in &neg { if p > n { auc += 1.0 } else if p == n { auc += 0.5 } } }
+    for &p in &pos {
+        for &n in &neg {
+            if p > n {
+                auc += 1.0
+            } else if p == n {
+                auc += 0.5
+            }
+        }
+    }
     auc /= (pos.len() * neg.len()) as f64;
     let prf = {
         let tp = pos.iter().filter(|&&p| p > 0.5).count();
         let fp = neg.iter().filter(|&&p| p > 0.5).count();
-        Prf::from_counts(tp, tp+fp, pos.len())
+        Prf::from_counts(tp, tp + fp, pos.len())
     };
-    println!("loss {loss:.3} AUC {auc:.3} med_pos {:.3} med_neg {:.3} test P {:.3} R {:.3} F1 {:.3}",
-        pos[pos.len()/2], neg[neg.len()/2], prf.precision, prf.recall, prf.f1);
+    println!(
+        "loss {loss:.3} AUC {auc:.3} med_pos {:.3} med_neg {:.3} test P {:.3} R {:.3} F1 {:.3}",
+        pos[pos.len() / 2],
+        neg[neg.len() / 2],
+        prf.precision,
+        prf.recall,
+        prf.f1
+    );
 }

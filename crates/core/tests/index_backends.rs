@@ -1,0 +1,130 @@
+//! Backend-parity tests for the trait-based retrieval path.
+//!
+//! The `IndexBackend::Flat` path must reproduce the pre-refactor candidate
+//! sets bit-for-bit: the old code built `FlatIndex` directly inside
+//! `index_by_committee` / `index_single`; the reference implementations
+//! below are copies of that code, and the trait path is checked against
+//! them pair-for-pair (ids, distances, and ranks).
+
+use dial_ann::{FlatIndex, IndexSpec, IvfParams, Metric};
+use dial_core::encode::ListEmbeddings;
+use dial_core::{index_by_committee, index_single, Candidate, CandidateSet, IndexBackend};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_view(n: usize, dim: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// The pre-refactor `index_by_committee` body (hard-coded `FlatIndex`).
+fn prerefactor_index_by_committee(
+    views_r: &[Vec<f32>],
+    views_s: &[Vec<f32>],
+    dim: usize,
+    k: usize,
+    max_size: usize,
+) -> CandidateSet {
+    let mut scored = Vec::new();
+    for (vr, vs) in views_r.iter().zip(views_s) {
+        let mut index = FlatIndex::new(dim, Metric::L2);
+        index.add_batch(vr);
+        let hits = index.search_batch(vs, k);
+        for (s_id, hs) in hits.into_iter().enumerate() {
+            for (rank, h) in hs.into_iter().enumerate() {
+                scored.push(Candidate {
+                    r: h.id,
+                    s: s_id as u32,
+                    distance: h.distance,
+                    rank: rank as u32,
+                });
+            }
+        }
+    }
+    CandidateSet::from_scored(scored, max_size)
+}
+
+/// The pre-refactor `index_single` body.
+fn prerefactor_index_single(
+    emb_r: &ListEmbeddings,
+    emb_s: &ListEmbeddings,
+    k: usize,
+    max_size: usize,
+) -> CandidateSet {
+    let mut index = FlatIndex::new(emb_r.dim, Metric::L2);
+    index.add_batch(&emb_r.data);
+    let mut scored = Vec::new();
+    for s_id in 0..emb_s.len() as u32 {
+        for (rank, h) in index.search(emb_s.row(s_id), k).into_iter().enumerate() {
+            scored.push(Candidate { r: h.id, s: s_id, distance: h.distance, rank: rank as u32 });
+        }
+    }
+    CandidateSet::from_scored(scored, max_size)
+}
+
+fn assert_identical(a: &CandidateSet, b: &CandidateSet, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: sizes differ");
+    for (x, y) in a.pairs().iter().zip(b.pairs()) {
+        assert_eq!(x, y, "{what}: candidate mismatch");
+    }
+}
+
+#[test]
+fn flat_backend_reproduces_prerefactor_committee_candidates() {
+    let dim = 16;
+    let mut rng = StdRng::seed_from_u64(42);
+    let views_r: Vec<Vec<f32>> = (0..3).map(|_| random_view(80, dim, &mut rng)).collect();
+    let views_s: Vec<Vec<f32>> = (0..3).map(|_| random_view(50, dim, &mut rng)).collect();
+
+    let spec = IndexBackend::Flat.spec(7);
+    let new = index_by_committee(&views_r, &views_s, dim, 3, 120, &spec);
+    let old = prerefactor_index_by_committee(&views_r, &views_s, dim, 3, 120);
+    assert_identical(&new, &old, "index_by_committee");
+}
+
+#[test]
+fn flat_backend_reproduces_prerefactor_single_candidates() {
+    let dim = 12;
+    let mut rng = StdRng::seed_from_u64(43);
+    let er = ListEmbeddings { dim, data: random_view(90, dim, &mut rng) };
+    let es = ListEmbeddings { dim, data: random_view(60, dim, &mut rng) };
+
+    let new = index_single(&er, &es, 4, 150, &IndexSpec::Flat);
+    let old = prerefactor_index_single(&er, &es, 4, 150);
+    assert_identical(&new, &old, "index_single");
+}
+
+#[test]
+fn ivf_full_probe_matches_flat_candidate_keys() {
+    let dim = 8;
+    let mut rng = StdRng::seed_from_u64(44);
+    let er = ListEmbeddings { dim, data: random_view(120, dim, &mut rng) };
+    let es = ListEmbeddings { dim, data: random_view(40, dim, &mut rng) };
+
+    let flat = index_single(&er, &es, 3, 10_000, &IndexSpec::Flat);
+    let ivf_spec = IndexSpec::IvfFlat(IvfParams { nlist: 10, nprobe: 10, ..Default::default() });
+    let ivf = index_single(&er, &es, 3, 10_000, &ivf_spec);
+    assert_eq!(flat.key_set(), ivf.key_set(), "nprobe=nlist IVF must be exact");
+}
+
+#[test]
+fn approximate_backends_overlap_flat_candidates() {
+    let dim = 16;
+    let mut rng = StdRng::seed_from_u64(45);
+    let er = ListEmbeddings { dim, data: random_view(200, dim, &mut rng) };
+    let es = ListEmbeddings { dim, data: random_view(80, dim, &mut rng) };
+
+    let flat_keys = index_single(&er, &es, 5, 10_000, &IndexSpec::Flat).key_set();
+    for backend in [
+        IndexBackend::IvfFlat { nlist: 16, nprobe: 8 },
+        IndexBackend::Pq { m: 8, nbits: 6 },
+        IndexBackend::Hnsw { m: 16, ef_search: 64 },
+    ] {
+        let keys = index_single(&er, &es, 5, 10_000, &backend.spec(0)).key_set();
+        let overlap = keys.intersection(&flat_keys).count() as f64 / flat_keys.len() as f64;
+        assert!(
+            overlap > 0.3,
+            "{}: candidate overlap with exact retrieval {overlap:.3} too low",
+            backend.label()
+        );
+    }
+}

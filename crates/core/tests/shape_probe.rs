@@ -16,13 +16,24 @@ fn shape_probe() {
         _ => Benchmark::Multilingual,
     };
     let data = b.generate(ScaleProfile::Bench, 0);
-    println!("dataset {} |R|={} |S|={} dups={}", data.name, data.r.len(), data.s.len(), data.dups().len());
+    println!(
+        "dataset {} |R|={} |S|={} dups={}",
+        data.name,
+        data.r.len(),
+        data.s.len(),
+        data.dups().len()
+    );
     let rules = b.rule_kind().map(|k| rule_candidates(&data, k));
     if let Some(r) = &rules {
         println!("rules: {} pairs, recall {:.3}", r.len(), candidate_recall(&data, r));
     }
     let rounds: usize = std::env::var("ROUNDS").map(|v| v.parse().unwrap()).unwrap_or(3);
-    for strat in [BlockingStrategy::Dial, BlockingStrategy::PairedFixed, BlockingStrategy::PairedAdapt, BlockingStrategy::SentenceBert] {
+    for strat in [
+        BlockingStrategy::Dial,
+        BlockingStrategy::PairedFixed,
+        BlockingStrategy::PairedAdapt,
+        BlockingStrategy::SentenceBert,
+    ] {
         let cfg = DialConfig {
             blocking: strat,
             rounds,
@@ -39,9 +50,15 @@ fn shape_probe() {
             m.cand_size, t0.elapsed().as_secs_f64()
         );
         for r in &res.rounds {
-            println!("  round {} labels {} recall {:.3} testF1 {:.3} allP {:.3} allR {:.3}",
-                r.round, r.labels_used, r.blocker_recall, r.test.f1,
-                r.all_pairs.precision, r.all_pairs.recall);
+            println!(
+                "  round {} labels {} recall {:.3} testF1 {:.3} allP {:.3} allR {:.3}",
+                r.round,
+                r.labels_used,
+                r.blocker_recall,
+                r.test.f1,
+                r.all_pairs.precision,
+                r.all_pairs.recall
+            );
         }
     }
 }

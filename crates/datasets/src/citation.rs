@@ -60,19 +60,11 @@ impl Paper {
     }
 
     fn authors_full(&self) -> String {
-        self.authors
-            .iter()
-            .map(|(f, l)| format!("{f} {l}"))
-            .collect::<Vec<_>>()
-            .join(" , ")
+        self.authors.iter().map(|(f, l)| format!("{f} {l}")).collect::<Vec<_>>().join(" , ")
     }
 
     fn authors_initials(&self) -> String {
-        self.authors
-            .iter()
-            .map(|(f, l)| format!("{} {l}", &f[..1]))
-            .collect::<Vec<_>>()
-            .join(" , ")
+        self.authors.iter().map(|(f, l)| format!("{} {l}", &f[..1])).collect::<Vec<_>>().join(" , ")
     }
 }
 
@@ -109,12 +101,7 @@ fn make_family(size: usize, rng: &mut StdRng) -> Vec<Paper> {
                 title[slot] = ACADEMIC[(v * 13 + slot * 7) % ACADEMIC.len()].to_string();
                 title.push(if v % 2 == 1 { "revisited".into() } else { "extended".into() });
             }
-            Paper {
-                title,
-                authors: authors.clone(),
-                venue_ix,
-                year: base_year + v as u32,
-            }
+            Paper { title, authors: authors.clone(), venue_ix, year: base_year + v as u32 }
         })
         .collect()
 }
@@ -257,7 +244,8 @@ mod tests {
     #[test]
     fn some_years_dropped() {
         let d = generate_citation(&small_cfg());
-        let missing = d.s.iter().filter(|rec| rec.value_by_name("year").unwrap().is_empty()).count();
+        let missing =
+            d.s.iter().filter(|rec| rec.value_by_name("year").unwrap().is_empty()).count();
         assert!(missing > 5, "expected dropped years, got {missing}");
     }
 
@@ -265,22 +253,20 @@ mod tests {
     fn duplicates_share_title_words() {
         let d = generate_citation(&small_cfg());
         for &(ri, si) in d.dups().iter().take(10) {
-            let rt: std::collections::HashSet<String> = d
-                .r
-                .get(ri)
-                .value_by_name("title")
-                .unwrap()
-                .split_whitespace()
-                .map(str::to_string)
-                .collect();
-            let st: std::collections::HashSet<String> = d
-                .s
-                .get(si)
-                .value_by_name("title")
-                .unwrap()
-                .split_whitespace()
-                .map(str::to_string)
-                .collect();
+            let rt: std::collections::HashSet<String> =
+                d.r.get(ri)
+                    .value_by_name("title")
+                    .unwrap()
+                    .split_whitespace()
+                    .map(str::to_string)
+                    .collect();
+            let st: std::collections::HashSet<String> =
+                d.s.get(si)
+                    .value_by_name("title")
+                    .unwrap()
+                    .split_whitespace()
+                    .map(str::to_string)
+                    .collect();
             let shared = rt.intersection(&st).count();
             assert!(shared >= 2, "dup titles share only {shared} words");
         }

@@ -4,11 +4,10 @@ use dial_text::RecordList;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// A labeled record pair: `(r_id, s_id, is_duplicate)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LabeledPair {
     pub r: u32,
     pub s: u32,
@@ -26,7 +25,7 @@ impl LabeledPair {
 }
 
 /// Row of the paper's Table 1.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetStats {
     pub name: String,
     pub r_size: usize,
@@ -111,8 +110,7 @@ impl EmDataset {
         let neg: Vec<&LabeledPair> = self.train_pool.iter().filter(|p| !p.label).collect();
         assert!(pos.len() >= n_pos, "train pool has {} positives, need {n_pos}", pos.len());
         assert!(neg.len() >= n_neg, "train pool has {} negatives, need {n_neg}", neg.len());
-        let mut out: Vec<LabeledPair> =
-            pos.choose_multiple(&mut rng, n_pos).map(|p| **p).collect();
+        let mut out: Vec<LabeledPair> = pos.choose_multiple(&mut rng, n_pos).map(|p| **p).collect();
         out.extend(neg.choose_multiple(&mut rng, n_neg).map(|p| **p));
         out.shuffle(&mut rng);
         out
@@ -184,14 +182,8 @@ mod tests {
         let mut s = RecordList::new(schema);
         r.push(vec!["a".into()]);
         s.push(vec!["a".into()]);
-        let _ = EmDataset::new(
-            "bad",
-            r,
-            s,
-            vec![(0, 0)],
-            vec![LabeledPair::new(0, 0, false)],
-            vec![],
-        );
+        let _ =
+            EmDataset::new("bad", r, s, vec![(0, 0)], vec![LabeledPair::new(0, 0, false)], vec![]);
     }
 
     #[test]

@@ -15,8 +15,8 @@
 
 use crate::dataset::{EmDataset, LabeledPair};
 use crate::pools::{self, DE_FUNCTION_WORDS, DOC_WORDS, EN_FUNCTION_WORDS};
-use dial_text::{TokenId, Vocab};
 use dial_text::{RecordList, Schema};
+use dial_text::{TokenId, Vocab};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -56,13 +56,8 @@ impl Default for MultilingualConfig {
 }
 
 /// XML-ish tags wrapped around sentences.
-const TAGS: &[(&str, &str)] = &[
-    ("<p>", "</p>"),
-    ("<li>", "</li>"),
-    ("<h2>", "</h2>"),
-    ("<td>", "</td>"),
-    ("<b>", "</b>"),
-];
+const TAGS: &[(&str, &str)] =
+    &[("<p>", "</p>"), ("<li>", "</li>"), ("<h2>", "</h2>"), ("<td>", "</td>"), ("<b>", "</b>")];
 
 /// Generate the dataset.
 pub fn generate_multilingual(cfg: &MultilingualConfig) -> EmDataset {
@@ -75,9 +70,8 @@ pub fn generate_multilingual(cfg: &MultilingualConfig) -> EmDataset {
 
     for i in 0..cfg.n_pairs {
         let n_words = rng.gen_range(cfg.min_words..=cfg.max_words);
-        let words: Vec<&str> = (0..n_words)
-            .map(|_| DOC_WORDS[rng.gen_range(0..DOC_WORDS.len())])
-            .collect();
+        let words: Vec<&str> =
+            (0..n_words).map(|_| DOC_WORDS[rng.gen_range(0..DOC_WORDS.len())]).collect();
         let (open, close) = TAGS[i % TAGS.len()];
 
         // English side: function words interleaved.
@@ -147,8 +141,7 @@ pub fn generate_multilingual(cfg: &MultilingualConfig) -> EmDataset {
 
     // Train pool: remaining aligned pairs as positives; shifted pairs as
     // negatives.
-    let test_keys: std::collections::HashSet<(u32, u32)> =
-        test.iter().map(|p| p.key()).collect();
+    let test_keys: std::collections::HashSet<(u32, u32)> = test.iter().map(|p| p.key()).collect();
     let mut pool: Vec<LabeledPair> = Vec::new();
     for &i in order.iter().skip(n_test_pos) {
         let key = (i as u32, i as u32);
@@ -170,10 +163,7 @@ pub fn generate_multilingual(cfg: &MultilingualConfig) -> EmDataset {
 /// words are intentionally excluded: mBERT aligns content semantics, not
 /// grammar.
 pub fn alignment_pairs(vocab: &Vocab) -> Vec<(TokenId, TokenId)> {
-    DOC_WORDS
-        .iter()
-        .map(|w| (vocab.id(w), vocab.id(&pools::pseudo_german(w))))
-        .collect()
+    DOC_WORDS.iter().map(|w| (vocab.id(w), vocab.id(&pools::pseudo_german(w)))).collect()
 }
 
 #[cfg(test)]

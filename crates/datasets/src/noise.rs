@@ -134,13 +134,13 @@ fn typo(word: &str, rng: &mut StdRng) -> String {
     let mut out = chars.clone();
     let pos = rng.gen_range(0..chars.len());
     match rng.gen_range(0..4) {
-        0 => out[pos] = random_letter(rng),                    // substitute
+        0 => out[pos] = random_letter(rng), // substitute
         1 if out.len() > 1 => {
-            out.remove(pos);                                   // delete
+            out.remove(pos); // delete
         }
-        2 => out.insert(pos, random_letter(rng)),              // insert
+        2 => out.insert(pos, random_letter(rng)), // insert
         _ if out.len() > 1 && pos + 1 < out.len() => {
-            out.swap(pos, pos + 1);                            // transpose
+            out.swap(pos, pos + 1); // transpose
         }
         _ => out[pos] = random_letter(rng),
     }
@@ -177,9 +177,7 @@ mod tests {
     fn heavy_profile_changes_most_strings() {
         let mut rng = StdRng::seed_from_u64(2);
         let s = "stellar wireless router with gigabit ports and antennas";
-        let changed = (0..50)
-            .filter(|_| corrupt(s, &NoiseProfile::HEAVY, &mut rng) != s)
-            .count();
+        let changed = (0..50).filter(|_| corrupt(s, &NoiseProfile::HEAVY, &mut rng) != s).count();
         assert!(changed > 40, "only {changed}/50 corrupted");
     }
 
@@ -217,8 +215,10 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let a = corrupt("alpha beta gamma delta", &NoiseProfile::HEAVY, &mut StdRng::seed_from_u64(7));
-        let b = corrupt("alpha beta gamma delta", &NoiseProfile::HEAVY, &mut StdRng::seed_from_u64(7));
+        let a =
+            corrupt("alpha beta gamma delta", &NoiseProfile::HEAVY, &mut StdRng::seed_from_u64(7));
+        let b =
+            corrupt("alpha beta gamma delta", &NoiseProfile::HEAVY, &mut StdRng::seed_from_u64(7));
         assert_eq!(a, b);
     }
 }

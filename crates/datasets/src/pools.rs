@@ -7,19 +7,80 @@
 
 /// Consumer-electronics / retail brand-like names.
 pub const BRANDS: &[&str] = &[
-    "acme", "nordix", "veltron", "quasar", "bluepeak", "stellar", "omnicore", "zephyr",
-    "pinnacle", "aurora", "titanix", "cobaltec", "redwood", "lumina", "vortexa", "heliant",
-    "maxtor", "silverline", "crestone", "ionix", "polarex", "graviton", "nimbus", "octavia",
-    "solaris", "vantage", "kinetix", "meridian", "falconix", "tundra", "caspian", "orionis",
-    "zenithal", "arcadia", "novatek", "sequoia", "halcyon", "draconis", "emberly", "frostine",
+    "acme",
+    "nordix",
+    "veltron",
+    "quasar",
+    "bluepeak",
+    "stellar",
+    "omnicore",
+    "zephyr",
+    "pinnacle",
+    "aurora",
+    "titanix",
+    "cobaltec",
+    "redwood",
+    "lumina",
+    "vortexa",
+    "heliant",
+    "maxtor",
+    "silverline",
+    "crestone",
+    "ionix",
+    "polarex",
+    "graviton",
+    "nimbus",
+    "octavia",
+    "solaris",
+    "vantage",
+    "kinetix",
+    "meridian",
+    "falconix",
+    "tundra",
+    "caspian",
+    "orionis",
+    "zenithal",
+    "arcadia",
+    "novatek",
+    "sequoia",
+    "halcyon",
+    "draconis",
+    "emberly",
+    "frostine",
 ];
 
 /// Product category nouns.
 pub const CATEGORIES: &[&str] = &[
-    "router", "laptop", "camera", "printer", "monitor", "keyboard", "speaker", "headphones",
-    "tablet", "projector", "scanner", "microphone", "webcam", "charger", "adapter", "drive",
-    "television", "soundbar", "smartwatch", "drone", "turntable", "amplifier", "receiver",
-    "subwoofer", "modem", "switch", "enclosure", "dock", "stylus", "trackball",
+    "router",
+    "laptop",
+    "camera",
+    "printer",
+    "monitor",
+    "keyboard",
+    "speaker",
+    "headphones",
+    "tablet",
+    "projector",
+    "scanner",
+    "microphone",
+    "webcam",
+    "charger",
+    "adapter",
+    "drive",
+    "television",
+    "soundbar",
+    "smartwatch",
+    "drone",
+    "turntable",
+    "amplifier",
+    "receiver",
+    "subwoofer",
+    "modem",
+    "switch",
+    "enclosure",
+    "dock",
+    "stylus",
+    "trackball",
 ];
 
 /// Synonym pairs among category/qualifier words. The noise model swaps a
@@ -40,44 +101,126 @@ pub const SYNONYMS: &[(&str, &str)] = &[
 
 /// Qualifier adjectives for product titles.
 pub const QUALIFIERS: &[&str] = &[
-    "wireless", "portable", "digital", "compact", "professional", "gaming", "ultra", "slim",
-    "black", "white", "silver", "rugged", "premium", "budget", "smart", "hybrid", "dual",
-    "quad", "mini", "max", "fast", "silent", "ergonomic", "waterproof", "refurbished",
+    "wireless",
+    "portable",
+    "digital",
+    "compact",
+    "professional",
+    "gaming",
+    "ultra",
+    "slim",
+    "black",
+    "white",
+    "silver",
+    "rugged",
+    "premium",
+    "budget",
+    "smart",
+    "hybrid",
+    "dual",
+    "quad",
+    "mini",
+    "max",
+    "fast",
+    "silent",
+    "ergonomic",
+    "waterproof",
+    "refurbished",
 ];
 
 /// Capacity/size tokens.
 pub const CAPACITIES: &[&str] = &[
-    "16gb", "32gb", "64gb", "128gb", "256gb", "512gb", "1tb", "2tb", "4tb", "500gb",
-    "13inch", "15inch", "17inch", "24inch", "27inch", "32inch", "1080p", "4k", "8k",
+    "16gb", "32gb", "64gb", "128gb", "256gb", "512gb", "1tb", "2tb", "4tb", "500gb", "13inch",
+    "15inch", "17inch", "24inch", "27inch", "32inch", "1080p", "4k", "8k",
 ];
 
 /// Academic title words (content words for citation titles).
 pub const ACADEMIC: &[&str] = &[
-    "efficient", "scalable", "adaptive", "distributed", "parallel", "incremental", "robust",
-    "approximate", "optimal", "learned", "neural", "probabilistic", "streaming", "secure",
-    "query", "index", "join", "transaction", "storage", "cache", "graph", "schema", "entity",
-    "record", "matching", "resolution", "blocking", "deduplication", "integration", "cleaning",
-    "sampling", "sketching", "partitioning", "replication", "recovery", "consensus", "locking",
-    "compression", "encoding", "hashing", "clustering", "classification", "embedding",
-    "optimization", "estimation", "evaluation", "processing", "execution", "planning",
-    "workload", "benchmark", "database", "warehouse", "lake", "stream", "spatial", "temporal",
-    "relational", "columnar", "vectorized", "concurrent", "versioned", "federated", "hybrid",
-    "crowdsourced", "interactive", "declarative", "algebraic", "semantic", "syntactic",
+    "efficient",
+    "scalable",
+    "adaptive",
+    "distributed",
+    "parallel",
+    "incremental",
+    "robust",
+    "approximate",
+    "optimal",
+    "learned",
+    "neural",
+    "probabilistic",
+    "streaming",
+    "secure",
+    "query",
+    "index",
+    "join",
+    "transaction",
+    "storage",
+    "cache",
+    "graph",
+    "schema",
+    "entity",
+    "record",
+    "matching",
+    "resolution",
+    "blocking",
+    "deduplication",
+    "integration",
+    "cleaning",
+    "sampling",
+    "sketching",
+    "partitioning",
+    "replication",
+    "recovery",
+    "consensus",
+    "locking",
+    "compression",
+    "encoding",
+    "hashing",
+    "clustering",
+    "classification",
+    "embedding",
+    "optimization",
+    "estimation",
+    "evaluation",
+    "processing",
+    "execution",
+    "planning",
+    "workload",
+    "benchmark",
+    "database",
+    "warehouse",
+    "lake",
+    "stream",
+    "spatial",
+    "temporal",
+    "relational",
+    "columnar",
+    "vectorized",
+    "concurrent",
+    "versioned",
+    "federated",
+    "hybrid",
+    "crowdsourced",
+    "interactive",
+    "declarative",
+    "algebraic",
+    "semantic",
+    "syntactic",
 ];
 
 /// Author first names.
 pub const FIRST_NAMES: &[&str] = &[
-    "maria", "james", "wei", "anna", "rahul", "sofia", "ivan", "chen", "fatima", "lucas",
-    "emma", "hiro", "nadia", "omar", "elena", "david", "priya", "jonas", "aisha", "pedro",
-    "ingrid", "tomas", "leila", "marco", "yuki", "sven", "carla", "amir", "greta", "diego",
+    "maria", "james", "wei", "anna", "rahul", "sofia", "ivan", "chen", "fatima", "lucas", "emma",
+    "hiro", "nadia", "omar", "elena", "david", "priya", "jonas", "aisha", "pedro", "ingrid",
+    "tomas", "leila", "marco", "yuki", "sven", "carla", "amir", "greta", "diego",
 ];
 
 /// Author last names.
 pub const LAST_NAMES: &[&str] = &[
     "garcia", "smith", "zhang", "kumar", "petrov", "rossi", "tanaka", "mueller", "silva",
     "johnson", "lee", "nguyen", "kowalski", "haddad", "eriksson", "moreau", "costa", "novak",
-    "fischer", "brown", "wang", "patel", "jensen", "ricci", "yamada", "weber", "santos",
-    "dubois", "larsen", "okafor",
+    "fischer", "brown", "wang", "patel", "jensen", "ricci", "yamada", "weber", "santos", "dubois",
+    "larsen", "okafor",
 ];
 
 /// Venues as (full name, abbreviation) pairs; the dirty citation generator
@@ -99,13 +242,67 @@ pub const VENUES: &[(&str, &str)] = &[
 /// text, as in the Salesforce structured-documentation corpus the paper
 /// uses).
 pub const DOC_WORDS: &[&str] = &[
-    "account", "settings", "profile", "button", "click", "select", "option", "menu", "field",
-    "value", "record", "object", "report", "dashboard", "filter", "column", "table", "page",
-    "layout", "template", "workflow", "rule", "trigger", "action", "email", "alert", "task",
-    "calendar", "contact", "campaign", "opportunity", "product", "order", "invoice", "payment",
-    "customer", "service", "support", "case", "queue", "permission", "role", "security",
-    "session", "password", "login", "export", "import", "update", "delete", "create", "edit",
-    "view", "search", "sort", "group", "share", "sync", "mobile", "desktop", "browser",
+    "account",
+    "settings",
+    "profile",
+    "button",
+    "click",
+    "select",
+    "option",
+    "menu",
+    "field",
+    "value",
+    "record",
+    "object",
+    "report",
+    "dashboard",
+    "filter",
+    "column",
+    "table",
+    "page",
+    "layout",
+    "template",
+    "workflow",
+    "rule",
+    "trigger",
+    "action",
+    "email",
+    "alert",
+    "task",
+    "calendar",
+    "contact",
+    "campaign",
+    "opportunity",
+    "product",
+    "order",
+    "invoice",
+    "payment",
+    "customer",
+    "service",
+    "support",
+    "case",
+    "queue",
+    "permission",
+    "role",
+    "security",
+    "session",
+    "password",
+    "login",
+    "export",
+    "import",
+    "update",
+    "delete",
+    "create",
+    "edit",
+    "view",
+    "search",
+    "sort",
+    "group",
+    "share",
+    "sync",
+    "mobile",
+    "desktop",
+    "browser",
 ];
 
 /// German function words sprinkled into the "Deutsch" side.
@@ -120,8 +317,8 @@ pub const EN_FUNCTION_WORDS: &[&str] =
 /// technique names) that make citation titles blockable, like real paper
 /// titles containing rare coined words.
 pub const SYLLABLES: &[&str] = &[
-    "ba", "cor", "dex", "fen", "gra", "hol", "jin", "kra", "lum", "mor", "nex", "pra",
-    "quor", "ril", "sto", "tar", "vex", "wol", "yar", "zem",
+    "ba", "cor", "dex", "fen", "gra", "hol", "jin", "kra", "lum", "mor", "nex", "pra", "quor",
+    "ril", "sto", "tar", "vex", "wol", "yar", "zem",
 ];
 
 /// Deterministic rare topic word from an index (e.g. `pseudo_topic(17)`).
@@ -146,8 +343,7 @@ mod tests {
 
     #[test]
     fn pools_are_nonempty_and_lowercase() {
-        for pool in [BRANDS, CATEGORIES, QUALIFIERS, ACADEMIC, FIRST_NAMES, LAST_NAMES, DOC_WORDS]
-        {
+        for pool in [BRANDS, CATEGORIES, QUALIFIERS, ACADEMIC, FIRST_NAMES, LAST_NAMES, DOC_WORDS] {
             assert!(!pool.is_empty());
             assert!(pool.iter().all(|w| w.chars().all(|c| !c.is_uppercase())));
         }

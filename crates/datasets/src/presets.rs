@@ -140,7 +140,13 @@ impl Benchmark {
                 m2m_frac: 0.02,
                 test_size: sized(profile, 2473, 300, 24),
                 s_noise: NoiseProfile::MILD,
-                title_noise: NoiseProfile { typo: 0.01, drop: 0.01, swap: 0.05, abbreviate: 0.01, synonym: 0.0 },
+                title_noise: NoiseProfile {
+                    typo: 0.01,
+                    drop: 0.01,
+                    swap: 0.05,
+                    abbreviate: 0.01,
+                    synonym: 0.0,
+                },
                 venue_abbrev: 0.15,
                 author_initials: 0.10,
                 drop_year: 0.05,
@@ -156,7 +162,13 @@ impl Benchmark {
                 m2m_frac: 0.6,
                 test_size: sized(profile, 5742, 300, 24),
                 s_noise: NoiseProfile::HEAVY,
-                title_noise: NoiseProfile { typo: 0.03, drop: 0.04, swap: 0.15, abbreviate: 0.03, synonym: 0.05 },
+                title_noise: NoiseProfile {
+                    typo: 0.03,
+                    drop: 0.04,
+                    swap: 0.15,
+                    abbreviate: 0.03,
+                    synonym: 0.05,
+                },
                 venue_abbrev: 0.6,
                 author_initials: 0.5,
                 drop_year: 0.3,
@@ -207,7 +219,7 @@ mod tests {
     fn smoke_scale_generates_all_six() {
         for b in Benchmark::all() {
             let d = b.generate(ScaleProfile::Smoke, 1);
-            assert!(d.r.len() > 0 && d.s.len() > 0, "{:?} empty", b);
+            assert!(!d.r.is_empty() && !d.s.is_empty(), "{:?} empty", b);
             assert!(!d.dups().is_empty(), "{:?} has no dups", b);
             assert!(!d.test.is_empty(), "{:?} has no test split", b);
             // Seed set must be satisfiable at smoke scale.

@@ -44,7 +44,7 @@ pub fn rule_candidates(data: &EmDataset, kind: RuleKind) -> Vec<(u32, u32)> {
         RuleKind::Product => |rec| rec.word_tokens(),
         RuleKind::Citation => |rec| {
             rec.value_by_name("title")
-                .map(|t| dial_text::word_tokens(t))
+                .map(dial_text::word_tokens)
                 .unwrap_or_else(|| rec.word_tokens())
         },
     };

@@ -45,8 +45,7 @@ pub(crate) fn build_splits(
     negs.dedup();
     negs.shuffle(rng);
 
-    let n_test_pos = ((test_size as f64 * TEST_POS_FRAC) as usize)
-        .clamp(1, dup_shuffled.len() / 2);
+    let n_test_pos = ((test_size as f64 * TEST_POS_FRAC) as usize).clamp(1, dup_shuffled.len() / 2);
     let n_test_neg = (test_size - n_test_pos).min(negs.len());
 
     let test: Vec<LabeledPair> = dup_shuffled[..n_test_pos]
@@ -57,10 +56,8 @@ pub(crate) fn build_splits(
 
     // Train pool: remaining dups, remaining hard negatives, plus random
     // easy negatives so seed negatives are not exclusively hard.
-    let mut pool: Vec<LabeledPair> = dup_shuffled[n_test_pos..]
-        .iter()
-        .map(|&(r, s)| LabeledPair::new(r, s, true))
-        .collect();
+    let mut pool: Vec<LabeledPair> =
+        dup_shuffled[n_test_pos..].iter().map(|&(r, s)| LabeledPair::new(r, s, true)).collect();
     pool.extend(negs[n_test_neg..].iter().map(|&(r, s)| LabeledPair::new(r, s, false)));
 
     let test_keys: HashSet<(u32, u32)> = test.iter().map(|p| p.key()).collect();
@@ -85,6 +82,7 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
+    #[allow(clippy::type_complexity)]
     fn inputs() -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
         let dups: Vec<(u32, u32)> = (0..40).map(|i| (i, i)).collect();
         let hard: Vec<(u32, u32)> = (0..40).map(|i| (i, i + 40)).collect();

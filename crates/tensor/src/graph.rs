@@ -26,7 +26,10 @@ enum Op {
     /// Read of a trainable parameter from the store.
     Param(ParamId),
     /// Row gather from an embedding table parameter.
-    Gather { table: ParamId, indices: Vec<u32> },
+    Gather {
+        table: ParamId,
+        indices: Vec<u32>,
+    },
     /// `a @ b`
     MatMul(Var, Var),
     /// `a @ b^T`
@@ -51,18 +54,36 @@ enum Op {
     /// Row-wise log-sum-exp, `[n, c] -> [n, 1]`.
     LogSumExpRows(Var),
     /// Row-wise layer normalization with learned gain and bias rows.
-    LayerNorm { x: Var, gain: Var, bias: Var },
+    LayerNorm {
+        x: Var,
+        gain: Var,
+        bias: Var,
+    },
     /// Column-mean over rows, `[n, c] -> [1, c]`.
     MeanRows(Var),
-    SliceRows { x: Var, lo: usize, hi: usize },
-    SliceCols { x: Var, lo: usize, hi: usize },
+    SliceRows {
+        x: Var,
+        lo: usize,
+        hi: usize,
+    },
+    SliceCols {
+        x: Var,
+        lo: usize,
+        hi: usize,
+    },
     ConcatCols(Vec<Var>),
     ConcatRows(Vec<Var>),
     Transpose(Var),
     /// Replicate a `[1, c]` row `n` times to `[n, c]`.
-    RepeatRow { x: Var, n: usize },
+    RepeatRow {
+        x: Var,
+        n: usize,
+    },
     /// Inverted dropout; `mask` holds `0` or `1/keep` per element.
-    Dropout { x: Var, mask: Vec<f32> },
+    Dropout {
+        x: Var,
+        mask: Vec<f32>,
+    },
     /// Row-wise squared distances, `([n,d], [n,d]) -> [n, 1]`.
     RowSqDists(Var, Var),
     /// All-pairs squared distances, `([n,d], [m,d]) -> [n, m]`.
@@ -72,9 +93,15 @@ enum Op {
     /// Mean of all elements, `-> [1,1]`.
     Mean(Var),
     /// Mean binary cross-entropy with logits; targets in `{0, 1}`.
-    BceWithLogits { logits: Var, targets: Vec<f32> },
+    BceWithLogits {
+        logits: Var,
+        targets: Vec<f32>,
+    },
     /// Mean softmax cross-entropy over rows against class indices.
-    SoftmaxCrossEntropy { logits: Var, targets: Vec<u32> },
+    SoftmaxCrossEntropy {
+        logits: Var,
+        targets: Vec<u32>,
+    },
 }
 
 #[derive(Debug)]

@@ -190,8 +190,8 @@ impl Matrix {
         for i in 0..self.rows {
             let a_row = self.row(i);
             let o = out.row_mut(i);
-            for j in 0..other.rows {
-                o[j] = dot(a_row, other.row(j));
+            for (j, oj) in o.iter_mut().enumerate() {
+                *oj = dot(a_row, other.row(j));
             }
         }
         out

@@ -120,12 +120,7 @@ impl ParamStore {
 
     /// Sum of squared gradient norms over unfrozen parameters.
     pub fn grad_sq_norm(&self) -> f32 {
-        self.grads
-            .iter()
-            .zip(&self.frozen)
-            .filter(|(_, f)| !**f)
-            .map(|(g, _)| g.sq_norm())
-            .sum()
+        self.grads.iter().zip(&self.frozen).filter(|(_, f)| !**f).map(|(g, _)| g.sq_norm()).sum()
     }
 
     /// Globally rescale unfrozen gradients so their joint L2 norm is at most

@@ -9,11 +9,10 @@
 
 use crate::token::{tokenize, word_tokens};
 use crate::vocab::{TokenId, Vocab};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Ordered attribute names shared by every record in a list.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     attrs: Vec<String>,
 }
@@ -44,12 +43,11 @@ impl Schema {
 }
 
 /// One entity record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Record {
     /// Position of this record within its list; list membership (R or S) is
     /// tracked by the caller.
     pub id: u32,
-    #[serde(skip)]
     schema: Option<Arc<Schema>>,
     values: Vec<String>,
 }

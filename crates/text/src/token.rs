@@ -57,10 +57,9 @@ pub fn word_tokens(text: &str) -> Vec<String> {
 /// joins and blocking keys.
 pub fn qgrams(text: &str, q: usize) -> Vec<String> {
     assert!(q > 0, "q must be positive");
-    let padded: Vec<char> = std::iter::repeat('#')
-        .take(q - 1)
+    let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
         .chain(text.to_lowercase().chars())
-        .chain(std::iter::repeat('#').take(q - 1))
+        .chain(std::iter::repeat_n('#', q - 1))
         .collect();
     if padded.len() < q {
         return vec![padded.into_iter().collect()];
@@ -101,7 +100,10 @@ mod tests {
 
     #[test]
     fn splits_words_and_numbers() {
-        assert_eq!(tokenize("Asus WL-520GU Router"), vec!["asus", "wl", "-", "520", "gu", "router"]);
+        assert_eq!(
+            tokenize("Asus WL-520GU Router"),
+            vec!["asus", "wl", "-", "520", "gu", "router"]
+        );
     }
 
     #[test]

@@ -66,7 +66,7 @@ impl TplmConfig {
 
     /// Panic with a clear message if the configuration is inconsistent.
     pub fn validate(&self) {
-        assert!(self.d_model % self.n_heads == 0, "n_heads must divide d_model");
+        assert!(self.d_model.is_multiple_of(self.n_heads), "n_heads must divide d_model");
         assert!(self.vocab_size > 5, "vocab must cover the special tokens");
         assert!(self.max_len >= 5, "max_len too small for paired mode");
         assert!((0.0..1.0).contains(&self.dropout), "dropout must be in [0, 1)");

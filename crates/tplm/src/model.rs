@@ -78,10 +78,8 @@ impl Tplm {
             *v *= 5.0;
         }
         let tok_emb = store.add(format!("{TRUNK_PREFIX}tok_emb"), tok);
-        let pos_emb = store.add(
-            format!("{TRUNK_PREFIX}pos_emb"),
-            init::normal(config.max_len, d, 0.05, &mut rng),
-        );
+        let pos_emb = store
+            .add(format!("{TRUNK_PREFIX}pos_emb"), init::normal(config.max_len, d, 0.05, &mut rng));
 
         let mut layers = Vec::with_capacity(config.n_layers);
         for l in 0..config.n_layers {

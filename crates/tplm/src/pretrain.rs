@@ -74,13 +74,11 @@ pub fn pretrain_sgns(
                     loss_sum += sgns_update(store, table, dim, center, context, 1.0, cfg.lr) as f64;
                     loss_n += 1;
                     for _ in 0..cfg.negatives {
-                        let neg = rng
-                            .gen_range(Vocab::NUM_SPECIAL..vocab_size as u32);
+                        let neg = rng.gen_range(Vocab::NUM_SPECIAL..vocab_size as u32);
                         if neg == center || neg == context {
                             continue;
                         }
-                        loss_sum +=
-                            sgns_update(store, table, dim, center, neg, 0.0, cfg.lr) as f64;
+                        loss_sum += sgns_update(store, table, dim, center, neg, 0.0, cfg.lr) as f64;
                         loss_n += 1;
                     }
                 }

@@ -1,14 +1,17 @@
 //! Blocking ablation study on one benchmark: what the blocker's training
 //! data (random vs hard labeled negatives, §3.2.2) and objective
 //! (contrastive vs classification, §3.2.3) do to candidate recall — the
-//! paper's central design finding (Tables 4 and 5).
+//! paper's central design finding (Tables 4 and 5) — plus the ANN backend
+//! sweep: blocker recall vs wall-clock for Flat / IVF-Flat / PQ / HNSW
+//! retrieval (the FAISS deployment knob of §5.4).
 //!
 //! ```sh
 //! cargo run --release --example blocking_study
 //! ```
 
-use dial::core::{BlockerObjective, DialConfig, DialSystem, NegativeSource};
+use dial::core::{BlockerObjective, DialConfig, DialSystem, IndexBackend, NegativeSource};
 use dial_datasets::{Benchmark, ScaleProfile};
+use std::time::Instant;
 
 fn main() {
     let data = Benchmark::WalmartAmazon.generate(ScaleProfile::Smoke, 3);
@@ -29,18 +32,34 @@ fn main() {
 
     println!("{:<30} {:>14} {:>14}", "blocker variant", "cand recall", "all-pairs F1");
     for &(name, negatives, objective) in variants {
-        let config = DialConfig {
-            rounds: 2,
-            negatives,
-            objective,
-            ..DialConfig::smoke()
-        };
+        let config = DialConfig { rounds: 2, negatives, objective, ..DialConfig::smoke() };
         let mut system = DialSystem::new(config);
         let result = system.run(&data, None);
         let last = result.last();
+        println!("{name:<30} {:>14.3} {:>14.3}", last.blocker_recall, last.all_pairs.f1);
+    }
+
+    // ANN backend sweep: identical DIAL configuration, only the retrieval
+    // substrate changes. Exact Flat anchors recall; the approximate
+    // families show where probe latency is bought with recall.
+    println!(
+        "\n{:<16} {:>12} {:>14} {:>16} {:>14}",
+        "index backend", "cand recall", "all-pairs F1", "index+probe (s)", "wall-clock (s)"
+    );
+    for backend in IndexBackend::presets() {
+        let config = DialConfig { rounds: 2, index_backend: backend, ..DialConfig::smoke() };
+        let mut system = DialSystem::new(config);
+        let t0 = Instant::now();
+        let result = system.run(&data, None);
+        let wall = t0.elapsed().as_secs_f64();
+        let last = result.last();
         println!(
-            "{name:<30} {:>14.3} {:>14.3}",
-            last.blocker_recall, last.all_pairs.f1
+            "{:<16} {:>12.3} {:>14.3} {:>16.3} {:>14.2}",
+            backend.label(),
+            last.blocker_recall,
+            last.all_pairs.f1,
+            last.timings.indexing_retrieval,
+            wall
         );
     }
 }

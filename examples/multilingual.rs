@@ -20,10 +20,9 @@ fn main() {
     println!("English side:  {}", data.r.get(0).text());
     println!("Deutsch side:  {}", data.s.get(0).text());
 
-    for (name, strategy) in [
-        ("PairedFixed", BlockingStrategy::PairedFixed),
-        ("DIAL", BlockingStrategy::Dial),
-    ] {
+    for (name, strategy) in
+        [("PairedFixed", BlockingStrategy::PairedFixed), ("DIAL", BlockingStrategy::Dial)]
+    {
         let config = DialConfig {
             rounds: 3,
             budget: 12,

@@ -1,0 +1,393 @@
+//! Offline stand-in for `proptest`: the strategy/macro subset the
+//! workspace's property tests use, minus shrinking.
+//!
+//! Each `proptest!` test runs `ProptestConfig::cases` random cases from a
+//! generator seeded deterministically by the test's name, so failures
+//! reproduce run-to-run. On failure the case index and a `Debug` dump of
+//! the inputs (when available) are printed by the panic message of the
+//! underlying `assert!`.
+//!
+//! Supported strategies: numeric ranges, `collection::vec`, tuples (2–6),
+//! `prop_map`, `Just`, and simple regex-like string patterns of the form
+//! `"[class]{m,n}"` / `".{m,n}"`.
+
+pub use rand as __rand;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Runner configuration (case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the heavier generation-based
+        // suites fast while still exploring the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. `new_value` draws one case; no shrinking.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returning a clone of a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategies from simple regex-like patterns.
+///
+/// Grammar: a sequence of atoms, each `.`, `[class]`, or a literal
+/// character, optionally followed by `{n}` or `{m,n}`. Classes support
+/// ranges (`a-z`) and literals; a trailing `-` is literal.
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        pattern_value(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        pattern_value(self, rng)
+    }
+}
+
+enum Atom {
+    Any,
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+fn pattern_value(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i;
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {n} / {m,n} quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("bad quantifier"),
+                    n.trim().parse::<usize>().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = rng.gen_range(lo..=hi);
+        for _ in 0..count {
+            out.push(sample_atom(&atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut StdRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+            char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo)
+        }
+        Atom::Any => {
+            // Mostly printable ASCII, sometimes an arbitrary scalar value —
+            // upstream proptest's `.` also reaches exotic code points, which
+            // is how it found the odd-case-mapping characters mentioned in
+            // dial-text's tests.
+            if rng.gen_bool(0.85) {
+                char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap()
+            } else {
+                loop {
+                    let c = rng.gen_range(0x0u32..0x11_0000);
+                    if let Some(ch) = char::from_u32(c) {
+                        return ch;
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    /// Length spec for [`vec`]: a fixed size or a range.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with element strategy `elem` and length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, f in -2.0f32..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u8..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuple_and_map(p in (0u32..4, 0u32..4).prop_map(|(a, b)| a + b)) {
+            prop_assert!(p <= 6);
+        }
+
+        #[test]
+        fn string_pattern(s in "[a-z0-9]{1,16}") {
+            prop_assert!(!s.is_empty() && s.len() <= 16);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn pattern_with_spaces_and_punct() {
+        let mut rng = <crate::__rand::rngs::StdRng as crate::__rand::SeedableRng>::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = crate::Strategy::new_value(&"[a-zA-Z0-9 .,-]{0,60}", &mut rng);
+            assert!(s.len() <= 60);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()
+                || c == ' '
+                || c == '.'
+                || c == ','
+                || c == '-'));
+        }
+    }
+
+    #[test]
+    fn seeds_stable() {
+        assert_eq!(crate::seed_for("abc"), crate::seed_for("abc"));
+        assert_ne!(crate::seed_for("abc"), crate::seed_for("abd"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Slice sampling helpers (the `SliceRandom` subset).
+
+use crate::{Rng, RngCore};
+
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// `amount` distinct elements, sampled without replacement (fewer if
+    /// the slice is shorter). Order is the sampling order.
+    fn choose_multiple<'a, R: RngCore>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&'a Self::Item>;
+
+    /// One uniformly random element, or `None` if empty.
+    fn choose<'a, R: RngCore>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose_multiple<'a, R: RngCore>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&'a T> {
+        let n = self.len();
+        let amount = amount.min(n);
+        // Partial Fisher–Yates over an index table: O(n) space, O(amount)
+        // swaps.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for k in 0..amount {
+            let j = rng.gen_range(k..n);
+            idx.swap(k, j);
+        }
+        idx.truncate(amount);
+        idx.into_iter().map(|i| &self[i]).collect::<Vec<_>>().into_iter()
+    }
+
+    fn choose<'a, R: RngCore>(&'a self, rng: &mut R) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn choose_multiple_distinct_and_bounded() {
+        let v: Vec<u32> = (0..20).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 8).copied().collect();
+        assert_eq!(picked.len(), 8);
+        let set: std::collections::HashSet<_> = picked.iter().collect();
+        assert_eq!(set.len(), 8);
+        let over: Vec<u32> = v.choose_multiple(&mut rng, 100).copied().collect();
+        assert_eq!(over.len(), 20);
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let v: Vec<u32> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(v.choose(&mut rng).is_none());
+    }
+}

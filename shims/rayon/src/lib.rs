@@ -1,0 +1,238 @@
+//! Offline stand-in for `rayon`: the data-parallel iterator subset this
+//! workspace uses, executed on scoped `std::thread` workers.
+//!
+//! Unlike rayon's lazy, work-stealing pipelines, [`ParIter`] evaluates each
+//! parallel adapter eagerly: `par_iter().map(f)` runs `f` over the items on
+//! `min(available_parallelism, n)` threads immediately and materializes the
+//! results in input order. That keeps semantics (ordered `collect`,
+//! deterministic output) while putting real parallelism under the one shape
+//! that dominates this codebase — a heavy per-item `map` over an indexed
+//! collection. `RAYON_NUM_THREADS` (or `DIAL_NUM_THREADS`) overrides the
+//! worker count; `1` forces sequential execution.
+
+use std::sync::OnceLock;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelSlice};
+}
+
+/// Worker count: env override or `available_parallelism`.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        for var in ["RAYON_NUM_THREADS", "DIAL_NUM_THREADS"] {
+            if let Some(n) = std::env::var(var).ok().and_then(|v| v.parse::<usize>().ok()) {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Apply `f` to every item on multiple threads, preserving input order.
+fn pmap<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eagerly evaluated parallel iterator: adapters run immediately and
+/// keep input order.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter { items: pmap(self.items, f) }
+    }
+
+    /// Sequential filter: predicates in this codebase are cheap hash-set
+    /// probes; the expensive stages around them stay parallel.
+    pub fn filter<F: Fn(&T) -> bool>(self, f: F) -> ParIter<T> {
+        ParIter { items: self.items.into_iter().filter(|t| f(t)).collect() }
+    }
+
+    /// Map each item to a serial iterator and flatten (rayon's
+    /// `flat_map_iter`).
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParIter<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        I::IntoIter: Send,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested: Vec<Vec<I::Item>> = pmap(self.items, |t| f(t).into_iter().collect());
+        ParIter { items: nested.into_iter().flatten().collect() }
+    }
+
+    /// Flatten items that are themselves iterable (rayon's `flatten_iter`).
+    pub fn flatten_iter(self) -> ParIter<<T as IntoIterator>::Item>
+    where
+        T: IntoIterator,
+    {
+        ParIter { items: self.items.into_iter().flatten().collect() }
+    }
+
+    /// Pair items positionally with another parallel-iterable of the same
+    /// length semantics as rayon's `zip` (truncates to the shorter side).
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<(T, Z::Item)> {
+        ParIter { items: self.items.into_iter().zip(other.into_par_iter().items).collect() }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        pmap(self.items, f);
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// `par_iter()` over a borrowed collection.
+pub trait IntoParallelRefIterator {
+    type Item;
+    fn par_iter(&self) -> ParIter<&Self::Item>;
+}
+
+impl<T: Sync> IntoParallelRefIterator for [T] {
+    type Item = T;
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// `par_chunks()` over a borrowed slice.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter { items: self.chunks(size).collect() }
+    }
+}
+
+/// `into_par_iter()` over owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+macro_rules! par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+par_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_and_ranges() {
+        let v: Vec<u32> = (0..100).collect();
+        let sums: Vec<u32> = v.par_chunks(7).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 100usize.div_ceil(7));
+        assert_eq!(sums.iter().sum::<u32>(), (0..100).sum::<u32>());
+        let r: Vec<u32> = (0u32..50).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(r, (1..=50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_and_flat_map() {
+        let v: Vec<u32> = (0..20).collect();
+        let evens: Vec<u32> = v.par_iter().map(|&x| x).filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens, (0..20).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+        let expanded: Vec<u32> =
+            (0u32..4).into_par_iter().flat_map_iter(|x| vec![x; x as usize]).collect();
+        assert_eq!(expanded, vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn collect_into_hashset() {
+        let v: Vec<u32> = (0..100).chain(0..100).collect();
+        let set: std::collections::HashSet<u32> = v.par_iter().map(|&x| x).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

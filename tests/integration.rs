@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full DIAL pipeline end to end.
 
 use dial::core::{
-    BlockerObjective, BlockingStrategy, DialConfig, DialSystem, NegativeSource,
+    BlockerObjective, BlockingStrategy, DialConfig, DialSystem, IndexBackend, NegativeSource,
     SelectionStrategy,
 };
 use dial::datasets::{rule_candidates, Benchmark, ScaleProfile};
@@ -106,10 +106,7 @@ fn every_selector_completes_a_round() {
         let mut sys = DialSystem::new(cfg);
         let r = sys.run(&data, None);
         // Selection happened between rounds: labels grew.
-        assert!(
-            r.rounds[1].labels_used > r.rounds[0].labels_used,
-            "{sel:?} selected nothing"
-        );
+        assert!(r.rounds[1].labels_used > r.rounds[0].labels_used, "{sel:?} selected nothing");
     }
 }
 
@@ -122,6 +119,30 @@ fn committee_size_sweep_executes() {
         let r = sys.run(&data, None);
         assert!(r.last().cand_size > 0, "N={n}");
     }
+}
+
+#[test]
+fn every_index_backend_completes_the_blocker_pipeline() {
+    // Acceptance: the blocker produces a non-empty candidate set under all
+    // four ANN backends on the smoke benchmark, and Flat (the default)
+    // stays the exact pre-refactor path.
+    let data = Benchmark::AbtBuy.generate(ScaleProfile::Smoke, 1);
+    for backend in IndexBackend::presets() {
+        let cfg = DialConfig { index_backend: backend, rounds: 1, ..smoke_cfg() };
+        let mut sys = DialSystem::new(cfg);
+        let r = sys.run(&data, None);
+        let last = r.last();
+        assert!(last.cand_size > 0, "{}: empty candidate set", backend.label());
+        assert!(last.blocker_recall > 0.0, "{}: zero blocker recall", backend.label());
+    }
+}
+
+#[test]
+fn flat_backend_is_the_default() {
+    // The exact pre-refactor path stays the default; bit-for-bit parity of
+    // that path is covered by crates/core/tests/index_backends.rs.
+    assert_eq!(DialConfig::smoke().index_backend, IndexBackend::Flat);
+    assert_eq!(DialConfig::default().index_backend, IndexBackend::Flat);
 }
 
 #[test]
