@@ -49,7 +49,20 @@ impl FlatIndex {
     }
 
     /// Append many packed vectors (`flat.len() % dim == 0`).
+    ///
+    /// A 0-row index (e.g. built from empty data through
+    /// [`crate::IndexSpec::build`]) holds no vectors that could pin its
+    /// row width, so an incompatible first batch *re-establishes* `dim`
+    /// from the batch — it is taken as a single row of `flat.len()`
+    /// components — instead of panicking on the packed-length check. A
+    /// first batch whose length *is* a multiple of the built `dim` keeps
+    /// that `dim`, exactly as before: a packed slice carries no row
+    /// boundaries, so that case is indistinguishable from a correct
+    /// batch by construction.
     pub fn add_batch(&mut self, flat: &[f32]) {
+        if self.data.is_empty() && !flat.is_empty() && !flat.len().is_multiple_of(self.dim) {
+            self.dim = flat.len();
+        }
         crate::metric::assert_packed(flat.len(), self.dim);
         self.data.extend_from_slice(flat);
     }
@@ -128,5 +141,31 @@ mod tests {
     fn wrong_dim_panics() {
         let mut ix = FlatIndex::new(3, Metric::L2);
         ix.add(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_index_reestablishes_dim_from_first_batch() {
+        // Built for 4-dim rows but never filled: the first incompatible
+        // batch re-establishes the width (as one row) instead of panicking.
+        let mut ix = FlatIndex::new(4, Metric::L2);
+        ix.add_batch(&[1.0, 2.0, 3.0]);
+        assert_eq!(ix.dim(), 3);
+        assert_eq!(ix.len(), 1);
+        // Follow-up batches must respect the established width.
+        ix.add_batch(&[4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(ix.len(), 3);
+        let hits = ix.search(&[1.0, 2.0, 3.0], 1);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn nonempty_index_still_rejects_ragged_batches() {
+        let mut ix = FlatIndex::new(2, Metric::L2);
+        ix.add(&[1.0, 2.0]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ix.add_batch(&[1.0, 2.0, 3.0]);
+        }));
+        assert!(r.is_err(), "ragged batch into a populated index must panic");
     }
 }

@@ -13,6 +13,7 @@ use crate::hnsw::{HnswIndex, HnswParams};
 use crate::ivf::{IvfFlatIndex, IvfParams};
 use crate::metric::Metric;
 use crate::pq::PqIndex;
+use crate::sharded::ShardedIndex;
 use crate::topk::Hit;
 
 /// A built nearest-neighbour index, ready to probe.
@@ -106,8 +107,7 @@ impl AnnIndex for PqIndex {
         PqIndex::len(self)
     }
     fn metric(&self) -> Metric {
-        // ADC scores against L2 distance tables.
-        Metric::L2
+        PqIndex::metric(self)
     }
     fn add_batch(&mut self, flat: &[f32]) {
         PqIndex::add_batch(self, flat)
@@ -160,19 +160,24 @@ impl Default for PqParams {
 }
 
 /// Runtime description of an index backend: which family plus its build
-/// parameters. The unified build-from-packed-rows entry point for all four
-/// index families.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// parameters. The unified build-from-packed-rows entry point for every
+/// index family, including sharded composites.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum IndexSpec {
     /// Exact brute-force scan.
     #[default]
     Flat,
     /// Inverted lists under a k-means coarse quantizer.
     IvfFlat(IvfParams),
-    /// Product-quantized codes scored by ADC (L2 only).
+    /// Product-quantized codes scored by ADC (cosine handled by
+    /// pre-normalization at build/add/query time).
     Pq(PqParams),
     /// Hierarchical navigable small-world graph.
     Hnsw(HnswParams),
+    /// Round-robin shards of `inner` indexes built concurrently and probed
+    /// with a parallel top-k merge ([`ShardedIndex`]). `Sharded(Flat, n)`
+    /// is exactly equivalent to `Flat` for every `n`.
+    Sharded { inner: Box<IndexSpec>, shards: usize },
 }
 
 /// Largest divisor of `dim` that is `<= m` (falls back to 1).
@@ -182,6 +187,11 @@ fn clamp_subspaces(dim: usize, m: usize) -> usize {
 }
 
 impl IndexSpec {
+    /// Wrap this spec into a round-robin sharded composite.
+    pub fn sharded(self, shards: usize) -> IndexSpec {
+        IndexSpec::Sharded { inner: Box::new(self), shards }
+    }
+
     /// Short stable name (CLI values, report rows).
     pub fn name(&self) -> &'static str {
         match self {
@@ -189,36 +199,37 @@ impl IndexSpec {
             IndexSpec::IvfFlat(_) => "ivf_flat",
             IndexSpec::Pq(_) => "pq",
             IndexSpec::Hnsw(_) => "hnsw",
+            IndexSpec::Sharded { .. } => "sharded",
         }
     }
 
     /// Build an index of this family over packed row-major `data`.
     ///
-    /// Panics if `dim == 0`, if `data.len()` is not a multiple of `dim`
-    /// (mirroring [`FlatIndex::add_batch`]'s validation), or if a PQ build
-    /// is requested under a non-L2 metric. An empty `data` yields an empty
-    /// [`FlatIndex`] regardless of family: the quantized families cannot
-    /// train on zero vectors, and an empty exact index is behaviorally
-    /// equivalent (every probe returns no hits).
+    /// Panics if `dim == 0`, or if `data.len()` is not a multiple of `dim`
+    /// (mirroring [`FlatIndex::add_batch`]'s validation). An empty `data`
+    /// yields an empty [`FlatIndex`] for the single-index families (the
+    /// quantized ones cannot train on zero vectors, and an empty exact
+    /// index is behaviorally equivalent — every probe returns no hits);
+    /// `Sharded` builds its child shards over empty slices instead, so the
+    /// round-robin distribution is already in place when rows arrive via
+    /// `add_batch`.
     pub fn build(&self, data: &[f32], dim: usize, metric: Metric) -> Box<dyn AnnIndex> {
         assert!(dim > 0, "index dimension must be positive");
         crate::metric::assert_packed(data.len(), dim);
+        if let IndexSpec::Sharded { inner, shards } = self {
+            return Box::new(ShardedIndex::build(inner, *shards, data, dim, metric));
+        }
         if data.is_empty() {
             return Box::new(FlatIndex::new(dim, metric));
         }
-        match *self {
+        match self {
             IndexSpec::Flat => {
                 let mut ix = FlatIndex::new(dim, metric);
                 ix.add_batch(data);
                 Box::new(ix)
             }
-            IndexSpec::IvfFlat(params) => Box::new(IvfFlatIndex::build(data, dim, metric, params)),
+            IndexSpec::IvfFlat(params) => Box::new(IvfFlatIndex::build(data, dim, metric, *params)),
             IndexSpec::Pq(params) => {
-                assert_eq!(
-                    metric,
-                    Metric::L2,
-                    "PQ asymmetric distance computation supports L2 only"
-                );
                 let nbits = params.nbits.clamp(1, 8);
                 Box::new(PqIndex::build(
                     data,
@@ -226,9 +237,11 @@ impl IndexSpec {
                     clamp_subspaces(dim, params.m),
                     1usize << nbits,
                     params.seed,
+                    metric,
                 ))
             }
-            IndexSpec::Hnsw(params) => Box::new(HnswIndex::build(data, dim, metric, params)),
+            IndexSpec::Hnsw(params) => Box::new(HnswIndex::build(data, dim, metric, *params)),
+            IndexSpec::Sharded { .. } => unreachable!("handled above"),
         }
     }
 }
@@ -244,12 +257,14 @@ mod tests {
         (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
     }
 
-    fn all_specs() -> [IndexSpec; 4] {
+    fn all_specs() -> [IndexSpec; 6] {
         [
             IndexSpec::Flat,
             IndexSpec::IvfFlat(IvfParams { nlist: 8, nprobe: 8, ..Default::default() }),
             IndexSpec::Pq(PqParams { m: 4, nbits: 5, seed: 0 }),
             IndexSpec::Hnsw(HnswParams::default()),
+            IndexSpec::Flat.sharded(3),
+            IndexSpec::IvfFlat(IvfParams { nlist: 4, nprobe: 4, ..Default::default() }).sharded(2),
         ]
     }
 
@@ -320,10 +335,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "L2 only")]
-    fn pq_rejects_cosine() {
-        let data = random_data(16, 4, 5);
-        IndexSpec::Pq(PqParams::default()).build(&data, 4, Metric::Cosine);
+    fn pq_accepts_cosine_via_prenormalization() {
+        let data = random_data(64, 4, 5);
+        let ix = IndexSpec::Pq(PqParams::default()).build(&data, 4, Metric::Cosine);
+        assert_eq!(ix.metric(), Metric::Cosine);
+        let hits = ix.search(&data[0..4], 3);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn sharded_flat_spec_matches_plain_flat_spec() {
+        let dim = 4;
+        let data = random_data(50, dim, 6);
+        let flat = IndexSpec::Flat.build(&data, dim, Metric::L2);
+        for shards in [1usize, 2, 7] {
+            let sharded = IndexSpec::Flat.sharded(shards).build(&data, dim, Metric::L2);
+            assert_eq!(sharded.len(), 50);
+            let q = &data[8..12];
+            assert_eq!(sharded.search(q, 6), flat.search(q, 6), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_empty_build_distributes_later_batches() {
+        let dim = 3;
+        let mut ix = IndexSpec::Flat.sharded(4).build(&[], dim, Metric::L2);
+        assert!(ix.is_empty());
+        let rows = random_data(10, dim, 7);
+        ix.add_batch(&rows);
+        assert_eq!(ix.len(), 10);
+        let hits = ix.search(&rows[0..dim], 1);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[0].distance, 0.0);
     }
 
     #[test]

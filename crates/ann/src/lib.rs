@@ -10,12 +10,19 @@
 //! * [`IvfFlatIndex`] — inverted lists under a k-means coarse quantizer
 //!   with an `nprobe` recall/latency knob;
 //! * [`PqIndex`] — product-quantized codes scored by asymmetric distance
-//!   computation;
+//!   computation (cosine served by pre-normalization);
 //! * [`HnswIndex`] — hierarchical navigable small-world graphs.
 //!
-//! All four implement the object-safe [`AnnIndex`] trait and build through
-//! [`IndexSpec`], so the backend is a runtime choice — `dial-core` plumbs
-//! it from `DialConfig` down to Index-By-Committee retrieval.
+//! Any of them can additionally be wrapped into a [`ShardedIndex`]
+//! (`IndexSpec::Sharded`): rows split round-robin across per-shard child
+//! indexes built concurrently, probes fanned across shards and combined
+//! with the [`merge_topk`] k-way merge — the scale-out step toward
+//! multi-core (and later multi-node) serving.
+//!
+//! All families implement the object-safe [`AnnIndex`] trait and build
+//! through [`IndexSpec`], so the backend is a runtime choice —
+//! `dial-core` plumbs it from `DialConfig` down to Index-By-Committee
+//! retrieval.
 //!
 //! [`kmeans`] (with k-means++ seeding) is exported for reuse by the BADGE
 //! selector in `dial-core`.
@@ -27,6 +34,7 @@ pub mod ivf;
 pub mod kmeans;
 pub mod metric;
 pub mod pq;
+pub mod sharded;
 pub mod topk;
 
 pub use flat::FlatIndex;
@@ -36,4 +44,5 @@ pub use ivf::{IvfFlatIndex, IvfParams};
 pub use kmeans::{kmeans, kmeans_pp_seed, KMeans};
 pub use metric::{sq_l2, Metric};
 pub use pq::{PqIndex, ProductQuantizer};
-pub use topk::{Hit, TopK};
+pub use sharded::ShardedIndex;
+pub use topk::{merge_topk, Hit, TopK};

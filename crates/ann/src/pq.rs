@@ -5,9 +5,16 @@
 //! substrate: vectors are split into `m` subspaces, each quantized by its
 //! own k-means codebook; a query precomputes per-subspace distance tables
 //! and scores codes with `m` table lookups instead of `dim` multiplies.
+//!
+//! ADC itself is an L2 machine, but [`PqIndex`] also serves
+//! [`Metric::Cosine`] by pre-normalizing every vector to unit length at
+//! build, add, and query time: for unit vectors `‖a − b‖² = 2·(1 − cos)`,
+//! so L2 ranking over the normalized sphere *is* cosine ranking, and the
+//! reported distance is halved to land on the `1 − cos` scale the exact
+//! backends report.
 
 use crate::kmeans::kmeans;
-use crate::metric::sq_l2;
+use crate::metric::{sq_l2, Metric};
 use crate::topk::{Hit, TopK};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -126,30 +133,82 @@ impl ProductQuantizer {
     }
 }
 
+/// Scale `v` to unit length (zero vectors pass through unchanged).
+fn unit(v: &[f32]) -> Vec<f32> {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm == 0.0 {
+        v.to_vec()
+    } else {
+        v.iter().map(|x| x / norm).collect()
+    }
+}
+
+fn is_zero(v: &[f32]) -> bool {
+    v.iter().all(|x| *x == 0.0)
+}
+
 /// Flat list of PQ codes searchable by ADC (FAISS `IndexPQ`).
 #[derive(Debug, Clone)]
 pub struct PqIndex {
     pq: ProductQuantizer,
+    metric: Metric,
     codes: Vec<u8>,
+    /// Under cosine only: rows that were the zero vector, which exact
+    /// backends score at the `1 − cos = 1.0` convention. Tracked here
+    /// because codes cannot represent "no direction".
+    zero_rows: Vec<bool>,
 }
 
 impl PqIndex {
-    pub fn new(pq: ProductQuantizer) -> Self {
-        PqIndex { pq, codes: Vec::new() }
+    pub fn new(pq: ProductQuantizer, metric: Metric) -> Self {
+        PqIndex { pq, metric, codes: Vec::new(), zero_rows: Vec::new() }
     }
 
-    /// Train a quantizer on `data` and encode all of it.
-    pub fn build(data: &[f32], dim: usize, m: usize, ksub: usize, seed: u64) -> Self {
-        let pq = ProductQuantizer::train(data, dim, m, ksub, seed);
-        let mut ix = PqIndex::new(pq);
-        for v in data.chunks(dim) {
-            ix.add(v);
+    /// Train a quantizer on `data` and encode all of it. Under
+    /// [`Metric::Cosine`] the codebooks are trained on (and codes store)
+    /// unit-normalized vectors.
+    pub fn build(
+        data: &[f32],
+        dim: usize,
+        m: usize,
+        ksub: usize,
+        seed: u64,
+        metric: Metric,
+    ) -> Self {
+        let owned;
+        let train_data = match metric {
+            Metric::L2 => data,
+            Metric::Cosine => {
+                owned = data.chunks(dim).flat_map(unit).collect::<Vec<f32>>();
+                &owned
+            }
+        };
+        let pq = ProductQuantizer::train(train_data, dim, m, ksub, seed);
+        let mut ix = PqIndex::new(pq, metric);
+        // Rows are already normalized where needed; encode them directly.
+        for v in train_data.chunks(dim) {
+            let _ = ix.push_code(v);
         }
         ix
     }
 
     pub fn quantizer(&self) -> &ProductQuantizer {
         &self.pq
+    }
+
+    /// Distance function probes rank under.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Encode an already-prepared (normalized if cosine) vector.
+    fn push_code(&mut self, v: &[f32]) -> u32 {
+        let id = self.len() as u32;
+        self.codes.extend_from_slice(&self.pq.encode(v));
+        if self.metric == Metric::Cosine {
+            self.zero_rows.push(is_zero(v));
+        }
+        id
     }
 
     pub fn len(&self) -> usize {
@@ -166,9 +225,10 @@ impl PqIndex {
     }
 
     pub fn add(&mut self, v: &[f32]) -> u32 {
-        let id = self.len() as u32;
-        self.codes.extend_from_slice(&self.pq.encode(v));
-        id
+        match self.metric {
+            Metric::L2 => self.push_code(v),
+            Metric::Cosine => self.push_code(&unit(v)),
+        }
     }
 
     /// Encode and append many packed vectors with the trained quantizer.
@@ -179,15 +239,39 @@ impl PqIndex {
         }
     }
 
-    /// Approximate top-`k` by asymmetric distance.
+    /// Approximate top-`k` by asymmetric distance. Under cosine, the query
+    /// is normalized and the squared-L2 ADC value is halved so reported
+    /// distances approximate `1 − cos` like the exact backends; zero
+    /// vectors (stored or queried) score the exact backends' `1.0`
+    /// convention, since "no direction" has no code.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        let normalized;
+        let (query, q_zero) = match self.metric {
+            Metric::L2 => (query, false),
+            Metric::Cosine => {
+                normalized = unit(query);
+                (normalized.as_slice(), is_zero(&normalized))
+            }
+        };
         let tables = self.pq.distance_tables(query);
         let m = self.pq.m;
         let mut top = TopK::new(k);
         for (id, code) in self.codes.chunks(m).enumerate() {
-            top.push(id as u32, self.pq.adc(&tables, code));
+            // 2.0 raw halves to the cosine convention of 1.0.
+            let d = if q_zero || self.zero_rows.get(id).copied().unwrap_or(false) {
+                2.0
+            } else {
+                self.pq.adc(&tables, code)
+            };
+            top.push(id as u32, d);
         }
-        top.into_sorted()
+        let mut hits = top.into_sorted();
+        if self.metric == Metric::Cosine {
+            for h in &mut hits {
+                h.distance *= 0.5;
+            }
+        }
+        hits
     }
 
     /// Parallel batch search; queries packed row-major.
@@ -238,7 +322,7 @@ mod tests {
     fn pq_recall_against_flat() {
         let dim = 16;
         let data = random_data(1000, dim, 21);
-        let pq = PqIndex::build(&data, dim, 8, 64, 0);
+        let pq = PqIndex::build(&data, dim, 8, 64, 0, Metric::L2);
         let mut flat = FlatIndex::new(dim, Metric::L2);
         flat.add_batch(&data);
 
@@ -257,9 +341,88 @@ mod tests {
     fn code_size_is_m_bytes() {
         let dim = 8;
         let data = random_data(100, dim, 2);
-        let pq = PqIndex::build(&data, dim, 4, 16, 0);
+        let pq = PqIndex::build(&data, dim, 4, 16, 0, Metric::L2);
         assert_eq!(pq.code_bytes(), 4);
         assert_eq!(pq.len(), 100);
+    }
+
+    #[test]
+    fn cosine_recall_against_exact_cosine() {
+        let dim = 16;
+        let data = random_data(800, dim, 31);
+        let pq = PqIndex::build(&data, dim, 8, 64, 0, Metric::Cosine);
+        assert_eq!(pq.metric(), Metric::Cosine);
+        let mut flat = FlatIndex::new(dim, Metric::Cosine);
+        flat.add_batch(&data);
+
+        let mut overlap = 0;
+        for qi in (0..800).step_by(40) {
+            let q = &data[qi * dim..(qi + 1) * dim];
+            let exact: std::collections::HashSet<u32> =
+                flat.search(q, 10).into_iter().map(|h| h.id).collect();
+            overlap += pq.search(q, 10).iter().filter(|h| exact.contains(&h.id)).count();
+        }
+        let recall = overlap as f32 / 200.0;
+        assert!(recall > 0.4, "PQ cosine recall@10 {recall} too low");
+    }
+
+    #[test]
+    fn cosine_ranking_is_scale_invariant() {
+        // Cosine only sees direction: scaling a query must not change the
+        // returned ranking, and added vectors are normalized the same way
+        // as built ones.
+        let dim = 8;
+        let data = random_data(300, dim, 33);
+        let mut pq = PqIndex::build(&data, dim, 4, 32, 0, Metric::Cosine);
+        let q: Vec<f32> = data[0..dim].to_vec();
+        let scaled: Vec<f32> = q.iter().map(|x| x * 37.5).collect();
+        // Normalizing q and 37.5·q differs by float rounding in the last
+        // ulp, so compare the returned ids, not the raw distances.
+        let ids = |hits: Vec<Hit>| hits.into_iter().map(|h| h.id).collect::<Vec<_>>();
+        assert_eq!(ids(pq.search(&q, 5)), ids(pq.search(&scaled, 5)));
+
+        let big: Vec<f32> = data[8 * dim..9 * dim].iter().map(|x| x * 100.0).collect();
+        let id = pq.add(&big);
+        // The rescaled duplicate of row 8 must rank where row 8 ranks.
+        let hits = pq.search(&data[8 * dim..9 * dim], 10);
+        let pos8 = hits.iter().position(|h| h.id == 8);
+        let pos_new = hits.iter().position(|h| h.id == id);
+        assert!(pos8.is_some() && pos_new.is_some(), "both copies retrieved: {hits:?}");
+    }
+
+    #[test]
+    fn cosine_zero_vectors_score_the_exact_convention() {
+        // Exact cosine reports 1.0 against a zero vector (no direction);
+        // PQ must match so zero rows rank the same across backends.
+        let dim = 8;
+        let mut data = random_data(100, dim, 41);
+        data[5 * dim..6 * dim].fill(0.0);
+        let mut pq = PqIndex::build(&data, dim, 4, 32, 0, Metric::Cosine);
+        let hits = pq.search(&data[0..dim], 100);
+        let zero_hit = hits.iter().find(|h| h.id == 5).unwrap();
+        assert!((zero_hit.distance - 1.0).abs() < 1e-6, "stored zero row: {zero_hit:?}");
+
+        // Zero rows added after build get the same treatment.
+        let id = pq.add(&vec![0.0; dim]);
+        let hits = pq.search(&data[0..dim], 101);
+        let added = hits.iter().find(|h| h.id == id).unwrap();
+        assert!((added.distance - 1.0).abs() < 1e-6, "appended zero row: {added:?}");
+
+        // A zero query is 1.0 from everything, ties broken by id.
+        let hits = pq.search(&vec![0.0; dim], 3);
+        assert!(hits.iter().all(|h| (h.distance - 1.0).abs() < 1e-6), "{hits:?}");
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cosine_distances_on_one_minus_cos_scale() {
+        let dim = 8;
+        let data = random_data(200, dim, 35);
+        let pq = PqIndex::build(&data, dim, 4, 64, 0, Metric::Cosine);
+        for h in pq.search(&data[0..dim], 20) {
+            // 1 - cos lies in [0, 2]; quantization error keeps ADC close.
+            assert!(h.distance >= -0.1 && h.distance <= 2.1, "off-scale distance {h:?}");
+        }
     }
 
     #[test]

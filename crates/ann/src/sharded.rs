@@ -1,0 +1,291 @@
+//! Sharded index construction with parallel top-k merge.
+//!
+//! [`ShardedIndex`] partitions packed rows round-robin across `n` child
+//! indexes of any [`IndexSpec`] family, builds the children concurrently,
+//! and serves probes by fanning them across shards and merging the
+//! per-shard top-k with [`merge_topk`]. Global row id `g` lives in shard
+//! `g % n` at local position `g / n`, so remapping a shard-local hit back
+//! to the global id is pure arithmetic (`local * n + shard`) — no lookup
+//! tables, and the invariant survives post-build [`ShardedIndex::add_batch`]
+//! because appended rows continue the same round-robin.
+//!
+//! With exact children the shard merge is itself exact:
+//! `Sharded(Flat, n)` returns the same hits as `Flat` for every query and
+//! every `n` (both sides rank by `(distance, id)` lexicographically). With
+//! approximate children, sharding trades a little recall shape for
+//! near-linear build speedup — each shard trains on `1/n`-th of the data.
+
+use crate::flat::FlatIndex;
+use crate::index::{AnnIndex, IndexSpec};
+use crate::metric::Metric;
+use crate::topk::{merge_topk, Hit};
+use rayon::prelude::*;
+
+/// A set of per-shard child indexes probed as one logical index.
+pub struct ShardedIndex {
+    dim: usize,
+    metric: Metric,
+    children: Vec<Box<dyn AnnIndex>>,
+}
+
+impl ShardedIndex {
+    /// Split `data` round-robin into `shards` buffers and build one child
+    /// index per buffer concurrently. `shards` is clamped to at least 1;
+    /// shards left empty by a small `data` become empty exact children
+    /// that grow on [`ShardedIndex::add_batch`].
+    pub fn build(
+        inner: &IndexSpec,
+        shards: usize,
+        data: &[f32],
+        dim: usize,
+        metric: Metric,
+    ) -> Self {
+        assert!(dim > 0, "index dimension must be positive");
+        crate::metric::assert_packed(data.len(), dim);
+        let shards = shards.max(1);
+        let n = data.len() / dim;
+        let mut bufs: Vec<Vec<f32>> = vec![Vec::with_capacity(n.div_ceil(shards) * dim); shards];
+        for (g, row) in data.chunks(dim).enumerate() {
+            bufs[g % shards].extend_from_slice(row);
+        }
+        let children: Vec<Box<dyn AnnIndex>> =
+            bufs.par_iter().map(|b| inner.build(b, dim, metric)).collect();
+        ShardedIndex { dim, metric, children }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Number of shards (fixed at build; never changes afterwards, or the
+    /// id mapping would break).
+    pub fn shards(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Total stored vectors across all shards.
+    pub fn len(&self) -> usize {
+        self.children.iter().map(|c| c.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Map a shard-local hit id back to the global insertion id.
+    #[inline]
+    fn to_global(&self, shard: usize, local: u32) -> u32 {
+        local * self.children.len() as u32 + shard as u32
+    }
+
+    /// Probe one shard for its local top-`k`, remapped to global ids.
+    /// Each shard must contribute a full `k` candidates: the global
+    /// top-`k` can in the worst case come entirely from one shard.
+    fn probe_shard(&self, s: usize, query: &[f32], k: usize) -> Vec<Hit> {
+        self.children[s]
+            .search(query, k)
+            .into_iter()
+            .map(|h| Hit { id: self.to_global(s, h.id), distance: h.distance })
+            .collect()
+    }
+
+    /// Probe every shard in parallel and merge.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        let per_shard: Vec<Vec<Hit>> = (0..self.children.len())
+            .into_par_iter()
+            .map(|s| self.probe_shard(s, query, k))
+            .collect();
+        merge_topk(&per_shard, k)
+    }
+
+    /// Probe every shard for one query *sequentially* and merge — the
+    /// per-query unit of work [`ShardedIndex::search_batch`] parallelizes
+    /// over.
+    fn search_one(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        let per_shard: Vec<Vec<Hit>> =
+            (0..self.children.len()).map(|s| self.probe_shard(s, query, k)).collect();
+        merge_topk(&per_shard, k)
+    }
+
+    /// Batch probe: the (query × shard) fan-out runs one parallel level
+    /// deep. Large batches parallelize over queries, each query probing
+    /// its shards inline — a single scoped-thread layer, so the shim's
+    /// static chunking is never oversubscribed by nested spawns. Batches
+    /// smaller than the shard count fall back to the shard-parallel
+    /// [`ShardedIndex::search`] per query so a lone probe still uses
+    /// every core.
+    pub fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        assert_eq!(queries.len() % self.dim, 0, "query batch length not a multiple of dim");
+        let nq = queries.len() / self.dim;
+        if nq < self.children.len() {
+            return queries.chunks(self.dim).map(|q| self.search(q, k)).collect();
+        }
+        queries.par_chunks(self.dim).map(|q| self.search_one(q, k)).collect()
+    }
+
+    /// Append packed rows, continuing the round-robin from the current
+    /// total length so the local→global id arithmetic stays valid.
+    pub fn add_batch(&mut self, flat: &[f32]) {
+        if self.is_empty() && !flat.is_empty() && !flat.len().is_multiple_of(self.dim) {
+            // 0-row index: the first batch establishes the dimension (one
+            // row) instead of tripping the packed-length check below. All
+            // children are empty too, so rebuild them at the new width —
+            // leaving siblings on the stale width would corrupt the
+            // round-robin split of the *next* batch.
+            self.dim = flat.len();
+            for child in self.children.iter_mut() {
+                *child = Box::new(FlatIndex::new(self.dim, self.metric));
+            }
+        }
+        crate::metric::assert_packed(flat.len(), self.dim);
+        let shards = self.children.len();
+        let start = self.len();
+        let mut bufs: Vec<Vec<f32>> = vec![Vec::new(); shards];
+        for (j, row) in flat.chunks(self.dim).enumerate() {
+            bufs[(start + j) % shards].extend_from_slice(row);
+        }
+        for (child, buf) in self.children.iter_mut().zip(bufs) {
+            if !buf.is_empty() {
+                child.add_batch(&buf);
+            }
+        }
+    }
+}
+
+impl AnnIndex for ShardedIndex {
+    fn dim(&self) -> usize {
+        ShardedIndex::dim(self)
+    }
+    fn len(&self) -> usize {
+        ShardedIndex::len(self)
+    }
+    fn metric(&self) -> Metric {
+        ShardedIndex::metric(self)
+    }
+    fn add_batch(&mut self, flat: &[f32]) {
+        ShardedIndex::add_batch(self, flat)
+    }
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        ShardedIndex::search(self, query, k)
+    }
+    fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        ShardedIndex::search_batch(self, queries, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    fn flat_over(data: &[f32], dim: usize, metric: Metric) -> FlatIndex {
+        let mut ix = FlatIndex::new(dim, metric);
+        ix.add_batch(data);
+        ix
+    }
+
+    #[test]
+    fn sharded_flat_equals_flat_exactly() {
+        let dim = 6;
+        let data = random_data(97, dim, 3); // not a multiple of any shard count
+        let flat = flat_over(&data, dim, Metric::L2);
+        for shards in [1usize, 2, 3, 5, 8] {
+            let sharded = ShardedIndex::build(&IndexSpec::Flat, shards, &data, dim, Metric::L2);
+            assert_eq!(sharded.len(), 97);
+            assert_eq!(sharded.shards(), shards);
+            for qi in [0usize, 13, 96] {
+                let q = &data[qi * dim..(qi + 1) * dim];
+                assert_eq!(sharded.search(q, 7), flat.search(q, 7), "shards={shards} qi={qi}");
+            }
+            let batch = sharded.search_batch(&data[0..5 * dim], 4);
+            assert_eq!(batch, flat.search_batch(&data[0..5 * dim], 4), "shards={shards} batch");
+        }
+    }
+
+    #[test]
+    fn round_robin_id_remap_is_global() {
+        // Place distinctive vectors so the nearest neighbour of each query
+        // is known by construction, then verify the returned id is the
+        // *global* insertion id, not a shard-local one.
+        let dim = 2;
+        let n = 11;
+        let data: Vec<f32> = (0..n).flat_map(|i| [i as f32 * 10.0, 0.0]).collect();
+        let sharded = ShardedIndex::build(&IndexSpec::Flat, 4, &data, dim, Metric::L2);
+        for i in 0..n {
+            let hits = sharded.search(&[i as f32 * 10.0, 0.0], 1);
+            assert_eq!(hits[0].id, i as u32);
+            assert_eq!(hits[0].distance, 0.0);
+        }
+    }
+
+    #[test]
+    fn add_batch_continues_round_robin() {
+        let dim = 4;
+        let base = random_data(10, dim, 1);
+        let extra = random_data(7, dim, 2);
+        let mut sharded = ShardedIndex::build(&IndexSpec::Flat, 3, &base, dim, Metric::L2);
+        sharded.add_batch(&extra);
+        assert_eq!(sharded.len(), 17);
+
+        let mut all = base.clone();
+        all.extend_from_slice(&extra);
+        let flat = flat_over(&all, dim, Metric::L2);
+        for qi in [0usize, 10, 16] {
+            let q = &all[qi * dim..(qi + 1) * dim];
+            assert_eq!(sharded.search(q, 5), flat.search(q, 5), "qi={qi}");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_rows_leaves_empty_children() {
+        let dim = 3;
+        let data = random_data(2, dim, 9);
+        let sharded = ShardedIndex::build(&IndexSpec::Flat, 7, &data, dim, Metric::L2);
+        assert_eq!(sharded.shards(), 7);
+        assert_eq!(sharded.len(), 2);
+        let hits = sharded.search(&data[0..dim], 10);
+        assert_eq!(hits.len(), 2, "k capped by total rows, empty shards contribute nothing");
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn dim_reestablishment_resets_every_empty_child() {
+        // Regression: re-establishing dim on a 0-row sharded index must
+        // re-dim the sibling children too, or the next batch's round-robin
+        // split hands them buffers they misinterpret.
+        let mut ix = ShardedIndex::build(&IndexSpec::Flat, 2, &[], 4, Metric::L2);
+        ix.add_batch(&[1.0, 2.0, 3.0]); // establishes dim = 3, lands in shard 0
+        assert_eq!(ix.dim(), 3);
+        assert_eq!(ix.len(), 1);
+        ix.add_batch(&[4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0]);
+        assert_eq!(ix.len(), 5, "four 3-dim rows appended across both shards");
+        // Row 2 (global id 2) went to shard 0, row 3 to shard 1; both must
+        // come back with exact distances and global ids.
+        for (g, row) in [(2u32, [7.0f32, 8.0, 9.0]), (3, [10.0, 11.0, 12.0])] {
+            let hits = ix.search(&row, 1);
+            assert_eq!(hits[0].id, g);
+            assert_eq!(hits[0].distance, 0.0);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_per_shard_populations() {
+        let dim = 2;
+        let data = random_data(9, dim, 4);
+        let sharded = ShardedIndex::build(&IndexSpec::Flat, 4, &data, dim, Metric::L2);
+        let flat = flat_over(&data, dim, Metric::L2);
+        // k = 6 exceeds every shard's population (3 at most).
+        assert_eq!(sharded.search(&data[0..dim], 6), flat.search(&data[0..dim], 6));
+    }
+}

@@ -1,4 +1,5 @@
-//! Bounded top-k selection under "smaller distance is better".
+//! Bounded top-k selection under "smaller distance is better", plus the
+//! k-way merge that combines per-shard top-k lists into a global one.
 
 /// A `(distance, id)` hit returned by an index probe.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -7,12 +8,25 @@ pub struct Hit {
     pub distance: f32,
 }
 
-/// Keeps the `k` smallest-distance hits seen so far using a max-heap of
-/// size `k`: a new candidate only enters if it beats the current worst.
+impl Hit {
+    /// Strict "worse than" under the retrieval order: larger distance, ties
+    /// broken by larger id. This is the single ordering every index family
+    /// and the shard merge agree on, which is what makes
+    /// `Sharded(Flat, n) == Flat` an exact equality rather than a
+    /// same-distance-set approximation.
+    #[inline]
+    fn worse_than(&self, other: &Hit) -> bool {
+        self.distance > other.distance || (self.distance == other.distance && self.id > other.id)
+    }
+}
+
+/// Keeps the `k` smallest hits seen so far using a max-heap of size `k`
+/// ordered by `(distance, id)`: a new candidate only enters if it beats the
+/// current worst, with distance ties resolved toward the smaller id.
 #[derive(Debug)]
 pub struct TopK {
     k: usize,
-    // Binary max-heap on distance, stored inline.
+    // Binary max-heap on (distance, id), stored inline.
     heap: Vec<Hit>,
 }
 
@@ -45,11 +59,12 @@ impl TopK {
     /// Offer a candidate.
     #[inline]
     pub fn push(&mut self, id: u32, distance: f32) {
+        let hit = Hit { id, distance };
         if self.heap.len() < self.k {
-            self.heap.push(Hit { id, distance });
+            self.heap.push(hit);
             self.sift_up(self.heap.len() - 1);
-        } else if distance < self.heap[0].distance {
-            self.heap[0] = Hit { id, distance };
+        } else if self.heap[0].worse_than(&hit) {
+            self.heap[0] = hit;
             self.sift_down(0);
         }
     }
@@ -65,7 +80,7 @@ impl TopK {
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
-            if self.heap[i].distance > self.heap[parent].distance {
+            if self.heap[i].worse_than(&self.heap[parent]) {
                 self.heap.swap(i, parent);
                 i = parent;
             } else {
@@ -79,10 +94,10 @@ impl TopK {
         loop {
             let (l, r) = (2 * i + 1, 2 * i + 2);
             let mut largest = i;
-            if l < n && self.heap[l].distance > self.heap[largest].distance {
+            if l < n && self.heap[l].worse_than(&self.heap[largest]) {
                 largest = l;
             }
-            if r < n && self.heap[r].distance > self.heap[largest].distance {
+            if r < n && self.heap[r].worse_than(&self.heap[largest]) {
                 largest = r;
             }
             if largest == i {
@@ -92,6 +107,70 @@ impl TopK {
             i = largest;
         }
     }
+}
+
+/// Heap entry for [`merge_topk`]: the current head of one source list.
+/// Ordered as a *min*-heap on `(distance, id)` via reversed comparisons.
+struct MergeHead {
+    hit: Hit,
+    /// Source list this head came from.
+    list: usize,
+    /// Position of `hit` within that list.
+    pos: usize,
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.hit == other.hit
+    }
+}
+impl Eq for MergeHead {}
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest
+        // (distance, id) on top.
+        other
+            .hit
+            .distance
+            .partial_cmp(&self.hit.distance)
+            .unwrap()
+            .then(other.hit.id.cmp(&self.hit.id))
+    }
+}
+
+/// K-way merge of per-source top-k hit lists into a single global top-`k`.
+///
+/// Each input list must be sorted ascending by `(distance, id)` — exactly
+/// what [`TopK::into_sorted`] (and therefore every `AnnIndex::search`)
+/// produces. Lists may hold fewer than `k` hits (small shards) or be empty;
+/// the merge returns `min(k, total hits)` results in the same global
+/// `(distance, id)` order a single index over the union would produce.
+///
+/// Cost is `O(out · log s)` for `s` source lists via a size-`s` binary heap
+/// of list heads, so merging stays negligible next to the per-shard probes
+/// it combines.
+pub fn merge_topk<L: AsRef<[Hit]>>(lists: &[L], k: usize) -> Vec<Hit> {
+    let mut heap = std::collections::BinaryHeap::with_capacity(lists.len());
+    for (li, l) in lists.iter().enumerate() {
+        if let Some(&hit) = l.as_ref().first() {
+            heap.push(MergeHead { hit, list: li, pos: 0 });
+        }
+    }
+    let mut out = Vec::with_capacity(k.min(lists.iter().map(|l| l.as_ref().len()).sum()));
+    while out.len() < k {
+        let Some(head) = heap.pop() else { break };
+        out.push(head.hit);
+        let l = lists[head.list].as_ref();
+        if head.pos + 1 < l.len() {
+            heap.push(MergeHead { hit: l[head.pos + 1], list: head.list, pos: head.pos + 1 });
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -140,5 +219,78 @@ mod tests {
         let out = t.into_sorted();
         assert_eq!(out[0].id, 3);
         assert_eq!(out[1].id, 7);
+    }
+
+    #[test]
+    fn boundary_ties_keep_the_smaller_id() {
+        // Retention (not just output order) is lexicographic on
+        // (distance, id): a later small-id hit at the boundary distance
+        // must evict a larger-id one, whatever order they arrived in.
+        let mut t = TopK::new(2);
+        t.push(9, 5.0);
+        t.push(7, 5.0);
+        t.push(1, 3.0);
+        let ids: Vec<u32> = t.into_sorted().into_iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![1, 7], "id 9 must be evicted, not id 7");
+
+        let mut t = TopK::new(2);
+        t.push(1, 5.0);
+        t.push(9, 5.0);
+        t.push(4, 5.0);
+        let ids: Vec<u32> = t.into_sorted().into_iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![1, 4], "smallest two ids at a tied distance survive");
+    }
+
+    fn hits(pairs: &[(u32, f32)]) -> Vec<Hit> {
+        pairs.iter().map(|&(id, distance)| Hit { id, distance }).collect()
+    }
+
+    #[test]
+    fn merge_matches_single_list_topk() {
+        let a = hits(&[(0, 0.5), (2, 1.5), (4, 2.5)]);
+        let b = hits(&[(1, 1.0), (3, 2.0), (5, 3.0)]);
+        let merged = merge_topk(&[a, b], 4);
+        let ids: Vec<u32> = merged.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_handles_short_and_empty_lists() {
+        // Sources may return fewer than k hits (tiny shards) or nothing.
+        let a = hits(&[(0, 1.0)]);
+        let b: Vec<Hit> = Vec::new();
+        let c = hits(&[(1, 0.5), (2, 2.0)]);
+        let merged = merge_topk(&[a, b, c], 10);
+        let ids: Vec<u32> = merged.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![1, 0, 2], "all hits surface when total < k");
+        assert!(merge_topk::<Vec<Hit>>(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn merge_breaks_distance_ties_by_id_across_lists() {
+        let a = hits(&[(8, 1.0), (9, 1.0)]);
+        let b = hits(&[(2, 1.0), (11, 1.0)]);
+        let merged = merge_topk(&[a, b], 3);
+        let ids: Vec<u32> = merged.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![2, 8, 9]);
+    }
+
+    #[test]
+    fn merge_equals_pushing_everything_through_one_topk() {
+        // The defining property the sharded index relies on.
+        let lists = [
+            hits(&[(0, 0.3), (3, 0.9), (6, 4.0)]),
+            hits(&[(1, 0.1), (4, 0.9), (7, 1.1)]),
+            hits(&[(2, 2.2), (5, 2.8)]),
+        ];
+        for k in 1..=8 {
+            let mut t = TopK::new(k);
+            for l in &lists {
+                for h in l {
+                    t.push(h.id, h.distance);
+                }
+            }
+            assert_eq!(merge_topk(&lists, k), t.into_sorted(), "k={k}");
+        }
     }
 }

@@ -54,7 +54,7 @@ proptest! {
 
     #[test]
     fn pq_adc_consistent_with_decode(data in packed(40, 8)) {
-        let pq = PqIndex::build(&data, 8, 2, 16, 0);
+        let pq = PqIndex::build(&data, 8, 2, 16, 0, Metric::L2);
         let q = &data[0..8];
         let tables = pq.quantizer().distance_tables(q);
         for i in 0..5 {
@@ -133,6 +133,51 @@ proptest! {
                 prop_assert_eq!(hits, &ix.search(&queries[i * 4..(i + 1) * 4], 5));
             }
         }
+    }
+
+    #[test]
+    fn sharded_flat_equals_flat_for_any_shard_count(data in packed(41, 4), qi in 0usize..41, k in 1usize..12) {
+        // The tentpole equivalence: round-robin sharding of an exact index
+        // plus the k-way merge must be invisible — identical hit vectors
+        // (ids AND distances), not just overlapping sets.
+        let flat = IndexSpec::Flat.build(&data, 4, Metric::L2);
+        let q = &data[qi * 4..(qi + 1) * 4];
+        for shards in [1usize, 2, 7] {
+            let sharded = IndexSpec::Flat.sharded(shards).build(&data, 4, Metric::L2);
+            prop_assert_eq!(sharded.search(q, k), flat.search(q, k), "shards={}", shards);
+            let batch = sharded.search_batch(&data[0..3 * 4], k);
+            prop_assert_eq!(batch, flat.search_batch(&data[0..3 * 4], k), "shards={} batch", shards);
+        }
+    }
+
+    #[test]
+    fn sharded_id_remap_survives_post_build_add_batch(base in packed(13, 3), extra in packed(9, 3), qi in 0usize..22) {
+        // Rows appended after the build continue the round-robin, so the
+        // local->global arithmetic must keep matching a flat index over
+        // the concatenated data.
+        for shards in [2usize, 5] {
+            let mut sharded = IndexSpec::Flat.sharded(shards).build(&base, 3, Metric::L2);
+            sharded.add_batch(&extra);
+            let mut all = base.clone();
+            all.extend_from_slice(&extra);
+            let flat = IndexSpec::Flat.build(&all, 3, Metric::L2);
+            prop_assert_eq!(sharded.len(), 22);
+            let q = &all[qi * 3..(qi + 1) * 3];
+            prop_assert_eq!(sharded.search(q, 6), flat.search(q, 6), "shards={}", shards);
+        }
+    }
+
+    #[test]
+    fn sharded_merge_handles_shards_returning_fewer_than_k(data in packed(5, 2), k in 6usize..20) {
+        // 5 rows over 4 shards: every shard returns fewer than k hits and
+        // at least one is a 1-row (or empty-history) shard. The merge must
+        // surface all rows exactly once, in global (distance, id) order.
+        let sharded = IndexSpec::Flat.sharded(4).build(&data, 2, Metric::L2);
+        let flat = IndexSpec::Flat.build(&data, 2, Metric::L2);
+        let q = &data[0..2];
+        let hits = sharded.search(q, k);
+        prop_assert_eq!(hits.len(), 5, "k={} capped by population", k);
+        prop_assert_eq!(hits, flat.search(q, k));
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! ANN substrate benchmarks: build and probe cost of all four index
-//! families through the unified `AnnIndex` trait (the FAISS trade-offs
-//! DIAL §5.4 leans on).
+//! ANN substrate benchmarks: build and probe cost of the index families
+//! through the unified `AnnIndex` trait (the FAISS trade-offs DIAL §5.4
+//! leans on), including round-robin sharded composites — concurrent
+//! per-shard builds, merged per-shard top-k probes.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dial_ann::{AnnIndex, HnswParams, IndexSpec, IvfParams, Metric, PqParams};
 use rand::rngs::StdRng;
@@ -11,7 +12,7 @@ fn data(n: usize, dim: usize) -> Vec<f32> {
     (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
 }
 
-fn specs() -> [(&'static str, IndexSpec); 4] {
+fn specs() -> [(&'static str, IndexSpec); 6] {
     [
         ("flat", IndexSpec::Flat),
         (
@@ -20,6 +21,10 @@ fn specs() -> [(&'static str, IndexSpec); 4] {
         ),
         ("pq_m8", IndexSpec::Pq(PqParams { m: 8, nbits: 6, seed: 0 })),
         ("hnsw_ef48", IndexSpec::Hnsw(HnswParams::default())),
+        // Sharded composites: flat@4 probes exactly like flat; sharded
+        // HNSW amortizes the heavy graph build across shards.
+        ("flat_sharded4", IndexSpec::Flat.sharded(4)),
+        ("hnsw_ef48_sharded4", IndexSpec::Hnsw(HnswParams::default()).sharded(4)),
     ]
 }
 

@@ -1,7 +1,7 @@
 //! Reproduce every table and figure of the DIAL paper's evaluation.
 //!
 //! ```text
-//! cargo run --release --bin repro -- <experiment> [--backend=<spec>]
+//! cargo run --release --bin repro -- <experiment> [--backend=<spec>] [--shards=<n>]
 //!
 //! experiments:
 //!   table1   dataset statistics
@@ -23,13 +23,17 @@
 //! options:
 //!   --backend=<spec>  ANN index backend for every retrieval (default flat):
 //!                     flat | ivf[:nlist[,nprobe]] | pq[:m[,nbits]]
-//!                     | hnsw[:m[,ef_search]]
+//!                     | hnsw[:m[,ef_search]], optionally with a
+//!                     `@<shards>` suffix (e.g. ivf:64,8@4)
+//!   --shards=<n>      round-robin shards per retrieval index (default 1;
+//!                     n > 1 builds shards concurrently and merges top-k;
+//!                     wins over a `@<shards>` spec suffix)
 //! ```
 //!
 //! Environment: `REPRO_SCALE` (bench|smoke|paper), `REPRO_ROUNDS`,
 //! `REPRO_SEEDS`, `REPRO_OUT`, `REPRO_BACKEND` (same values as
-//! `--backend`), and `REPRO_DATASETS` (comma-separated subset of
-//! `WA,AG,DA,DS,AB`).
+//! `--backend`), `REPRO_SHARDS` (same as `--shards`), and
+//! `REPRO_DATASETS` (comma-separated subset of `WA,AG,DA,DS,AB`).
 
 use dial_bench::report::{pct, print_table, secs, write_json};
 use dial_bench::runner::{self, run_jedai_row, run_rf_row, run_tplm, ExpContext, TplmRunSummary};
@@ -38,7 +42,7 @@ use dial_core::{
 };
 use dial_datasets::Benchmark;
 
-const USAGE: &str = "usage: repro <experiment> [--backend=<spec>]
+const USAGE: &str = "usage: repro <experiment> [--backend=<spec>] [--shards=<n>]
 
 experiments:
   table1    dataset statistics
@@ -63,17 +67,25 @@ options:
                        ivf[:nlist[,nprobe]]   IVF-Flat, e.g. ivf:64,8
                        pq[:m[,nbits]]         product quantization, e.g. pq:8,6
                        hnsw[:m[,ef_search]]   HNSW graph, e.g. hnsw:16,48
+                     each optionally suffixed with @<shards>, e.g.
+                     ivf:64,8@4 (an explicit --shards flag wins).
+  --shards=<n>       round-robin shards per retrieval index (default 1).
+                     n > 1 builds the shards concurrently and merges the
+                     per-shard top-k at probe time; sharded flat retrieval
+                     is exactly equivalent to unsharded flat.
 
 environment:
   REPRO_SCALE=bench|smoke|paper   dataset scale (default bench)
   REPRO_ROUNDS=<n>                active-learning rounds (default 5)
   REPRO_SEEDS=<n>                 averaged seeds (default 1)
   REPRO_BACKEND=<spec>            same values as --backend
+  REPRO_SHARDS=<n>                same values as --shards
   REPRO_DATASETS=WA,AG,DA,DS,AB  benchmark subset
   REPRO_OUT=<dir>                 JSONL output directory (default results/)";
 
 fn main() {
-    let mut backend_flag: Option<IndexBackend> = None;
+    let mut backend_flag: Option<(IndexBackend, Option<usize>)> = None;
+    let mut shards_flag: Option<usize> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -82,6 +94,11 @@ fn main() {
         } else if a == "--backend" {
             let v = args.next().unwrap_or_default();
             backend_flag = Some(parse_backend_or_exit(&v));
+        } else if let Some(v) = a.strip_prefix("--shards=") {
+            shards_flag = Some(parse_shards_or_exit(v));
+        } else if a == "--shards" {
+            let v = args.next().unwrap_or_default();
+            shards_flag = Some(parse_shards_or_exit(&v));
         } else {
             positional.push(a);
         }
@@ -92,15 +109,24 @@ fn main() {
         return;
     }
     let mut ctx = ExpContext::from_env();
-    if let Some(b) = backend_flag {
+    if let Some((b, spec_shards)) = backend_flag {
         ctx.backend = b;
+        // A `@shards` suffix on the CLI (even `@1`) overrides the
+        // environment; an explicit --shards flag wins over the suffix.
+        if let Some(s) = spec_shards {
+            ctx.shards = s;
+        }
+    }
+    if let Some(s) = shards_flag {
+        ctx.shards = s;
     }
     eprintln!(
-        "# context: scale={:?} rounds={} seeds={:?} backend={} datasets={:?}",
+        "# context: scale={:?} rounds={} seeds={:?} backend={} shards={} datasets={:?}",
         ctx.scale,
         ctx.rounds,
         ctx.seeds,
         ctx.backend.label(),
+        ctx.shards,
         five(&ctx)
     );
     match which {
@@ -139,11 +165,27 @@ fn main() {
     }
 }
 
-fn parse_backend_or_exit(v: &str) -> IndexBackend {
-    IndexBackend::parse(v).unwrap_or_else(|| {
-        eprintln!("--backend {v:?} not recognized\n\n{USAGE}");
-        std::process::exit(2);
-    })
+/// Parse a `--backend` value; the shard count is `Some` only when the
+/// spec carried an explicit `@shards` suffix, so `flat` and `flat@1` are
+/// distinguishable for precedence purposes.
+fn parse_backend_or_exit(v: &str) -> (IndexBackend, Option<usize>) {
+    match IndexBackend::parse_sharded(v) {
+        Some((b, s)) => (b, v.contains('@').then_some(s)),
+        None => {
+            eprintln!("--backend {v:?} not recognized\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_shards_or_exit(v: &str) -> usize {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("--shards {v:?} not recognized (positive integer)\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// The five DeepMatcher-style benchmarks, optionally filtered by
@@ -421,21 +463,31 @@ fn table9(ctx: &ExpContext) {
 /// ANN backend sweep: the recall/latency trade-off of §5.4's FAISS knob,
 /// measured end to end through the DIAL loop. Per backend and dataset:
 /// final blocker recall, all-pairs F1, indexing+retrieval seconds, and RT.
+/// Every preset runs at the context's shard count, and the sweep always
+/// includes at least one sharded row (`flat@4` by default) so the parallel
+/// build + merged-probe path shows its measured build and probe latency
+/// next to the single-index families.
 fn backends(ctx: &ExpContext) {
+    let mut cases: Vec<(IndexBackend, usize)> =
+        IndexBackend::presets().into_iter().map(|b| (b, ctx.shards)).collect();
+    if ctx.shards == 1 {
+        cases.push((IndexBackend::Flat, 4));
+    }
     let mut rows = Vec::new();
     for b in five(ctx) {
-        for backend in IndexBackend::presets() {
+        for &(backend, shards) in &cases {
             let s = run_tplm(
                 ctx,
                 b,
-                &format!("DIAL-ix-{}", backend.label()),
-                runner::backend_mutator(backend),
+                &format!("DIAL-ix-{}", backend.label_sharded(shards)),
+                runner::backend_mutator(backend, shards),
             );
             write_json("backends", &s);
             let l = s.last();
             rows.push(vec![
                 b.short_name().into(),
                 backend.label(),
+                shards.to_string(),
                 pct(l.recall),
                 pct(l.all_f1),
                 format!("{:.3}", s.timing_indexing_retrieval),
@@ -445,7 +497,7 @@ fn backends(ctx: &ExpContext) {
     }
     print_table(
         "Backends: ANN index family vs blocker recall and retrieval latency",
-        &["Dataset", "Backend", "Recall", "All-pairs F1", "Index&Retrieval(s)", "RT(s)"],
+        &["Dataset", "Backend", "Shards", "Recall", "All-pairs F1", "Index&Retrieval(s)", "RT(s)"],
         &rows,
     );
 }

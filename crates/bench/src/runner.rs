@@ -19,6 +19,9 @@ pub struct ExpContext {
     /// ANN index backend every run retrieves through (`REPRO_BACKEND` or
     /// the `repro --backend=` flag; default exact Flat).
     pub backend: IndexBackend,
+    /// Round-robin shards per retrieval index (`REPRO_SHARDS` or the
+    /// `repro --shards=` flag; default 1 = unsharded).
+    pub shards: usize,
 }
 
 impl ExpContext {
@@ -33,18 +36,31 @@ impl ExpContext {
             std::env::var("REPRO_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
         // Same clean failure as the `--backend` flag: an unrecognized
         // value must not silently fall back to Flat (that would corrupt a
-        // sweep's measurements) nor panic with a backtrace.
-        let backend = match std::env::var("REPRO_BACKEND") {
-            Err(_) => IndexBackend::Flat,
-            Ok(v) => IndexBackend::parse(&v).unwrap_or_else(|| {
+        // sweep's measurements) nor panic with a backtrace. A `@shards`
+        // suffix on the spec sets the shard count; explicit REPRO_SHARDS
+        // wins over the suffix.
+        let (backend, spec_shards) = match std::env::var("REPRO_BACKEND") {
+            Err(_) => (IndexBackend::Flat, 1),
+            Ok(v) => IndexBackend::parse_sharded(&v).unwrap_or_else(|| {
                 eprintln!(
                     "REPRO_BACKEND {v:?} not recognized \
-                     (flat | ivf[:nlist[,nprobe]] | pq[:m[,nbits]] | hnsw[:m[,ef_search]])"
+                     (flat | ivf[:nlist[,nprobe]] | pq[:m[,nbits]] | hnsw[:m[,ef_search]], \
+                     each optionally followed by @<shards>)"
                 );
                 std::process::exit(2);
             }),
         };
-        ExpContext { scale, rounds, seeds: (0..n_seeds).collect(), backend }
+        let shards = match std::env::var("REPRO_SHARDS") {
+            Err(_) => spec_shards,
+            Ok(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("REPRO_SHARDS {v:?} not recognized (positive integer)");
+                    std::process::exit(2);
+                }
+            },
+        };
+        ExpContext { scale, rounds, seeds: (0..n_seeds).collect(), backend, shards }
     }
 
     /// Base DIAL configuration for a benchmark at this context's scale.
@@ -56,6 +72,7 @@ impl ExpContext {
         cfg.rounds = self.rounds;
         cfg.seed = seed;
         cfg.index_backend = self.backend;
+        cfg.index_shards = self.shards;
         cfg.abt_buy_like = matches!(bench, Benchmark::AbtBuy);
         if matches!(bench, Benchmark::Multilingual) {
             // §4.5: freeze the TPLM for the multilingual dataset. The
@@ -265,9 +282,13 @@ pub fn committee_mutator(n: usize) -> impl Fn(&mut DialConfig) {
     move |cfg: &mut DialConfig| cfg.committee = n
 }
 
-/// Mutator for ANN-backend experiments (the `backends` report).
-pub fn backend_mutator(b: IndexBackend) -> impl Fn(&mut DialConfig) {
-    move |cfg: &mut DialConfig| cfg.index_backend = b
+/// Mutator for ANN-backend experiments (the `backends` report): pins both
+/// the index family and its round-robin shard count.
+pub fn backend_mutator(b: IndexBackend, shards: usize) -> impl Fn(&mut DialConfig) {
+    move |cfg: &mut DialConfig| {
+        cfg.index_backend = b;
+        cfg.index_shards = shards;
+    }
 }
 
 /// Table 2 row for the Random Forest baseline.
@@ -336,6 +357,7 @@ mod tests {
         let ctx = ExpContext::from_env();
         assert!(ctx.rounds >= 1);
         assert!(!ctx.seeds.is_empty());
+        assert!(ctx.shards >= 1);
     }
 
     #[test]
@@ -352,6 +374,7 @@ mod tests {
             rounds: 2,
             seeds: vec![0],
             backend: IndexBackend::Flat,
+            shards: 1,
         };
         let s = run_tplm(&ctx, Benchmark::AbtBuy, "DIAL", |cfg| {
             *cfg = DialConfig { rounds: 2, ..DialConfig::smoke() };

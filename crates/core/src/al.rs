@@ -155,7 +155,7 @@ impl DialSystem {
             self.pretrain(data);
         }
         let cfg = self.config.clone();
-        let index_spec = cfg.index_backend.spec(cfg.seed);
+        let index_spec = cfg.index_spec();
         let cand_cap = cfg.cand_size.resolve(data.s.len(), data.dups().len(), cfg.abt_buy_like);
         let k = if cfg.abt_buy_like { cfg.k.max(20) } else { cfg.k };
 

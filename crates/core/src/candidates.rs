@@ -3,10 +3,13 @@
 //!
 //! Retrieval is backend-agnostic: indexes are built through
 //! [`IndexSpec::build`] and probed through the [`dial_ann::AnnIndex`]
-//! trait, so the Flat / IVF-Flat / PQ / HNSW choice plumbs down from
-//! [`crate::config::IndexBackend`] without this module knowing which
-//! family it runs on. Probe batches are rayon-parallel inside every
-//! backend's `search_batch`.
+//! trait, so the Flat / IVF-Flat / PQ / HNSW choice — and whether each
+//! member's index is split into round-robin shards
+//! ([`IndexSpec::Sharded`], from `DialConfig::index_shards`) — plumbs
+//! down from [`crate::config::IndexBackend`] without this module knowing
+//! which family it runs on. Probe batches are rayon-parallel inside every
+//! backend's `search_batch`; sharded backends additionally fan each batch
+//! across shards and k-way-merge the per-shard top-k.
 
 use crate::encode::ListEmbeddings;
 use dial_ann::{IndexSpec, Metric};

@@ -103,7 +103,10 @@ impl IndexBackend {
 
     /// Parse a CLI/env value: `flat`, `ivf[:nlist[,nprobe]]`,
     /// `pq[:m[,nbits]]`, or `hnsw[:m[,ef_search]]` (family names are
-    /// case-insensitive; `ivf-flat`/`ivf_flat` are accepted).
+    /// case-insensitive; `ivf-flat`/`ivf_flat` are accepted). Sharded
+    /// specs (`<family>@<shards>`) are rejected here — use
+    /// [`IndexBackend::parse_sharded`] when the caller can carry the
+    /// shard count.
     pub fn parse(s: &str) -> Option<IndexBackend> {
         let s = s.trim().to_ascii_lowercase();
         let (family, params) = match s.split_once(':') {
@@ -145,6 +148,22 @@ impl IndexBackend {
         }
     }
 
+    /// Parse a backend spec with an optional `@<shards>` suffix, e.g.
+    /// `ivf:16,4@8` or `flat@4`. Returns the family plus the shard count
+    /// (1 when the suffix is absent); a zero shard count is rejected.
+    pub fn parse_sharded(s: &str) -> Option<(IndexBackend, usize)> {
+        match s.split_once('@') {
+            None => IndexBackend::parse(s).map(|b| (b, 1)),
+            Some((family, shards)) => {
+                let shards: usize = shards.trim().parse().ok()?;
+                if shards == 0 {
+                    return None;
+                }
+                IndexBackend::parse(family).map(|b| (b, shards))
+            }
+        }
+    }
+
     /// Short label for report rows.
     pub fn label(&self) -> String {
         match self {
@@ -152,6 +171,16 @@ impl IndexBackend {
             IndexBackend::IvfFlat { nlist, nprobe } => format!("ivf:{nlist},{nprobe}"),
             IndexBackend::Pq { m, nbits } => format!("pq:{m},{nbits}"),
             IndexBackend::Hnsw { m, ef_search } => format!("hnsw:{m},{ef_search}"),
+        }
+    }
+
+    /// Label including the shard count (`flat@4`); plain [`Self::label`]
+    /// when unsharded, so existing report rows are unchanged.
+    pub fn label_sharded(&self, shards: usize) -> String {
+        if shards > 1 {
+            format!("{}@{shards}", self.label())
+        } else {
+            self.label()
         }
     }
 
@@ -175,6 +204,18 @@ impl IndexBackend {
                 seed: seed ^ 0x1d1a13,
                 ..Default::default()
             }),
+        }
+    }
+
+    /// Resolve to a build spec wrapped into `shards` round-robin shards.
+    /// `shards <= 1` returns the plain family spec, keeping the default
+    /// single-shard path bit-for-bit identical to pre-sharding behavior.
+    pub fn spec_sharded(&self, seed: u64, shards: usize) -> IndexSpec {
+        let inner = self.spec(seed);
+        if shards > 1 {
+            inner.sharded(shards)
+        } else {
+            inner
         }
     }
 }
@@ -253,6 +294,12 @@ pub struct DialConfig {
     /// ANN backend for all embedding retrieval (Index-By-Committee and the
     /// single-index strategies).
     pub index_backend: IndexBackend,
+    /// Round-robin shard count for every retrieval index: `1` (default)
+    /// builds one index per committee member exactly as before; `n > 1`
+    /// splits each member's rows across `n` child indexes built
+    /// concurrently and merges per-shard top-k at probe time
+    /// (`Sharded(Flat, n)` retrieves identically to `Flat`).
+    pub index_shards: usize,
     /// Treat the dataset as Abt-Buy-like (small `|S|`: larger `cand`, `k`).
     pub abt_buy_like: bool,
     pub blocking: BlockingStrategy,
@@ -287,6 +334,7 @@ impl Default for DialConfig {
             k: 3,
             cand_size: CandSize::Medium,
             index_backend: IndexBackend::Flat,
+            index_shards: 1,
             abt_buy_like: false,
             blocking: BlockingStrategy::Dial,
             negatives: NegativeSource::Random,
@@ -327,6 +375,15 @@ impl DialConfig {
         }
     }
 
+    /// The ANN build spec this configuration retrieves through: the
+    /// backend family seeded from [`DialConfig::seed`], wrapped into
+    /// [`DialConfig::index_shards`] round-robin shards when sharding is
+    /// on. The single construction point the AL loop (and anything else
+    /// building retrieval indexes) should use.
+    pub fn index_spec(&self) -> dial_ann::IndexSpec {
+        self.index_backend.spec_sharded(self.seed, self.index_shards)
+    }
+
     /// Validate cross-field invariants.
     pub fn validate(&self) {
         self.tplm.validate();
@@ -335,6 +392,7 @@ impl DialConfig {
         assert!(self.committee >= 1, "committee size must be >= 1");
         assert!((0.0..=1.0).contains(&self.mask_p), "mask_p out of range");
         assert!(self.k >= 1, "k must be >= 1");
+        assert!(self.index_shards >= 1, "index_shards must be >= 1");
         match self.index_backend {
             IndexBackend::Flat => {}
             IndexBackend::IvfFlat { nlist, nprobe } => {
@@ -424,6 +482,52 @@ mod tests {
         for b in IndexBackend::presets() {
             assert_eq!(IndexBackend::parse(&b.label()), Some(b), "{}", b.label());
         }
+    }
+
+    #[test]
+    fn sharded_parsing_and_labels() {
+        assert_eq!(IndexBackend::parse_sharded("flat"), Some((IndexBackend::Flat, 1)));
+        assert_eq!(IndexBackend::parse_sharded("flat@4"), Some((IndexBackend::Flat, 4)));
+        assert_eq!(
+            IndexBackend::parse_sharded("ivf:16,4@8"),
+            Some((IndexBackend::IvfFlat { nlist: 16, nprobe: 4 }, 8))
+        );
+        // Zero shards, junk counts, and junk families all fail cleanly.
+        assert_eq!(IndexBackend::parse_sharded("flat@0"), None);
+        assert_eq!(IndexBackend::parse_sharded("flat@x"), None);
+        assert_eq!(IndexBackend::parse_sharded("faiss@2"), None);
+        // The plain parser refuses sharded specs rather than mislabeling.
+        assert_eq!(IndexBackend::parse("flat@4"), None);
+        // Labels round-trip with and without the suffix.
+        for b in IndexBackend::presets() {
+            for shards in [1usize, 4] {
+                assert_eq!(
+                    IndexBackend::parse_sharded(&b.label_sharded(shards)),
+                    Some((b, shards)),
+                    "{}",
+                    b.label_sharded(shards)
+                );
+            }
+        }
+        assert_eq!(IndexBackend::Flat.label_sharded(1), "flat", "no suffix at 1 shard");
+    }
+
+    #[test]
+    fn spec_sharded_wraps_only_above_one() {
+        use dial_ann::IndexSpec;
+        assert_eq!(IndexBackend::Flat.spec_sharded(0, 1), IndexSpec::Flat);
+        assert_eq!(
+            IndexBackend::Flat.spec_sharded(0, 4),
+            IndexSpec::Sharded { inner: Box::new(IndexSpec::Flat), shards: 4 }
+        );
+        let cfg = DialConfig { index_shards: 3, ..DialConfig::smoke() };
+        assert_eq!(cfg.index_spec(), IndexSpec::Flat.sharded(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "index_shards")]
+    fn zero_shards_rejected_by_validate() {
+        DialConfig { index_shards: 0, ..DialConfig::smoke() }.validate();
     }
 
     #[test]

@@ -94,6 +94,24 @@ fn flat_backend_reproduces_prerefactor_single_candidates() {
 }
 
 #[test]
+fn sharded_flat_reproduces_prerefactor_committee_candidates() {
+    // Sharding an exact index is invisible to retrieval: the round-robin
+    // split plus the k-way merge must reproduce the pre-refactor flat
+    // candidate sets pair-for-pair, for any shard count.
+    let dim = 16;
+    let mut rng = StdRng::seed_from_u64(46);
+    let views_r: Vec<Vec<f32>> = (0..3).map(|_| random_view(80, dim, &mut rng)).collect();
+    let views_s: Vec<Vec<f32>> = (0..3).map(|_| random_view(50, dim, &mut rng)).collect();
+
+    let old = prerefactor_index_by_committee(&views_r, &views_s, dim, 3, 120);
+    for shards in [1usize, 2, 7] {
+        let spec = IndexBackend::Flat.spec_sharded(7, shards);
+        let new = index_by_committee(&views_r, &views_s, dim, 3, 120, &spec);
+        assert_identical(&new, &old, &format!("index_by_committee sharded@{shards}"));
+    }
+}
+
+#[test]
 fn ivf_full_probe_matches_flat_candidate_keys() {
     let dim = 8;
     let mut rng = StdRng::seed_from_u64(44);

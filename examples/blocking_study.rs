@@ -41,13 +41,25 @@ fn main() {
 
     // ANN backend sweep: identical DIAL configuration, only the retrieval
     // substrate changes. Exact Flat anchors recall; the approximate
-    // families show where probe latency is bought with recall.
+    // families show where probe latency is bought with recall; the
+    // sharded flat row shows the concurrent-build/merged-probe path at
+    // identical recall to flat.
     println!(
         "\n{:<16} {:>12} {:>14} {:>16} {:>14}",
         "index backend", "cand recall", "all-pairs F1", "index+probe (s)", "wall-clock (s)"
     );
-    for backend in IndexBackend::presets() {
-        let config = DialConfig { rounds: 2, index_backend: backend, ..DialConfig::smoke() };
+    let sweep: Vec<(IndexBackend, usize)> = IndexBackend::presets()
+        .into_iter()
+        .map(|b| (b, 1))
+        .chain([(IndexBackend::Flat, 4)])
+        .collect();
+    for (backend, shards) in sweep {
+        let config = DialConfig {
+            rounds: 2,
+            index_backend: backend,
+            index_shards: shards,
+            ..DialConfig::smoke()
+        };
         let mut system = DialSystem::new(config);
         let t0 = Instant::now();
         let result = system.run(&data, None);
@@ -55,7 +67,7 @@ fn main() {
         let last = result.last();
         println!(
             "{:<16} {:>12.3} {:>14.3} {:>16.3} {:>14.2}",
-            backend.label(),
+            backend.label_sharded(shards),
             last.blocker_recall,
             last.all_pairs.f1,
             last.timings.indexing_retrieval,

@@ -1,15 +1,23 @@
 //! Offline stand-in for `rayon`: the data-parallel iterator subset this
-//! workspace uses, executed on scoped `std::thread` workers.
+//! workspace uses, as *lazily fused* pipelines executed chunk-wise on
+//! scoped `std::thread` workers.
 //!
-//! Unlike rayon's lazy, work-stealing pipelines, [`ParIter`] evaluates each
-//! parallel adapter eagerly: `par_iter().map(f)` runs `f` over the items on
-//! `min(available_parallelism, n)` threads immediately and materializes the
-//! results in input order. That keeps semantics (ordered `collect`,
-//! deterministic output) while putting real parallelism under the one shape
-//! that dominates this codebase — a heavy per-item `map` over an indexed
-//! collection. `RAYON_NUM_THREADS` (or `DIAL_NUM_THREADS`) overrides the
-//! worker count; `1` forces sequential execution.
+//! Unlike the first-generation shim (which evaluated every adapter eagerly
+//! and materialized a `Vec` between stages), adapters here build a fused
+//! pipeline: `par_iter().map(f).filter(p).map(g)` composes one per-item
+//! function and nothing runs until a terminal operation (`collect`,
+//! `for_each`, `count`, `sum`) drives it. The driver splits the source
+//! index range into contiguous chunks, evaluates the fused pipeline on
+//! `min(available_parallelism, n)` scoped threads, and concatenates the
+//! per-chunk results in order — so output order and determinism match
+//! rayon's ordered `collect` while intermediate stages never materialize.
+//! That matters for sharded index builds, where a heavy `map` over shard
+//! buffers would otherwise allocate a full intermediate per adapter.
+//!
+//! `RAYON_NUM_THREADS` (or `DIAL_NUM_THREADS`) overrides the worker count;
+//! `1` forces sequential execution.
 
+use std::cell::UnsafeCell;
 use std::sync::OnceLock;
 
 pub mod prelude {
@@ -31,160 +39,392 @@ pub fn current_num_threads() -> usize {
     })
 }
 
-/// Apply `f` to every item on multiple threads, preserving input order.
-fn pmap<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
-    let n = items.len();
+/// A lazily evaluated, indexed pipeline stage. `pull(i)` produces the item
+/// at source index `i` (after all fused transforms), or `None` if a fused
+/// `filter` dropped it.
+///
+/// Contract: the driver pulls each index in `0..len()` **at most once**,
+/// from **disjoint** index ranges per worker thread. Owned sources rely on
+/// this to move items out from behind a shared reference.
+pub trait Gen: Sync {
+    type Item: Send;
+
+    /// Source length (indexes `0..len()` are pullable).
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Item at source index `i`, or `None` if filtered out.
+    fn pull(&self, i: usize) -> Option<Self::Item>;
+
+    /// `true` when items are already materialized and pulling is trivial,
+    /// so the driver should not spin up worker threads just to move them.
+    fn cheap(&self) -> bool {
+        false
+    }
+}
+
+/// Borrowed-slice source: items are `&T`.
+pub struct SliceSource<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> Gen for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+    fn pull(&self, i: usize) -> Option<&'a T> {
+        Some(&self.items[i])
+    }
+    fn cheap(&self) -> bool {
+        true
+    }
+}
+
+/// Borrowed chunked-slice source (`par_chunks`): items are `&[T]`.
+pub struct ChunkSource<'a, T> {
+    items: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Gen for ChunkSource<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.items.len().div_ceil(self.size)
+    }
+    fn pull(&self, i: usize) -> Option<&'a [T]> {
+        let lo = i * self.size;
+        Some(&self.items[lo..(lo + self.size).min(self.items.len())])
+    }
+    fn cheap(&self) -> bool {
+        true
+    }
+}
+
+/// Integer-range source: items computed from the index, nothing stored.
+pub struct RangeSource<T> {
+    start: i128,
+    len: usize,
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Owned source: items moved out exactly once at pull time. The `Sync`
+/// assertion is sound because the driver partitions indexes into disjoint
+/// per-thread ranges and `Option::take` makes a double pull yield `None`
+/// rather than a duplicated value.
+pub struct OwnedSource<T> {
+    cells: Vec<UnsafeCell<Option<T>>>,
+}
+
+unsafe impl<T: Send> Sync for OwnedSource<T> {}
+
+impl<T> OwnedSource<T> {
+    fn new(items: Vec<T>) -> Self {
+        OwnedSource { cells: items.into_iter().map(|t| UnsafeCell::new(Some(t))).collect() }
+    }
+}
+
+impl<T: Send> Gen for OwnedSource<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+    fn pull(&self, i: usize) -> Option<T> {
+        // SAFETY: the driver guarantees disjoint index ranges across
+        // threads, so no cell is accessed concurrently.
+        unsafe { (*self.cells[i].get()).take() }
+    }
+    fn cheap(&self) -> bool {
+        true
+    }
+}
+
+/// Fused `map` stage.
+pub struct Map<G, F> {
+    g: G,
+    f: F,
+}
+
+impl<G: Gen, R: Send, F: Fn(G::Item) -> R + Sync> Gen for Map<G, F> {
+    type Item = R;
+    fn len(&self) -> usize {
+        self.g.len()
+    }
+    fn pull(&self, i: usize) -> Option<R> {
+        self.g.pull(i).map(&self.f)
+    }
+}
+
+/// Fused `filter` stage.
+pub struct Filter<G, F> {
+    g: G,
+    f: F,
+}
+
+impl<G: Gen, F: Fn(&G::Item) -> bool + Sync> Gen for Filter<G, F> {
+    type Item = G::Item;
+    fn len(&self) -> usize {
+        self.g.len()
+    }
+    fn pull(&self, i: usize) -> Option<G::Item> {
+        self.g.pull(i).filter(|t| (self.f)(t))
+    }
+}
+
+/// A lazy parallel iterator: a fused pipeline plus the terminal operations
+/// that drive it on scoped worker threads.
+pub struct ParIter<G: Gen> {
+    gen: G,
+}
+
+/// Split `0..n` into per-thread ranges, run `per_chunk` on each, and
+/// combine the per-chunk results in chunk order.
+fn drive<G: Gen, R: Send>(
+    gen: &G,
+    per_chunk: impl Fn(&G, std::ops::Range<usize>) -> R + Sync,
+    combine: impl FnMut(R),
+) {
+    let mut combine = combine;
+    let n = gen.len();
     let threads = current_num_threads().min(n.max(1));
-    if threads <= 1 || n < 2 {
-        return items.into_iter().map(f).collect();
+    if threads <= 1 || n < 2 || gen.cheap() {
+        combine(per_chunk(gen, 0..n));
+        return;
     }
     let chunk = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut it = items.into_iter();
-    loop {
-        let c: Vec<T> = it.by_ref().take(chunk).collect();
-        if c.is_empty() {
-            break;
-        }
-        chunks.push(c);
-    }
-    let f = &f;
+    let per_chunk = &per_chunk;
     std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let range = t * chunk..((t + 1) * chunk).min(n);
+                s.spawn(move || per_chunk(gen, range))
+            })
             .collect();
-        let mut out = Vec::with_capacity(n);
         for h in handles {
-            out.extend(h.join().expect("parallel worker panicked"));
+            combine(h.join().expect("parallel worker panicked"));
         }
+    });
+}
+
+impl<G: Gen> ParIter<G> {
+    /// Evaluate the pipeline, preserving source order of retained items.
+    fn run(self) -> Vec<G::Item> {
+        let mut out = Vec::with_capacity(self.gen.len());
+        drive(
+            &self.gen,
+            |g, range| range.filter_map(|i| g.pull(i)).collect::<Vec<_>>(),
+            |part| out.extend(part),
+        );
         out
-    })
-}
-
-/// An eagerly evaluated parallel iterator: adapters run immediately and
-/// keep input order.
-pub struct ParIter<T> {
-    items: Vec<T>,
-}
-
-impl<T: Send> ParIter<T> {
-    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
-        ParIter { items: pmap(self.items, f) }
     }
 
-    /// Sequential filter: predicates in this codebase are cheap hash-set
-    /// probes; the expensive stages around them stay parallel.
-    pub fn filter<F: Fn(&T) -> bool>(self, f: F) -> ParIter<T> {
-        ParIter { items: self.items.into_iter().filter(|t| f(t)).collect() }
+    /// Wrap already-materialized items as a new (cheap) source.
+    fn ready<T: Send>(items: Vec<T>) -> ParIter<OwnedSource<T>> {
+        ParIter { gen: OwnedSource::new(items) }
+    }
+
+    /// Fuse a transform onto the pipeline (lazy; runs at the terminal op).
+    pub fn map<R: Send, F: Fn(G::Item) -> R + Sync>(self, f: F) -> ParIter<Map<G, F>> {
+        ParIter { gen: Map { g: self.gen, f } }
+    }
+
+    /// Fuse a predicate onto the pipeline (lazy, parallel — unlike the old
+    /// eager shim, filtering now rides the same fused chunk pass).
+    pub fn filter<F: Fn(&G::Item) -> bool + Sync>(self, f: F) -> ParIter<Filter<G, F>> {
+        ParIter { gen: Filter { g: self.gen, f } }
     }
 
     /// Map each item to a serial iterator and flatten (rayon's
-    /// `flat_map_iter`).
-    pub fn flat_map_iter<I, F>(self, f: F) -> ParIter<I::Item>
+    /// `flat_map_iter`). The expansion is evaluated in the parallel chunk
+    /// pass; the flattened items become a new materialized source.
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParIter<OwnedSource<I::Item>>
     where
         I: IntoIterator,
         I::Item: Send,
-        I::IntoIter: Send,
-        F: Fn(T) -> I + Sync,
+        F: Fn(G::Item) -> I + Sync,
     {
-        let nested: Vec<Vec<I::Item>> = pmap(self.items, |t| f(t).into_iter().collect());
-        ParIter { items: nested.into_iter().flatten().collect() }
+        let nested = self.map(|t| f(t).into_iter().collect::<Vec<_>>()).run();
+        Self::ready(nested.into_iter().flatten().collect())
     }
 
     /// Flatten items that are themselves iterable (rayon's `flatten_iter`).
-    pub fn flatten_iter(self) -> ParIter<<T as IntoIterator>::Item>
+    pub fn flatten_iter(self) -> ParIter<OwnedSource<<G::Item as IntoIterator>::Item>>
     where
-        T: IntoIterator,
+        G::Item: IntoIterator,
+        <G::Item as IntoIterator>::Item: Send,
     {
-        ParIter { items: self.items.into_iter().flatten().collect() }
+        let nested = self.run();
+        Self::ready(nested.into_iter().flatten().collect())
     }
 
-    /// Pair items positionally with another parallel-iterable of the same
-    /// length semantics as rayon's `zip` (truncates to the shorter side).
-    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<(T, Z::Item)> {
-        ParIter { items: self.items.into_iter().zip(other.into_par_iter().items).collect() }
+    /// Pair items positionally with another parallel-iterable (rayon `zip`
+    /// semantics: truncates to the shorter side). Both sides evaluate
+    /// before pairing.
+    pub fn zip<Z: IntoParallelIterator>(
+        self,
+        other: Z,
+    ) -> ParIter<OwnedSource<(G::Item, Z::Item)>> {
+        let left = self.run();
+        let right = other.into_par_iter().run();
+        Self::ready(left.into_iter().zip(right).collect())
     }
 
-    pub fn enumerate(self) -> ParIter<(usize, T)> {
-        ParIter { items: self.items.into_iter().enumerate().collect() }
+    /// Number the retained items sequentially (evaluates the pipeline, so
+    /// positions count post-`filter` survivors, matching the old shim).
+    pub fn enumerate(self) -> ParIter<OwnedSource<(usize, G::Item)>> {
+        let items = self.run();
+        Self::ready(items.into_iter().enumerate().collect())
     }
 
-    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
-        pmap(self.items, f);
+    /// Drive the pipeline for effects only; nothing is materialized.
+    pub fn for_each<F: Fn(G::Item) + Sync>(self, f: F) {
+        drive(
+            &self.gen,
+            |g, range| {
+                for i in range {
+                    if let Some(v) = g.pull(i) {
+                        f(v);
+                    }
+                }
+            },
+            |()| {},
+        );
     }
 
+    /// Count retained items without materializing them.
     pub fn count(self) -> usize {
-        self.items.len()
+        let mut total = 0usize;
+        drive(
+            &self.gen,
+            |g, range| range.filter(|&i| g.pull(i).is_some()).count(),
+            |part| total += part,
+        );
+        total
     }
 
-    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
-        self.items.into_iter().sum()
+    /// Sum retained items; per-chunk partial sums are combined in chunk
+    /// order, so float summation stays deterministic for a fixed thread
+    /// count.
+    pub fn sum<S: std::iter::Sum<G::Item> + std::iter::Sum<S> + Send>(self) -> S {
+        let mut parts = Vec::new();
+        drive(
+            &self.gen,
+            |g, range| range.filter_map(|i| g.pull(i)).sum::<S>(),
+            |part| parts.push(part),
+        );
+        parts.into_iter().sum()
     }
 
-    pub fn collect<C: FromIterator<T>>(self) -> C {
-        self.items.into_iter().collect()
+    /// Evaluate the pipeline and collect in source order.
+    pub fn collect<C: FromIterator<G::Item>>(self) -> C {
+        self.run().into_iter().collect()
     }
 }
 
 /// `par_iter()` over a borrowed collection.
-pub trait IntoParallelRefIterator {
-    type Item;
-    fn par_iter(&self) -> ParIter<&Self::Item>;
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send;
+    type Iter: Gen<Item = Self::Item>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
 }
 
-impl<T: Sync> IntoParallelRefIterator for [T] {
-    type Item = T;
-    fn par_iter(&self) -> ParIter<&T> {
-        ParIter { items: self.iter().collect() }
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceSource<'a, T>;
+    fn par_iter(&'a self) -> ParIter<SliceSource<'a, T>> {
+        ParIter { gen: SliceSource { items: self } }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceSource<'a, T>;
+    fn par_iter(&'a self) -> ParIter<SliceSource<'a, T>> {
+        ParIter { gen: SliceSource { items: self } }
     }
 }
 
 /// `par_chunks()` over a borrowed slice.
 pub trait ParallelSlice<T: Sync> {
-    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+    fn par_chunks(&self, size: usize) -> ParIter<ChunkSource<'_, T>>;
 }
 
 impl<T: Sync> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+    fn par_chunks(&self, size: usize) -> ParIter<ChunkSource<'_, T>> {
         assert!(size > 0, "chunk size must be positive");
-        ParIter { items: self.chunks(size).collect() }
+        ParIter { gen: ChunkSource { items: self, size } }
     }
 }
 
 /// `into_par_iter()` over owned collections and ranges.
 pub trait IntoParallelIterator {
-    type Item;
-    fn into_par_iter(self) -> ParIter<Self::Item>;
+    type Item: Send;
+    type Iter: Gen<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<G: Gen> IntoParallelIterator for ParIter<G> {
+    type Item = G::Item;
+    type Iter = G;
+    fn into_par_iter(self) -> ParIter<G> {
+        self
+    }
 }
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
-    fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
+    type Iter = OwnedSource<T>;
+    fn into_par_iter(self) -> ParIter<OwnedSource<T>> {
+        ParIter { gen: OwnedSource::new(self) }
     }
 }
 
 impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
     type Item = &'a T;
-    fn into_par_iter(self) -> ParIter<&'a T> {
-        ParIter { items: self.iter().collect() }
+    type Iter = SliceSource<'a, T>;
+    fn into_par_iter(self) -> ParIter<SliceSource<'a, T>> {
+        ParIter { gen: SliceSource { items: self } }
     }
 }
 
 impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
     type Item = &'a T;
-    fn into_par_iter(self) -> ParIter<&'a T> {
-        ParIter { items: self.iter().collect() }
+    type Iter = SliceSource<'a, T>;
+    fn into_par_iter(self) -> ParIter<SliceSource<'a, T>> {
+        ParIter { gen: SliceSource { items: self } }
     }
 }
 
 macro_rules! par_range {
     ($($t:ty),*) => {$(
+        impl Gen for RangeSource<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                self.len
+            }
+            fn pull(&self, i: usize) -> Option<$t> {
+                Some((self.start + i as i128) as $t)
+            }
+            fn cheap(&self) -> bool {
+                true
+            }
+        }
+
         impl IntoParallelIterator for core::ops::Range<$t> {
             type Item = $t;
-            fn into_par_iter(self) -> ParIter<$t> {
-                ParIter { items: self.collect() }
+            type Iter = RangeSource<$t>;
+            fn into_par_iter(self) -> ParIter<RangeSource<$t>> {
+                let (start, end) = (self.start as i128, self.end as i128);
+                ParIter {
+                    gen: RangeSource {
+                        start,
+                        len: (end - start).max(0) as usize,
+                        _marker: std::marker::PhantomData,
+                    },
+                }
             }
         }
     )*};
@@ -194,6 +434,7 @@ par_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_preserves_order() {
@@ -234,5 +475,84 @@ mod tests {
         let v: Vec<u32> = Vec::new();
         let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn adapters_are_lazy_until_driven() {
+        let calls = AtomicUsize::new(0);
+        let v: Vec<u32> = (0..64).collect();
+        let pipeline = v.par_iter().map(|&x| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            x * 3
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "map ran before the terminal op");
+        let out: Vec<u32> = pipeline.collect();
+        assert_eq!(calls.load(Ordering::SeqCst), 64);
+        assert_eq!(out[10], 30);
+    }
+
+    #[test]
+    fn fused_map_filter_runs_once_per_item() {
+        let maps = AtomicUsize::new(0);
+        let keeps = AtomicUsize::new(0);
+        let out: Vec<u32> = (0u32..100)
+            .into_par_iter()
+            .map(|x| {
+                maps.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+            .filter(|x| x % 3 == 0)
+            .map(|x| {
+                keeps.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+            .collect();
+        assert_eq!(maps.load(Ordering::SeqCst), 100, "first stage sees every item");
+        assert_eq!(keeps.load(Ordering::SeqCst), 34, "post-filter stage sees only survivors");
+        assert_eq!(out, (0u32..100).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn owned_non_clone_items_move_through_the_pipeline() {
+        struct NoClone(String);
+        let v: Vec<NoClone> = (0..50).map(|i| NoClone(format!("item-{i}"))).collect();
+        let out: Vec<String> = v.into_par_iter().map(|n| n.0).collect();
+        assert_eq!(out.len(), 50);
+        assert_eq!(out[7], "item-7");
+    }
+
+    #[test]
+    fn zip_truncates_and_pairs_in_order() {
+        let a: Vec<u32> = (0..10).collect();
+        let b: Vec<u32> = (100..105).collect();
+        let pairs: Vec<(u32, u32)> =
+            a.par_iter().map(|&x| x).zip(b.par_iter().map(|&y| y)).collect();
+        assert_eq!(pairs, vec![(0, 100), (1, 101), (2, 102), (3, 103), (4, 104)]);
+    }
+
+    #[test]
+    fn enumerate_numbers_retained_items() {
+        let v: Vec<u32> = (0..10).collect();
+        let out: Vec<(usize, u32)> =
+            v.par_iter().map(|&x| x).filter(|x| x % 2 == 1).enumerate().collect();
+        assert_eq!(out, vec![(0, 1), (1, 3), (2, 5), (3, 7), (4, 9)]);
+    }
+
+    #[test]
+    fn for_each_count_sum_terminals() {
+        let hits = AtomicUsize::new(0);
+        (0u32..500).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 500);
+        assert_eq!((0u32..500).into_par_iter().filter(|x| x % 5 == 0).count(), 100);
+        let total: u32 = (0u32..100).into_par_iter().map(|x| x).sum();
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn signed_range_sources() {
+        let out: Vec<i32> = (-5i32..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (-5..5).map(|x| x * 2).collect::<Vec<_>>());
     }
 }

@@ -143,6 +143,31 @@ fn flat_backend_is_the_default() {
     // that path is covered by crates/core/tests/index_backends.rs.
     assert_eq!(DialConfig::smoke().index_backend, IndexBackend::Flat);
     assert_eq!(DialConfig::default().index_backend, IndexBackend::Flat);
+    assert_eq!(DialConfig::smoke().index_shards, 1, "unsharded by default");
+    assert_eq!(DialConfig::default().index_shards, 1, "unsharded by default");
+}
+
+#[test]
+fn sharded_flat_run_matches_unsharded_flat_run() {
+    // End-to-end equivalence through the whole AL loop: with exact
+    // children, sharding only changes how the committee indexes are built
+    // and probed, never what they return — so every round metric of a
+    // sharded run must equal the unsharded run bit for bit.
+    let data = Benchmark::AbtBuy.generate(ScaleProfile::Smoke, 2);
+    let run = |shards: usize| {
+        let cfg = DialConfig { index_shards: shards, ..smoke_cfg() };
+        DialSystem::new(cfg).run(&data, None)
+    };
+    let flat = run(1);
+    for shards in [2usize, 5] {
+        let sharded = run(shards);
+        for (a, b) in flat.rounds.iter().zip(&sharded.rounds) {
+            assert_eq!(a.cand_size, b.cand_size, "shards={shards} round {}", a.round);
+            assert_eq!(a.blocker_recall, b.blocker_recall, "shards={shards} round {}", a.round);
+            assert_eq!(a.all_pairs.f1, b.all_pairs.f1, "shards={shards} round {}", a.round);
+            assert_eq!(a.test.f1, b.test.f1, "shards={shards} round {}", a.round);
+        }
+    }
 }
 
 #[test]
