@@ -5,6 +5,7 @@
 //! (§5.4) contrasts FAISS's quantization approach with LSH (DeepER,
 //! AutoBlock); HNSW rounds out the design space the benchmarks compare.
 
+use crate::kernels;
 use crate::metric::Metric;
 use crate::topk::{Hit, TopK};
 use rand::rngs::StdRng;
@@ -32,12 +33,21 @@ impl Default for HnswParams {
 }
 
 /// Graph-based approximate nearest-neighbour index.
+///
+/// Candidate scoring — neighbour expansion in the beam search, the greedy
+/// descent, and degree pruning — runs on the gathered batch kernel: a
+/// node's whole adjacency list is scored as one distance block against
+/// precomputed per-node norms, instead of one scalar `Metric::distance`
+/// call per edge.
 #[derive(Debug, Clone)]
 pub struct HnswIndex {
     dim: usize,
     metric: Metric,
     params: HnswParams,
     data: Vec<f32>,
+    /// Per-node kernel norms ([`kernels::metric_norms`] convention),
+    /// maintained on every insert.
+    norms: Vec<f32>,
     /// `layers[l][node]` = neighbour ids of `node` at layer `l` (nodes not
     /// present on a layer have an empty list).
     layers: Vec<Vec<Vec<u32>>>,
@@ -85,6 +95,7 @@ impl HnswIndex {
             metric,
             params,
             data: Vec::new(),
+            norms: Vec::new(),
             layers: vec![Vec::new()],
             node_level: Vec::new(),
             entry: 0,
@@ -135,8 +146,39 @@ impl HnswIndex {
         &self.data[i..i + self.dim]
     }
 
-    fn dist(&self, a: &[f32], id: u32) -> f32 {
-        self.metric.distance(a, self.vector(id))
+    /// Kernel distance from a query (with its precomputed metric norm)
+    /// to one stored node — bitwise identical to what the gathered batch
+    /// scoring produces for the same pair.
+    fn dist(&self, q: &[f32], q_norm: f32, id: u32) -> f32 {
+        let mut out = [0.0f32];
+        kernels::distance_gather(
+            self.metric,
+            q,
+            q_norm,
+            &self.data,
+            &self.norms,
+            self.dim,
+            &[id],
+            &mut out,
+        );
+        out[0]
+    }
+
+    /// Score a node's whole adjacency list as one gathered distance
+    /// block.
+    fn dists(&self, q: &[f32], q_norm: f32, ids: &[u32], out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(ids.len(), 0.0);
+        kernels::distance_gather(
+            self.metric,
+            q,
+            q_norm,
+            &self.data,
+            &self.norms,
+            self.dim,
+            ids,
+            out,
+        );
     }
 
     fn max_degree(&self, layer: usize) -> usize {
@@ -152,6 +194,8 @@ impl HnswIndex {
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
         let id = self.len() as u32;
         self.data.extend_from_slice(v);
+        let v_norm = kernels::metric_norm(self.metric, v);
+        self.norms.push(v_norm);
 
         // Exponential level assignment with base 1/ln(M).
         let ml = 1.0 / (self.params.m as f32).ln();
@@ -181,11 +225,11 @@ impl HnswIndex {
         let top = self.node_level[self.entry as usize];
         // Greedy descent through layers above the new node's level.
         for l in ((level + 1)..=top).rev() {
-            cur = self.greedy_closest(v, cur, l);
+            cur = self.greedy_closest(v, v_norm, cur, l);
         }
         // Insert with beam search on each shared layer.
         for l in (0..=level.min(top)).rev() {
-            let neighbours = self.search_layer(v, cur, self.params.ef_construction, l);
+            let neighbours = self.search_layer(v, v_norm, cur, self.params.ef_construction, l);
             let selected: Vec<u32> =
                 neighbours.iter().take(self.max_degree(l)).map(|h| h.id).collect();
             for &n in &selected {
@@ -206,25 +250,32 @@ impl HnswIndex {
         id
     }
 
-    /// Keep only the `max_degree` closest neighbours of `node` at `layer`.
+    /// Keep only the `max_degree` closest neighbours of `node` at `layer`
+    /// (the whole list scored as one gathered block, then sorted by
+    /// `(distance, id)`).
     fn prune(&mut self, node: u32, layer: usize) {
-        let nv = self.vector(node).to_vec();
         let mut neigh = std::mem::take(&mut self.layers[layer][node as usize]);
-        neigh.sort_by(|&a, &b| {
-            self.dist(&nv, a).partial_cmp(&self.dist(&nv, b)).unwrap().then(a.cmp(&b))
-        });
+        neigh.sort_unstable();
         neigh.dedup();
-        neigh.truncate(self.max_degree(layer));
-        self.layers[layer][node as usize] = neigh;
+        let nv = self.vector(node).to_vec();
+        let mut ds = Vec::new();
+        self.dists(&nv, self.norms[node as usize], &neigh, &mut ds);
+        let mut order: Vec<(f32, u32)> = ds.into_iter().zip(neigh).collect();
+        order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        order.truncate(self.max_degree(layer));
+        self.layers[layer][node as usize] = order.into_iter().map(|(_, n)| n).collect();
     }
 
-    /// Greedy best-neighbour walk at one layer.
-    fn greedy_closest(&self, q: &[f32], mut cur: u32, layer: usize) -> u32 {
-        let mut cur_d = self.dist(q, cur);
+    /// Greedy best-neighbour walk at one layer; each step scores the
+    /// current node's adjacency list as one batch.
+    fn greedy_closest(&self, q: &[f32], q_norm: f32, mut cur: u32, layer: usize) -> u32 {
+        let mut cur_d = self.dist(q, q_norm, cur);
+        let mut ds = Vec::new();
         loop {
+            let neigh = &self.layers[layer][cur as usize];
+            self.dists(q, q_norm, neigh, &mut ds);
             let mut improved = false;
-            for &n in &self.layers[layer][cur as usize] {
-                let d = self.dist(q, n);
+            for (&n, &d) in neigh.iter().zip(&ds) {
                 if d < cur_d {
                     cur = n;
                     cur_d = d;
@@ -237,26 +288,36 @@ impl HnswIndex {
         }
     }
 
-    /// Beam search at one layer; returns hits sorted ascending.
-    fn search_layer(&self, q: &[f32], entry: u32, ef: usize, layer: usize) -> Vec<Hit> {
+    /// Beam search at one layer; returns hits sorted ascending. Unvisited
+    /// neighbours of the expanded node are scored as one gathered
+    /// distance block before the frontier/result heaps are touched.
+    fn search_layer(
+        &self,
+        q: &[f32],
+        q_norm: f32,
+        entry: u32,
+        ef: usize,
+        layer: usize,
+    ) -> Vec<Hit> {
         let mut visited: HashSet<u32> = HashSet::new();
         visited.insert(entry);
-        let d0 = self.dist(q, entry);
+        let d0 = self.dist(q, q_norm, entry);
         let mut frontier = BinaryHeap::new();
         frontier.push(Near(d0, entry));
         let mut results: BinaryHeap<Far> = BinaryHeap::new();
         results.push(Far(d0, entry));
+        let mut fresh: Vec<u32> = Vec::new();
+        let mut ds: Vec<f32> = Vec::new();
 
         while let Some(Near(d, node)) = frontier.pop() {
             let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
             if d > worst && results.len() >= ef {
                 break;
             }
-            for &n in &self.layers[layer][node as usize] {
-                if !visited.insert(n) {
-                    continue;
-                }
-                let dn = self.dist(q, n);
+            fresh.clear();
+            fresh.extend(self.layers[layer][node as usize].iter().filter(|&&n| visited.insert(n)));
+            self.dists(q, q_norm, &fresh, &mut ds);
+            for (&n, &dn) in fresh.iter().zip(&ds) {
                 let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
                 if results.len() < ef || dn < worst {
                     frontier.push(Near(dn, n));
@@ -279,13 +340,14 @@ impl HnswIndex {
         if self.is_empty() {
             return Vec::new();
         }
+        let q_norm = kernels::metric_norm(self.metric, q);
         let mut cur = self.entry;
         let top = self.node_level[self.entry as usize];
         for l in (1..=top).rev() {
-            cur = self.greedy_closest(q, cur, l);
+            cur = self.greedy_closest(q, q_norm, cur, l);
         }
         let ef = self.params.ef_search.max(k);
-        let hits = self.search_layer(q, cur, ef, 0);
+        let hits = self.search_layer(q, q_norm, cur, ef, 0);
         let mut out = TopK::new(k);
         for h in hits {
             out.push(h.id, h.distance);

@@ -5,6 +5,7 @@
 //! degrades gracefully as `nprobe` shrinks — the recall/latency trade-off
 //! the paper delegates to FAISS.
 
+use crate::kernels;
 use crate::kmeans::{kmeans, KMeans};
 use crate::metric::Metric;
 use crate::topk::{Hit, TopK};
@@ -32,6 +33,14 @@ impl Default for IvfParams {
 }
 
 /// IVF-Flat index. Built in one shot from a packed vector set.
+///
+/// Both scans run on the blocked kernels: coarse quantization goes
+/// through [`KMeans::nearest_centroids`] (one squared-L2 kernel tile
+/// against the norms the quantizer caches at training time — always L2,
+/// matching k-means training, whatever the row metric), and each probed
+/// posting list is scored through the gathered kernel against
+/// precomputed row norms — no scalar per-pair `Metric::distance` calls
+/// on the hot path.
 #[derive(Debug, Clone)]
 pub struct IvfFlatIndex {
     dim: usize,
@@ -42,6 +51,9 @@ pub struct IvfFlatIndex {
     lists: Vec<Vec<u32>>,
     /// Original vectors, packed (ids index into this).
     data: Vec<f32>,
+    /// Per-row kernel norms ([`kernels::metric_norms`] convention),
+    /// maintained through [`IvfFlatIndex::add_batch`].
+    row_norms: Vec<f32>,
 }
 
 impl IvfFlatIndex {
@@ -60,7 +72,8 @@ impl IvfFlatIndex {
         for (i, &a) in quantizer.assignments.iter().enumerate() {
             lists[a as usize].push(i as u32);
         }
-        IvfFlatIndex { dim, metric, params, quantizer, lists, data: data.to_vec() }
+        let row_norms = kernels::metric_norms(metric, data, dim);
+        IvfFlatIndex { dim, metric, params, quantizer, lists, data: data.to_vec(), row_norms }
     }
 
     pub fn dim(&self) -> usize {
@@ -91,14 +104,36 @@ impl IvfFlatIndex {
         let list = self.quantizer.nearest_centroid(v);
         self.lists[list as usize].push(id);
         self.data.extend_from_slice(v);
+        self.row_norms.push(kernels::metric_norm(self.metric, v));
         id
     }
 
-    /// Append many packed vectors after build.
+    /// Append many packed vectors after build. Coarse assignment runs as
+    /// blocked kernel tiles (rows × centroids) with per-row argmins —
+    /// the same arithmetic as the per-row [`IvfFlatIndex::add`], without
+    /// its per-insert allocations.
     pub fn add_batch(&mut self, flat: &[f32]) {
         crate::metric::assert_packed(flat.len(), self.dim);
-        for v in flat.chunks(self.dim) {
-            self.add(v);
+        const BLOCK: usize = 64;
+        let k = self.params.nlist;
+        let mut tile = vec![0.0f32; BLOCK * k];
+        for rows in flat.chunks(self.dim * BLOCK) {
+            let nr = rows.len() / self.dim;
+            let row_sq = kernels::sq_norms(rows, self.dim);
+            kernels::sq_l2_batch(
+                rows,
+                &row_sq,
+                &self.quantizer.centroids,
+                &self.quantizer.centroid_sq,
+                self.dim,
+                &mut tile[..nr * k],
+            );
+            for (row, dists) in rows.chunks(self.dim).zip(tile[..nr * k].chunks(k)) {
+                let id = self.len() as u32;
+                self.lists[kernels::argmin(dists)].push(id);
+                self.data.extend_from_slice(row);
+                self.row_norms.push(kernels::metric_norm(self.metric, row));
+            }
         }
     }
 
@@ -107,19 +142,29 @@ impl IvfFlatIndex {
         self.params.nprobe = nprobe.min(self.params.nlist).max(1);
     }
 
-    fn vector(&self, id: u32) -> &[f32] {
-        let i = id as usize * self.dim;
-        &self.data[i..i + self.dim]
-    }
-
-    /// Probe the `nprobe` nearest lists for the top-`k` neighbours.
+    /// Probe the `nprobe` nearest lists for the top-`k` neighbours. Each
+    /// posting list is scored as one gathered kernel block; the `TopK`
+    /// heap only sees finished distance blocks.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        let probes = self.quantizer.nearest_centroids(query, self.params.nprobe);
+        let q_norm = kernels::metric_norm(self.metric, query);
         let mut top = TopK::new(k);
-        for list in probes {
-            for &id in &self.lists[list as usize] {
-                let d = self.metric.distance(query, self.vector(id));
+        let mut block = Vec::new();
+        for list in self.quantizer.nearest_centroids(query, self.params.nprobe) {
+            let ids = &self.lists[list as usize];
+            block.clear();
+            block.resize(ids.len(), 0.0);
+            kernels::distance_gather(
+                self.metric,
+                query,
+                q_norm,
+                &self.data,
+                &self.row_norms,
+                self.dim,
+                ids,
+                &mut block,
+            );
+            for (&id, &d) in ids.iter().zip(&block) {
                 top.push(id, d);
             }
         }
@@ -206,6 +251,27 @@ mod tests {
         for (i, hits) in batch.iter().enumerate() {
             assert_eq!(*hits, ivf.search(&queries[i * dim..(i + 1) * dim], 5));
         }
+    }
+
+    #[test]
+    fn add_batch_assigns_exactly_like_repeated_add() {
+        // The blocked-tile assignment in add_batch must reproduce the
+        // per-row add() path: same lists, same retrieval, across a batch
+        // larger than the assignment block.
+        let dim = 8;
+        let base = random_data(300, dim, 13);
+        let extra = random_data(150, dim, 14);
+        let params = IvfParams { nlist: 16, nprobe: 16, ..Default::default() };
+        let mut batched = IvfFlatIndex::build(&base, dim, Metric::L2, params);
+        let mut one_by_one = batched.clone();
+        batched.add_batch(&extra);
+        for v in extra.chunks(dim) {
+            one_by_one.add(v);
+        }
+        assert_eq!(batched.lists, one_by_one.lists);
+        assert_eq!(batched.row_norms, one_by_one.row_norms);
+        let q = &extra[0..dim];
+        assert_eq!(batched.search(q, 7), one_by_one.search(q, 7));
     }
 
     #[test]

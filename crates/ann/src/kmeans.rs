@@ -9,7 +9,13 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rayon::prelude::*;
 
+use crate::kernels;
 use crate::metric::sq_l2;
+
+/// Points per tile in the blocked assignment step: a `ASSIGN_BLOCK × k`
+/// distance tile stays cache-resident while the per-point argmins reduce
+/// it.
+const ASSIGN_BLOCK: usize = 64;
 
 /// Result of a k-means run.
 #[derive(Debug, Clone)]
@@ -18,6 +24,11 @@ pub struct KMeans {
     pub dim: usize,
     /// Packed `k * dim` centroid matrix.
     pub centroids: Vec<f32>,
+    /// Squared L2 norms of the centroids, cached by [`kmeans`] so
+    /// [`KMeans::centroid_dists`] is a single kernel call (callers that
+    /// mutate `centroids` must refresh this with
+    /// [`crate::kernels::sq_norms`]).
+    pub centroid_sq: Vec<f32>,
     /// Cluster assignment per input vector.
     pub assignments: Vec<u32>,
     /// Final within-cluster sum of squared distances.
@@ -32,18 +43,32 @@ impl KMeans {
         &self.centroids[c * self.dim..(c + 1) * self.dim]
     }
 
-    /// Index of the centroid nearest to `v`.
-    pub fn nearest_centroid(&self, v: &[f32]) -> u32 {
-        nearest(v, &self.centroids, self.dim).0
+    /// Squared-L2 kernel distances from `v` to every centroid — the one
+    /// centroid-scoring primitive (the Lloyd assignment step and IVF's
+    /// coarse quantizer use the same kernel arithmetic, so rankings never
+    /// drift between this API and the index hot paths).
+    pub fn centroid_dists(&self, v: &[f32]) -> Vec<f32> {
+        let v_sq = [kernels::sq_norm(v)];
+        let mut out = vec![0.0f32; self.k];
+        kernels::sq_l2_batch(v, &v_sq, &self.centroids, &self.centroid_sq, self.dim, &mut out);
+        out
     }
 
-    /// Indices of the `n` nearest centroids to `v`, closest first.
+    /// Index of the centroid nearest to `v` (ties keep the lowest index).
+    pub fn nearest_centroid(&self, v: &[f32]) -> u32 {
+        kernels::argmin(&self.centroid_dists(v)) as u32
+    }
+
+    /// Indices of the `n` nearest centroids to `v`, closest first
+    /// (`(distance, index)` order).
     pub fn nearest_centroids(&self, v: &[f32], n: usize) -> Vec<u32> {
-        let mut order: Vec<(u32, f32)> =
-            (0..self.k).map(|c| (c as u32, sq_l2(v, self.centroid(c)))).collect();
-        order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        let dists = self.centroid_dists(v);
+        let mut order: Vec<u32> = (0..self.k as u32).collect();
+        order.sort_by(|&a, &b| {
+            dists[a as usize].partial_cmp(&dists[b as usize]).unwrap().then(a.cmp(&b))
+        });
         order.truncate(n);
-        order.into_iter().map(|(c, _)| c).collect()
+        order
     }
 }
 
@@ -102,16 +127,38 @@ pub fn kmeans(data: &[f32], dim: usize, k: usize, max_iters: usize, rng: &mut St
     let mut inertia = f32::INFINITY;
     let mut iterations = 0;
 
+    // Point norms never change across iterations; centroid norms do.
+    let point_sq = kernels::sq_norms(data, dim);
+
     for _ in 0..max_iters {
         iterations += 1;
-        // Assignment step (parallel over points).
-        let assigned: Vec<(u32, f32)> = data
-            .par_chunks(dim)
-            .map(|v| {
-                let (c, d) = nearest(v, &centroids, dim);
-                (c, d)
+        // Assignment step: blocked kernel tiles (points × centroids),
+        // parallel over point blocks.
+        let cen_sq = kernels::sq_norms(&centroids, dim);
+        let blocks: Vec<Vec<(u32, f32)>> = (0..n.div_ceil(ASSIGN_BLOCK))
+            .into_par_iter()
+            .map(|bi| {
+                let lo = bi * ASSIGN_BLOCK;
+                let hi = (lo + ASSIGN_BLOCK).min(n);
+                let points = &data[lo * dim..hi * dim];
+                let mut tile = vec![0.0f32; (hi - lo) * k];
+                kernels::sq_l2_batch(
+                    points,
+                    &point_sq[lo..hi],
+                    &centroids,
+                    &cen_sq,
+                    dim,
+                    &mut tile,
+                );
+                tile.chunks(k)
+                    .map(|row| {
+                        let c = kernels::argmin(row);
+                        (c as u32, row[c])
+                    })
+                    .collect()
             })
             .collect();
+        let assigned: Vec<(u32, f32)> = blocks.into_iter().flatten().collect();
         let new_inertia: f32 = assigned.iter().map(|(_, d)| d).sum();
         let changed = assigned.iter().zip(&assignments).any(|((c, _), old)| c != old);
         for (i, (c, _)) in assigned.iter().enumerate() {
@@ -142,19 +189,10 @@ pub fn kmeans(data: &[f32], dim: usize, k: usize, max_iters: usize, rng: &mut St
         }
     }
 
-    KMeans { k, dim, centroids, assignments, inertia, iterations }
-}
-
-#[inline]
-fn nearest(v: &[f32], centroids: &[f32], dim: usize) -> (u32, f32) {
-    let mut best = (0u32, f32::INFINITY);
-    for (c, cen) in centroids.chunks(dim).enumerate() {
-        let d = sq_l2(v, cen);
-        if d < best.1 {
-            best = (c as u32, d);
-        }
-    }
-    best
+    // Cache the norms of the *final* centroids (the in-loop cen_sq can be
+    // stale when the loop exhausts max_iters right after an update step).
+    let centroid_sq = kernels::sq_norms(&centroids, dim);
+    KMeans { k, dim, centroids, centroid_sq, assignments, inertia, iterations }
 }
 
 #[cfg(test)]

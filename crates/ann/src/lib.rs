@@ -19,6 +19,12 @@
 //! with the [`merge_topk`] k-way merge — the scale-out step toward
 //! multi-core (and later multi-node) serving.
 //!
+//! Every family's distance scan runs on the blocked batch kernels in
+//! [`kernels`] — norm-decomposed, lane-accumulated query-block × row-block
+//! tiles with per-index precomputed row norms — rather than one scalar
+//! [`Metric::distance`](metric::Metric::distance) call per `(query, row)`
+//! pair.
+//!
 //! All families implement the object-safe [`AnnIndex`] trait and build
 //! through [`IndexSpec`], so the backend is a runtime choice —
 //! `dial-core` plumbs it from `DialConfig` down to Index-By-Committee
@@ -31,6 +37,7 @@ pub mod flat;
 pub mod hnsw;
 pub mod index;
 pub mod ivf;
+pub mod kernels;
 pub mod kmeans;
 pub mod metric;
 pub mod pq;
@@ -41,8 +48,9 @@ pub use flat::FlatIndex;
 pub use hnsw::{HnswIndex, HnswParams};
 pub use index::{AnnIndex, IndexSpec, PqParams};
 pub use ivf::{IvfFlatIndex, IvfParams};
+pub use kernels::{cosine_batch, sq_l2_batch};
 pub use kmeans::{kmeans, kmeans_pp_seed, KMeans};
-pub use metric::{sq_l2, Metric};
+pub use metric::{normalize, sq_l2, Metric};
 pub use pq::{PqIndex, ProductQuantizer};
 pub use sharded::ShardedIndex;
 pub use topk::{merge_topk, Hit, TopK};

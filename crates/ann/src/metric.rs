@@ -34,6 +34,25 @@ impl Metric {
     }
 }
 
+/// Scale `v` to unit length. A vector whose norm is zero — the all-zero
+/// vector, but also denormal-heavy vectors whose squared norm underflows
+/// to `0.0` — normalizes to the **zero vector**, never to NaN.
+///
+/// This is the one normalization every cosine path shares: PQ's
+/// pre-normalization at build/add/query time and the exact backends'
+/// zero-vector handling. [`Metric::Cosine`] scores a zero-norm side at
+/// the fixed distance `1.0` ("no direction"), so mapping norm-zero
+/// inputs to the zero vector keeps the quantized and exact paths ranking
+/// such rows identically instead of encoding rounding garbage.
+pub fn normalize(v: &[f32]) -> Vec<f32> {
+    let norm = crate::kernels::sq_norm(v).sqrt();
+    if norm == 0.0 {
+        vec![0.0; v.len()]
+    } else {
+        v.iter().map(|x| x / norm).collect()
+    }
+}
+
 /// Validate a packed row-major buffer: `len` must be a multiple of `dim`.
 /// Shared by every index family's `add_batch` and by `IndexSpec::build`.
 #[inline]
@@ -73,5 +92,26 @@ mod tests {
     #[test]
     fn cosine_zero_vector_is_max_distance() {
         assert_eq!(Metric::Cosine.distance(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn normalize_unit_length_and_zero_to_zero() {
+        let n = normalize(&[3.0, 4.0]);
+        assert!((n[0] - 0.6).abs() < 1e-6 && (n[1] - 0.8).abs() < 1e-6);
+        // Zero vectors normalize to zero, never NaN.
+        assert_eq!(normalize(&[0.0, 0.0, 0.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_norm_consistent_across_distance_and_normalize() {
+        // Both zero-norm paths must agree: a vector whose squared norm
+        // underflows to 0.0 is "no direction" for the exact metric (1.0)
+        // AND normalizes to the zero vector for the pre-normalizing
+        // (PQ) path — not to NaN, and not to a garbage direction.
+        let denormal = vec![1.0e-30f32; 4];
+        assert_eq!(Metric::Cosine.distance(&denormal, &[1.0, 0.0, 0.0, 0.0]), 1.0);
+        let n = normalize(&denormal);
+        assert!(n.iter().all(|x| *x == 0.0), "underflowed norm must normalize to zero: {n:?}");
+        assert!(n.iter().all(|x| !x.is_nan()));
     }
 }

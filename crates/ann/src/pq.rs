@@ -13,8 +13,9 @@
 //! reported distance is halved to land on the `1 − cos` scale the exact
 //! backends report.
 
+use crate::kernels;
 use crate::kmeans::kmeans;
-use crate::metric::{sq_l2, Metric};
+use crate::metric::{normalize, Metric};
 use crate::topk::{Hit, TopK};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,6 +31,10 @@ pub struct ProductQuantizer {
     ksub: usize,
     /// `m` codebooks, each packed `ksub * dsub`.
     codebooks: Vec<Vec<f32>>,
+    /// Squared L2 norms of each codebook's centroids (`m × ksub`),
+    /// precomputed at train time so table construction and encoding run
+    /// on the batched kernel.
+    codebook_sq: Vec<Vec<f32>>,
 }
 
 impl ProductQuantizer {
@@ -56,7 +61,8 @@ impl ProductQuantizer {
             })
             .collect();
 
-        ProductQuantizer { dim, m, ksub, codebooks }
+        let codebook_sq = codebooks.iter().map(|cb| kernels::sq_norms(cb, dsub)).collect();
+        ProductQuantizer { dim, m, ksub, codebooks, codebook_sq }
     }
 
     pub fn dim(&self) -> usize {
@@ -75,22 +81,30 @@ impl ProductQuantizer {
         self.dim / self.m
     }
 
-    /// Encode one vector to `m` bytes.
+    /// Distances from one subvector to every centroid of one codebook,
+    /// as a single kernel tile.
+    fn subspace_dists(&self, sub: usize, part: &[f32], out: &mut [f32]) {
+        let part_sq = [kernels::sq_norm(part)];
+        kernels::sq_l2_batch(
+            part,
+            &part_sq,
+            &self.codebooks[sub],
+            &self.codebook_sq[sub],
+            self.dsub(),
+            out,
+        );
+    }
+
+    /// Encode one vector to `m` bytes (per-subspace batched argmin;
+    /// distance ties keep the lowest code, like the scalar scan did).
     pub fn encode(&self, v: &[f32]) -> Vec<u8> {
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
         let dsub = self.dsub();
+        let mut dists = vec![0.0f32; self.ksub];
         (0..self.m)
             .map(|sub| {
-                let part = &v[sub * dsub..(sub + 1) * dsub];
-                let mut best = (0usize, f32::INFINITY);
-                for c in 0..self.ksub {
-                    let cen = &self.codebooks[sub][c * dsub..(c + 1) * dsub];
-                    let d = sq_l2(part, cen);
-                    if d < best.1 {
-                        best = (c, d);
-                    }
-                }
-                best.0 as u8
+                self.subspace_dists(sub, &v[sub * dsub..(sub + 1) * dsub], &mut dists);
+                kernels::argmin(&dists) as u8
             })
             .collect()
     }
@@ -107,17 +121,15 @@ impl ProductQuantizer {
         out
     }
 
-    /// Per-subspace distance tables for `query`: `m * ksub` entries.
+    /// Per-subspace distance tables for `query`: `m * ksub` entries,
+    /// each subspace built as one batched kernel tile against the
+    /// codebook (norms precomputed at train time).
     pub fn distance_tables(&self, query: &[f32]) -> Vec<f32> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let dsub = self.dsub();
-        let mut tables = Vec::with_capacity(self.m * self.ksub);
-        for sub in 0..self.m {
-            let part = &query[sub * dsub..(sub + 1) * dsub];
-            for c in 0..self.ksub {
-                let cen = &self.codebooks[sub][c * dsub..(c + 1) * dsub];
-                tables.push(sq_l2(part, cen));
-            }
+        let mut tables = vec![0.0f32; self.m * self.ksub];
+        for (sub, out) in tables.chunks_mut(self.ksub).enumerate() {
+            self.subspace_dists(sub, &query[sub * dsub..(sub + 1) * dsub], out);
         }
         tables
     }
@@ -130,16 +142,6 @@ impl ProductQuantizer {
             d += tables[sub * self.ksub + c as usize];
         }
         d
-    }
-}
-
-/// Scale `v` to unit length (zero vectors pass through unchanged).
-fn unit(v: &[f32]) -> Vec<f32> {
-    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
-    if norm == 0.0 {
-        v.to_vec()
-    } else {
-        v.iter().map(|x| x / norm).collect()
     }
 }
 
@@ -179,7 +181,7 @@ impl PqIndex {
         let train_data = match metric {
             Metric::L2 => data,
             Metric::Cosine => {
-                owned = data.chunks(dim).flat_map(unit).collect::<Vec<f32>>();
+                owned = data.chunks(dim).flat_map(normalize).collect::<Vec<f32>>();
                 &owned
             }
         };
@@ -227,7 +229,7 @@ impl PqIndex {
     pub fn add(&mut self, v: &[f32]) -> u32 {
         match self.metric {
             Metric::L2 => self.push_code(v),
-            Metric::Cosine => self.push_code(&unit(v)),
+            Metric::Cosine => self.push_code(&normalize(v)),
         }
     }
 
@@ -249,7 +251,7 @@ impl PqIndex {
         let (query, q_zero) = match self.metric {
             Metric::L2 => (query, false),
             Metric::Cosine => {
-                normalized = unit(query);
+                normalized = normalize(query);
                 (normalized.as_slice(), is_zero(&normalized))
             }
         };
@@ -285,6 +287,7 @@ impl PqIndex {
 mod tests {
     use super::*;
     use crate::flat::FlatIndex;
+    use crate::metric::sq_l2;
     use crate::metric::Metric;
     use rand::Rng;
 

@@ -2,8 +2,15 @@
 //! through the unified `AnnIndex` trait (the FAISS trade-offs DIAL §5.4
 //! leans on), including round-robin sharded composites — concurrent
 //! per-shard builds, merged per-shard top-k probes.
+//!
+//! The first section is the kernel sweep from [`dial_bench::annbench`]:
+//! blocked `search_batch` vs the scalar reference path at the acceptance
+//! workload (10k × 128-d, k = 10), persisted to `results/BENCH_ann.json`.
+//! Pass `-- --smoke` (the CI job does) for a bounded run that still fails
+//! loudly if the blocked kernel regresses behind the scalar scan.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dial_ann::{AnnIndex, HnswParams, IndexSpec, IvfParams, Metric, PqParams};
+use dial_bench::annbench;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -28,9 +35,18 @@ fn specs() -> [(&'static str, IndexSpec); 6] {
     ]
 }
 
+fn bench_kernels(_c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rows = annbench::run(smoke);
+    annbench::print(&rows);
+    annbench::write(&rows);
+    annbench::assert_no_regression(&rows);
+}
+
 fn bench_ann(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let dim = 64;
-    let base = data(4000, dim);
+    let base = data(if smoke { 1000 } else { 4000 }, dim);
     let queries = data(64, dim);
 
     // Probe cost: every backend through the trait object, identical call
@@ -54,7 +70,7 @@ fn bench_ann(c: &mut Criterion) {
     g.finish();
 
     let mut g = c.benchmark_group("ann_scaling_flat");
-    for n in [1000usize, 4000] {
+    for n in if smoke { vec![1000usize] } else { vec![1000usize, 4000] } {
         let d = data(n, dim);
         let ix = IndexSpec::Flat.build(&d, dim, Metric::L2);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -64,5 +80,5 @@ fn bench_ann(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ann);
+criterion_group!(benches, bench_kernels, bench_ann);
 criterion_main!(benches);

@@ -1,0 +1,234 @@
+//! ANN kernel micro-bench with persisted results.
+//!
+//! Measures ns/query and recall@k of every backend's `search_batch`
+//! against a scalar-path baseline (`FlatIndex::search_batch_scalar`, the
+//! pre-kernel one-`Metric::distance`-call-per-pair scan), and writes the
+//! rows to `REPRO_OUT/BENCH_ann.json` so the perf trajectory is tracked
+//! across PRs. Shared by the `ann` criterion bench (`cargo bench -p
+//! dial-bench --bench ann`, `--smoke` for the CI-bounded variant) and the
+//! `repro bench` subcommand (`REPRO_SCALE=smoke` bounds it the same way).
+
+use crate::report::{json_f64, json_obj, json_str, print_table, ToJson};
+use dial_ann::{FlatIndex, Hit, HnswParams, IndexSpec, IvfParams, Metric, PqParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// One measured `(backend, shard count)` case.
+#[derive(Debug, Clone)]
+pub struct AnnBenchRow {
+    pub backend: String,
+    pub shards: usize,
+    /// Corpus rows / dimensionality / neighbours per probe.
+    pub n: usize,
+    pub dim: usize,
+    pub k: usize,
+    pub build_ms: f64,
+    /// Best-of-reps batch probe time divided by the query count.
+    pub ns_per_query: f64,
+    /// recall@k against the exact scalar-path ground truth.
+    pub recall: f64,
+    /// `scalar ns/query ÷ this row's ns/query` (the scalar row is 1.0).
+    pub speedup_vs_scalar: f64,
+}
+
+impl ToJson for AnnBenchRow {
+    fn to_json(&self) -> String {
+        json_obj(&[
+            ("backend", json_str(&self.backend)),
+            ("shards", self.shards.to_string()),
+            ("n", self.n.to_string()),
+            ("dim", self.dim.to_string()),
+            ("k", self.k.to_string()),
+            ("build_ms", json_f64(self.build_ms)),
+            ("ns_per_query", json_f64(self.ns_per_query)),
+            ("recall", json_f64(self.recall)),
+            ("speedup_vs_scalar", json_f64(self.speedup_vs_scalar)),
+        ])
+    }
+}
+
+fn data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Best-of-`reps` wall-clock nanoseconds for one run of `f` (minimum
+/// filters scheduler noise better than the mean on shared runners).
+fn time_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+        last = Some(out);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn recall_at_k(hits: &[Vec<Hit>], truth: &[Vec<Hit>], k: usize) -> f64 {
+    let mut overlap = 0usize;
+    let mut total = 0usize;
+    for (h, t) in hits.iter().zip(truth) {
+        let t_ids: std::collections::HashSet<u32> = t.iter().map(|x| x.id).collect();
+        overlap += h.iter().filter(|x| t_ids.contains(&x.id)).count();
+        total += k.min(t.len());
+    }
+    overlap as f64 / total.max(1) as f64
+}
+
+/// Run the sweep. `smoke` bounds corpus size and repetitions for CI.
+pub fn run(smoke: bool) -> Vec<AnnBenchRow> {
+    // The acceptance workload: 10k × 128-d, k = 10.
+    let (n, dim, nq, k, reps) =
+        if smoke { (2_000, 64, 64, 10, 3) } else { (10_000, 128, 256, 10, 5) };
+    let base = data(n, dim, 1);
+    let queries = data(nq, dim, 2);
+
+    let mut flat = FlatIndex::new(dim, Metric::L2);
+    flat.add_batch(&base);
+    // Scalar reference: baseline timing AND exact ground truth.
+    let (scalar_ns, truth) = time_ns(reps, || flat.search_batch_scalar(&queries, k));
+    let scalar_nsq = scalar_ns / nq as f64;
+
+    let mut rows = vec![AnnBenchRow {
+        backend: "flat_scalar".into(),
+        shards: 1,
+        n,
+        dim,
+        k,
+        build_ms: 0.0,
+        ns_per_query: scalar_nsq,
+        recall: 1.0,
+        speedup_vs_scalar: 1.0,
+    }];
+
+    let cases: Vec<(&str, usize, IndexSpec)> = vec![
+        ("flat", 1, IndexSpec::Flat),
+        (
+            "ivf:64,8",
+            1,
+            IndexSpec::IvfFlat(IvfParams { nlist: 64, nprobe: 8, ..Default::default() }),
+        ),
+        ("pq:8,6", 1, IndexSpec::Pq(PqParams { m: 8, nbits: 6, seed: 0 })),
+        ("hnsw:16,48", 1, IndexSpec::Hnsw(HnswParams::default())),
+        ("flat", 4, IndexSpec::Flat.sharded(4)),
+    ];
+    for (name, shards, spec) in cases {
+        let (build_ns, ix) = time_ns(1, || spec.build(&base, dim, Metric::L2));
+        let (probe_ns, hits) = time_ns(reps, || ix.search_batch(&queries, k));
+        let nsq = probe_ns / nq as f64;
+        rows.push(AnnBenchRow {
+            backend: name.into(),
+            shards,
+            n,
+            dim,
+            k,
+            build_ms: build_ns / 1e6,
+            ns_per_query: nsq,
+            recall: recall_at_k(&hits, &truth, k),
+            speedup_vs_scalar: scalar_nsq / nsq,
+        });
+    }
+    rows
+}
+
+/// Render the sweep as a fixed-width table.
+pub fn print(rows: &[AnnBenchRow]) {
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.backend.clone(),
+                r.shards.to_string(),
+                format!("{}x{}", r.n, r.dim),
+                format!("{:.1}", r.build_ms),
+                format!("{:.0}", r.ns_per_query),
+                format!("{:.3}", r.recall),
+                format!("{:.2}x", r.speedup_vs_scalar),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("ANN kernel bench (k = {})", rows.first().map(|r| r.k).unwrap_or(0)),
+        &["Backend", "Shards", "Corpus", "Build(ms)", "ns/query", "Recall@k", "vs scalar"],
+        &cells,
+    );
+}
+
+/// Persist the sweep to `REPRO_OUT/BENCH_ann.json` (a JSON array,
+/// overwritten each run — the jsonl append convention would mix machines
+/// and configs; this file is the *current* kernel profile). The default
+/// directory is anchored to the workspace root, not the CWD: `cargo
+/// bench` runs bench binaries from the package directory, `repro` runs
+/// from wherever it was invoked, and both must land in one place.
+pub fn write(rows: &[AnnBenchRow]) {
+    let dir = std::env::var("REPRO_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").into());
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        // Not fatal (the sweep already printed), but say so: the CI
+        // artifact step depends on this file existing.
+        eprintln!("annbench: cannot create {dir}: {e}");
+        return;
+    }
+    let body: Vec<String> = rows.iter().map(|r| format!("  {}", r.to_json())).collect();
+    let path = std::path::Path::new(&dir).join("BENCH_ann.json");
+    if let Err(e) = std::fs::write(&path, format!("[\n{}\n]\n", body.join(",\n"))) {
+        eprintln!("annbench: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Loud kernel-regression guard for the CI smoke job: the blocked flat
+/// path must not fall behind the scalar reference it replaced. (The ≥ 3×
+/// target is asserted on unloaded hardware via the full bench; CI
+/// runners are too noisy for a tight bound, so the smoke floor only
+/// demands "not slower".)
+pub fn assert_no_regression(rows: &[AnnBenchRow]) {
+    let flat =
+        rows.iter().find(|r| r.backend == "flat" && r.shards == 1).expect("flat row present");
+    assert!(
+        flat.speedup_vs_scalar >= 1.0,
+        "blocked flat search_batch regressed below the scalar path: {:.2}x (scalar {:.0} ns/q, blocked {:.0} ns/q)",
+        flat.speedup_vs_scalar,
+        rows[0].ns_per_query,
+        flat.ns_per_query,
+    );
+    assert!(
+        (flat.recall - 1.0).abs() < 1e-9,
+        "blocked flat retrieval is no longer exact: recall {}",
+        flat.recall
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_json_is_wellformed() {
+        let r = AnnBenchRow {
+            backend: "flat".into(),
+            shards: 1,
+            n: 10,
+            dim: 4,
+            k: 3,
+            build_ms: 0.5,
+            ns_per_query: 123.4,
+            recall: 1.0,
+            speedup_vs_scalar: 3.5,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"backend\":\"flat\""));
+        assert!(j.contains("\"speedup_vs_scalar\":3.5"));
+    }
+
+    #[test]
+    fn recall_of_truth_is_one() {
+        let hits = vec![vec![Hit { id: 1, distance: 0.1 }, Hit { id: 2, distance: 0.2 }]];
+        assert_eq!(recall_at_k(&hits, &hits, 2), 1.0);
+        let other = vec![vec![Hit { id: 9, distance: 0.1 }, Hit { id: 2, distance: 0.2 }]];
+        assert_eq!(recall_at_k(&other, &hits, 2), 0.5);
+    }
+}

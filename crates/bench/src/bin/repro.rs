@@ -18,6 +18,8 @@
 //!   table9   per-operation timings
 //!   table10  testing time vs committee size
 //!   backends ANN backend sweep: recall + latency per index family
+//!   bench    ANN kernel micro-bench (ns/query + recall per backend,
+//!            persisted to BENCH_ann.json; REPRO_SCALE=smoke bounds it)
 //!   all      everything above in order
 //!
 //! options:
@@ -58,6 +60,9 @@ experiments:
   table9    per-operation timings
   table10   testing time vs committee size
   backends  ANN backend sweep: blocker recall + retrieval latency per family
+  bench     ANN kernel micro-bench: blocked search_batch vs the scalar
+            path, ns/query + recall per backend and shard count, written
+            to BENCH_ann.json (REPRO_SCALE=smoke for a bounded run)
   all       everything above in order
 
 options:
@@ -144,6 +149,7 @@ fn main() {
         "table9" => table9(&ctx),
         "table10" => table10(&ctx),
         "backends" => backends(&ctx),
+        "bench" => ann_kernel_bench(&ctx),
         "all" => {
             table1(&ctx);
             fig4_fig5(&ctx, false);
@@ -157,6 +163,7 @@ fn main() {
             table9(&ctx);
             table10(&ctx);
             backends(&ctx);
+            ann_kernel_bench(&ctx);
         }
         other => {
             eprintln!("unknown experiment {other:?}\n\n{USAGE}");
@@ -500,6 +507,16 @@ fn backends(ctx: &ExpContext) {
         &["Dataset", "Backend", "Shards", "Recall", "All-pairs F1", "Index&Retrieval(s)", "RT(s)"],
         &rows,
     );
+}
+
+/// ANN kernel micro-bench: the blocked `search_batch` hot path vs the
+/// scalar reference, per backend and shard count, persisted to
+/// `BENCH_ann.json`. Runs the bounded variant at `REPRO_SCALE=smoke`.
+fn ann_kernel_bench(ctx: &ExpContext) {
+    let smoke = matches!(ctx.scale, dial_datasets::ScaleProfile::Smoke);
+    let rows = dial_bench::annbench::run(smoke);
+    dial_bench::annbench::print(&rows);
+    dial_bench::annbench::write(&rows);
 }
 
 fn table10(ctx: &ExpContext) {

@@ -10,6 +10,7 @@
 //! * `REPRO_SEEDS`  — averaged random seeds (default 1; paper uses 3);
 //! * `REPRO_OUT`    — directory for JSON result rows (default `results/`).
 
+pub mod annbench;
 pub mod report;
 pub mod runner;
 

@@ -7,13 +7,25 @@
 //! member's index is split into round-robin shards
 //! ([`IndexSpec::Sharded`], from `DialConfig::index_shards`) — plumbs
 //! down from [`crate::config::IndexBackend`] without this module knowing
-//! which family it runs on. Probe batches are rayon-parallel inside every
-//! backend's `search_batch`; sharded backends additionally fan each batch
-//! across shards and k-way-merge the per-shard top-k.
+//! which family it runs on. Probes run **batch-blocked**: each member's
+//! probe list is fed to `search_batch` in [`PROBE_BLOCK`]-query blocks
+//! and scored block by block, bounding peak hit memory; inside each
+//! backend the block is scored by the blocked distance kernels
+//! (query-block × row-block tiles) on the work-stealing executor.
+//! Sharded backends additionally fan each block across shards and
+//! k-way-merge the per-shard top-k.
 
 use crate::encode::ListEmbeddings;
-use dial_ann::{IndexSpec, Metric};
+use dial_ann::{AnnIndex, IndexSpec, Metric};
 use std::collections::HashMap;
+
+/// Probe queries per `search_batch` call. Blocking the committee probe
+/// bounds the peak hit-list allocation to `PROBE_BLOCK · k` hits per
+/// member (instead of `|S| · k` all at once) and keeps each block's
+/// queries cache-hot through the index's own query-block × row-block
+/// kernel tiles; the work-stealing executor balances the blocks' probe
+/// cost across cores even when some probes land on expensive regions.
+const PROBE_BLOCK: usize = 512;
 
 /// A scored candidate pair `(r, s)` with its smallest observed embedding
 /// distance across committee members and its best per-probe rank (0 = it
@@ -96,16 +108,35 @@ impl CandidateSet {
 }
 
 /// Score every probe's hit list into `(r, s, distance, rank)` candidates.
-fn score_probe_hits(scored: &mut Vec<Candidate>, hits: Vec<Vec<dial_ann::Hit>>) {
-    for (s_id, hs) in hits.into_iter().enumerate() {
+/// `s_base` is the global id of the first query in this probe block.
+fn score_probe_hits(scored: &mut Vec<Candidate>, hits: Vec<Vec<dial_ann::Hit>>, s_base: u32) {
+    for (s_off, hs) in hits.into_iter().enumerate() {
         for (rank, h) in hs.into_iter().enumerate() {
             scored.push(Candidate {
                 r: h.id,
-                s: s_id as u32,
+                s: s_base + s_off as u32,
                 distance: h.distance,
                 rank: rank as u32,
             });
         }
+    }
+}
+
+/// Probe `index` with every packed query, in blocks of [`PROBE_BLOCK`],
+/// scoring each block's hits as soon as the block returns. Identical
+/// output to one monolithic `search_batch` call (each query's hits are a
+/// pure function of that query), with bounded peak memory.
+fn probe_blocked(
+    scored: &mut Vec<Candidate>,
+    index: &dyn AnnIndex,
+    queries: &[f32],
+    dim: usize,
+    k: usize,
+) {
+    let mut s_base = 0u32;
+    for block in queries.chunks(PROBE_BLOCK * dim) {
+        score_probe_hits(scored, index.search_batch(block, k), s_base);
+        s_base += (block.len() / dim) as u32;
     }
 }
 
@@ -130,7 +161,7 @@ pub fn index_by_committee(
     let mut scored = Vec::new();
     for (vr, vs) in views_r.iter().zip(views_s) {
         let index = spec.build(vr, dim, Metric::L2);
-        score_probe_hits(&mut scored, index.search_batch(vs, k));
+        probe_blocked(&mut scored, index.as_ref(), vs, dim, k);
     }
     CandidateSet::from_scored(scored, max_size)
 }
@@ -148,7 +179,7 @@ pub fn index_single(
     assert_eq!(emb_r.dim, emb_s.dim, "embedding width mismatch");
     let index = spec.build(&emb_r.data, emb_r.dim, Metric::L2);
     let mut scored = Vec::new();
-    score_probe_hits(&mut scored, index.search_batch(&emb_s.data, k));
+    probe_blocked(&mut scored, index.as_ref(), &emb_s.data, emb_r.dim, k);
     CandidateSet::from_scored(scored, max_size)
 }
 
@@ -232,6 +263,32 @@ mod tests {
         // Member A proposes (0, 0); member B proposes (1, 0) / others —
         // the union must have pairs from both probes of both members.
         assert!(set.len() >= 3, "union too small: {}", set.len());
+    }
+
+    #[test]
+    fn probe_blocking_is_invisible() {
+        // More probes than one PROBE_BLOCK: the blocked path must produce
+        // exactly what scoring one monolithic search_batch would.
+        let dim = 2;
+        let n_s = PROBE_BLOCK + 137;
+        let er = emb(&(0..50)
+            .map(|i| vec![i as f32, 0.5])
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|v| v.as_slice())
+            .collect::<Vec<_>>());
+        let es_rows: Vec<Vec<f32>> = (0..n_s).map(|i| vec![(i % 50) as f32 + 0.1, 0.4]).collect();
+        let es = emb(&es_rows.iter().map(|v| v.as_slice()).collect::<Vec<_>>());
+
+        let blocked = index_single(&er, &es, 3, usize::MAX, &IndexSpec::Flat);
+
+        let index = IndexSpec::Flat.build(&er.data, dim, Metric::L2);
+        let mut scored = Vec::new();
+        score_probe_hits(&mut scored, index.search_batch(&es.data, 3), 0);
+        let monolithic = CandidateSet::from_scored(scored, usize::MAX);
+
+        assert_eq!(blocked.len(), monolithic.len());
+        assert_eq!(blocked.pairs(), monolithic.pairs());
     }
 
     #[test]
