@@ -76,6 +76,39 @@ impl FlatIndex {
         self.norms.extend(kernels::metric_norms(self.metric, flat, self.dim));
     }
 
+    /// Overwrite the stored vector `id` in place, recomputing its kernel
+    /// norm. The single-row norm is bitwise the value the batch
+    /// [`kernels::metric_norms`] would produce, so an overwritten index
+    /// is indistinguishable from one built with the new row from the
+    /// start.
+    pub fn overwrite(&mut self, id: u32, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        assert!((id as usize) < self.len(), "overwrite id {id} out of range");
+        let i = id as usize * self.dim;
+        self.data[i..i + self.dim].copy_from_slice(v);
+        self.norms[id as usize] = kernels::metric_norm(self.metric, v);
+    }
+
+    /// Incremental update to match `data` (the full new packed row set):
+    /// rows listed in `changed` are overwritten from `data`, rows past the
+    /// current length are appended. `data` must hold at least [`Self::len`]
+    /// rows — an index never shrinks in place (drop and rebuild instead).
+    ///
+    /// Exact: the refreshed index stores bitwise the same rows and norms
+    /// as a from-scratch build over `data`, provided `changed` covers
+    /// every row that actually differs.
+    pub fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
+        crate::metric::assert_packed(data.len(), self.dim);
+        let n_old = self.len();
+        assert!(data.len() / self.dim >= n_old, "refresh cannot shrink an index");
+        for &id in changed {
+            let i = id as usize * self.dim;
+            self.overwrite(id, &data[i..i + self.dim]);
+        }
+        self.add_batch(&data[n_old * self.dim..]);
+        true
+    }
+
     /// Stored vector by id.
     pub fn vector(&self, id: u32) -> &[f32] {
         let i = id as usize * self.dim;

@@ -49,6 +49,27 @@ pub trait AnnIndex: Send + Sync {
     /// Append packed rows (`flat.len()` must be a multiple of `dim`).
     fn add_batch(&mut self, flat: &[f32]);
 
+    /// Incrementally bring the index in line with `data`, the **full new
+    /// packed row set** (at least [`AnnIndex::len`] rows — an index never
+    /// shrinks in place). `changed` lists the ids (`< len()`) whose rows
+    /// differ from what the index stores; rows past `len()` are appended
+    /// through the family's `add_batch` path.
+    ///
+    /// Returns `true` when the update was applied in place. The default
+    /// returns `false` — "this family cannot update in place" — and the
+    /// caller must rebuild from scratch; after a `false` return the index
+    /// may be **partially updated** (composite families refresh child by
+    /// child) and must be discarded. Exact families (Flat, and Sharded
+    /// over exact children) refresh bitwise-identically to a rebuild;
+    /// IVF re-assigns changed rows against its stale trained quantizer
+    /// (same contract as its `add_batch`); PQ and HNSW keep the default
+    /// because a row overwrite would silently invalidate trained
+    /// codebooks / graph edges.
+    fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
+        let _ = (data, changed);
+        false
+    }
+
     /// Top-`k` nearest neighbours of one query.
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit>;
 
@@ -70,6 +91,9 @@ impl AnnIndex for FlatIndex {
     fn add_batch(&mut self, flat: &[f32]) {
         FlatIndex::add_batch(self, flat)
     }
+    fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
+        FlatIndex::refresh(self, data, changed)
+    }
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         FlatIndex::search(self, query, k)
     }
@@ -90,6 +114,9 @@ impl AnnIndex for IvfFlatIndex {
     }
     fn add_batch(&mut self, flat: &[f32]) {
         IvfFlatIndex::add_batch(self, flat)
+    }
+    fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
+        IvfFlatIndex::refresh(self, data, changed)
     }
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         IvfFlatIndex::search(self, query, k)

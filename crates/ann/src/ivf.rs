@@ -54,6 +54,10 @@ pub struct IvfFlatIndex {
     /// Per-row kernel norms ([`kernels::metric_norms`] convention),
     /// maintained through [`IvfFlatIndex::add_batch`].
     row_norms: Vec<f32>,
+    /// Inverse of `lists`: which list each row currently lives in. Lets
+    /// [`IvfFlatIndex::overwrite`] move a row between lists without
+    /// scanning every posting list for its id.
+    row_list: Vec<u32>,
 }
 
 impl IvfFlatIndex {
@@ -73,7 +77,17 @@ impl IvfFlatIndex {
             lists[a as usize].push(i as u32);
         }
         let row_norms = kernels::metric_norms(metric, data, dim);
-        IvfFlatIndex { dim, metric, params, quantizer, lists, data: data.to_vec(), row_norms }
+        let row_list = quantizer.assignments.clone();
+        IvfFlatIndex {
+            dim,
+            metric,
+            params,
+            quantizer,
+            lists,
+            data: data.to_vec(),
+            row_norms,
+            row_list,
+        }
     }
 
     pub fn dim(&self) -> usize {
@@ -103,6 +117,7 @@ impl IvfFlatIndex {
         let id = self.len() as u32;
         let list = self.quantizer.nearest_centroid(v);
         self.lists[list as usize].push(id);
+        self.row_list.push(list);
         self.data.extend_from_slice(v);
         self.row_norms.push(kernels::metric_norm(self.metric, v));
         id
@@ -130,11 +145,62 @@ impl IvfFlatIndex {
             );
             for (row, dists) in rows.chunks(self.dim).zip(tile[..nr * k].chunks(k)) {
                 let id = self.len() as u32;
-                self.lists[kernels::argmin(dists)].push(id);
+                let list = kernels::argmin(dists);
+                self.lists[list].push(id);
+                self.row_list.push(list as u32);
                 self.data.extend_from_slice(row);
                 self.row_norms.push(kernels::metric_norm(self.metric, row));
             }
         }
+    }
+
+    /// Overwrite the stored vector `id` in place: the row moves to the
+    /// posting list of its nearest *trained* centroid (same contract as
+    /// [`IvfFlatIndex::add`] — the quantizer is never retrained, so the
+    /// partition quality reflects the data the index was built on).
+    pub fn overwrite(&mut self, id: u32, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        assert!((id as usize) < self.len(), "overwrite id {id} out of range");
+        let old_list = self.row_list[id as usize] as usize;
+        let new_list = self.quantizer.nearest_centroid(v);
+        if new_list as usize != old_list {
+            let pos = self.lists[old_list]
+                .iter()
+                .position(|&x| x == id)
+                .expect("row_list points at a list holding the id");
+            // Preserve ascending id order inside the destination list so a
+            // refreshed index scans lists in the same order a rebuilt one
+            // would (TopK retention is order-independent, but keeping the
+            // invariant makes the structures comparable in tests).
+            self.lists[old_list].remove(pos);
+            let dst = &mut self.lists[new_list as usize];
+            let at = dst.partition_point(|&x| x < id);
+            dst.insert(at, id);
+            self.row_list[id as usize] = new_list;
+        }
+        let i = id as usize * self.dim;
+        self.data[i..i + self.dim].copy_from_slice(v);
+        self.row_norms[id as usize] = kernels::metric_norm(self.metric, v);
+    }
+
+    /// Incremental update to match `data` (full new packed row set): rows
+    /// in `changed` are overwritten (re-assigned against the *stale*
+    /// trained quantizer), rows past the current length are appended via
+    /// the [`IvfFlatIndex::add_batch`] assignment path. Unlike
+    /// [`crate::FlatIndex::refresh`] this is not bitwise-equivalent to a
+    /// rebuild — a rebuild retrains the coarse quantizer — which is why
+    /// callers gate it on a drift threshold and fall back to a full build
+    /// when the rows have moved far.
+    pub fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
+        crate::metric::assert_packed(data.len(), self.dim);
+        let n_old = self.len();
+        assert!(data.len() / self.dim >= n_old, "refresh cannot shrink an index");
+        for &id in changed {
+            let i = id as usize * self.dim;
+            self.overwrite(id, &data[i..i + self.dim]);
+        }
+        self.add_batch(&data[n_old * self.dim..]);
+        true
     }
 
     /// Override `nprobe` after build.

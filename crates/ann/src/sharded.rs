@@ -127,6 +127,66 @@ impl ShardedIndex {
         queries.par_chunks(self.dim).map(|q| self.search_one(q, k)).collect()
     }
 
+    /// Incremental update to match `data` (the full new packed row set,
+    /// in *global* row order): each changed global id is routed to its
+    /// shard as a local overwrite, appended rows continue the round-robin.
+    /// Returns `false` — leaving the composite partially updated, to be
+    /// discarded and rebuilt by the caller per the [`AnnIndex::refresh`]
+    /// contract — if any child family cannot refresh in place.
+    pub fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
+        crate::metric::assert_packed(data.len(), self.dim);
+        let shards = self.children.len();
+        let n_old = self.len();
+        let n_new = data.len() / self.dim;
+        assert!(n_new >= n_old, "refresh cannot shrink an index");
+        // Which shards actually have work: an overwrite routed to them
+        // (global row `g` is shard `g % n`'s local row `g / n`) or an
+        // appended row continuing the round-robin.
+        let mut changed_local: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        for &g in changed {
+            assert!((g as usize) < n_old, "changed row {g} out of range");
+            changed_local[g as usize % shards].push(g / shards as u32);
+        }
+        let mut active: Vec<bool> = changed_local.iter().map(|c| !c.is_empty()).collect();
+        for g in n_old..n_new {
+            active[g % shards] = true;
+        }
+        if !active.iter().any(|&a| a) {
+            // Nothing to overwrite, nothing to append: the index already
+            // matches `data`. The steady-state drift-0 round must not
+            // cost O(n·dim) (nor consult children that would decline an
+            // actual in-place update).
+            return true;
+        }
+        // Materialize the fresh-build per-shard view of `data` only for
+        // shards with work — untouched children keep their rows and are
+        // never copied for.
+        let mut bufs: Vec<Vec<f32>> = vec![Vec::new(); shards];
+        for (g, row) in data.chunks(self.dim).enumerate() {
+            if active[g % shards] {
+                bufs[g % shards].extend_from_slice(row);
+            }
+        }
+        // Refresh the active children concurrently (mirroring the
+        // parallel build). Any child declining poisons the composite,
+        // whose caller then discards and rebuilds it.
+        let mut ok = true;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (s, child) in self.children.iter_mut().enumerate() {
+                if !active[s] {
+                    continue;
+                }
+                let (buf, local) = (&bufs[s], &changed_local[s]);
+                handles.push(scope.spawn(move || child.refresh(buf, local)));
+            }
+            for h in handles {
+                ok &= h.join().expect("shard refresh panicked");
+            }
+        });
+        ok
+    }
+
     /// Append packed rows, continuing the round-robin from the current
     /// total length so the local→global id arithmetic stays valid.
     pub fn add_batch(&mut self, flat: &[f32]) {
@@ -168,6 +228,9 @@ impl AnnIndex for ShardedIndex {
     }
     fn add_batch(&mut self, flat: &[f32]) {
         ShardedIndex::add_batch(self, flat)
+    }
+    fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
+        ShardedIndex::refresh(self, data, changed)
     }
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         ShardedIndex::search(self, query, k)

@@ -260,6 +260,96 @@ proptest! {
     }
 
     #[test]
+    fn flat_refresh_is_bitwise_a_rebuild(
+        base in packed(40, 6),
+        perturb in proptest::collection::vec((0usize..40, -3.0f32..3.0), 0..12),
+        tail in packed(7, 6),
+        n_tail in 0usize..8,
+        k in 1usize..12,
+    ) {
+        // Start from `base`, perturb a random subset of rows, append a
+        // random tail: refresh(new, changed) must equal a from-scratch
+        // build over `new` EXACTLY (same hits, same distances, same ids),
+        // including the drift = 0 case (empty perturbation, empty tail).
+        let dim = 6;
+        let mut new = base.clone();
+        for &(row, delta) in &perturb {
+            new[row * dim] += delta;
+        }
+        new.extend_from_slice(&tail[..n_tail * dim]);
+        let changed: Vec<u32> = (0..40u32)
+            .filter(|&r| new[r as usize * dim..(r as usize + 1) * dim]
+                != base[r as usize * dim..(r as usize + 1) * dim])
+            .collect();
+
+        for shards in [0usize, 3] {
+            let spec = if shards == 0 { IndexSpec::Flat } else { IndexSpec::Flat.sharded(shards) };
+            let mut refreshed = spec.build(&base, dim, Metric::L2);
+            prop_assert!(refreshed.refresh(&new, &changed), "flat refresh must be handled");
+            let rebuilt = spec.build(&new, dim, Metric::L2);
+            prop_assert_eq!(refreshed.len(), rebuilt.len());
+            let batch_r = refreshed.search_batch(&new, k);
+            let batch_b = rebuilt.search_batch(&new, k);
+            prop_assert_eq!(batch_r, batch_b, "shards={}", shards);
+        }
+    }
+
+    #[test]
+    fn ivf_refresh_with_no_changes_equals_add_batch(base in packed(60, 4), tail in packed(9, 4), n_tail in 0usize..10) {
+        // With an empty changed set, IVF refresh is exactly the trained
+        // add_batch append path (the incremental case the engine takes at
+        // drift = 0): same lists, same retrieval as build + add_batch.
+        let dim = 4;
+        let params = IvfParams { nlist: 8, nprobe: 8, ..Default::default() };
+        let mut new = base.clone();
+        new.extend_from_slice(&tail[..n_tail * dim]);
+        let mut refreshed = IvfFlatIndex::build(&base, dim, Metric::L2, params);
+        prop_assert!(refreshed.refresh(&new, &[]));
+        let mut appended = IvfFlatIndex::build(&base, dim, Metric::L2, params);
+        appended.add_batch(&new[60 * dim..]);
+        prop_assert_eq!(refreshed.search_batch(&new[0..5 * dim], 6), appended.search_batch(&new[0..5 * dim], 6));
+    }
+
+    #[test]
+    fn ivf_overwrite_moves_rows_between_lists(base in packed(50, 4), row in 0u32..50) {
+        // After overwriting a row with a far-away vector, probing with the
+        // new vector must surface the row's id with distance 0 (it was
+        // re-assigned to a reachable list at full nprobe).
+        let dim = 4;
+        let params = IvfParams { nlist: 8, nprobe: 8, ..Default::default() };
+        let mut ix = IvfFlatIndex::build(&base, dim, Metric::L2, params);
+        let far = [40.0f32, -40.0, 40.0, -40.0];
+        ix.overwrite(row, &far);
+        let hits = ix.search(&far, 1);
+        prop_assert_eq!(hits[0].id, row);
+        prop_assert_eq!(hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn trained_families_decline_refresh(data in packed(50, 8)) {
+        // PQ and HNSW keep the default full-rebuild contract: refresh
+        // returns false and the caller rebuilds. (Asserted through the
+        // trait so a future override is a conscious decision.)
+        let dim = 8;
+        for spec in [
+            IndexSpec::Pq(PqParams { m: 4, nbits: 5, seed: 0 }),
+            IndexSpec::Hnsw(HnswParams::default()),
+        ] {
+            let mut ix = spec.build(&data, dim, Metric::L2);
+            prop_assert!(!ix.refresh(&data, &[]), "{} must decline in-place refresh", spec.name());
+        }
+        // Sharded over a declining child: a true no-op (same rows,
+        // nothing changed) short-circuits to success without consulting
+        // the children, but any actual work propagates the decline.
+        let mut sharded = IndexSpec::Hnsw(HnswParams::default()).sharded(2).build(&data, dim, Metric::L2);
+        prop_assert!(sharded.refresh(&data, &[]), "no-op refresh is trivially in place");
+        let mut grown = data.clone();
+        grown.extend_from_slice(&data[..dim]);
+        prop_assert!(!sharded.refresh(&grown, &[]), "appending must consult the children");
+        prop_assert!(!sharded.refresh(&data, &[0]), "overwriting must consult the children");
+    }
+
+    #[test]
     fn kmeans_assignments_point_to_nearest_centroid(data in packed(30, 2)) {
         let mut rng = StdRng::seed_from_u64(1);
         let km = kmeans(&data, 2, 4, 30, &mut rng);

@@ -1,15 +1,30 @@
-//! ANN kernel micro-bench with persisted results.
+//! ANN micro-bench with persisted results.
 //!
-//! Measures ns/query and recall@k of every backend's `search_batch`
-//! against a scalar-path baseline (`FlatIndex::search_batch_scalar`, the
-//! pre-kernel one-`Metric::distance`-call-per-pair scan), and writes the
-//! rows to `REPRO_OUT/BENCH_ann.json` so the perf trajectory is tracked
-//! across PRs. Shared by the `ann` criterion bench (`cargo bench -p
-//! dial-bench --bench ann`, `--smoke` for the CI-bounded variant) and the
-//! `repro bench` subcommand (`REPRO_SCALE=smoke` bounds it the same way).
+//! Three sweeps, all written to `REPRO_OUT/BENCH_ann.json` so the perf
+//! trajectory is tracked across PRs:
+//!
+//! * **probe** — ns/query and recall@k of every backend's `search_batch`
+//!   against a scalar-path baseline (`FlatIndex::search_batch_scalar`,
+//!   the pre-kernel one-`Metric::distance`-call-per-pair scan);
+//! * **incremental** — one simulated AL re-index round per backend:
+//!   [`dial_ann::AnnIndex::refresh`] against the prior round's structure
+//!   vs a from-scratch rebuild, at drift 0 and at a perturbed row set,
+//!   with exactness checked against the rebuild;
+//! * **pipeline** — the committee build/probe overlap: wall-clock of the
+//!   [`dial_core::RetrievalEngine`] at `pipeline_depth = 0` (strictly
+//!   sequential) vs a pipelined depth, with candidate-set identity
+//!   checked.
+//!
+//! The report records the worker-thread count
+//! ([`rayon::current_num_threads`], pinnable via `RAYON_NUM_THREADS`) so
+//! numbers are comparable across hosts. Shared by the `ann` criterion
+//! bench (`cargo bench -p dial-bench --bench ann`, `--smoke` for the
+//! CI-bounded variant) and the `repro bench` subcommand
+//! (`REPRO_SCALE=smoke` bounds it the same way).
 
 use crate::report::{json_f64, json_obj, json_str, print_table, ToJson};
 use dial_ann::{FlatIndex, Hit, HnswParams, IndexSpec, IvfParams, Metric, PqParams};
+use dial_core::RetrievalEngine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -32,6 +47,58 @@ pub struct AnnBenchRow {
     pub speedup_vs_scalar: f64,
 }
 
+/// One incremental-maintenance case: `refresh` against the previous
+/// round's structure vs a from-scratch rebuild over the same new rows.
+#[derive(Debug, Clone)]
+pub struct IncrementalRow {
+    pub backend: String,
+    pub n: usize,
+    pub dim: usize,
+    /// Rows overwritten / appended by the refresh (both 0 = the drift-0
+    /// round: embeddings did not move at all).
+    pub changed: usize,
+    pub appended: usize,
+    pub rebuild_ms: f64,
+    pub refresh_ms: f64,
+    /// `rebuild_ms / refresh_ms` — the indexing-time reduction of the
+    /// incremental round.
+    pub speedup: f64,
+    /// Refreshed index returns bitwise the same hits as the rebuild.
+    pub exact: bool,
+}
+
+/// The committee build/probe overlap: sequential vs pipelined retrieval
+/// through [`RetrievalEngine`] over the same member views.
+#[derive(Debug, Clone)]
+pub struct PipelineRow {
+    pub members: usize,
+    pub n: usize,
+    pub dim: usize,
+    pub nq: usize,
+    pub k: usize,
+    /// Wall-clock of the `pipeline_depth = 0` (build-then-probe) path.
+    pub sequential_ms: f64,
+    /// Wall-clock with member builds overlapping the previous member's
+    /// probes (`pipeline_depth = 2`).
+    pub pipelined_ms: f64,
+    /// `(build_secs + probe_secs) / wall_secs` of the pipelined run —
+    /// above 1.0 means build genuinely overlapped probe.
+    pub overlap: f64,
+    /// Pipelined and sequential candidate sets are identical.
+    pub identical: bool,
+}
+
+/// The full sweep: probe kernels, incremental rounds, pipeline overlap,
+/// plus the worker-thread count they all ran under.
+#[derive(Debug, Clone)]
+pub struct AnnBenchReport {
+    /// `RAYON_NUM_THREADS`-pinnable worker count the sweep ran with.
+    pub threads: usize,
+    pub probe: Vec<AnnBenchRow>,
+    pub incremental: Vec<IncrementalRow>,
+    pub pipeline: Vec<PipelineRow>,
+}
+
 impl ToJson for AnnBenchRow {
     fn to_json(&self) -> String {
         json_obj(&[
@@ -44,6 +111,50 @@ impl ToJson for AnnBenchRow {
             ("ns_per_query", json_f64(self.ns_per_query)),
             ("recall", json_f64(self.recall)),
             ("speedup_vs_scalar", json_f64(self.speedup_vs_scalar)),
+        ])
+    }
+}
+
+impl ToJson for IncrementalRow {
+    fn to_json(&self) -> String {
+        json_obj(&[
+            ("backend", json_str(&self.backend)),
+            ("n", self.n.to_string()),
+            ("dim", self.dim.to_string()),
+            ("changed", self.changed.to_string()),
+            ("appended", self.appended.to_string()),
+            ("rebuild_ms", json_f64(self.rebuild_ms)),
+            ("refresh_ms", json_f64(self.refresh_ms)),
+            ("speedup", json_f64(self.speedup)),
+            ("exact", self.exact.to_string()),
+        ])
+    }
+}
+
+impl ToJson for PipelineRow {
+    fn to_json(&self) -> String {
+        json_obj(&[
+            ("members", self.members.to_string()),
+            ("n", self.n.to_string()),
+            ("dim", self.dim.to_string()),
+            ("nq", self.nq.to_string()),
+            ("k", self.k.to_string()),
+            ("sequential_ms", json_f64(self.sequential_ms)),
+            ("pipelined_ms", json_f64(self.pipelined_ms)),
+            ("overlap", json_f64(self.overlap)),
+            ("identical", self.identical.to_string()),
+        ])
+    }
+}
+
+impl ToJson for AnnBenchReport {
+    fn to_json(&self) -> String {
+        let arr = |rows: Vec<String>| format!("[\n  {}\n ]", rows.join(",\n  "));
+        json_obj(&[
+            ("threads", self.threads.to_string()),
+            ("probe", arr(self.probe.iter().map(ToJson::to_json).collect())),
+            ("incremental", arr(self.incremental.iter().map(ToJson::to_json).collect())),
+            ("pipeline", arr(self.pipeline.iter().map(ToJson::to_json).collect())),
         ])
     }
 }
@@ -78,8 +189,18 @@ fn recall_at_k(hits: &[Vec<Hit>], truth: &[Vec<Hit>], k: usize) -> f64 {
     overlap as f64 / total.max(1) as f64
 }
 
-/// Run the sweep. `smoke` bounds corpus size and repetitions for CI.
-pub fn run(smoke: bool) -> Vec<AnnBenchRow> {
+/// Run every sweep. `smoke` bounds corpus size and repetitions for CI.
+pub fn run(smoke: bool) -> AnnBenchReport {
+    AnnBenchReport {
+        threads: rayon::current_num_threads(),
+        probe: run_probe(smoke),
+        incremental: run_incremental(smoke),
+        pipeline: run_pipeline(smoke),
+    }
+}
+
+/// Kernel probe sweep: blocked `search_batch` vs the scalar reference.
+fn run_probe(smoke: bool) -> Vec<AnnBenchRow> {
     // The acceptance workload: 10k × 128-d, k = 10.
     let (n, dim, nq, k, reps) =
         if smoke { (2_000, 64, 64, 10, 3) } else { (10_000, 128, 256, 10, 5) };
@@ -134,8 +255,99 @@ pub fn run(smoke: bool) -> Vec<AnnBenchRow> {
     rows
 }
 
-/// Render the sweep as a fixed-width table.
-pub fn print(rows: &[AnnBenchRow]) {
+/// One simulated AL re-index round per refresh-capable backend:
+/// `refresh` against the previous round's structure vs a from-scratch
+/// rebuild. Measured at drift 0 (no rows moved — the case the engine's
+/// default threshold admits) and, for the exact families, at a perturbed
+/// row set with an appended tail.
+fn run_incremental(smoke: bool) -> Vec<IncrementalRow> {
+    let (n, dim, k) = if smoke { (2_000, 64, 10) } else { (10_000, 128, 10) };
+    let base = data(n, dim, 3);
+    let queries = data(64, dim, 4);
+    let cases: Vec<(&str, IndexSpec)> = vec![
+        ("flat", IndexSpec::Flat),
+        ("ivf:64,8", IndexSpec::IvfFlat(IvfParams { nlist: 64, nprobe: 8, ..Default::default() })),
+        ("flat@4", IndexSpec::Flat.sharded(4)),
+    ];
+    let mut rows = Vec::new();
+    for (name, spec) in cases {
+        // Drift = 0: the embeddings did not move; refresh is the cost of
+        // discovering there is nothing to do.
+        let mut ix = spec.build(&base, dim, Metric::L2);
+        let (rebuild_ns, rebuilt) = time_ns(1, || spec.build(&base, dim, Metric::L2));
+        let (refresh_ns, handled) = time_ns(1, || ix.refresh(&base, &[]));
+        assert!(handled, "{name} must support in-place refresh");
+        rows.push(IncrementalRow {
+            backend: name.into(),
+            n,
+            dim,
+            changed: 0,
+            appended: 0,
+            rebuild_ms: rebuild_ns / 1e6,
+            refresh_ms: refresh_ns / 1e6,
+            speedup: rebuild_ns / refresh_ns.max(1.0),
+            exact: ix.search_batch(&queries, k) == rebuilt.search_batch(&queries, k),
+        });
+
+        // A real incremental round: 1% of rows drifted, 1% appended.
+        let changed_rows: Vec<u32> = (0..(n / 100) as u32).map(|i| i * 97 % n as u32).collect();
+        let mut new = base.clone();
+        for &r in &changed_rows {
+            new[r as usize * dim] += 0.125;
+        }
+        let appended = n / 100;
+        new.extend_from_slice(&data(appended, dim, 5));
+        let mut ix = spec.build(&base, dim, Metric::L2);
+        let (rebuild_ns, rebuilt) = time_ns(1, || spec.build(&new, dim, Metric::L2));
+        let (refresh_ns, _) = time_ns(1, || ix.refresh(&new, &changed_rows));
+        rows.push(IncrementalRow {
+            backend: name.into(),
+            n,
+            dim,
+            changed: changed_rows.len(),
+            appended,
+            rebuild_ms: rebuild_ns / 1e6,
+            refresh_ms: refresh_ns / 1e6,
+            speedup: rebuild_ns / refresh_ns.max(1.0),
+            // IVF re-assigns against its stale quantizer, so only the
+            // exact families are expected to match the rebuild bitwise.
+            exact: ix.search_batch(&queries, k) == rebuilt.search_batch(&queries, k),
+        });
+    }
+    rows
+}
+
+/// Committee build/probe overlap: a synthetic 3-member committee run
+/// through [`RetrievalEngine`] sequentially and pipelined.
+fn run_pipeline(smoke: bool) -> Vec<PipelineRow> {
+    let (members, n, dim, nq, k) =
+        if smoke { (3, 1_500, 64, 256, 10) } else { (3, 8_000, 128, 512, 10) };
+    let views_r: Vec<Vec<f32>> = (0..members).map(|m| data(n, dim, 10 + m as u64)).collect();
+    let views_s: Vec<Vec<f32>> = (0..members).map(|m| data(nq, dim, 20 + m as u64)).collect();
+    let run_once = |depth: usize| {
+        let mut engine = RetrievalEngine::new(IndexSpec::Flat, 0.0, depth);
+        let cand = engine.retrieve_committee(&views_r, &views_s, dim, k, usize::MAX);
+        let st = *engine.last_round();
+        (cand, st)
+    };
+    let (seq_cand, seq_stats) = run_once(0);
+    let (pip_cand, pip_stats) = run_once(2);
+    vec![PipelineRow {
+        members,
+        n,
+        dim,
+        nq,
+        k,
+        sequential_ms: seq_stats.wall_secs * 1e3,
+        pipelined_ms: pip_stats.wall_secs * 1e3,
+        overlap: (pip_stats.build_secs + pip_stats.probe_secs) / pip_stats.wall_secs.max(1e-12),
+        identical: seq_cand.pairs() == pip_cand.pairs(),
+    }]
+}
+
+/// Render the sweeps as fixed-width tables.
+pub fn print(report: &AnnBenchReport) {
+    let rows = &report.probe;
     let cells: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -151,19 +363,65 @@ pub fn print(rows: &[AnnBenchRow]) {
         })
         .collect();
     print_table(
-        &format!("ANN kernel bench (k = {})", rows.first().map(|r| r.k).unwrap_or(0)),
+        &format!(
+            "ANN kernel bench (k = {}, {} threads)",
+            rows.first().map(|r| r.k).unwrap_or(0),
+            report.threads
+        ),
         &["Backend", "Shards", "Corpus", "Build(ms)", "ns/query", "Recall@k", "vs scalar"],
+        &cells,
+    );
+
+    let cells: Vec<Vec<String>> = report
+        .incremental
+        .iter()
+        .map(|r| {
+            vec![
+                r.backend.clone(),
+                format!("{}x{}", r.n, r.dim),
+                format!("{}+{}", r.changed, r.appended),
+                format!("{:.1}", r.rebuild_ms),
+                format!("{:.2}", r.refresh_ms),
+                format!("{:.1}x", r.speedup),
+                r.exact.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Incremental re-index: refresh vs from-scratch rebuild",
+        &["Backend", "Corpus", "Changed+App", "Rebuild(ms)", "Refresh(ms)", "Speedup", "Exact"],
+        &cells,
+    );
+
+    let cells: Vec<Vec<String>> = report
+        .pipeline
+        .iter()
+        .map(|r| {
+            vec![
+                r.members.to_string(),
+                format!("{}x{}", r.n, r.dim),
+                format!("{:.1}", r.sequential_ms),
+                format!("{:.1}", r.pipelined_ms),
+                format!("{:.2}", r.overlap),
+                r.identical.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Committee pipeline: sequential vs overlapped build/probe",
+        &["Members", "Corpus", "Seq(ms)", "Pipelined(ms)", "Overlap", "Identical"],
         &cells,
     );
 }
 
-/// Persist the sweep to `REPRO_OUT/BENCH_ann.json` (a JSON array,
-/// overwritten each run — the jsonl append convention would mix machines
-/// and configs; this file is the *current* kernel profile). The default
-/// directory is anchored to the workspace root, not the CWD: `cargo
-/// bench` runs bench binaries from the package directory, `repro` runs
-/// from wherever it was invoked, and both must land in one place.
-pub fn write(rows: &[AnnBenchRow]) {
+/// Persist the report to `REPRO_OUT/BENCH_ann.json` (one JSON object —
+/// `threads` + the three row arrays — overwritten each run: the jsonl
+/// append convention would mix machines and configs; this file is the
+/// *current* profile). The default directory is anchored to the
+/// workspace root, not the CWD: `cargo bench` runs bench binaries from
+/// the package directory, `repro` runs from wherever it was invoked, and
+/// both must land in one place.
+pub fn write(report: &AnnBenchReport) {
     let dir = std::env::var("REPRO_OUT")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").into());
     if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -172,19 +430,24 @@ pub fn write(rows: &[AnnBenchRow]) {
         eprintln!("annbench: cannot create {dir}: {e}");
         return;
     }
-    let body: Vec<String> = rows.iter().map(|r| format!("  {}", r.to_json())).collect();
     let path = std::path::Path::new(&dir).join("BENCH_ann.json");
-    if let Err(e) = std::fs::write(&path, format!("[\n{}\n]\n", body.join(",\n"))) {
+    if let Err(e) = std::fs::write(&path, format!("{}\n", report.to_json())) {
         eprintln!("annbench: cannot write {}: {e}", path.display());
     }
 }
 
-/// Loud kernel-regression guard for the CI smoke job: the blocked flat
-/// path must not fall behind the scalar reference it replaced. (The ≥ 3×
-/// target is asserted on unloaded hardware via the full bench; CI
-/// runners are too noisy for a tight bound, so the smoke floor only
-/// demands "not slower".)
-pub fn assert_no_regression(rows: &[AnnBenchRow]) {
+/// Loud regression guard for the CI smoke job:
+///
+/// * the blocked flat path must not fall behind the scalar reference it
+///   replaced, and must stay exact (the ≥ 3× target is asserted on
+///   unloaded hardware via the full bench; CI runners are too noisy for
+///   a tight bound, so the smoke floor only demands "not slower");
+/// * the drift-0 incremental round must not be slower than a full
+///   rebuild, and must not lose candidate-set exactness;
+/// * the pipelined committee must retrieve exactly what the sequential
+///   one does (no wall-clock bound — a 1-core runner cannot overlap).
+pub fn assert_no_regression(report: &AnnBenchReport) {
+    let rows = &report.probe;
     let flat =
         rows.iter().find(|r| r.backend == "flat" && r.shards == 1).expect("flat row present");
     assert!(
@@ -199,6 +462,19 @@ pub fn assert_no_regression(rows: &[AnnBenchRow]) {
         "blocked flat retrieval is no longer exact: recall {}",
         flat.recall
     );
+    for r in report.incremental.iter().filter(|r| r.changed == 0 && r.appended == 0) {
+        assert!(
+            r.refresh_ms <= r.rebuild_ms,
+            "{}: drift-0 refresh ({:.2} ms) slower than a full rebuild ({:.2} ms)",
+            r.backend,
+            r.refresh_ms,
+            r.rebuild_ms
+        );
+        assert!(r.exact, "{}: drift-0 refresh lost candidate-set exactness", r.backend);
+    }
+    for r in &report.pipeline {
+        assert!(r.identical, "pipelined committee diverged from the sequential candidate set");
+    }
 }
 
 #[cfg(test)]
@@ -230,5 +506,58 @@ mod tests {
         assert_eq!(recall_at_k(&hits, &hits, 2), 1.0);
         let other = vec![vec![Hit { id: 9, distance: 0.1 }, Hit { id: 2, distance: 0.2 }]];
         assert_eq!(recall_at_k(&other, &hits, 2), 0.5);
+    }
+
+    #[test]
+    fn report_json_records_threads_and_sections() {
+        let report = AnnBenchReport {
+            threads: 4,
+            probe: Vec::new(),
+            incremental: vec![IncrementalRow {
+                backend: "flat".into(),
+                n: 10,
+                dim: 4,
+                changed: 0,
+                appended: 0,
+                rebuild_ms: 1.0,
+                refresh_ms: 0.1,
+                speedup: 10.0,
+                exact: true,
+            }],
+            pipeline: vec![PipelineRow {
+                members: 3,
+                n: 10,
+                dim: 4,
+                nq: 2,
+                k: 1,
+                sequential_ms: 2.0,
+                pipelined_ms: 1.5,
+                overlap: 1.3,
+                identical: true,
+            }],
+        };
+        let j = report.to_json();
+        assert!(j.contains("\"threads\":4"), "{j}");
+        assert!(j.contains("\"incremental\":[") && j.contains("\"exact\":true"), "{j}");
+        assert!(j.contains("\"pipeline\":[") && j.contains("\"identical\":true"), "{j}");
+        // The regression gate passes this healthy report... (probe rows
+        // absent would panic on the flat lookup, so give it one).
+        let mut ok = report.clone();
+        ok.probe = vec![AnnBenchRow {
+            backend: "flat".into(),
+            shards: 1,
+            n: 10,
+            dim: 4,
+            k: 1,
+            build_ms: 0.1,
+            ns_per_query: 100.0,
+            recall: 1.0,
+            speedup_vs_scalar: 1.5,
+        }];
+        assert_no_regression(&ok);
+        // ...and fails loudly when the drift-0 refresh regresses.
+        let mut bad = ok.clone();
+        bad.incremental[0].refresh_ms = 5.0;
+        assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
     }
 }

@@ -25,8 +25,9 @@
 //! options:
 //!   --backend=<spec>  ANN index backend for every retrieval (default flat):
 //!                     flat | ivf[:nlist[,nprobe]] | pq[:m[,nbits]]
-//!                     | hnsw[:m[,ef_search]], optionally with a
-//!                     `@<shards>` suffix (e.g. ivf:64,8@4)
+//!                     | hnsw[:m[,ef_search]] | auto (size heuristic),
+//!                     optionally with a `@<shards>` suffix (e.g.
+//!                     ivf:64,8@4)
 //!   --shards=<n>      round-robin shards per retrieval index (default 1;
 //!                     n > 1 builds shards concurrently and merges top-k;
 //!                     wins over a `@<shards>` spec suffix)
@@ -72,6 +73,10 @@ options:
                        ivf[:nlist[,nprobe]]   IVF-Flat, e.g. ivf:64,8
                        pq[:m[,nbits]]         product quantization, e.g. pq:8,6
                        hnsw[:m[,ef_search]]   HNSW graph, e.g. hnsw:16,48
+                       auto                   size heuristic: flat below 50k
+                                              rows, ivf with nlist=sqrt(n)
+                                              above (reports show the
+                                              resolved family)
                      each optionally suffixed with @<shards>, e.g.
                      ivf:64,8@4 (an explicit --shards flag wins).
   --shards=<n>       round-robin shards per retrieval index (default 1).
@@ -470,18 +475,22 @@ fn table9(ctx: &ExpContext) {
 /// ANN backend sweep: the recall/latency trade-off of §5.4's FAISS knob,
 /// measured end to end through the DIAL loop. Per backend and dataset:
 /// final blocker recall, all-pairs F1, indexing+retrieval seconds, and RT.
-/// Every preset runs at the context's shard count, and the sweep always
+/// Every preset runs at the context's shard count, the sweep always
 /// includes at least one sharded row (`flat@4` by default) so the parallel
 /// build + merged-probe path shows its measured build and probe latency
-/// next to the single-index families.
+/// next to the single-index families, and an `auto` row shows the size
+/// heuristic with the concrete family it resolved to on that dataset.
 fn backends(ctx: &ExpContext) {
     let mut cases: Vec<(IndexBackend, usize)> =
         IndexBackend::presets().into_iter().map(|b| (b, ctx.shards)).collect();
     if ctx.shards == 1 {
         cases.push((IndexBackend::Flat, 4));
     }
+    cases.push((IndexBackend::Auto, ctx.shards));
     let mut rows = Vec::new();
     for b in five(ctx) {
+        // Auto resolves against the row count of the indexed list (|R|).
+        let n_r = runner::dataset(b, ctx.scale, ctx.seeds[0]).data.r.len();
         for &(backend, shards) in &cases {
             let s = run_tplm(
                 ctx,
@@ -493,7 +502,7 @@ fn backends(ctx: &ExpContext) {
             let l = s.last();
             rows.push(vec![
                 b.short_name().into(),
-                backend.label(),
+                backend.resolved_label(n_r),
                 shards.to_string(),
                 pct(l.recall),
                 pct(l.all_f1),

@@ -12,9 +12,10 @@
 //! and 10.
 
 use crate::blocker::Committee;
-use crate::candidates::{index_by_committee, index_single, CandidateSet};
+use crate::candidates::{index_single, CandidateSet};
 use crate::config::{BlockerObjective, BlockingStrategy, DialConfig, NegativeSource};
 use crate::encode::encode_list;
+use crate::engine::RetrievalEngine;
 use crate::eval::{all_pairs_prf, blocker_recall, test_prf, Prf};
 use crate::matcher::Matcher;
 use crate::oracle::Oracle;
@@ -39,6 +40,16 @@ pub struct RoundTimings {
     /// Blocking + matching time over the candidate set — the paper's "RT"
     /// (time to find all duplicate pairs, Table 2) for this round.
     pub find_dups: f64,
+    /// Seconds the retrieval engine spent building or refreshing member
+    /// indexes this round (0 for the fixed-candidate strategies).
+    pub index_build: f64,
+    /// Seconds the engine spent probing member indexes. With the
+    /// build/probe pipeline on, builds overlap probes, so
+    /// `index_build + index_probe` can exceed `indexing_retrieval`.
+    pub index_probe: f64,
+    /// Committee members whose index was refreshed incrementally instead
+    /// of rebuilt from scratch this round.
+    pub incremental_members: usize,
 }
 
 /// Metrics captured after training/blocking in one round.
@@ -155,7 +166,12 @@ impl DialSystem {
             self.pretrain(data);
         }
         let cfg = self.config.clone();
-        let index_spec = cfg.index_spec();
+        // Every retrieval index holds one view of R, so Auto resolves
+        // against |R|; the engine persists across rounds, carrying each
+        // member's index and embedding cache from round to round.
+        let index_spec = cfg.index_spec_for(data.r.len());
+        let mut engine =
+            RetrievalEngine::new(index_spec.clone(), cfg.incremental_threshold, cfg.pipeline_depth);
         let cand_cap = cfg.cand_size.resolve(data.s.len(), data.dups().len(), cfg.abt_buy_like);
         let k = if cfg.abt_buy_like { cfg.k.max(20) } else { cfg.k };
 
@@ -209,41 +225,49 @@ impl DialSystem {
                 BlockingStrategy::PairedAdapt => {
                     let er = encode_list(&self.model, &self.store, &data.r, &self.vocab);
                     let es = encode_list(&self.model, &self.store, &data.s, &self.vocab);
-                    index_single(&er, &es, k, cand_cap, &index_spec)
+                    engine.retrieve_single(&er, &es, k, cand_cap)
                 }
+                // SentenceBERT blocking is DIAL's committee pass with a
+                // different training recipe (classification objective on
+                // the labeled negatives); everything else — encode,
+                // reinit, frozen-trunk training, embed, retrieve — is
+                // the same pipeline.
                 BlockingStrategy::SentenceBert => {
-                    let er = encode_list(&self.model, &self.store, &data.r, &self.vocab);
-                    let es = encode_list(&self.model, &self.store, &data.s, &self.vocab);
-                    let t1 = Instant::now();
                     let sbert_cfg = DialConfig {
                         objective: BlockerObjective::Classification,
                         negatives: NegativeSource::Labeled,
                         ..cfg.clone()
                     };
-                    self.committee.reinit(&mut self.store, cfg.seed ^ (round as u64) << 8);
-                    self.model.set_trunk_frozen(&mut self.store, true);
-                    self.committee.train(&mut self.store, &er, &es, &labeled, &sbert_cfg, round);
-                    self.model.set_trunk_frozen(&mut self.store, false);
-                    train_committee = t1.elapsed().as_secs_f64();
-                    let vr = self.committee.embed_list(&self.store, &er);
-                    let vs = self.committee.embed_list(&self.store, &es);
-                    index_by_committee(&vr, &vs, cfg.tplm.d_model, k, cand_cap, &index_spec)
+                    self.committee_round(
+                        &mut engine,
+                        data,
+                        &labeled,
+                        &sbert_cfg,
+                        round,
+                        k,
+                        cand_cap,
+                        &mut train_committee,
+                    )
                 }
-                BlockingStrategy::Dial => {
-                    let er = encode_list(&self.model, &self.store, &data.r, &self.vocab);
-                    let es = encode_list(&self.model, &self.store, &data.s, &self.vocab);
-                    let t1 = Instant::now();
-                    self.committee.reinit(&mut self.store, cfg.seed ^ (round as u64) << 8);
-                    self.model.set_trunk_frozen(&mut self.store, true);
-                    self.committee.train(&mut self.store, &er, &es, &labeled, &cfg, round);
-                    self.model.set_trunk_frozen(&mut self.store, false);
-                    train_committee = t1.elapsed().as_secs_f64();
-                    let vr = self.committee.embed_list(&self.store, &er);
-                    let vs = self.committee.embed_list(&self.store, &es);
-                    index_by_committee(&vr, &vs, cfg.tplm.d_model, k, cand_cap, &index_spec)
-                }
+                BlockingStrategy::Dial => self.committee_round(
+                    &mut engine,
+                    data,
+                    &labeled,
+                    &cfg,
+                    round,
+                    k,
+                    cand_cap,
+                    &mut train_committee,
+                ),
             };
             let indexing_retrieval = t_block.elapsed().as_secs_f64() - train_committee;
+            let (index_build, index_probe, incremental_members) = match cfg.blocking {
+                BlockingStrategy::PairedFixed | BlockingStrategy::Rules => (0.0, 0.0, 0),
+                _ => {
+                    let st = engine.last_round();
+                    (st.build_secs, st.probe_secs, st.incremental_members)
+                }
+            };
 
             // (4) Matcher probabilities over the candidate set (drives both
             // evaluation and selection).
@@ -308,6 +332,9 @@ impl DialSystem {
                     indexing_retrieval,
                     selection: 0.0,
                     find_dups: train_committee + indexing_retrieval + matching_time,
+                    index_build,
+                    index_probe,
+                    incremental_members,
                 },
             };
             rounds.push(metrics);
@@ -345,6 +372,38 @@ impl DialSystem {
             }
         }
         RunResult { rounds }
+    }
+
+    /// One committee blocking pass — the shared body of the DIAL and
+    /// SentenceBERT arms, which differ only in the training-config delta
+    /// (`blocker_cfg`): encode both lists with the current trunk,
+    /// re-initialize the committee, train it on frozen-trunk embeddings,
+    /// embed both lists per member, and run Index-By-Committee through
+    /// the persistent retrieval `engine`. Committee-training seconds
+    /// land in `train_committee`.
+    #[allow(clippy::too_many_arguments)]
+    fn committee_round(
+        &mut self,
+        engine: &mut RetrievalEngine,
+        data: &EmDataset,
+        labeled: &[LabeledPair],
+        blocker_cfg: &DialConfig,
+        round: usize,
+        k: usize,
+        cand_cap: usize,
+        train_committee: &mut f64,
+    ) -> CandidateSet {
+        let er = encode_list(&self.model, &self.store, &data.r, &self.vocab);
+        let es = encode_list(&self.model, &self.store, &data.s, &self.vocab);
+        let t1 = Instant::now();
+        self.committee.reinit(&mut self.store, self.config.seed ^ (round as u64) << 8);
+        self.model.set_trunk_frozen(&mut self.store, true);
+        self.committee.train(&mut self.store, &er, &es, labeled, blocker_cfg, round);
+        self.model.set_trunk_frozen(&mut self.store, false);
+        *train_committee = t1.elapsed().as_secs_f64();
+        let vr = self.committee.embed_list(&self.store, &er);
+        let vs = self.committee.embed_list(&self.store, &es);
+        engine.retrieve_committee(&vr, &vs, self.config.tplm.d_model, k, cand_cap)
     }
 }
 

@@ -109,7 +109,11 @@ impl CandidateSet {
 
 /// Score every probe's hit list into `(r, s, distance, rank)` candidates.
 /// `s_base` is the global id of the first query in this probe block.
-fn score_probe_hits(scored: &mut Vec<Candidate>, hits: Vec<Vec<dial_ann::Hit>>, s_base: u32) {
+pub(crate) fn score_probe_hits(
+    scored: &mut Vec<Candidate>,
+    hits: Vec<Vec<dial_ann::Hit>>,
+    s_base: u32,
+) {
     for (s_off, hs) in hits.into_iter().enumerate() {
         for (rank, h) in hs.into_iter().enumerate() {
             scored.push(Candidate {
@@ -126,7 +130,7 @@ fn score_probe_hits(scored: &mut Vec<Candidate>, hits: Vec<Vec<dial_ann::Hit>>, 
 /// scoring each block's hits as soon as the block returns. Identical
 /// output to one monolithic `search_batch` call (each query's hits are a
 /// pure function of that query), with bounded peak memory.
-fn probe_blocked(
+pub(crate) fn probe_blocked(
     scored: &mut Vec<Candidate>,
     index: &dyn AnnIndex,
     queries: &[f32],

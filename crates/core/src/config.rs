@@ -88,9 +88,49 @@ pub enum IndexBackend {
     Pq { m: usize, nbits: u8 },
     /// HNSW graph with degree `m` and search beam `ef_search`.
     Hnsw { m: usize, ef_search: usize },
+    /// Size-heuristic family choice, resolved per run against the row
+    /// count of the indexed list ([`IndexBackend::resolve`]): exact
+    /// `Flat` below [`IndexBackend::AUTO_FLAT_MAX`] rows, `IvfFlat` with
+    /// `nlist = √n` above.
+    Auto,
 }
 
 impl IndexBackend {
+    /// Row count below which [`IndexBackend::Auto`] picks the exact flat
+    /// scan; at this size a blocked brute-force probe is cheaper than an
+    /// IVF build + coarse quantization, and it keeps blocker recall
+    /// exact. Above it, Auto trades exactness for `nlist = √n` inverted
+    /// lists.
+    pub const AUTO_FLAT_MAX: usize = 50_000;
+
+    /// Resolve the `Auto` heuristic against the row count the index will
+    /// hold; concrete backends return themselves unchanged. `Auto` picks
+    /// `Flat` below [`IndexBackend::AUTO_FLAT_MAX`] rows and
+    /// `IvfFlat { nlist: √n, nprobe: max(1, nlist/8) }` at or above it.
+    pub fn resolve(self, n_rows: usize) -> IndexBackend {
+        match self {
+            IndexBackend::Auto => {
+                if n_rows < Self::AUTO_FLAT_MAX {
+                    IndexBackend::Flat
+                } else {
+                    let nlist = (n_rows as f64).sqrt() as usize;
+                    IndexBackend::IvfFlat { nlist, nprobe: (nlist / 8).max(1) }
+                }
+            }
+            b => b,
+        }
+    }
+
+    /// [`IndexBackend::label`], but `Auto` reports the concrete family it
+    /// resolves to at `n_rows` — `auto(flat)`, `auto(ivf:316,39)` — so a
+    /// sweep row never hides which index actually ran.
+    pub fn resolved_label(&self, n_rows: usize) -> String {
+        match self {
+            IndexBackend::Auto => format!("auto({})", self.resolve(n_rows).label()),
+            b => b.label(),
+        }
+    }
+
     /// Default-parameter instance of every backend, for sweeps.
     pub fn presets() -> [IndexBackend; 4] {
         [
@@ -117,9 +157,9 @@ impl IndexBackend {
             None => Vec::new(),
             Some(p) => p.split(',').map(|x| x.trim().parse().ok()).collect::<Option<_>>()?,
         };
-        // Reject surplus parameters (and any parameters for flat) so a
-        // typo'd spec errors instead of silently running something else.
-        if nums.len() > if family == "flat" { 0 } else { 2 } {
+        // Reject surplus parameters (and any parameters for flat/auto) so
+        // a typo'd spec errors instead of silently running something else.
+        if nums.len() > if matches!(family, "flat" | "auto") { 0 } else { 2 } {
             return None;
         }
         let get = |i: usize, default: usize| nums.get(i).copied().unwrap_or(default);
@@ -127,6 +167,7 @@ impl IndexBackend {
         // surfaces a clean usage error instead of a backtrace.
         let backend = match family {
             "flat" => IndexBackend::Flat,
+            "auto" => IndexBackend::Auto,
             "ivf" | "ivf-flat" | "ivf_flat" | "ivfflat" => {
                 IndexBackend::IvfFlat { nlist: get(0, 64), nprobe: get(1, 8) }
             }
@@ -171,6 +212,7 @@ impl IndexBackend {
             IndexBackend::IvfFlat { nlist, nprobe } => format!("ivf:{nlist},{nprobe}"),
             IndexBackend::Pq { m, nbits } => format!("pq:{m},{nbits}"),
             IndexBackend::Hnsw { m, ef_search } => format!("hnsw:{m},{ef_search}"),
+            IndexBackend::Auto => "auto".into(),
         }
     }
 
@@ -186,8 +228,15 @@ impl IndexBackend {
 
     /// Resolve to a `dial-ann` build spec. `seed` keys quantizer/graph
     /// training so runs stay deterministic per [`DialConfig::seed`].
+    ///
+    /// Panics on [`IndexBackend::Auto`]: the heuristic needs a row count,
+    /// so resolve it first ([`IndexBackend::resolve`] /
+    /// [`DialConfig::index_spec_for`]).
     pub fn spec(&self, seed: u64) -> IndexSpec {
         match *self {
+            IndexBackend::Auto => {
+                panic!("IndexBackend::Auto must be resolved against a row count before spec()")
+            }
             IndexBackend::Flat => IndexSpec::Flat,
             IndexBackend::IvfFlat { nlist, nprobe } => IndexSpec::IvfFlat(IvfParams {
                 nlist,
@@ -300,6 +349,27 @@ pub struct DialConfig {
     /// concurrently and merges per-shard top-k at probe time
     /// (`Sharded(Flat, n)` retrieves identically to `Flat`).
     pub index_shards: usize,
+    /// Incremental re-indexing gate for the persistent retrieval engine:
+    /// when the mean cosine shift of a member's embeddings against the
+    /// cached previous round is at or below this threshold, the engine
+    /// refreshes the existing index in place (row overwrite +
+    /// `add_batch`) instead of rebuilding from scratch. `0.0` (the
+    /// default) engages the incremental path only when no stored row
+    /// changed at all; with the row set also unchanged — the AL-loop
+    /// case, `|R|` is fixed across rounds — the refresh is a no-op and
+    /// exact for every family. Appended rows stream in via the family's
+    /// `add_batch` contract (bitwise a rebuild for Flat/sharded-Flat;
+    /// quantized families assign against their trained structures
+    /// without retraining). Positive values additionally admit row
+    /// overwrites, trading retrieval freshness of quantized structures
+    /// for indexing latency.
+    pub incremental_threshold: f64,
+    /// In-flight depth of the committee build/probe pipeline: member
+    /// `i`'s index build overlaps member `i-1`'s probes through a bounded
+    /// channel holding at most this many built indexes. `0` disables the
+    /// overlap (strictly sequential build-then-probe per member); the
+    /// retrieved candidate set is identical either way.
+    pub pipeline_depth: usize,
     /// Treat the dataset as Abt-Buy-like (small `|S|`: larger `cand`, `k`).
     pub abt_buy_like: bool,
     pub blocking: BlockingStrategy,
@@ -335,6 +405,8 @@ impl Default for DialConfig {
             cand_size: CandSize::Medium,
             index_backend: IndexBackend::Flat,
             index_shards: 1,
+            incremental_threshold: 0.0,
+            pipeline_depth: 2,
             abt_buy_like: false,
             blocking: BlockingStrategy::Dial,
             negatives: NegativeSource::Random,
@@ -378,10 +450,19 @@ impl DialConfig {
     /// The ANN build spec this configuration retrieves through: the
     /// backend family seeded from [`DialConfig::seed`], wrapped into
     /// [`DialConfig::index_shards`] round-robin shards when sharding is
-    /// on. The single construction point the AL loop (and anything else
-    /// building retrieval indexes) should use.
+    /// on. Panics on [`IndexBackend::Auto`] (no row count to resolve the
+    /// heuristic against) — runs that may carry `auto` should use
+    /// [`DialConfig::index_spec_for`].
     pub fn index_spec(&self) -> dial_ann::IndexSpec {
         self.index_backend.spec_sharded(self.seed, self.index_shards)
+    }
+
+    /// [`DialConfig::index_spec`] with [`IndexBackend::Auto`] resolved
+    /// against `n_rows`, the row count of the list being indexed (`|R|`
+    /// in the AL loop — every retrieval index holds one view of `R`).
+    /// The construction point the AL loop uses.
+    pub fn index_spec_for(&self, n_rows: usize) -> dial_ann::IndexSpec {
+        self.index_backend.resolve(n_rows).spec_sharded(self.seed, self.index_shards)
     }
 
     /// Validate cross-field invariants.
@@ -393,8 +474,12 @@ impl DialConfig {
         assert!((0.0..=1.0).contains(&self.mask_p), "mask_p out of range");
         assert!(self.k >= 1, "k must be >= 1");
         assert!(self.index_shards >= 1, "index_shards must be >= 1");
+        assert!(
+            self.incremental_threshold >= 0.0 && self.incremental_threshold.is_finite(),
+            "incremental_threshold must be finite and >= 0"
+        );
         match self.index_backend {
-            IndexBackend::Flat => {}
+            IndexBackend::Flat | IndexBackend::Auto => {}
             IndexBackend::IvfFlat { nlist, nprobe } => {
                 assert!(nlist >= 1, "IVF nlist must be >= 1");
                 assert!(nprobe >= 1, "IVF nprobe must be >= 1");
@@ -475,6 +560,48 @@ mod tests {
         assert_eq!(IndexBackend::parse("flat:64"), None);
         assert_eq!(IndexBackend::parse("hnsw:16,48,200"), None);
         assert_eq!(IndexBackend::parse("ivf:64,8,2"), None);
+    }
+
+    #[test]
+    fn auto_backend_parses_resolves_and_labels() {
+        assert_eq!(IndexBackend::parse("auto"), Some(IndexBackend::Auto));
+        assert_eq!(IndexBackend::parse("AUTO"), Some(IndexBackend::Auto));
+        // The heuristic takes no parameters; a typo'd spec must error.
+        assert_eq!(IndexBackend::parse("auto:4"), None);
+        assert_eq!(IndexBackend::parse_sharded("auto@4"), Some((IndexBackend::Auto, 4)));
+        // Below the flat ceiling: exact scan. At/above: IVF with √n lists.
+        assert_eq!(IndexBackend::Auto.resolve(10_000), IndexBackend::Flat);
+        assert_eq!(
+            IndexBackend::Auto.resolve(1_000_000),
+            IndexBackend::IvfFlat { nlist: 1000, nprobe: 125 }
+        );
+        // Concrete backends resolve to themselves.
+        let hnsw = IndexBackend::Hnsw { m: 16, ef_search: 48 };
+        assert_eq!(hnsw.resolve(1_000_000), hnsw);
+        // Reports never hide the concrete family that actually ran.
+        assert_eq!(IndexBackend::Auto.resolved_label(100), "auto(flat)");
+        assert_eq!(IndexBackend::Auto.resolved_label(1_000_000), "auto(ivf:1000,125)");
+        assert_eq!(hnsw.resolved_label(100), hnsw.label());
+        // Auto validates and resolves through the config entry point.
+        let cfg = DialConfig {
+            index_backend: IndexBackend::Auto,
+            index_shards: 2,
+            ..DialConfig::smoke()
+        };
+        cfg.validate();
+        assert_eq!(cfg.index_spec_for(100), IndexSpec::Flat.sharded(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "resolved against a row count")]
+    fn auto_spec_without_row_count_panics() {
+        IndexBackend::Auto.spec(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "incremental_threshold")]
+    fn negative_incremental_threshold_rejected() {
+        DialConfig { incremental_threshold: -0.5, ..DialConfig::smoke() }.validate();
     }
 
     #[test]

@@ -1,0 +1,527 @@
+//! The persistent committee retrieval engine.
+//!
+//! [`index_by_committee`](crate::candidates::index_by_committee) rebuilds
+//! every member's ANN index from scratch each round and probes members
+//! strictly in sequence, so indexing latency is paid in full even when
+//! the frozen trunk barely moves between AL rounds. [`RetrievalEngine`]
+//! is the stateful replacement the AL loop keeps alive across rounds; it
+//! attacks both halves of that cost:
+//!
+//! 1. **Incremental maintenance.** The engine caches each member's
+//!    previous-round embedding rows next to its built index. At the next
+//!    round it measures the drift — the mean cosine shift of the new
+//!    rows against the cached ones — and, when the drift is at or below
+//!    [`DialConfig::incremental_threshold`](crate::config::DialConfig),
+//!    updates the live index in place through [`AnnIndex::refresh`]
+//!    (bitwise row overwrite + `add_batch` for appended rows) instead of
+//!    rebuilding. Families that cannot update in place (PQ, HNSW)
+//!    decline the refresh and fall back to a from-scratch build, as does
+//!    any member whose drift exceeds the threshold. At the default
+//!    threshold of `0.0` the incremental path only engages when no
+//!    stored row changed at all (the drift measure is scale-invariant,
+//!    so a strictly-zero threshold refuses overwrites outright). With
+//!    the row set also unchanged — the AL-loop case, where the indexed
+//!    list never grows between rounds — the refresh is a no-op and
+//!    therefore exact for every family; appended rows ride the family's
+//!    `add_batch` contract instead (bitwise a rebuild for flat
+//!    families, assign-against-trained-structures for quantized ones).
+//!    The changed-row set is computed by *bitwise* comparison, never
+//!    from the drift measure, so an engaged refresh stores exactly the
+//!    new rows.
+//!
+//! 2. **Pipelined build/probe.** Member indexes stream from a builder
+//!    thread to the probing thread through a bounded SPSC channel
+//!    ([`rayon::pipeline`]), so member *i*'s (sharded, parallel) build
+//!    overlaps member *i−1*'s `search_batch` probes — the dominant
+//!    latency term is hidden instead of shrunk. Per-member hit lists are
+//!    kept in member-id-tagged slots and concatenated in member order
+//!    before the [`CandidateSet::from_scored`] merge, so the pipelined
+//!    candidate set is identical to the sequential one
+//!    (`pipeline_depth = 0` runs the strictly sequential path).
+
+use crate::candidates::{probe_blocked, Candidate, CandidateSet};
+use crate::encode::ListEmbeddings;
+use dial_ann::{AnnIndex, IndexSpec, Metric};
+use rayon::pipeline;
+use std::time::Instant;
+
+/// One committee member's persistent retrieval state: the live index and
+/// the packed embedding rows it currently stores (the drift baseline and
+/// changed-row reference for the next round).
+struct MemberState {
+    index: Box<dyn AnnIndex>,
+    rows: Vec<f32>,
+}
+
+/// How one member's index came to be this round.
+struct BuildInfo {
+    secs: f64,
+    incremental: bool,
+    drift: f64,
+}
+
+/// Aggregate timings and reuse counters of the engine's last round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineRoundStats {
+    /// Seconds spent building or refreshing member indexes (summed over
+    /// members; runs on the builder thread when pipelined).
+    pub build_secs: f64,
+    /// Seconds spent probing member indexes (summed over members; always
+    /// on the calling thread).
+    pub probe_secs: f64,
+    /// Wall-clock seconds of the whole retrieval. With the pipeline on,
+    /// `build_secs + probe_secs > wall_secs` measures the overlap won.
+    pub wall_secs: f64,
+    /// Members whose index was refreshed in place.
+    pub incremental_members: usize,
+    /// Members rebuilt from scratch (drift above threshold, first round,
+    /// shape change, or a family that declines in-place refresh).
+    pub rebuilt_members: usize,
+    /// Mean embedding drift (cosine shift) across members that had a
+    /// previous round to compare against.
+    pub mean_drift: f64,
+}
+
+/// Persistent, pipelined Index-By-Committee retrieval (see the module
+/// docs). Create once per AL run and call
+/// [`RetrievalEngine::retrieve_committee`] /
+/// [`RetrievalEngine::retrieve_single`] each round.
+pub struct RetrievalEngine {
+    spec: IndexSpec,
+    incremental_threshold: f64,
+    pipeline_depth: usize,
+    members: Vec<MemberState>,
+    last: EngineRoundStats,
+}
+
+/// Mean cosine shift between two equal-length packed row sets: the
+/// average over rows of `1 − cos(old_row, new_row)`, clamped at 0 per
+/// row (rounding can push an unchanged row a few ulps negative). A pair
+/// with both rows zero contributes 0; a pair where exactly one side is
+/// zero contributes the full shift of 1.
+fn mean_cosine_shift(old: &[f32], new: &[f32], dim: usize) -> f64 {
+    debug_assert_eq!(old.len(), new.len());
+    let n = old.len() / dim;
+    if n == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0f64;
+    for (o, w) in old.chunks(dim).zip(new.chunks(dim)) {
+        if o == w {
+            // Bitwise-identical rows shift by exactly 0 — the computed
+            // `1 − dot/(‖o‖·‖w‖)` can land a few ulps off zero, which
+            // would wrongly disqualify the drift = 0 incremental path at
+            // the default threshold of 0.0.
+            continue;
+        }
+        let (mut dot, mut no, mut nw) = (0.0f64, 0.0f64, 0.0f64);
+        for (&a, &b) in o.iter().zip(w) {
+            dot += a as f64 * b as f64;
+            no += (a as f64) * (a as f64);
+            nw += (b as f64) * (b as f64);
+        }
+        let shift = match (no == 0.0, nw == 0.0) {
+            (true, true) => 0.0,
+            (true, false) | (false, true) => 1.0,
+            (false, false) => 1.0 - dot / (no.sqrt() * nw.sqrt()),
+        };
+        acc += shift.max(0.0);
+    }
+    acc / n as f64
+}
+
+/// Bring one member's index in line with `view`: refresh in place when
+/// the prior state is compatible and the drift allows it, build from
+/// scratch otherwise. Runs on the builder thread when pipelined.
+fn prepare_member(
+    spec: &IndexSpec,
+    threshold: f64,
+    prev: Option<MemberState>,
+    view: &[f32],
+    dim: usize,
+) -> (MemberState, BuildInfo) {
+    let t0 = Instant::now();
+    let rebuild = || MemberState { index: spec.build(view, dim, Metric::L2), rows: view.to_vec() };
+    let mut info = BuildInfo { secs: 0.0, incremental: false, drift: 0.0 };
+    let state = match prev {
+        // Compatible prior state: same width, no rows dropped (an index
+        // never shrinks in place), and actually populated.
+        Some(mut st)
+            if st.index.dim() == dim && !st.rows.is_empty() && st.rows.len() <= view.len() =>
+        {
+            info.drift = mean_cosine_shift(&st.rows, &view[..st.rows.len()], dim);
+            let refreshed = info.drift <= threshold && {
+                let n_old = st.rows.len() / dim;
+                let changed: Vec<u32> = (0..n_old as u32)
+                    .filter(|&r| {
+                        let i = r as usize * dim;
+                        view[i..i + dim] != st.rows[i..i + dim]
+                    })
+                    .collect();
+                // The cosine drift is scale-invariant, so a row can be
+                // *bitwise* changed (e.g. exactly doubled) at drift 0.
+                // Overwriting such rows is exact for Flat but not for the
+                // quantized families — so the "threshold 0.0 is always
+                // exact" guarantee requires a strictly-zero threshold to
+                // admit only appends, never overwrites. Positive
+                // thresholds opt into approximate reuse explicitly.
+                (changed.is_empty() || threshold > 0.0) && st.index.refresh(view, &changed)
+            };
+            if refreshed {
+                info.incremental = true;
+                st.rows.clear();
+                st.rows.extend_from_slice(view);
+                st
+            } else {
+                rebuild()
+            }
+        }
+        _ => rebuild(),
+    };
+    info.secs = t0.elapsed().as_secs_f64();
+    (state, info)
+}
+
+impl RetrievalEngine {
+    /// An engine retrieving through `spec`-built indexes. `spec` must be
+    /// concrete (resolve [`IndexBackend::Auto`](crate::IndexBackend)
+    /// first — [`DialConfig::index_spec_for`](crate::DialConfig) does).
+    pub fn new(spec: IndexSpec, incremental_threshold: f64, pipeline_depth: usize) -> Self {
+        RetrievalEngine {
+            spec,
+            incremental_threshold,
+            pipeline_depth,
+            members: Vec::new(),
+            last: EngineRoundStats::default(),
+        }
+    }
+
+    /// Timings and reuse counters of the most recent retrieval.
+    pub fn last_round(&self) -> &EngineRoundStats {
+        &self.last
+    }
+
+    /// Drop all cached member state; the next retrieval rebuilds every
+    /// index from scratch.
+    pub fn reset(&mut self) {
+        self.members.clear();
+    }
+
+    /// Index-By-Committee through the persistent engine: member `m`'s
+    /// view of `R` is indexed (incrementally when the drift allows) and
+    /// probed with its view of `S`; all members' scored pairs pool into
+    /// one [`CandidateSet`] capped at `max_size`. Identical output to
+    /// [`crate::candidates::index_by_committee`] when every member
+    /// rebuilds — the engine only changes *when work happens*, not what
+    /// is retrieved.
+    pub fn retrieve_committee(
+        &mut self,
+        views_r: &[Vec<f32>],
+        views_s: &[Vec<f32>],
+        dim: usize,
+        k: usize,
+        max_size: usize,
+    ) -> CandidateSet {
+        assert_eq!(views_r.len(), views_s.len(), "committee view count mismatch");
+        let vr: Vec<&[f32]> = views_r.iter().map(Vec::as_slice).collect();
+        let vs: Vec<&[f32]> = views_s.iter().map(Vec::as_slice).collect();
+        self.retrieve(&vr, &vs, dim, k, max_size)
+    }
+
+    /// Single-index retrieval (PairedAdapt and friends) through the same
+    /// persistent state — the index over `emb_r` is refreshed, not
+    /// rebuilt, when the trunk barely moved since the previous round.
+    pub fn retrieve_single(
+        &mut self,
+        emb_r: &ListEmbeddings,
+        emb_s: &ListEmbeddings,
+        k: usize,
+        max_size: usize,
+    ) -> CandidateSet {
+        assert_eq!(emb_r.dim, emb_s.dim, "embedding width mismatch");
+        self.retrieve(&[&emb_r.data], &[&emb_s.data], emb_r.dim, k, max_size)
+    }
+
+    fn retrieve(
+        &mut self,
+        views_r: &[&[f32]],
+        views_s: &[&[f32]],
+        dim: usize,
+        k: usize,
+        max_size: usize,
+    ) -> CandidateSet {
+        let n = views_r.len();
+        // A committee-size change invalidates the member↔state pairing.
+        if self.members.len() != n {
+            self.members.clear();
+        }
+        let t_wall = Instant::now();
+        let mut prev: Vec<Option<MemberState>> = self.members.drain(..).map(Some).collect();
+        prev.resize_with(n, || None);
+
+        let mut stats = EngineRoundStats::default();
+        let mut scored_parts: Vec<Vec<Candidate>> = Vec::with_capacity(n);
+        let mut states: Vec<MemberState> = Vec::with_capacity(n);
+        let mut drift_samples = 0usize;
+
+        let mut absorb = |stats: &mut EngineRoundStats, info: &BuildInfo, had_prev: bool| {
+            stats.build_secs += info.secs;
+            if info.incremental {
+                stats.incremental_members += 1;
+            } else {
+                stats.rebuilt_members += 1;
+            }
+            if had_prev {
+                stats.mean_drift += info.drift;
+                drift_samples += 1;
+            }
+        };
+
+        if self.pipeline_depth == 0 || n <= 1 {
+            // Sequential reference path: build (or refresh) member m,
+            // then probe it, then move on.
+            for m in 0..n {
+                let had_prev = prev[m].is_some();
+                let (state, info) = prepare_member(
+                    &self.spec,
+                    self.incremental_threshold,
+                    prev[m].take(),
+                    views_r[m],
+                    dim,
+                );
+                absorb(&mut stats, &info, had_prev);
+                let t0 = Instant::now();
+                let mut scored = Vec::new();
+                probe_blocked(&mut scored, state.index.as_ref(), views_s[m], dim, k);
+                stats.probe_secs += t0.elapsed().as_secs_f64();
+                scored_parts.push(scored);
+                states.push(state);
+            }
+        } else {
+            // Two-stage pipeline: a builder thread streams prepared
+            // member states through a bounded channel while this thread
+            // probes them. FIFO order means states arrive tagged in
+            // member order, so slot m is member m by construction.
+            let spec = &self.spec;
+            let threshold = self.incremental_threshold;
+            let had_prev: Vec<bool> = prev.iter().map(Option::is_some).collect();
+            std::thread::scope(|s| {
+                let (tx, rx) = pipeline::bounded(self.pipeline_depth);
+                s.spawn(move || {
+                    for (m, view) in views_r.iter().enumerate() {
+                        let out = prepare_member(spec, threshold, prev[m].take(), view, dim);
+                        if tx.send(out).is_err() {
+                            break;
+                        }
+                    }
+                });
+                for (state, info) in rx {
+                    let m = states.len();
+                    absorb(&mut stats, &info, had_prev[m]);
+                    let t0 = Instant::now();
+                    let mut scored = Vec::new();
+                    probe_blocked(&mut scored, state.index.as_ref(), views_s[m], dim, k);
+                    stats.probe_secs += t0.elapsed().as_secs_f64();
+                    scored_parts.push(scored);
+                    states.push(state);
+                }
+            });
+        }
+
+        self.members = states;
+        if drift_samples > 0 {
+            stats.mean_drift /= drift_samples as f64;
+        }
+        stats.wall_secs = t_wall.elapsed().as_secs_f64();
+        self.last = stats;
+
+        let mut scored = Vec::with_capacity(scored_parts.iter().map(Vec::len).sum());
+        for part in scored_parts {
+            scored.extend(part);
+        }
+        CandidateSet::from_scored(scored, max_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{index_by_committee, index_single};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const DIM: usize = 8;
+
+    fn views(n_rows: usize, members: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..members)
+            .map(|_| (0..n_rows * DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect()
+    }
+
+    fn emb(data: Vec<f32>) -> ListEmbeddings {
+        ListEmbeddings { dim: DIM, data }
+    }
+
+    #[test]
+    fn first_round_matches_index_by_committee() {
+        let vr = views(40, 3, 1);
+        let vs = views(25, 3, 2);
+        for depth in [0usize, 2] {
+            let mut engine = RetrievalEngine::new(IndexSpec::Flat, 0.0, depth);
+            let got = engine.retrieve_committee(&vr, &vs, DIM, 3, 500);
+            let want = index_by_committee(&vr, &vs, DIM, 3, 500, &IndexSpec::Flat);
+            assert_eq!(got.pairs(), want.pairs(), "depth={depth}");
+            assert_eq!(engine.last_round().rebuilt_members, 3);
+            assert_eq!(engine.last_round().incremental_members, 0);
+        }
+    }
+
+    #[test]
+    fn unchanged_views_take_the_incremental_path_and_stay_exact() {
+        let vr = views(40, 2, 3);
+        let vs = views(25, 2, 4);
+        let mut engine = RetrievalEngine::new(IndexSpec::Flat, 0.0, 2);
+        let first = engine.retrieve_committee(&vr, &vs, DIM, 3, 500);
+        let second = engine.retrieve_committee(&vr, &vs, DIM, 3, 500);
+        assert_eq!(first.pairs(), second.pairs());
+        let st = engine.last_round();
+        assert_eq!(st.incremental_members, 2, "drift 0 must refresh, not rebuild");
+        assert_eq!(st.rebuilt_members, 0);
+        assert_eq!(st.mean_drift, 0.0);
+    }
+
+    #[test]
+    fn drift_above_threshold_rebuilds() {
+        let vr = views(30, 2, 5);
+        let vs = views(20, 2, 6);
+        let mut engine = RetrievalEngine::new(IndexSpec::Flat, 1e-6, 2);
+        engine.retrieve_committee(&vr, &vs, DIM, 3, 500);
+        let moved = views(30, 2, 99); // completely different embeddings
+        let got = engine.retrieve_committee(&moved, &vs, DIM, 3, 500);
+        let st = engine.last_round();
+        assert_eq!(st.rebuilt_members, 2);
+        assert!(st.mean_drift > 1e-6, "drift {} not measured", st.mean_drift);
+        // And the rebuilt state retrieves exactly like a fresh engine.
+        let want = index_by_committee(&moved, &vs, DIM, 3, 500, &IndexSpec::Flat);
+        assert_eq!(got.pairs(), want.pairs());
+    }
+
+    #[test]
+    fn incremental_refresh_with_changed_rows_matches_rebuild_exactly() {
+        // Perturb a few rows and append some: under a permissive
+        // threshold the Flat engine refreshes in place, and the result
+        // must still be bit-identical to a from-scratch committee build.
+        let vr = views(40, 2, 7);
+        let vs = views(25, 2, 8);
+        for spec in [IndexSpec::Flat, IndexSpec::Flat.sharded(3)] {
+            let mut engine = RetrievalEngine::new(spec.clone(), f64::MAX, 2);
+            engine.retrieve_committee(&vr, &vs, DIM, 3, 500);
+            let mut moved = vr.clone();
+            moved[0][3] += 0.25;
+            moved[1][5 * DIM] -= 0.5;
+            for v in &mut moved {
+                v.extend(views(4, 1, 11)[0].iter());
+            }
+            let got = engine.retrieve_committee(&moved, &vs, DIM, 3, 500);
+            assert_eq!(engine.last_round().incremental_members, 2, "{}", spec.name());
+            let want = index_by_committee(&moved, &vs, DIM, 3, 500, &spec);
+            assert_eq!(got.pairs(), want.pairs(), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn scaled_rows_at_zero_threshold_rebuild_not_refresh() {
+        // A purely scaled row has cosine shift exactly 0 but IS bitwise
+        // changed; the strictly-zero default threshold must refuse the
+        // overwrite (an IVF refresh of that row would be silently
+        // inexact) and rebuild instead.
+        let vr = views(30, 1, 40);
+        let vs = views(20, 1, 41);
+        let mut engine = RetrievalEngine::new(IndexSpec::Flat, 0.0, 2);
+        engine.retrieve_committee(&vr, &vs, DIM, 3, 500);
+        let mut scaled = vr.clone();
+        for x in &mut scaled[0][..DIM] {
+            *x *= 2.0;
+        }
+        let got = engine.retrieve_committee(&scaled, &vs, DIM, 3, 500);
+        let st = engine.last_round();
+        assert_eq!(st.rebuilt_members, 1, "scaled row must force a rebuild at threshold 0");
+        assert_eq!(st.incremental_members, 0);
+        assert!(st.mean_drift < 1e-12, "pure scaling is (near-)invisible to the cosine drift");
+        let want = index_by_committee(&scaled, &vs, DIM, 3, 500, &IndexSpec::Flat);
+        assert_eq!(got.pairs(), want.pairs());
+    }
+
+    #[test]
+    fn declining_family_falls_back_to_rebuild() {
+        // HNSW declines in-place refresh; the engine must rebuild (and
+        // still answer correctly) even under a permissive threshold.
+        let spec = IndexSpec::Hnsw(dial_ann::HnswParams::default());
+        let vr = views(40, 1, 12);
+        let vs = views(20, 1, 13);
+        let mut engine = RetrievalEngine::new(spec.clone(), f64::MAX, 2);
+        engine.retrieve_committee(&vr, &vs, DIM, 3, 500);
+        let got = engine.retrieve_committee(&vr, &vs, DIM, 3, 500);
+        assert_eq!(engine.last_round().rebuilt_members, 1);
+        let want = index_by_committee(&vr, &vs, DIM, 3, 500, &spec);
+        assert_eq!(got.pairs(), want.pairs());
+    }
+
+    #[test]
+    fn pipelined_and_sequential_retrieval_are_identical() {
+        let vr = views(60, 4, 14);
+        let vs = views(35, 4, 15);
+        let run = |depth: usize| {
+            let mut engine = RetrievalEngine::new(IndexSpec::Flat, 0.0, depth);
+            let a = engine.retrieve_committee(&vr, &vs, DIM, 4, 800);
+            let b = engine.retrieve_committee(&vr, &vs, DIM, 4, 800);
+            (a, b)
+        };
+        let (seq_a, seq_b) = run(0);
+        for depth in [1usize, 2, 8] {
+            let (pip_a, pip_b) = run(depth);
+            assert_eq!(seq_a.pairs(), pip_a.pairs(), "depth={depth} round 0");
+            assert_eq!(seq_b.pairs(), pip_b.pairs(), "depth={depth} round 1");
+        }
+    }
+
+    #[test]
+    fn single_retrieval_is_persistent_and_matches_index_single() {
+        let er = emb(views(50, 1, 16).remove(0));
+        let es = emb(views(30, 1, 17).remove(0));
+        let mut engine = RetrievalEngine::new(IndexSpec::Flat, 0.0, 2);
+        let got = engine.retrieve_single(&er, &es, 3, 400);
+        let want = index_single(&er, &es, 3, 400, &IndexSpec::Flat);
+        assert_eq!(got.pairs(), want.pairs());
+        // Second round, same trunk: incremental.
+        let again = engine.retrieve_single(&er, &es, 3, 400);
+        assert_eq!(again.pairs(), want.pairs());
+        assert_eq!(engine.last_round().incremental_members, 1);
+    }
+
+    #[test]
+    fn committee_size_change_resets_state() {
+        let mut engine = RetrievalEngine::new(IndexSpec::Flat, f64::MAX, 2);
+        engine.retrieve_committee(&views(20, 3, 18), &views(10, 3, 19), DIM, 2, 100);
+        engine.retrieve_committee(&views(20, 2, 18), &views(10, 2, 19), DIM, 2, 100);
+        assert_eq!(engine.last_round().rebuilt_members, 2);
+        assert_eq!(engine.last_round().incremental_members, 0);
+    }
+
+    #[test]
+    fn mean_cosine_shift_properties() {
+        let a = [1.0f32, 0.0, 0.0, 1.0]; // two 2-d rows
+        assert_eq!(mean_cosine_shift(&a, &a, 2), 0.0);
+        // Pure scaling keeps the angle: shift stays 0.
+        let scaled = [2.0f32, 0.0, 0.0, 3.0];
+        assert!(mean_cosine_shift(&a, &scaled, 2) < 1e-12);
+        // A 90° rotation of one of two rows: mean shift 0.5.
+        let rot = [0.0f32, 1.0, 0.0, 1.0];
+        assert!((mean_cosine_shift(&a, &rot, 2) - 0.5).abs() < 1e-12);
+        // Zero→nonzero counts as a full shift.
+        let z = [0.0f32, 0.0, 0.0, 1.0];
+        assert!((mean_cosine_shift(&z, &a, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(mean_cosine_shift(&[], &[], 2), 0.0);
+    }
+}

@@ -22,6 +22,7 @@ pub mod blocker;
 pub mod candidates;
 pub mod config;
 pub mod encode;
+pub mod engine;
 pub mod eval;
 pub mod matcher;
 pub mod oracle;
@@ -35,6 +36,7 @@ pub use config::{
     SelectionStrategy,
 };
 pub use encode::{encode_list, ListEmbeddings};
+pub use engine::{EngineRoundStats, RetrievalEngine};
 pub use eval::{all_pairs_prf, blocker_recall, test_prf, Prf};
 pub use matcher::{Matcher, MATCHER_PREFIX};
 pub use oracle::Oracle;

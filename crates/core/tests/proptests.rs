@@ -1,6 +1,11 @@
-//! Property-based tests for evaluation metrics and selection invariants.
+//! Property-based tests for evaluation metrics, selection invariants,
+//! and the persistent retrieval engine.
 
-use dial_core::{entropy, select, Candidate, Prf, SelectionInputs, SelectionStrategy};
+use dial_ann::IndexSpec;
+use dial_core::{
+    entropy, index_by_committee, select, Candidate, Prf, RetrievalEngine, SelectionInputs,
+    SelectionStrategy,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -67,5 +72,37 @@ proptest! {
         // No duplicates in the selection.
         let set: HashSet<_> = out.iter().collect();
         prop_assert_eq!(set.len(), out.len());
+    }
+
+    #[test]
+    fn incremental_refresh_at_drift_zero_is_bit_identical_to_rebuild(
+        vr_raw in proptest::collection::vec(-2.0f32..2.0, 2 * 30 * 4),
+        vs_raw in proptest::collection::vec(-2.0f32..2.0, 2 * 18 * 4),
+        k in 1usize..5,
+        depth in 0usize..3,
+        shards in 1usize..4,
+    ) {
+        // The tentpole exactness guarantee: retrieving twice with
+        // unchanged committee views — the second round taking the
+        // incremental refresh path (drift = 0) — must yield a
+        // CandidateSet bit-identical to the from-scratch rebuild, across
+        // pipeline depths and shard counts.
+        let dim = 4;
+        let views_r: Vec<Vec<f32>> = vr_raw.chunks(30 * dim).map(<[f32]>::to_vec).collect();
+        let views_s: Vec<Vec<f32>> = vs_raw.chunks(18 * dim).map(<[f32]>::to_vec).collect();
+        let spec = if shards > 1 { IndexSpec::Flat.sharded(shards) } else { IndexSpec::Flat };
+
+        let mut engine = RetrievalEngine::new(spec.clone(), 0.0, depth);
+        let rebuilt = engine.retrieve_committee(&views_r, &views_s, dim, k, 400);
+        prop_assert_eq!(engine.last_round().incremental_members, 0);
+        let refreshed = engine.retrieve_committee(&views_r, &views_s, dim, k, 400);
+        prop_assert_eq!(
+            engine.last_round().incremental_members, 2,
+            "drift 0 must take the incremental path"
+        );
+        prop_assert_eq!(rebuilt.pairs(), refreshed.pairs());
+        // And both equal the stateless reference implementation.
+        let reference = index_by_committee(&views_r, &views_s, dim, k, 400, &spec);
+        prop_assert_eq!(refreshed.pairs(), reference.pairs());
     }
 }

@@ -1,0 +1,205 @@
+//! Bounded single-producer single-consumer channel for two-stage
+//! pipelines.
+//!
+//! The committee retrieval engine streams freshly built member indexes
+//! from a builder thread to the probing thread through one of these:
+//! member *i*'s shard build overlaps member *i−1*'s `search_batch`
+//! probes, and the bound (the pipeline depth) keeps at most `cap` built
+//! indexes resident beyond the one being probed — build latency is
+//! hidden, peak memory stays bounded.
+//!
+//! Deliberately minimal: blocking `send`/`recv` on a `Mutex` +
+//! `Condvar` ring, close-on-drop from either side, and a draining
+//! iterator on the receiver. Items flow strictly FIFO, so a consumer
+//! that tags work by sequence number sees it in exactly the order the
+//! producer staged it — what makes a pipelined merge deterministic.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    buf: VecDeque<T>,
+    /// True once the opposite side has hung up.
+    sender_gone: bool,
+    receiver_gone: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    cap: usize,
+    /// Signalled when space frees up (senders wait on this).
+    space: Condvar,
+    /// Signalled when an item arrives or the sender hangs up.
+    items: Condvar,
+}
+
+/// Producing half of a bounded SPSC channel; dropping it closes the
+/// channel (the receiver drains what was sent, then sees the end).
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// Consuming half; dropping it makes further `send`s fail fast.
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// Create a bounded FIFO channel holding at most `cap` in-flight items
+/// (`cap` is clamped to at least 1 — a zero-capacity rendezvous would
+/// serialize the two stages and defeat the overlap).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            buf: VecDeque::with_capacity(cap.max(1)),
+            sender_gone: false,
+            receiver_gone: false,
+        }),
+        cap: cap.max(1),
+        space: Condvar::new(),
+        items: Condvar::new(),
+    });
+    (Sender(shared.clone()), Receiver(shared))
+}
+
+impl<T> Sender<T> {
+    /// Block until the buffer has room, then enqueue `item`. Returns
+    /// `Err(item)` if the receiver is gone (the producer should stop
+    /// staging work nobody will consume).
+    pub fn send(&self, item: T) -> Result<(), T> {
+        let mut st = self.0.state.lock().unwrap();
+        while st.buf.len() >= self.0.cap && !st.receiver_gone {
+            st = self.0.space.wait(st).unwrap();
+        }
+        if st.receiver_gone {
+            return Err(item);
+        }
+        st.buf.push_back(item);
+        self.0.items.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap();
+        st.sender_gone = true;
+        self.0.items.notify_all();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until an item is available; `None` once the sender has hung
+    /// up and the buffer is drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.0.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.buf.pop_front() {
+                self.0.space.notify_one();
+                return Some(item);
+            }
+            if st.sender_gone {
+                return None;
+            }
+            st = self.0.items.wait(st).unwrap();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap();
+        st.receiver_gone = true;
+        self.0.space.notify_all();
+    }
+}
+
+impl<T> Iterator for Receiver<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn items_arrive_in_order() {
+        let (tx, rx) = bounded::<u32>(2);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<u32> = rx.collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn capacity_bounds_in_flight_items() {
+        // The producer can run at most `cap` items ahead of the consumer:
+        // after sending i, at most i - (cap + 1) items may still be
+        // unconsumed... observable as: sent - received <= cap + 1 (the +1
+        // is the item the consumer may have popped but not yet counted).
+        let sent = AtomicUsize::new(0);
+        let received = AtomicUsize::new(0);
+        let (tx, rx) = bounded::<usize>(3);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let tx = tx;
+                for i in 0..200 {
+                    tx.send(i).unwrap();
+                    sent.store(i + 1, Ordering::SeqCst);
+                    let lag = (i + 1).saturating_sub(received.load(Ordering::SeqCst));
+                    assert!(lag <= 3 + 1, "producer ran {lag} ahead of a depth-3 pipeline");
+                }
+            });
+            let mut n = 0usize;
+            for i in rx {
+                assert_eq!(i, n);
+                n += 1;
+                received.store(n, Ordering::SeqCst);
+            }
+            assert_eq!(n, 200);
+        });
+    }
+
+    #[test]
+    fn dropped_sender_ends_iteration_after_drain() {
+        let (tx, rx) = bounded::<u32>(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        let got: Vec<u32> = rx.collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn dropped_receiver_fails_send() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(7));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let (tx, rx) = bounded::<u32>(0);
+        tx.send(9).unwrap(); // must not deadlock
+        assert_eq!(rx.recv(), Some(9));
+    }
+
+    #[test]
+    fn non_send_sync_payloads_move_through() {
+        let (tx, rx) = bounded::<Box<String>>(2);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..10 {
+                    tx.send(Box::new(format!("v{i}"))).unwrap();
+                }
+            });
+            let got: Vec<Box<String>> = rx.collect();
+            assert_eq!(got.len(), 10);
+            assert_eq!(*got[3], "v3");
+        });
+    }
+}

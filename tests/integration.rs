@@ -171,6 +171,85 @@ fn sharded_flat_run_matches_unsharded_flat_run() {
 }
 
 #[test]
+fn pipelined_committee_run_matches_sequential_run() {
+    // The build/probe pipeline only changes *when* member indexes are
+    // built relative to the previous member's probes, never what they
+    // retrieve: every round metric of a pipelined run must equal the
+    // strictly sequential (depth 0) run bit for bit, for both committee
+    // strategies and a sharded backend.
+    let data = Benchmark::AmazonGoogle.generate(ScaleProfile::Smoke, 7);
+    let run = |depth: usize, blocking: BlockingStrategy, shards: usize| {
+        let cfg =
+            DialConfig { pipeline_depth: depth, blocking, index_shards: shards, ..smoke_cfg() };
+        DialSystem::new(cfg).run(&data, None)
+    };
+    for (blocking, shards) in [
+        (BlockingStrategy::Dial, 1),
+        (BlockingStrategy::Dial, 3),
+        (BlockingStrategy::SentenceBert, 1),
+    ] {
+        let seq = run(0, blocking, shards);
+        let pip = run(2, blocking, shards);
+        for (a, b) in seq.rounds.iter().zip(&pip.rounds) {
+            assert_eq!(a.cand_size, b.cand_size, "{blocking:?}@{shards} round {}", a.round);
+            assert_eq!(a.blocker_recall, b.blocker_recall, "{blocking:?}@{shards}");
+            assert_eq!(a.all_pairs.f1, b.all_pairs.f1, "{blocking:?}@{shards}");
+            assert_eq!(a.test.f1, b.test.f1, "{blocking:?}@{shards}");
+        }
+    }
+}
+
+#[test]
+fn permissive_incremental_threshold_preserves_flat_runs_exactly() {
+    // With the exact Flat backend the incremental refresh path is
+    // bitwise a rebuild, so even a threshold that admits *every* drift
+    // must leave the whole AL trajectory unchanged — while actually
+    // exercising the refresh (PairedAdapt re-encodes each round; the
+    // appended-rows/overwrite path runs for real).
+    let data = Benchmark::DblpScholar.generate(ScaleProfile::Smoke, 8);
+    for blocking in [BlockingStrategy::PairedAdapt, BlockingStrategy::Dial] {
+        let run = |threshold: f64| {
+            let cfg = DialConfig { incremental_threshold: threshold, blocking, ..smoke_cfg() };
+            DialSystem::new(cfg).run(&data, None)
+        };
+        let rebuild_always = run(0.0);
+        let refresh_always = run(f64::MAX);
+        let mut refreshed_rounds = 0usize;
+        for (a, b) in rebuild_always.rounds.iter().zip(&refresh_always.rounds) {
+            assert_eq!(a.cand_size, b.cand_size, "{blocking:?} round {}", a.round);
+            assert_eq!(a.blocker_recall, b.blocker_recall, "{blocking:?}");
+            assert_eq!(a.all_pairs.f1, b.all_pairs.f1, "{blocking:?}");
+            refreshed_rounds += b.timings.incremental_members;
+        }
+        // Round 0 builds from scratch; every later round must have taken
+        // the incremental path under the permissive threshold.
+        assert!(refreshed_rounds > 0, "{blocking:?}: refresh path never engaged");
+        assert_eq!(rebuild_always.rounds[0].timings.incremental_members, 0);
+    }
+}
+
+#[test]
+fn auto_backend_resolves_to_flat_at_smoke_scale() {
+    // Below the 50k-row ceiling `auto` must behave exactly like `flat`
+    // end to end, and the engine-timed build/probe split is recorded.
+    let data = Benchmark::AbtBuy.generate(ScaleProfile::Smoke, 9);
+    let run = |backend: IndexBackend| {
+        let cfg = DialConfig { index_backend: backend, ..smoke_cfg() };
+        DialSystem::new(cfg).run(&data, None)
+    };
+    let auto = run(IndexBackend::Auto);
+    let flat = run(IndexBackend::Flat);
+    for (a, b) in auto.rounds.iter().zip(&flat.rounds) {
+        assert_eq!(a.cand_size, b.cand_size);
+        assert_eq!(a.blocker_recall, b.blocker_recall);
+        assert_eq!(a.all_pairs.f1, b.all_pairs.f1);
+    }
+    let t = &auto.rounds[0].timings;
+    assert!(t.index_build > 0.0, "engine build time not recorded");
+    assert!(t.index_probe > 0.0, "engine probe time not recorded");
+}
+
+#[test]
 fn baselines_run_on_the_same_data() {
     let data = Benchmark::DblpAcm.generate(ScaleProfile::Smoke, 1);
     let blocked = rule_candidates(&data, dial::datasets::RuleKind::Citation);
