@@ -70,6 +70,47 @@ pub trait AnnIndex: Send + Sync {
         false
     }
 
+    /// Whether [`AnnIndex::refresh`] would be applied in place by this
+    /// index — the acceptance probe composite families consult *before*
+    /// mutating any child, so a declining member can never leave its
+    /// siblings half-updated. Must be consistent with `refresh`: an index
+    /// answering `false` here declines every actual in-place update (the
+    /// no-op "nothing changed, nothing appended" refresh is still
+    /// honoured by composites without consulting children). The default
+    /// mirrors the default `refresh`.
+    fn can_refresh(&self) -> bool {
+        false
+    }
+
+    /// The IVF probe-width tuning knob, when this index is IVF-backed
+    /// (directly, or every shard of a composite): `(max, current)` where
+    /// `max` is the largest meaningful `nprobe` (the smallest per-shard
+    /// `nlist`) and `current` is the width probes run at now. `None` for
+    /// families without an `nprobe` trade-off — the auto-tuner skips
+    /// them.
+    fn nprobe_knob(&self) -> Option<(usize, usize)> {
+        None
+    }
+
+    /// Set the IVF probe width ([`nprobe_knob`](AnnIndex::nprobe_knob)),
+    /// clamped to the valid range. Returns `false` — and changes nothing
+    /// — when the index has no knob; composites refuse unless *every*
+    /// child has one, so a partial retune is impossible.
+    fn set_nprobe(&mut self, nprobe: usize) -> bool {
+        let _ = nprobe;
+        false
+    }
+
+    /// Monotone counter of trained-structure replacements: bumped every
+    /// time the index retrains its coarse structure in place (e.g. the
+    /// IVF growth-triggered quantizer retrain). Composites report the
+    /// sum over children. A change in this value tells callers that any
+    /// recall measured against the old structure is stale — even when
+    /// parameters like `nlist` came out identical.
+    fn train_generation(&self) -> u64 {
+        0
+    }
+
     /// Top-`k` nearest neighbours of one query.
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit>;
 
@@ -94,6 +135,9 @@ impl AnnIndex for FlatIndex {
     fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
         FlatIndex::refresh(self, data, changed)
     }
+    fn can_refresh(&self) -> bool {
+        true
+    }
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         FlatIndex::search(self, query, k)
     }
@@ -117,6 +161,20 @@ impl AnnIndex for IvfFlatIndex {
     }
     fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
         IvfFlatIndex::refresh(self, data, changed)
+    }
+    fn can_refresh(&self) -> bool {
+        true
+    }
+    fn nprobe_knob(&self) -> Option<(usize, usize)> {
+        let p = self.params();
+        Some((p.nlist, p.nprobe))
+    }
+    fn set_nprobe(&mut self, nprobe: usize) -> bool {
+        IvfFlatIndex::set_nprobe(self, nprobe);
+        true
+    }
+    fn train_generation(&self) -> u64 {
+        IvfFlatIndex::train_generation(self)
     }
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         IvfFlatIndex::search(self, query, k)
@@ -227,6 +285,33 @@ impl IndexSpec {
             IndexSpec::Pq(_) => "pq",
             IndexSpec::Hnsw(_) => "hnsw",
             IndexSpec::Sharded { .. } => "sharded",
+        }
+    }
+
+    /// The IVF parameters this spec builds with, when it is IVF-backed —
+    /// directly or through any depth of [`IndexSpec::Sharded`] wrapping.
+    /// `None` for every other family: those have no `nprobe` knob for
+    /// the auto-tuner to turn.
+    pub fn ivf_params(&self) -> Option<&IvfParams> {
+        match self {
+            IndexSpec::IvfFlat(p) => Some(p),
+            IndexSpec::Sharded { inner, .. } => inner.ivf_params(),
+            _ => None,
+        }
+    }
+
+    /// Rewrite the `nprobe` an IVF-backed spec builds with (clamped to
+    /// `1..=nlist`), so every index built from it afterwards probes at
+    /// the tuned width. Returns `false` — and changes nothing — for
+    /// specs without an IVF core.
+    pub fn set_ivf_nprobe(&mut self, nprobe: usize) -> bool {
+        match self {
+            IndexSpec::IvfFlat(p) => {
+                p.nprobe = nprobe.min(p.nlist).max(1);
+                true
+            }
+            IndexSpec::Sharded { inner, .. } => inner.set_ivf_nprobe(nprobe),
+            _ => false,
         }
     }
 

@@ -58,15 +58,38 @@ pub struct IvfFlatIndex {
     /// [`IvfFlatIndex::overwrite`] move a row between lists without
     /// scanning every posting list for its id.
     row_list: Vec<u32>,
+    /// `nlist`/`nprobe` as requested at build time, *before* the
+    /// row-count clamp. Growth-triggered retraining re-derives the
+    /// effective parameters from these, so an index built over a small
+    /// seed pool recovers its full list count once the data warrants it.
+    requested_nlist: usize,
+    requested_nprobe: usize,
+    /// Row count the coarse quantizer was last trained on.
+    trained_rows: usize,
+    /// Times the quantizer was retrained after build (the
+    /// [`AnnIndex::train_generation`](crate::AnnIndex) counter).
+    generation: u64,
 }
+
+/// Growth factor that triggers coarse-quantizer retraining: when
+/// [`IvfFlatIndex::add_batch`] (or a `refresh` that appends through it)
+/// grows the index to at least this multiple of the row count the
+/// quantizer was last trained on, the quantizer and posting lists are
+/// rebuilt from the current rows. Without it, `params.nlist = nlist.min(n)`
+/// clamped at build time would freeze a tiny list count forever while the
+/// index grows 100×, silently degrading both probe speed and the
+/// auto-tuner's `nprobe` range.
+pub const RETRAIN_GROWTH: usize = 4;
 
 impl IvfFlatIndex {
     /// Train the coarse quantizer on `data` and build the inverted lists.
-    /// `nlist` is clamped to the number of vectors.
+    /// `nlist` is clamped to the number of vectors (and un-clamped again
+    /// by growth-triggered retraining, see [`RETRAIN_GROWTH`]).
     pub fn build(data: &[f32], dim: usize, metric: Metric, mut params: IvfParams) -> Self {
         assert!(dim > 0 && data.len().is_multiple_of(dim), "bad packed data");
         let n = data.len() / dim;
         assert!(n > 0, "cannot build an IVF index over zero vectors");
+        let (requested_nlist, requested_nprobe) = (params.nlist.max(1), params.nprobe.max(1));
         params.nlist = params.nlist.min(n).max(1);
         params.nprobe = params.nprobe.min(params.nlist).max(1);
 
@@ -87,7 +110,18 @@ impl IvfFlatIndex {
             data: data.to_vec(),
             row_norms,
             row_list,
+            requested_nlist,
+            requested_nprobe,
+            trained_rows: n,
+            generation: 0,
         }
+    }
+
+    /// How many times the coarse quantizer has been retrained since
+    /// build; lets callers detect a [`IvfFlatIndex::retrain`] that kept
+    /// every parameter numerically identical.
+    pub fn train_generation(&self) -> u64 {
+        self.generation
     }
 
     pub fn dim(&self) -> usize {
@@ -152,6 +186,41 @@ impl IvfFlatIndex {
                 self.row_norms.push(kernels::metric_norm(self.metric, row));
             }
         }
+        // Batch growth (the engine's streaming path) checks the retrain
+        // trigger once per batch; per-row `add` stays assignment-only so
+        // `add_batch` == repeated `add` holds below the growth threshold.
+        if self.len() >= self.trained_rows.saturating_mul(RETRAIN_GROWTH) {
+            self.retrain();
+        }
+    }
+
+    /// Retrain the coarse quantizer on the *current* rows and rebuild
+    /// every posting list, re-deriving `nlist`/`nprobe` from the
+    /// build-time request (un-clamping them if the index has outgrown
+    /// the seed pool it was built over). This is exactly the computation
+    /// [`IvfFlatIndex::build`] runs over the same rows with the same
+    /// seed, so a grown-then-retrained index is bitwise a fresh build —
+    /// `add_batch` invokes it automatically at [`RETRAIN_GROWTH`]×
+    /// growth; callers doing fine-grained per-row [`IvfFlatIndex::add`]
+    /// streams can invoke it manually.
+    pub fn retrain(&mut self) {
+        let n = self.len();
+        if n == 0 {
+            return;
+        }
+        self.params.nlist = self.requested_nlist.min(n).max(1);
+        self.params.nprobe = self.requested_nprobe.min(self.params.nlist).max(1);
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        self.quantizer =
+            kmeans(&self.data, self.dim, self.params.nlist, self.params.train_iters, &mut rng);
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); self.params.nlist];
+        for (i, &a) in self.quantizer.assignments.iter().enumerate() {
+            lists[a as usize].push(i as u32);
+        }
+        self.lists = lists;
+        self.row_list = self.quantizer.assignments.clone();
+        self.trained_rows = n;
+        self.generation += 1;
     }
 
     /// Overwrite the stored vector `id` in place: the row moves to the
@@ -203,8 +272,11 @@ impl IvfFlatIndex {
         true
     }
 
-    /// Override `nprobe` after build.
+    /// Override `nprobe` after build (the auto-tuner's knob). The value
+    /// becomes the new request, so a later growth-triggered retrain
+    /// keeps the tuned width instead of reverting to the build-time one.
     pub fn set_nprobe(&mut self, nprobe: usize) {
+        self.requested_nprobe = nprobe.max(1);
         self.params.nprobe = nprobe.min(self.params.nlist).max(1);
     }
 
@@ -338,6 +410,65 @@ mod tests {
         assert_eq!(batched.row_norms, one_by_one.row_norms);
         let q = &extra[0..dim];
         assert_eq!(batched.search(q, 7), one_by_one.search(q, 7));
+    }
+
+    #[test]
+    fn grown_index_retrains_quantizer_and_matches_fresh_build() {
+        // Regression: `params.nlist = nlist.min(n)` used to be frozen at
+        // the build-time row count, so an index built over a small seed
+        // pool kept a tiny nlist while add_batch grew it far past it.
+        let dim = 8;
+        let seed_pool = random_data(20, dim, 21);
+        let grown = random_data(380, dim, 22);
+        let params = IvfParams { nlist: 64, nprobe: 8, ..Default::default() };
+        let mut ix = IvfFlatIndex::build(&seed_pool, dim, Metric::L2, params);
+        assert_eq!(ix.params().nlist, 20, "build clamps nlist to the seed pool");
+        ix.add_batch(&grown);
+        // 400 rows >= RETRAIN_GROWTH x 20: the quantizer retrains and
+        // recovers the requested nlist (and the nprobe clamped under it).
+        assert_eq!(ix.params().nlist, 64);
+        assert_eq!(ix.params().nprobe, 8);
+        // Retraining is the build computation over the same rows and
+        // seed, so the grown index matches a fresh build bitwise.
+        let mut all = seed_pool.clone();
+        all.extend_from_slice(&grown);
+        let fresh = IvfFlatIndex::build(&all, dim, Metric::L2, params);
+        assert_eq!(ix.params(), fresh.params());
+        for qi in [0usize, 25, 399] {
+            let q = &all[qi * dim..(qi + 1) * dim];
+            assert_eq!(ix.search(q, 7), fresh.search(q, 7), "qi={qi}");
+        }
+    }
+
+    #[test]
+    fn refresh_that_grows_past_threshold_retrains() {
+        let dim = 4;
+        let seed_pool = random_data(10, dim, 31);
+        let params = IvfParams { nlist: 32, nprobe: 32, ..Default::default() };
+        let mut ix = IvfFlatIndex::build(&seed_pool, dim, Metric::L2, params);
+        assert_eq!(ix.params().nlist, 10);
+        let mut new = seed_pool.clone();
+        new.extend_from_slice(&random_data(90, dim, 32));
+        assert!(ix.refresh(&new, &[]));
+        assert_eq!(ix.params().nlist, 32, "append-heavy refresh must retrain");
+        let fresh = IvfFlatIndex::build(&new, dim, Metric::L2, params);
+        assert_eq!(ix.search(&new[0..dim], 5), fresh.search(&new[0..dim], 5));
+    }
+
+    #[test]
+    fn tuned_nprobe_survives_growth_retrain() {
+        let dim = 4;
+        let mut ix = IvfFlatIndex::build(
+            &random_data(20, dim, 33),
+            dim,
+            Metric::L2,
+            IvfParams { nlist: 16, nprobe: 2, ..Default::default() },
+        );
+        ix.set_nprobe(12);
+        assert_eq!(ix.params().nprobe, 12);
+        ix.add_batch(&random_data(100, dim, 34));
+        assert_eq!(ix.params().nlist, 16);
+        assert_eq!(ix.params().nprobe, 12, "retrain must keep the tuned width");
     }
 
     #[test]

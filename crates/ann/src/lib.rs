@@ -47,7 +47,7 @@ pub mod topk;
 pub use flat::FlatIndex;
 pub use hnsw::{HnswIndex, HnswParams};
 pub use index::{AnnIndex, IndexSpec, PqParams};
-pub use ivf::{IvfFlatIndex, IvfParams};
+pub use ivf::{IvfFlatIndex, IvfParams, RETRAIN_GROWTH};
 pub use kernels::{cosine_batch, sq_l2_batch};
 pub use kmeans::{kmeans, kmeans_pp_seed, KMeans};
 pub use metric::{normalize, sq_l2, Metric};

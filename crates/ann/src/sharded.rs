@@ -127,12 +127,51 @@ impl ShardedIndex {
         queries.par_chunks(self.dim).map(|q| self.search_one(q, k)).collect()
     }
 
+    /// Whether every child would apply an in-place refresh — probed
+    /// *before* [`ShardedIndex::refresh`] mutates anything, so a single
+    /// declining child (say, an HNSW shard next to the empty-built flat
+    /// shard of a tiny corpus) can no longer leave its siblings
+    /// half-updated behind a `false` return.
+    pub fn can_refresh(&self) -> bool {
+        self.children.iter().all(|c| c.can_refresh())
+    }
+
+    /// The composite IVF probe-width knob: `Some` only when *every*
+    /// child exposes one, reporting the smallest per-shard `nlist` as
+    /// the ceiling (a shard cannot scan more lists than it has) and the
+    /// first child's current width.
+    pub fn nprobe_knob(&self) -> Option<(usize, usize)> {
+        let mut ceiling = usize::MAX;
+        let mut current = None;
+        for child in &self.children {
+            let (c_max, c_cur) = child.nprobe_knob()?;
+            ceiling = ceiling.min(c_max);
+            current.get_or_insert(c_cur);
+        }
+        current.map(|cur| (ceiling, cur))
+    }
+
+    /// Route a probe-width override to every shard; refused (and nothing
+    /// changed) unless all children carry the knob, so the shards can
+    /// never end up probing at mixed widths.
+    pub fn set_nprobe(&mut self, nprobe: usize) -> bool {
+        if self.nprobe_knob().is_none() {
+            return false;
+        }
+        for child in &mut self.children {
+            child.set_nprobe(nprobe);
+        }
+        true
+    }
+
     /// Incremental update to match `data` (the full new packed row set,
     /// in *global* row order): each changed global id is routed to its
     /// shard as a local overwrite, appended rows continue the round-robin.
-    /// Returns `false` — leaving the composite partially updated, to be
-    /// discarded and rebuilt by the caller per the [`AnnIndex::refresh`]
-    /// contract — if any child family cannot refresh in place.
+    /// Returns `false` — with **no child touched** (acceptance is probed
+    /// via [`AnnIndex::can_refresh`] before any mutation) — if any child
+    /// family cannot refresh in place; the caller rebuilds per the
+    /// [`AnnIndex::refresh`] contract, but a composite that declined is
+    /// still consistent with its pre-refresh rows.
     pub fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
         crate::metric::assert_packed(data.len(), self.dim);
         let shards = self.children.len();
@@ -157,6 +196,15 @@ impl ShardedIndex {
             // cost O(n·dim) (nor consult children that would decline an
             // actual in-place update).
             return true;
+        }
+        if !self.can_refresh() {
+            // Decline *before* mutating: with mixed acceptance across
+            // children (an empty-built flat shard accepts appends while
+            // its HNSW siblings decline), refreshing first and reporting
+            // failure after would leave the composite partially updated
+            // — the decline-by-default contract tells callers to discard
+            // such an index, but nothing used to enforce it.
+            return false;
         }
         // Materialize the fresh-build per-shard view of `data` only for
         // shards with work — untouched children keep their rows and are
@@ -231,6 +279,18 @@ impl AnnIndex for ShardedIndex {
     }
     fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
         ShardedIndex::refresh(self, data, changed)
+    }
+    fn can_refresh(&self) -> bool {
+        ShardedIndex::can_refresh(self)
+    }
+    fn nprobe_knob(&self) -> Option<(usize, usize)> {
+        ShardedIndex::nprobe_knob(self)
+    }
+    fn set_nprobe(&mut self, nprobe: usize) -> bool {
+        ShardedIndex::set_nprobe(self, nprobe)
+    }
+    fn train_generation(&self) -> u64 {
+        self.children.iter().map(|c| c.train_generation()).sum()
     }
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         ShardedIndex::search(self, query, k)
@@ -340,6 +400,72 @@ mod tests {
             assert_eq!(hits[0].id, g);
             assert_eq!(hits[0].distance, 0.0);
         }
+    }
+
+    #[test]
+    fn declined_refresh_leaves_composite_untouched() {
+        // Regression: hnsw@4 over 3 rows leaves shard 3 an empty-built
+        // exact child that *would* accept appended rows while the HNSW
+        // shards decline. Pre-fix, refresh appended into shard 3 first
+        // and only then returned false — a partially mutated composite.
+        let dim = 4;
+        let base = random_data(3, dim, 11);
+        let spec = IndexSpec::Hnsw(crate::hnsw::HnswParams::default());
+        let mut ix = ShardedIndex::build(&spec, 4, &base, dim, Metric::L2);
+        assert_eq!(ix.len(), 3);
+        assert!(!ix.can_refresh(), "HNSW children must report no in-place refresh");
+        let before = ix.search(&base[0..dim], 3);
+        let mut new = base.clone();
+        new.extend_from_slice(&random_data(2, dim, 12));
+        assert!(!ix.refresh(&new, &[]), "a declining child must decline the composite");
+        assert_eq!(ix.len(), 3, "declined refresh must not mutate any child");
+        assert_eq!(ix.search(&base[0..dim], 3), before);
+    }
+
+    #[test]
+    fn nested_sharded_decline_does_not_mutate() {
+        // A sharded inner that declines: sharded(hnsw)@2 children inside
+        // an outer 2-way composite. The decline must propagate up with
+        // both levels untouched.
+        let dim = 3;
+        let base = random_data(5, dim, 13);
+        let inner = IndexSpec::Hnsw(crate::hnsw::HnswParams::default()).sharded(2);
+        let mut ix = ShardedIndex::build(&inner, 2, &base, dim, Metric::L2);
+        let before = ix.search(&base[0..dim], 4);
+        let mut new = base.clone();
+        new.extend_from_slice(&random_data(3, dim, 14));
+        assert!(!ix.refresh(&new, &[]));
+        assert_eq!(ix.len(), 5);
+        assert_eq!(ix.search(&base[0..dim], 4), before);
+    }
+
+    #[test]
+    fn noop_refresh_stays_accepted_for_declining_families() {
+        // The drift-0 "nothing changed, nothing appended" round must
+        // keep returning true without consulting children — the engine's
+        // steady-state reuse path covers every family.
+        let dim = 4;
+        let base = random_data(10, dim, 15);
+        let spec = IndexSpec::Hnsw(crate::hnsw::HnswParams::default());
+        let mut ix = ShardedIndex::build(&spec, 2, &base, dim, Metric::L2);
+        assert!(ix.refresh(&base, &[]));
+        assert_eq!(ix.len(), 10);
+    }
+
+    #[test]
+    fn nprobe_knob_routes_to_every_shard() {
+        use crate::ivf::IvfParams;
+        let dim = 4;
+        let data = random_data(90, dim, 16);
+        let ivf = IndexSpec::IvfFlat(IvfParams { nlist: 8, nprobe: 2, ..Default::default() });
+        let mut ix = ShardedIndex::build(&ivf, 3, &data, dim, Metric::L2);
+        assert_eq!(ix.nprobe_knob(), Some((8, 2)));
+        assert!(ix.set_nprobe(5));
+        assert_eq!(ix.nprobe_knob(), Some((8, 5)));
+        // Flat shards carry no knob: the composite refuses untouched.
+        let mut flat = ShardedIndex::build(&IndexSpec::Flat, 3, &data, dim, Metric::L2);
+        assert_eq!(flat.nprobe_knob(), None);
+        assert!(!flat.set_nprobe(5));
     }
 
     #[test]

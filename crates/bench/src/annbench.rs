@@ -23,8 +23,8 @@
 //! (`REPRO_SCALE=smoke` bounds it the same way).
 
 use crate::report::{json_f64, json_obj, json_str, print_table, ToJson};
-use dial_ann::{FlatIndex, Hit, HnswParams, IndexSpec, IvfParams, Metric, PqParams};
-use dial_core::RetrievalEngine;
+use dial_ann::{FlatIndex, HnswParams, IndexSpec, IvfParams, Metric, PqParams};
+use dial_core::{recall_at_k, IndexBackend, RetrievalEngine, TuneConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -88,8 +88,48 @@ pub struct PipelineRow {
     pub identical: bool,
 }
 
+/// One `(label, nprobe)` point of the auto-tuner comparison: the
+/// calibration sweep's steps plus the `static` (untuned heuristic
+/// default) and `tuned` (chosen) configurations measured head to head.
+#[derive(Debug, Clone)]
+pub struct TuningRow {
+    /// `step`, `static`, or `tuned`.
+    pub case: String,
+    pub nprobe: usize,
+    pub recall: f64,
+    pub ns_per_query: f64,
+}
+
+/// The observed-metrics auto-tuner run on a clustered IVF workload: the
+/// engine's calibration record plus a head-to-head measurement of the
+/// tuned configuration against the static `auto` IVF default.
+#[derive(Debug, Clone)]
+pub struct TuningReport {
+    pub n: usize,
+    pub dim: usize,
+    pub k: usize,
+    pub sample: usize,
+    pub nlist: usize,
+    pub shards: usize,
+    pub static_nprobe: usize,
+    pub chosen_nprobe: usize,
+    /// Head-to-head on the full query set (same built index, widths
+    /// switched through the knob): the static heuristic's width…
+    pub static_recall: f64,
+    pub static_ns_per_query: f64,
+    /// …and the tuned one.
+    pub tuned_recall: f64,
+    pub tuned_ns_per_query: f64,
+    /// Build cost of the measured index and wall-clock of the whole
+    /// calibration stage — the budget `assert_no_regression` bounds.
+    pub build_ms: f64,
+    pub calibrate_ms: f64,
+    pub steps: Vec<TuningRow>,
+}
+
 /// The full sweep: probe kernels, incremental rounds, pipeline overlap,
-/// plus the worker-thread count they all ran under.
+/// the auto-tuner comparison, plus the worker-thread count they all ran
+/// under.
 #[derive(Debug, Clone)]
 pub struct AnnBenchReport {
     /// `RAYON_NUM_THREADS`-pinnable worker count the sweep ran with.
@@ -97,6 +137,7 @@ pub struct AnnBenchReport {
     pub probe: Vec<AnnBenchRow>,
     pub incremental: Vec<IncrementalRow>,
     pub pipeline: Vec<PipelineRow>,
+    pub tuning: Option<TuningReport>,
 }
 
 impl ToJson for AnnBenchRow {
@@ -147,6 +188,40 @@ impl ToJson for PipelineRow {
     }
 }
 
+impl ToJson for TuningRow {
+    fn to_json(&self) -> String {
+        json_obj(&[
+            ("case", json_str(&self.case)),
+            ("nprobe", self.nprobe.to_string()),
+            ("recall", json_f64(self.recall)),
+            ("ns_per_query", json_f64(self.ns_per_query)),
+        ])
+    }
+}
+
+impl ToJson for TuningReport {
+    fn to_json(&self) -> String {
+        let steps: Vec<String> = self.steps.iter().map(ToJson::to_json).collect();
+        json_obj(&[
+            ("n", self.n.to_string()),
+            ("dim", self.dim.to_string()),
+            ("k", self.k.to_string()),
+            ("sample", self.sample.to_string()),
+            ("nlist", self.nlist.to_string()),
+            ("shards", self.shards.to_string()),
+            ("static_nprobe", self.static_nprobe.to_string()),
+            ("chosen_nprobe", self.chosen_nprobe.to_string()),
+            ("static_recall", json_f64(self.static_recall)),
+            ("static_ns_per_query", json_f64(self.static_ns_per_query)),
+            ("tuned_recall", json_f64(self.tuned_recall)),
+            ("tuned_ns_per_query", json_f64(self.tuned_ns_per_query)),
+            ("build_ms", json_f64(self.build_ms)),
+            ("calibrate_ms", json_f64(self.calibrate_ms)),
+            ("steps", format!("[{}]", steps.join(","))),
+        ])
+    }
+}
+
 impl ToJson for AnnBenchReport {
     fn to_json(&self) -> String {
         let arr = |rows: Vec<String>| format!("[\n  {}\n ]", rows.join(",\n  "));
@@ -155,6 +230,7 @@ impl ToJson for AnnBenchReport {
             ("probe", arr(self.probe.iter().map(ToJson::to_json).collect())),
             ("incremental", arr(self.incremental.iter().map(ToJson::to_json).collect())),
             ("pipeline", arr(self.pipeline.iter().map(ToJson::to_json).collect())),
+            ("tuning", self.tuning.as_ref().map_or("null".into(), ToJson::to_json)),
         ])
     }
 }
@@ -178,17 +254,6 @@ fn time_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, last.expect("reps >= 1"))
 }
 
-fn recall_at_k(hits: &[Vec<Hit>], truth: &[Vec<Hit>], k: usize) -> f64 {
-    let mut overlap = 0usize;
-    let mut total = 0usize;
-    for (h, t) in hits.iter().zip(truth) {
-        let t_ids: std::collections::HashSet<u32> = t.iter().map(|x| x.id).collect();
-        overlap += h.iter().filter(|x| t_ids.contains(&x.id)).count();
-        total += k.min(t.len());
-    }
-    overlap as f64 / total.max(1) as f64
-}
-
 /// Run every sweep. `smoke` bounds corpus size and repetitions for CI.
 pub fn run(smoke: bool) -> AnnBenchReport {
     AnnBenchReport {
@@ -196,6 +261,7 @@ pub fn run(smoke: bool) -> AnnBenchReport {
         probe: run_probe(smoke),
         incremental: run_incremental(smoke),
         pipeline: run_pipeline(smoke),
+        tuning: Some(run_tuning(smoke)),
     }
 }
 
@@ -317,6 +383,126 @@ fn run_incremental(smoke: bool) -> Vec<IncrementalRow> {
     rows
 }
 
+/// Clustered corpus + probes for the tuner workload: `n` corpus points
+/// and `nq` probes drawn around the *same* `clusters` tight blobs — the
+/// shape trained committee embeddings take (list `S` sits near list `R`
+/// in embedding space), and the regime where the static
+/// `nprobe = nlist/8` guess over-scans: a probe's true neighbours live
+/// in the one or two cells covering its own blob.
+fn clustered(n: usize, nq: usize, dim: usize, clusters: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<f32> = (0..clusters * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let points = |count: usize, rng: &mut StdRng| -> Vec<f32> {
+        (0..count)
+            .flat_map(|i| {
+                let c = i % clusters;
+                centers[c * dim..(c + 1) * dim]
+                    .iter()
+                    .map(|&x| x + rng.gen_range(-0.005f32..0.005))
+                    .collect::<Vec<f32>>()
+            })
+            .collect()
+    };
+    let base = points(n, &mut rng);
+    let queries = points(nq, &mut rng);
+    (base, queries)
+}
+
+/// The observed-metrics auto-tuner on the acceptance workload: calibrate
+/// an IVF index sized exactly as the static `auto` heuristic's IVF arm
+/// would size it (`nlist = √n`, `nprobe = nlist/8`), then measure the
+/// tuned width head-to-head against that static default on one built
+/// index. The choice itself comes from the engine's calibration stage —
+/// the same code path `--auto-tune` runs in the AL loop.
+fn run_tuning(smoke: bool) -> TuningReport {
+    // More blobs than inverted lists: cells then hold whole blobs (a
+    // tight blob is never carved up between centroids), so a probe's
+    // true neighbours concentrate in its own cell — exactly the regime
+    // where the static `nlist/8` width over-scans.
+    let (n, dim, nq, k, clusters, reps) =
+        if smoke { (2_000, 64, 128, 10, 88, 3) } else { (10_000, 128, 256, 10, 200, 5) };
+    let (base, queries) = clustered(n, nq, dim, clusters, 40);
+
+    // The static auto default, mirroring IndexBackend::resolve's IVF arm
+    // at this row count.
+    let nlist = (n as f64).sqrt() as usize;
+    let static_nprobe = (nlist / 8).max(1);
+    let shards = IndexBackend::auto_shards(n, rayon::current_num_threads());
+    let ivf = IndexSpec::IvfFlat(IvfParams { nlist, nprobe: static_nprobe, ..Default::default() });
+    let spec = if shards > 1 { ivf.clone().sharded(shards) } else { ivf };
+
+    // Calibrate through the engine — the exact `--auto-tune` code path.
+    let mut engine = RetrievalEngine::with_tuning(
+        spec.clone(),
+        0.0,
+        0,
+        TuneConfig { sample: nq, ..TuneConfig::default() },
+    );
+    engine.retrieve_committee(
+        std::slice::from_ref(&base),
+        std::slice::from_ref(&queries),
+        dim,
+        k,
+        usize::MAX,
+    );
+    let outcome = engine.last_tuning().expect("an IVF spec must calibrate").clone();
+
+    // Head-to-head: one built index, widths switched through the knob,
+    // recall against the exact flat ground truth.
+    let mut flat = FlatIndex::new(dim, Metric::L2);
+    flat.add_batch(&base);
+    let truth = flat.search_batch(&queries, k);
+    let (build_ns, mut ix) = time_ns(1, || spec.build(&base, dim, Metric::L2));
+    let mut measure = |nprobe: usize| {
+        ix.set_nprobe(nprobe);
+        let (ns, hits) = time_ns(reps, || ix.search_batch(&queries, k));
+        (recall_at_k(&hits, &truth, k), ns / nq as f64)
+    };
+    let (static_recall, static_nsq) = measure(static_nprobe);
+    let (tuned_recall, tuned_nsq) = measure(outcome.chosen_nprobe);
+
+    let mut steps: Vec<TuningRow> = outcome
+        .steps
+        .iter()
+        .map(|s| TuningRow {
+            case: "step".into(),
+            nprobe: s.nprobe,
+            recall: s.recall,
+            ns_per_query: s.probe_ns_per_query,
+        })
+        .collect();
+    steps.push(TuningRow {
+        case: "static".into(),
+        nprobe: static_nprobe,
+        recall: static_recall,
+        ns_per_query: static_nsq,
+    });
+    steps.push(TuningRow {
+        case: "tuned".into(),
+        nprobe: outcome.chosen_nprobe,
+        recall: tuned_recall,
+        ns_per_query: tuned_nsq,
+    });
+
+    TuningReport {
+        n,
+        dim,
+        k,
+        sample: outcome.sample,
+        nlist: outcome.nlist,
+        shards: outcome.shards,
+        static_nprobe,
+        chosen_nprobe: outcome.chosen_nprobe,
+        static_recall,
+        static_ns_per_query: static_nsq,
+        tuned_recall,
+        tuned_ns_per_query: tuned_nsq,
+        build_ms: build_ns / 1e6,
+        calibrate_ms: outcome.calibrate_secs * 1e3,
+        steps,
+    }
+}
+
 /// Committee build/probe overlap: a synthetic 3-member committee run
 /// through [`RetrievalEngine`] sequentially and pipelined.
 fn run_pipeline(smoke: bool) -> Vec<PipelineRow> {
@@ -412,6 +598,29 @@ pub fn print(report: &AnnBenchReport) {
         &["Members", "Corpus", "Seq(ms)", "Pipelined(ms)", "Overlap", "Identical"],
         &cells,
     );
+
+    if let Some(t) = &report.tuning {
+        let cells: Vec<Vec<String>> = t
+            .steps
+            .iter()
+            .map(|r| {
+                vec![
+                    r.case.clone(),
+                    r.nprobe.to_string(),
+                    format!("{:.3}", r.recall),
+                    format!("{:.0}", r.ns_per_query),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Auto-tuner: nlist={} shards={} on {}x{} (calibration {:.1} ms, chose nprobe {} over static {})",
+                t.nlist, t.shards, t.n, t.dim, t.calibrate_ms, t.chosen_nprobe, t.static_nprobe
+            ),
+            &["Case", "nprobe", "Recall@k", "ns/query"],
+            &cells,
+        );
+    }
 }
 
 /// Persist the report to `REPRO_OUT/BENCH_ann.json` (one JSON object —
@@ -475,11 +684,45 @@ pub fn assert_no_regression(report: &AnnBenchReport) {
     for r in &report.pipeline {
         assert!(r.identical, "pipelined committee diverged from the sequential candidate set");
     }
+    if let Some(t) = &report.tuning {
+        assert!(
+            t.tuned_recall + 1e-9 >= t.static_recall,
+            "tuned configuration (nprobe {}) lost recall to the static auto default (nprobe {}): \
+             {:.4} < {:.4}",
+            t.chosen_nprobe,
+            t.static_nprobe,
+            t.tuned_recall,
+            t.static_recall
+        );
+        // Latency floor: a narrower (or equal) probe width is cheaper by
+        // construction; only when the tuner chose a *wider* probe (the
+        // recall target demanded it) must the measured clock back it up.
+        assert!(
+            t.chosen_nprobe <= t.static_nprobe || t.tuned_ns_per_query <= t.static_ns_per_query,
+            "tuned configuration is both wider (nprobe {} > {}) and slower ({:.0} > {:.0} ns/q) \
+             than the static auto default",
+            t.chosen_nprobe,
+            t.static_nprobe,
+            t.tuned_ns_per_query,
+            t.static_ns_per_query
+        );
+        // Calibration budget: ground truth + one probe-index build + a
+        // handful of sample sweeps must stay within a small multiple of
+        // one index build — it runs once per quantizer generation.
+        let budget_ms = 10.0 * t.build_ms + 250.0;
+        assert!(
+            t.calibrate_ms <= budget_ms,
+            "calibration cost {:.1} ms exceeds its budget of {:.1} ms (10x build + 250 ms)",
+            t.calibrate_ms,
+            budget_ms
+        );
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dial_ann::Hit;
 
     #[test]
     fn row_json_is_wellformed() {
@@ -535,11 +778,34 @@ mod tests {
                 overlap: 1.3,
                 identical: true,
             }],
+            tuning: Some(TuningReport {
+                n: 10,
+                dim: 4,
+                k: 1,
+                sample: 2,
+                nlist: 8,
+                shards: 1,
+                static_nprobe: 4,
+                chosen_nprobe: 2,
+                static_recall: 0.9,
+                static_ns_per_query: 400.0,
+                tuned_recall: 0.9,
+                tuned_ns_per_query: 200.0,
+                build_ms: 5.0,
+                calibrate_ms: 12.0,
+                steps: vec![TuningRow {
+                    case: "tuned".into(),
+                    nprobe: 2,
+                    recall: 0.9,
+                    ns_per_query: 200.0,
+                }],
+            }),
         };
         let j = report.to_json();
         assert!(j.contains("\"threads\":4"), "{j}");
         assert!(j.contains("\"incremental\":[") && j.contains("\"exact\":true"), "{j}");
         assert!(j.contains("\"pipeline\":[") && j.contains("\"identical\":true"), "{j}");
+        assert!(j.contains("\"tuning\":{") && j.contains("\"chosen_nprobe\":2"), "{j}");
         // The regression gate passes this healthy report... (probe rows
         // absent would panic on the flat lookup, so give it one).
         let mut ok = report.clone();
@@ -558,6 +824,22 @@ mod tests {
         // ...and fails loudly when the drift-0 refresh regresses.
         let mut bad = ok.clone();
         bad.incremental[0].refresh_ms = 5.0;
+        assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        // Tuned recall below the static baseline fails.
+        let mut bad = ok.clone();
+        bad.tuning.as_mut().unwrap().tuned_recall = 0.5;
+        assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        // Wider AND slower than the static default fails.
+        let mut bad = ok.clone();
+        {
+            let t = bad.tuning.as_mut().unwrap();
+            t.chosen_nprobe = 8;
+            t.tuned_ns_per_query = 800.0;
+        }
+        assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        // A blown calibration budget fails.
+        let mut bad = ok.clone();
+        bad.tuning.as_mut().unwrap().calibrate_ms = 10_000.0;
         assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
     }
 }

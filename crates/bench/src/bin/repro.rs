@@ -1,7 +1,7 @@
 //! Reproduce every table and figure of the DIAL paper's evaluation.
 //!
 //! ```text
-//! cargo run --release --bin repro -- <experiment> [--backend=<spec>] [--shards=<n>]
+//! cargo run --release --bin repro -- <experiment> [--backend=<spec>] [--shards=<n>] [--auto-tune]
 //!
 //! experiments:
 //!   table1   dataset statistics
@@ -31,6 +31,12 @@
 //!   --shards=<n>      round-robin shards per retrieval index (default 1;
 //!                     n > 1 builds shards concurrently and merges top-k;
 //!                     wins over a `@<shards>` spec suffix)
+//!   --auto-tune       calibrate IVF-backed retrieval from observed
+//!                     recall: sweep nprobe on a held-out sample against
+//!                     the exact ground truth, pick the cheapest width
+//!                     that loses nothing, and (for `auto` with no
+//!                     explicit --shards) pick the shard count from
+//!                     worker threads; prints a `tuning` table
 //! ```
 //!
 //! Environment: `REPRO_SCALE` (bench|smoke|paper), `REPRO_ROUNDS`,
@@ -45,7 +51,7 @@ use dial_core::{
 };
 use dial_datasets::Benchmark;
 
-const USAGE: &str = "usage: repro <experiment> [--backend=<spec>] [--shards=<n>]
+const USAGE: &str = "usage: repro <experiment> [--backend=<spec>] [--shards=<n>] [--auto-tune]
 
 experiments:
   table1    dataset statistics
@@ -83,6 +89,17 @@ options:
                      n > 1 builds the shards concurrently and merges the
                      per-shard top-k at probe time; sharded flat retrieval
                      is exactly equivalent to unsharded flat.
+  --auto-tune        close the auto-tuning loop from observed metrics:
+                     before the first round the retrieval engine probes a
+                     held-out sample of S against the exact flat ground
+                     truth, raises IVF nprobe until marginal recall@k
+                     flattens (never settling below the static default's
+                     recall), and — for `auto` with no explicit --shards —
+                     picks the shard count from worker-thread count and
+                     per-shard size. Off by default: the static heuristic's
+                     candidate sets are reproduced bit-for-bit. Runs that
+                     calibrated print a `tuning` table (chosen nprobe and
+                     shards, measured recall/latency at each sweep step).
 
 environment:
   REPRO_SCALE=bench|smoke|paper   dataset scale (default bench)
@@ -90,12 +107,14 @@ environment:
   REPRO_SEEDS=<n>                 averaged seeds (default 1)
   REPRO_BACKEND=<spec>            same values as --backend
   REPRO_SHARDS=<n>                same values as --shards
+  REPRO_AUTO_TUNE=1               same as --auto-tune
   REPRO_DATASETS=WA,AG,DA,DS,AB  benchmark subset
   REPRO_OUT=<dir>                 JSONL output directory (default results/)";
 
 fn main() {
     let mut backend_flag: Option<(IndexBackend, Option<usize>)> = None;
     let mut shards_flag: Option<usize> = None;
+    let mut auto_tune_flag = false;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -109,6 +128,8 @@ fn main() {
         } else if a == "--shards" {
             let v = args.next().unwrap_or_default();
             shards_flag = Some(parse_shards_or_exit(&v));
+        } else if a == "--auto-tune" {
+            auto_tune_flag = true;
         } else {
             positional.push(a);
         }
@@ -130,13 +151,15 @@ fn main() {
     if let Some(s) = shards_flag {
         ctx.shards = s;
     }
+    ctx.auto_tune |= auto_tune_flag;
     eprintln!(
-        "# context: scale={:?} rounds={} seeds={:?} backend={} shards={} datasets={:?}",
+        "# context: scale={:?} rounds={} seeds={:?} backend={} shards={} auto_tune={} datasets={:?}",
         ctx.scale,
         ctx.rounds,
         ctx.seeds,
         ctx.backend.label(),
         ctx.shards,
+        ctx.auto_tune,
         five(&ctx)
     );
     match which {
@@ -454,9 +477,13 @@ fn table8(ctx: &ExpContext) {
 
 fn table9(ctx: &ExpContext) {
     let mut rows = Vec::new();
+    let mut tuned = Vec::new();
     for b in five(ctx) {
         let s = run_tplm(ctx, b, "DIAL", runner::strategy_mutator(BlockingStrategy::Dial));
         write_json("table9", &s);
+        if let Some(t) = &s.tuning {
+            tuned.push((format!("{}/DIAL", b.short_name()), t.clone()));
+        }
         rows.push(vec![
             b.short_name().into(),
             secs(s.timing_train_matcher),
@@ -468,6 +495,47 @@ fn table9(ctx: &ExpContext) {
     print_table(
         "Table 9: time (s) per operation in the final AL round",
         &["Dataset", "Train Matcher", "Train Committee", "Indexing&Retrieval", "Selection"],
+        &rows,
+    );
+    print_tuning(&tuned);
+}
+
+/// The `tuning` report table: for every run whose retrieval engine
+/// calibrated, the measured recall/latency of each `nprobe` sweep step
+/// and the chosen configuration (width, shard count, static baseline).
+/// Each record also lands in `tuning.jsonl`.
+fn print_tuning(entries: &[(String, dial_core::TuningOutcome)]) {
+    if entries.is_empty() {
+        return;
+    }
+    let mut rows = Vec::new();
+    for (label, t) in entries {
+        write_json("tuning", t);
+        for s in &t.steps {
+            rows.push(vec![
+                label.clone(),
+                "step".into(),
+                s.nprobe.to_string(),
+                format!("{:.3}", s.recall),
+                format!("{:.0}", s.probe_ns_per_query),
+            ]);
+        }
+        rows.push(vec![
+            label.clone(),
+            "chosen".into(),
+            t.chosen_nprobe.to_string(),
+            format!("{:.3}", t.chosen_recall),
+            format!(
+                "shards={} static nprobe={} cal={:.0}ms",
+                t.shards,
+                t.static_nprobe,
+                t.calibrate_secs * 1e3
+            ),
+        ]);
+    }
+    print_table(
+        "Tuning: observed-recall nprobe calibration (per run)",
+        &["Run", "Case", "nprobe", "Recall@k", "ns/query"],
         &rows,
     );
 }
@@ -488,8 +556,10 @@ fn backends(ctx: &ExpContext) {
     }
     cases.push((IndexBackend::Auto, ctx.shards));
     let mut rows = Vec::new();
+    let mut tuned = Vec::new();
     for b in five(ctx) {
-        // Auto resolves against the row count of the indexed list (|R|).
+        // Auto resolves against the row count of the indexed list (|R|),
+        // per shard when sharded.
         let n_r = runner::dataset(b, ctx.scale, ctx.seeds[0]).data.r.len();
         for &(backend, shards) in &cases {
             let s = run_tplm(
@@ -499,11 +569,24 @@ fn backends(ctx: &ExpContext) {
                 runner::backend_mutator(backend, shards),
             );
             write_json("backends", &s);
+            if let Some(t) = &s.tuning {
+                tuned.push((
+                    format!("{}/{}", b.short_name(), backend.label_sharded(shards)),
+                    t.clone(),
+                ));
+            }
+            // Report the shard count the run actually resolved: under
+            // --auto-tune an unsharded Auto case picks its own count
+            // from worker threads, and the label/family must reflect
+            // the index that really ran.
+            let mut cfg = ctx.base_config(b, ctx.seeds[0]);
+            runner::backend_mutator(backend, shards)(&mut cfg);
+            let used_shards = cfg.resolved_shards(n_r);
             let l = s.last();
             rows.push(vec![
                 b.short_name().into(),
-                backend.resolved_label(n_r),
-                shards.to_string(),
+                backend.resolved_label_sharded(n_r, used_shards),
+                used_shards.to_string(),
                 pct(l.recall),
                 pct(l.all_f1),
                 format!("{:.3}", s.timing_indexing_retrieval),
@@ -516,6 +599,7 @@ fn backends(ctx: &ExpContext) {
         &["Dataset", "Backend", "Shards", "Recall", "All-pairs F1", "Index&Retrieval(s)", "RT(s)"],
         &rows,
     );
+    print_tuning(&tuned);
 }
 
 /// ANN kernel micro-bench: the blocked `search_batch` hot path vs the

@@ -22,6 +22,11 @@ pub struct ExpContext {
     /// Round-robin shards per retrieval index (`REPRO_SHARDS` or the
     /// `repro --shards=` flag; default 1 = unsharded).
     pub shards: usize,
+    /// Observed-metrics auto-tuning (`REPRO_AUTO_TUNE` or the `repro
+    /// --auto-tune` flag): the retrieval engine calibrates IVF-backed
+    /// runs — `nprobe` from a measured recall sweep, shard count from
+    /// worker-thread count — instead of trusting the static defaults.
+    pub auto_tune: bool,
 }
 
 impl ExpContext {
@@ -60,7 +65,11 @@ impl ExpContext {
                 }
             },
         };
-        ExpContext { scale, rounds, seeds: (0..n_seeds).collect(), backend, shards }
+        let auto_tune = match std::env::var("REPRO_AUTO_TUNE").as_deref() {
+            Err(_) | Ok("0") | Ok("false") => false,
+            Ok(_) => true,
+        };
+        ExpContext { scale, rounds, seeds: (0..n_seeds).collect(), backend, shards, auto_tune }
     }
 
     /// Base DIAL configuration for a benchmark at this context's scale.
@@ -73,6 +82,7 @@ impl ExpContext {
         cfg.seed = seed;
         cfg.index_backend = self.backend;
         cfg.index_shards = self.shards;
+        cfg.auto_tune = self.auto_tune;
         cfg.abt_buy_like = matches!(bench, Benchmark::AbtBuy);
         if matches!(bench, Benchmark::Multilingual) {
             // §4.5: freeze the TPLM for the multilingual dataset. The
@@ -135,6 +145,9 @@ pub struct TplmRunSummary {
     pub timing_selection: f64,
     /// The paper's RT: blocking + matching time in the final round.
     pub rt_secs: f64,
+    /// The retrieval engine's calibration record (first seed's run),
+    /// present only for auto-tuned IVF-backed runs.
+    pub tuning: Option<dial_core::TuningOutcome>,
 }
 
 #[derive(Debug, Clone)]
@@ -180,6 +193,37 @@ impl crate::report::ToJson for TplmRunSummary {
             ("timing_indexing_retrieval", json_f64(self.timing_indexing_retrieval)),
             ("timing_selection", json_f64(self.timing_selection)),
             ("rt_secs", json_f64(self.rt_secs)),
+            ("tuning", self.tuning.as_ref().map_or("null".into(), crate::report::ToJson::to_json)),
+        ])
+    }
+}
+
+impl crate::report::ToJson for dial_core::TuneStep {
+    fn to_json(&self) -> String {
+        use crate::report::{json_f64, json_obj};
+        json_obj(&[
+            ("nprobe", self.nprobe.to_string()),
+            ("recall", json_f64(self.recall)),
+            ("ns_per_query", json_f64(self.probe_ns_per_query)),
+        ])
+    }
+}
+
+impl crate::report::ToJson for dial_core::TuningOutcome {
+    fn to_json(&self) -> String {
+        use crate::report::{json_f64, json_obj};
+        let steps: Vec<String> = self.steps.iter().map(crate::report::ToJson::to_json).collect();
+        json_obj(&[
+            ("nlist", self.nlist.to_string()),
+            ("static_nprobe", self.static_nprobe.to_string()),
+            ("chosen_nprobe", self.chosen_nprobe.to_string()),
+            ("shards", self.shards.to_string()),
+            ("sample", self.sample.to_string()),
+            ("k", self.k.to_string()),
+            ("static_recall", json_f64(self.static_recall)),
+            ("chosen_recall", json_f64(self.chosen_recall)),
+            ("steps", format!("[{}]", steps.join(","))),
+            ("calibrate_ms", json_f64(self.calibrate_secs * 1e3)),
         ])
     }
 }
@@ -209,6 +253,7 @@ pub fn run_tplm(
 ) -> TplmRunSummary {
     let mut acc: Vec<Vec<RoundMetrics>> = Vec::new();
     let mut last_timings = (0.0, 0.0, 0.0, 0.0, 0.0);
+    let mut tuning = None;
     for &seed in &ctx.seeds {
         let cached = dataset(bench, ctx.scale, seed);
         let mut cfg = ctx.base_config(bench, seed);
@@ -224,6 +269,7 @@ pub fn run_tplm(
         let t = &result.last().timings;
         last_timings =
             (t.train_matcher, t.train_committee, t.indexing_retrieval, t.selection, t.find_dups);
+        tuning = tuning.or(result.tuning);
         acc.push(result.rounds);
     }
 
@@ -249,6 +295,7 @@ pub fn run_tplm(
         timing_indexing_retrieval: last_timings.2,
         timing_selection: last_timings.3,
         rt_secs: last_timings.4,
+        tuning,
     }
 }
 
@@ -375,6 +422,7 @@ mod tests {
             seeds: vec![0],
             backend: IndexBackend::Flat,
             shards: 1,
+            auto_tune: false,
         };
         let s = run_tplm(&ctx, Benchmark::AbtBuy, "DIAL", |cfg| {
             *cfg = DialConfig { rounds: 2, ..DialConfig::smoke() };

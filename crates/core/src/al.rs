@@ -15,7 +15,7 @@ use crate::blocker::Committee;
 use crate::candidates::{index_single, CandidateSet};
 use crate::config::{BlockerObjective, BlockingStrategy, DialConfig, NegativeSource};
 use crate::encode::encode_list;
-use crate::engine::RetrievalEngine;
+use crate::engine::{RetrievalEngine, TuneConfig, TuningOutcome};
 use crate::eval::{all_pairs_prf, blocker_recall, test_prf, Prf};
 use crate::matcher::Matcher;
 use crate::oracle::Oracle;
@@ -69,6 +69,10 @@ pub struct RoundMetrics {
 #[derive(Debug, Clone)]
 pub struct RunResult {
     pub rounds: Vec<RoundMetrics>,
+    /// The retrieval engine's calibration record, when the run was
+    /// auto-tuned and the index family had a knob to turn
+    /// (`DialConfig::auto_tune` with an IVF-backed spec).
+    pub tuning: Option<TuningOutcome>,
 }
 
 impl RunResult {
@@ -167,11 +171,26 @@ impl DialSystem {
         }
         let cfg = self.config.clone();
         // Every retrieval index holds one view of R, so Auto resolves
-        // against |R|; the engine persists across rounds, carrying each
-        // member's index and embedding cache from round to round.
+        // against |R| (per shard, when sharded); the engine persists
+        // across rounds, carrying each member's index and embedding
+        // cache from round to round. With `auto_tune` on, the engine
+        // also calibrates IVF-backed specs from observed recall before
+        // the first retrieval.
         let index_spec = cfg.index_spec_for(data.r.len());
-        let mut engine =
-            RetrievalEngine::new(index_spec.clone(), cfg.incremental_threshold, cfg.pipeline_depth);
+        let mut engine = if cfg.auto_tune {
+            RetrievalEngine::with_tuning(
+                index_spec.clone(),
+                cfg.incremental_threshold,
+                cfg.pipeline_depth,
+                TuneConfig {
+                    recall_target: cfg.tune_recall_target,
+                    sample: cfg.tune_sample,
+                    ..TuneConfig::default()
+                },
+            )
+        } else {
+            RetrievalEngine::new(index_spec.clone(), cfg.incremental_threshold, cfg.pipeline_depth)
+        };
         let cand_cap = cfg.cand_size.resolve(data.s.len(), data.dups().len(), cfg.abt_buy_like);
         let k = if cfg.abt_buy_like { cfg.k.max(20) } else { cfg.k };
 
@@ -371,7 +390,7 @@ impl DialSystem {
                 labeled.extend(oracle.label_batch(&picked));
             }
         }
-        RunResult { rounds }
+        RunResult { rounds, tuning: engine.last_tuning().cloned() }
     }
 
     /// One committee blocking pass — the shared body of the DIAL and
@@ -454,6 +473,28 @@ mod tests {
     fn paired_fixed_recall_constant_across_rounds() {
         let r = smoke_run(BlockingStrategy::PairedFixed);
         assert_eq!(r.rounds[0].blocker_recall, r.rounds[1].blocker_recall);
+    }
+
+    #[test]
+    fn auto_tuned_run_records_calibration() {
+        use crate::config::IndexBackend;
+        let data = Benchmark::AbtBuy.generate(ScaleProfile::Smoke, 1);
+        let cfg = DialConfig {
+            auto_tune: true,
+            index_backend: IndexBackend::IvfFlat { nlist: 8, nprobe: 1 },
+            tune_sample: 64,
+            ..DialConfig::smoke()
+        };
+        let mut sys = DialSystem::new(cfg);
+        let result = sys.run(&data, None);
+        let t = result.tuning.as_ref().expect("an IVF run under --auto-tune must calibrate");
+        assert!(t.chosen_recall >= t.static_recall, "{t:?}");
+        assert!(t.chosen_nprobe >= 1 && t.chosen_nprobe <= t.nlist);
+        assert!(!t.steps.is_empty());
+        // The untuned run keeps no record.
+        let data2 = Benchmark::AbtBuy.generate(ScaleProfile::Smoke, 1);
+        let mut plain = DialSystem::new(DialConfig::smoke());
+        assert!(plain.run(&data2, None).tuning.is_none());
     }
 
     #[test]

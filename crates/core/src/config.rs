@@ -103,10 +103,32 @@ impl IndexBackend {
     /// lists.
     pub const AUTO_FLAT_MAX: usize = 50_000;
 
+    /// Minimum rows a shard must hold before the auto-tuner's shard
+    /// heuristic ([`IndexBackend::auto_shards`]) will split further: a
+    /// shard below this is cheap enough to probe that the per-shard
+    /// top-k merge overhead dominates, and the per-shard IVF lists
+    /// (`√(n/shards)` of them, each `√(n/shards)` rows long) get too
+    /// short to amortize their coarse-quantization step.
+    pub const AUTO_SHARD_MIN_ROWS: usize = 25_000;
+
+    /// Shard count for an auto-tuned run: one shard per worker thread,
+    /// capped so every shard keeps at least
+    /// [`IndexBackend::AUTO_SHARD_MIN_ROWS`] rows (per-list size is
+    /// `√(rows/shard)`, so the floor also bounds list length from
+    /// below). Deterministic in `(n_rows, workers)` — the calibration
+    /// determinism guarantee includes the shard pick.
+    pub fn auto_shards(n_rows: usize, workers: usize) -> usize {
+        workers.max(1).min((n_rows / Self::AUTO_SHARD_MIN_ROWS).max(1))
+    }
+
     /// Resolve the `Auto` heuristic against the row count the index will
     /// hold; concrete backends return themselves unchanged. `Auto` picks
     /// `Flat` below [`IndexBackend::AUTO_FLAT_MAX`] rows and
     /// `IvfFlat { nlist: √n, nprobe: max(1, nlist/8) }` at or above it.
+    ///
+    /// For a sharded run, resolve against the rows one *shard* holds
+    /// ([`IndexBackend::resolve_sharded`]), not the total — each child
+    /// index only ever sees `n/shards` rows.
     pub fn resolve(self, n_rows: usize) -> IndexBackend {
         match self {
             IndexBackend::Auto => {
@@ -121,13 +143,33 @@ impl IndexBackend {
         }
     }
 
+    /// [`IndexBackend::resolve`] for a sharded run: the family is chosen
+    /// per *shard* — `n_rows` total rows split round-robin leave each
+    /// shard `⌈n/shards⌉` at most, and that is the population whose size
+    /// decides flat-vs-IVF (and sizes `nlist = √rows`). Resolving
+    /// against the total used to make a 120k-row `auto@4` pick IVF even
+    /// though every 30k-row shard sits well under
+    /// [`IndexBackend::AUTO_FLAT_MAX`].
+    pub fn resolve_sharded(self, n_rows: usize, shards: usize) -> IndexBackend {
+        self.resolve(n_rows.div_ceil(shards.max(1)))
+    }
+
     /// [`IndexBackend::label`], but `Auto` reports the concrete family it
     /// resolves to at `n_rows` — `auto(flat)`, `auto(ivf:316,39)` — so a
     /// sweep row never hides which index actually ran.
     pub fn resolved_label(&self, n_rows: usize) -> String {
+        self.resolved_label_sharded(n_rows, 1)
+    }
+
+    /// [`IndexBackend::resolved_label`] for a sharded run: the family in
+    /// the parentheses is the per-shard resolution, suffixed with the
+    /// shard count — `auto(flat@4)`, `auto(ivf:273,34@4)`.
+    pub fn resolved_label_sharded(&self, n_rows: usize, shards: usize) -> String {
         match self {
-            IndexBackend::Auto => format!("auto({})", self.resolve(n_rows).label()),
-            b => b.label(),
+            IndexBackend::Auto => {
+                format!("auto({})", self.resolve_sharded(n_rows, shards).label_sharded(shards))
+            }
+            b => b.label_sharded(shards),
         }
     }
 
@@ -364,6 +406,26 @@ pub struct DialConfig {
     /// overwrites, trading retrieval freshness of quantized structures
     /// for indexing latency.
     pub incremental_threshold: f64,
+    /// Close the auto-tuning loop from *observed* metrics: when on, the
+    /// retrieval engine runs a calibration stage on the first round (and
+    /// again after quantizer-invalidating rebuilds) — a held-out sample
+    /// of `S` is probed against the exact flat ground truth and the IVF
+    /// `nprobe` is raised until marginal recall@k flattens or
+    /// [`DialConfig::tune_recall_target`] is met, never choosing worse
+    /// recall than the static heuristic's default width. With the `Auto`
+    /// backend and no explicit `--shards`, the shard count is also
+    /// picked from worker-thread count and per-shard size
+    /// ([`IndexBackend::auto_shards`]) instead of the CLI value. Off by
+    /// default: the static size heuristic's candidate sets are
+    /// reproduced bit-for-bit.
+    pub auto_tune: bool,
+    /// Recall@k the calibration sweep aims for before it stops raising
+    /// `nprobe` (the sweep also stops when marginal recall flattens, and
+    /// never settles below the static default's measured recall).
+    pub tune_recall_target: f64,
+    /// Held-out probes of `S` the calibration stage measures recall and
+    /// latency over (clamped to `|S|`).
+    pub tune_sample: usize,
     /// In-flight depth of the committee build/probe pipeline: member
     /// `i`'s index build overlaps member `i-1`'s probes through a bounded
     /// channel holding at most this many built indexes. `0` disables the
@@ -406,6 +468,9 @@ impl Default for DialConfig {
             index_backend: IndexBackend::Flat,
             index_shards: 1,
             incremental_threshold: 0.0,
+            auto_tune: false,
+            tune_recall_target: 0.95,
+            tune_sample: 256,
             pipeline_depth: 2,
             abt_buy_like: false,
             blocking: BlockingStrategy::Dial,
@@ -457,12 +522,30 @@ impl DialConfig {
         self.index_backend.spec_sharded(self.seed, self.index_shards)
     }
 
+    /// The shard count a run over `n_rows` rows actually uses: the
+    /// configured [`DialConfig::index_shards`], unless auto-tuning is on
+    /// with the `Auto` backend and no explicit sharding — then the count
+    /// comes from the worker-thread count and the per-shard row floor
+    /// ([`IndexBackend::auto_shards`]).
+    pub fn resolved_shards(&self, n_rows: usize) -> usize {
+        if self.auto_tune && self.index_shards <= 1 && self.index_backend == IndexBackend::Auto {
+            IndexBackend::auto_shards(n_rows, rayon::current_num_threads())
+        } else {
+            self.index_shards
+        }
+    }
+
     /// [`DialConfig::index_spec`] with [`IndexBackend::Auto`] resolved
     /// against `n_rows`, the row count of the list being indexed (`|R|`
     /// in the AL loop — every retrieval index holds one view of `R`).
-    /// The construction point the AL loop uses.
+    /// The construction point the AL loop uses. Under sharding, `Auto`
+    /// resolves against the rows one shard will hold
+    /// ([`IndexBackend::resolve_sharded`]), so `auto@4` over 120k rows
+    /// builds four exact 30k-row shards instead of four undersized IVF
+    /// ones, and per-shard `nlist` is sized from per-shard rows.
     pub fn index_spec_for(&self, n_rows: usize) -> dial_ann::IndexSpec {
-        self.index_backend.resolve(n_rows).spec_sharded(self.seed, self.index_shards)
+        let shards = self.resolved_shards(n_rows);
+        self.index_backend.resolve_sharded(n_rows, shards).spec_sharded(self.seed, shards)
     }
 
     /// Validate cross-field invariants.
@@ -478,6 +561,11 @@ impl DialConfig {
             self.incremental_threshold >= 0.0 && self.incremental_threshold.is_finite(),
             "incremental_threshold must be finite and >= 0"
         );
+        assert!(
+            self.tune_recall_target > 0.0 && self.tune_recall_target <= 1.0,
+            "tune_recall_target must be in (0, 1]"
+        );
+        assert!(self.tune_sample >= 1, "tune_sample must be >= 1");
         match self.index_backend {
             IndexBackend::Flat | IndexBackend::Auto => {}
             IndexBackend::IvfFlat { nlist, nprobe } => {
@@ -596,6 +684,109 @@ mod tests {
     #[should_panic(expected = "resolved against a row count")]
     fn auto_spec_without_row_count_panics() {
         IndexBackend::Auto.spec(0);
+    }
+
+    #[test]
+    fn sharded_auto_resolves_per_shard_not_per_total() {
+        // Regression: auto@4 over 120k rows used to resolve against the
+        // total and pick IVF, though every 30k-row shard sits under the
+        // flat ceiling.
+        let cfg = DialConfig {
+            index_backend: IndexBackend::Auto,
+            index_shards: 4,
+            ..DialConfig::smoke()
+        };
+        cfg.validate();
+        assert_eq!(cfg.index_spec_for(120_000), IndexSpec::Flat.sharded(4));
+        assert_eq!(
+            IndexBackend::Auto.resolve_sharded(120_000, 4),
+            IndexBackend::Flat,
+            "per-shard population 30k < AUTO_FLAT_MAX must stay exact"
+        );
+        // Straddling the threshold: 300k over 4 shards is 75k per shard,
+        // so IVF it is — with nlist sized from *per-shard* rows (√75000),
+        // not from the 300k total (√300000 = 547).
+        assert_eq!(
+            IndexBackend::Auto.resolve_sharded(300_000, 4),
+            IndexBackend::IvfFlat { nlist: 273, nprobe: 34 }
+        );
+        let spec = DialConfig {
+            index_backend: IndexBackend::Auto,
+            index_shards: 4,
+            seed: 0,
+            ..DialConfig::smoke()
+        }
+        .index_spec_for(300_000);
+        match &spec {
+            IndexSpec::Sharded { inner, shards: 4 } => match inner.as_ref() {
+                IndexSpec::IvfFlat(p) => assert_eq!((p.nlist, p.nprobe), (273, 34)),
+                other => panic!("expected per-shard IVF, got {other:?}"),
+            },
+            other => panic!("expected a 4-way sharded spec, got {other:?}"),
+        }
+        // Unsharded resolution is unchanged from the pre-tuner heuristic.
+        assert_eq!(
+            IndexBackend::Auto.resolve_sharded(120_000, 1),
+            IndexBackend::Auto.resolve(120_000)
+        );
+        // Exactly at the ceiling per shard: IVF, same as unsharded at n.
+        assert_eq!(
+            IndexBackend::Auto.resolve_sharded(2 * IndexBackend::AUTO_FLAT_MAX, 2),
+            IndexBackend::Auto.resolve(IndexBackend::AUTO_FLAT_MAX)
+        );
+        // The sharded resolved label shows the per-shard family.
+        assert_eq!(IndexBackend::Auto.resolved_label_sharded(120_000, 4), "auto(flat@4)");
+        assert_eq!(IndexBackend::Auto.resolved_label_sharded(300_000, 4), "auto(ivf:273,34@4)");
+    }
+
+    #[test]
+    fn auto_shards_respects_workers_and_row_floor() {
+        use IndexBackend as B;
+        // Capped by the worker count...
+        assert_eq!(B::auto_shards(1_000_000, 8), 8);
+        // ...and by the per-shard row floor.
+        assert_eq!(B::auto_shards(120_000, 8), 4);
+        assert_eq!(B::auto_shards(30_000, 8), 1);
+        assert_eq!(B::auto_shards(0, 8), 1);
+        assert_eq!(B::auto_shards(1_000_000, 0), 1, "a zero worker count still shards once");
+    }
+
+    #[test]
+    fn auto_tune_shard_pick_only_engages_for_unsharded_auto() {
+        let base = DialConfig {
+            index_backend: IndexBackend::Auto,
+            auto_tune: true,
+            ..DialConfig::smoke()
+        };
+        base.validate();
+        // Explicit sharding always wins over the heuristic.
+        let explicit = DialConfig { index_shards: 3, ..base.clone() };
+        assert_eq!(explicit.resolved_shards(1_000_000), 3);
+        // A concrete backend never gets auto-sharded.
+        let concrete = DialConfig { index_backend: IndexBackend::Flat, ..base.clone() };
+        assert_eq!(concrete.resolved_shards(1_000_000), 1);
+        // Unsharded Auto under --auto-tune picks from workers + row floor.
+        let workers = rayon::current_num_threads();
+        assert_eq!(base.resolved_shards(1_000_000), IndexBackend::auto_shards(1_000_000, workers));
+        // With auto_tune off, index_spec_for reproduces the static
+        // heuristic's spec bit-for-bit (shards stay at the CLI value).
+        let off = DialConfig { auto_tune: false, ..base };
+        assert_eq!(
+            off.index_spec_for(10_000),
+            IndexBackend::Auto.resolve(10_000).spec_sharded(off.seed, 1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tune_recall_target")]
+    fn out_of_range_recall_target_rejected() {
+        DialConfig { tune_recall_target: 1.5, ..DialConfig::smoke() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "tune_sample")]
+    fn zero_tune_sample_rejected() {
+        DialConfig { tune_sample: 0, ..DialConfig::smoke() }.validate();
     }
 
     #[test]

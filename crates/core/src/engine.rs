@@ -41,7 +41,7 @@
 
 use crate::candidates::{probe_blocked, Candidate, CandidateSet};
 use crate::encode::ListEmbeddings;
-use dial_ann::{AnnIndex, IndexSpec, Metric};
+use dial_ann::{AnnIndex, FlatIndex, Hit, IndexSpec, Metric};
 use rayon::pipeline;
 use std::time::Instant;
 
@@ -58,6 +58,10 @@ struct BuildInfo {
     secs: f64,
     incremental: bool,
     drift: f64,
+    /// An in-place refresh retrained the member's coarse quantizer
+    /// (growth-triggered, [`dial_ann::RETRAIN_GROWTH`]): the probe-width
+    /// ceiling changed under the calibration, which must rerun.
+    retrained: bool,
 }
 
 /// Aggregate timings and reuse counters of the engine's last round.
@@ -82,6 +86,63 @@ pub struct EngineRoundStats {
     pub mean_drift: f64,
 }
 
+/// Calibration knobs of the observed-metrics auto-tuner (see
+/// [`RetrievalEngine::with_tuning`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TuneConfig {
+    /// Recall@k the `nprobe` sweep aims for before it stops climbing.
+    pub recall_target: f64,
+    /// Held-out probes of `S` measured per sweep step (clamped to `|S|`).
+    pub sample: usize,
+    /// Marginal-recall flattening threshold: the sweep stops doubling
+    /// `nprobe` once one doubling buys less recall than this.
+    pub epsilon: f64,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        TuneConfig { recall_target: 0.95, sample: 256, epsilon: 0.01 }
+    }
+}
+
+/// One measured step of the calibration sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneStep {
+    pub nprobe: usize,
+    /// recall@k of the sample probes against the exact flat ground truth.
+    pub recall: f64,
+    /// Wall-clock nanoseconds per sample query at this width (recorded
+    /// for the report; the *choice* never consults latency, so the tuner
+    /// is deterministic on a noisy host).
+    pub probe_ns_per_query: f64,
+}
+
+/// What the calibration stage measured and decided.
+#[derive(Debug, Clone)]
+pub struct TuningOutcome {
+    /// Largest meaningful probe width (the smallest per-shard `nlist`).
+    pub nlist: usize,
+    /// The static heuristic's width — what the run would have used
+    /// untuned.
+    pub static_nprobe: usize,
+    /// The tuned width every member index now probes at.
+    pub chosen_nprobe: usize,
+    /// Shard count of the calibrated spec.
+    pub shards: usize,
+    /// Held-out probes measured per step.
+    pub sample: usize,
+    /// Neighbours per probe the recall was measured at.
+    pub k: usize,
+    /// Measured recall@k at `static_nprobe` / at `chosen_nprobe`.
+    pub static_recall: f64,
+    pub chosen_recall: f64,
+    /// Every measured step, ascending by `nprobe`.
+    pub steps: Vec<TuneStep>,
+    /// Wall-clock cost of the whole calibration (ground truth + build +
+    /// sweep).
+    pub calibrate_secs: f64,
+}
+
 /// Persistent, pipelined Index-By-Committee retrieval (see the module
 /// docs). Create once per AL run and call
 /// [`RetrievalEngine::retrieve_committee`] /
@@ -92,6 +153,18 @@ pub struct RetrievalEngine {
     pipeline_depth: usize,
     members: Vec<MemberState>,
     last: EngineRoundStats,
+    tune: Option<TuneConfig>,
+    /// Calibration already ran against the current quantizer generation;
+    /// cleared by [`RetrievalEngine::reset`] and by quantizer-
+    /// invalidating rebuilds (a member with prior state rebuilt from
+    /// scratch, i.e. retrained on drifted rows).
+    calibrated: bool,
+    /// The spec's `nprobe` before any calibration touched it — the
+    /// static heuristic's width, and the recall floor every calibration
+    /// (including recalibrations after the spec was already tuned)
+    /// measures itself against.
+    baseline_nprobe: Option<usize>,
+    tuning: Option<TuningOutcome>,
 }
 
 /// Mean cosine shift between two equal-length packed row sets: the
@@ -130,6 +203,22 @@ fn mean_cosine_shift(old: &[f32], new: &[f32], dim: usize) -> f64 {
     acc / n as f64
 }
 
+/// Recall@k of `hits` against the exact ground truth `truth` (id overlap
+/// per query, averaged over the sample; per-query denominator is
+/// `min(k, |truth|)`). The one recall definition shared by the engine's
+/// calibration stage and the bench harness's regression gate — they must
+/// never measure differently.
+pub fn recall_at_k(hits: &[Vec<Hit>], truth: &[Vec<Hit>], k: usize) -> f64 {
+    let mut overlap = 0usize;
+    let mut total = 0usize;
+    for (h, t) in hits.iter().zip(truth) {
+        let t_ids: std::collections::HashSet<u32> = t.iter().map(|x| x.id).collect();
+        overlap += h.iter().filter(|x| t_ids.contains(&x.id)).count();
+        total += k.min(t.len());
+    }
+    overlap as f64 / total.max(1) as f64
+}
+
 /// Bring one member's index in line with `view`: refresh in place when
 /// the prior state is compatible and the drift allows it, build from
 /// scratch otherwise. Runs on the builder thread when pipelined.
@@ -137,18 +226,37 @@ fn prepare_member(
     spec: &IndexSpec,
     threshold: f64,
     prev: Option<MemberState>,
+    prebuilt: Option<MemberState>,
     view: &[f32],
     dim: usize,
 ) -> (MemberState, BuildInfo) {
     let t0 = Instant::now();
+    if prev.is_none() {
+        if let Some(state) = prebuilt {
+            // The calibration stage already built this exact index over
+            // `view` this round (and left it at the tuned width); reuse
+            // it as the member's from-scratch build instead of paying
+            // the same k-means training twice. Its real cost is
+            // recorded in `TuningOutcome::calibrate_secs`.
+            debug_assert_eq!(state.rows, view);
+            let info = BuildInfo {
+                secs: t0.elapsed().as_secs_f64(),
+                incremental: false,
+                drift: 0.0,
+                retrained: false,
+            };
+            return (state, info);
+        }
+    }
     let rebuild = || MemberState { index: spec.build(view, dim, Metric::L2), rows: view.to_vec() };
-    let mut info = BuildInfo { secs: 0.0, incremental: false, drift: 0.0 };
+    let mut info = BuildInfo { secs: 0.0, incremental: false, drift: 0.0, retrained: false };
     let state = match prev {
         // Compatible prior state: same width, no rows dropped (an index
         // never shrinks in place), and actually populated.
         Some(mut st)
             if st.index.dim() == dim && !st.rows.is_empty() && st.rows.len() <= view.len() =>
         {
+            let gen_before = st.index.train_generation();
             info.drift = mean_cosine_shift(&st.rows, &view[..st.rows.len()], dim);
             let refreshed = info.drift <= threshold && {
                 let n_old = st.rows.len() / dim;
@@ -169,6 +277,13 @@ fn prepare_member(
             };
             if refreshed {
                 info.incremental = true;
+                // An append-heavy refresh can retrain the quantizer in
+                // place (growth-triggered): the training-generation
+                // counter catches it even when the retrained parameters
+                // (nlist, ceiling) come out numerically identical — the
+                // calibration measured on the old quantizer no longer
+                // stands either way.
+                info.retrained = st.index.train_generation() != gen_before;
                 st.rows.clear();
                 st.rows.extend_from_slice(view);
                 st
@@ -193,7 +308,36 @@ impl RetrievalEngine {
             pipeline_depth,
             members: Vec::new(),
             last: EngineRoundStats::default(),
+            tune: None,
+            calibrated: false,
+            baseline_nprobe: None,
+            tuning: None,
         }
+    }
+
+    /// [`RetrievalEngine::new`] with the observed-metrics auto-tuner
+    /// armed: before the first retrieval (and again after a
+    /// quantizer-invalidating rebuild) the engine calibrates IVF-backed
+    /// specs — it probes a held-out sample of `S` against the exact flat
+    /// ground truth over `R`, sweeps `nprobe` upward until marginal
+    /// recall@k flattens below `tune.epsilon` or `tune.recall_target` is
+    /// met, and locks in the smallest width whose recall is at least
+    /// `max(min(target, best swept), static default's recall)` — the
+    /// tuner never chooses worse recall than the static heuristic it
+    /// replaces, and prefers the cheapest width at equal recall. Specs
+    /// without an `nprobe` knob (flat, PQ, HNSW, or a sharded composite
+    /// with any knobless shard) retrieve exactly as under
+    /// [`RetrievalEngine::new`].
+    pub fn with_tuning(
+        spec: IndexSpec,
+        incremental_threshold: f64,
+        pipeline_depth: usize,
+        tune: TuneConfig,
+    ) -> Self {
+        let mut engine = RetrievalEngine::new(spec, incremental_threshold, pipeline_depth);
+        engine.baseline_nprobe = engine.spec.ivf_params().map(|p| p.nprobe);
+        engine.tune = Some(tune);
+        engine
     }
 
     /// Timings and reuse counters of the most recent retrieval.
@@ -201,10 +345,18 @@ impl RetrievalEngine {
         &self.last
     }
 
+    /// The most recent calibration record, when the tuner is armed and
+    /// the spec had a knob to turn.
+    pub fn last_tuning(&self) -> Option<&TuningOutcome> {
+        self.tuning.as_ref()
+    }
+
     /// Drop all cached member state; the next retrieval rebuilds every
-    /// index from scratch.
+    /// index from scratch (and recalibrates, when the tuner is armed).
     pub fn reset(&mut self) {
         self.members.clear();
+        self.calibrated = false;
+        self.tuning = None;
     }
 
     /// Index-By-Committee through the persistent engine: member `m`'s
@@ -242,6 +394,134 @@ impl RetrievalEngine {
         self.retrieve(&[&emb_r.data], &[&emb_s.data], emb_r.dim, k, max_size)
     }
 
+    /// The calibration stage (see [`RetrievalEngine::with_tuning`]):
+    /// measure recall@k of a held-out probe sample at increasing `nprobe`
+    /// and rewrite the spec's width with the cheapest one that loses
+    /// nothing. Runs once per quantizer generation; member 0's views
+    /// stand in for the workload (every member indexes a view of the
+    /// same `R` and probes a view of the same `S`). The choice depends
+    /// only on measured recall — never on measured latency — so two
+    /// calibrations over the same data pick the same width.
+    fn calibrate(
+        &mut self,
+        view_r: &[f32],
+        view_s: &[f32],
+        dim: usize,
+        k: usize,
+    ) -> Option<MemberState> {
+        let tune = self.tune?;
+        if self.calibrated || self.spec.ivf_params().is_none() {
+            return None;
+        }
+        let (n, nq) = (view_r.len() / dim, view_s.len() / dim);
+        if n == 0 || nq == 0 {
+            // Nothing to measure yet — do *not* consume the calibration
+            // opportunity; a later round with real rows still tunes.
+            return None;
+        }
+        self.calibrated = true;
+        let t0 = Instant::now();
+        let sample_n = tune.sample.clamp(1, nq);
+        let sample = &view_s[..sample_n * dim];
+        // Exact ground truth for the sample, from a flat scan over R.
+        let mut flat = FlatIndex::new(dim, Metric::L2);
+        flat.add_batch(view_r);
+        let truth = flat.search_batch(sample, k);
+        // One probe index builds the index the sweep re-probes at every
+        // width; the members themselves build after the spec is tuned.
+        let mut probe = self.spec.build(view_r, dim, Metric::L2);
+        let Some((ceiling, built_nprobe)) = probe.nprobe_knob() else {
+            // The spec is IVF-backed but the built index lost the knob
+            // (e.g. a shard built over no rows fell back to flat):
+            // nothing to tune, but the build is still a valid member-0
+            // index — hand it back for reuse.
+            return Some(MemberState { index: probe, rows: view_r.to_vec() });
+        };
+        // The comparison floor is the *heuristic's* width, not whatever
+        // a previous calibration tuned the spec to.
+        let static_nprobe = self.baseline_nprobe.unwrap_or(built_nprobe).min(ceiling).max(1);
+        let mut steps: Vec<TuneStep> = Vec::new();
+        let measure = |probe: &mut Box<dyn AnnIndex>, nprobe: usize| {
+            probe.set_nprobe(nprobe);
+            let t = Instant::now();
+            let hits = probe.search_batch(sample, k);
+            let ns = t.elapsed().as_nanos() as f64 / sample_n as f64;
+            let recall = recall_at_k(&hits, &truth, k);
+            TuneStep { nprobe, recall, probe_ns_per_query: ns }
+        };
+        // Sweep grid: powers of two up to the ceiling, plus the static
+        // default (so the comparison point is always measured) and the
+        // ceiling itself.
+        let mut grid: Vec<usize> =
+            std::iter::successors(Some(1usize), |p| p.checked_mul(2).filter(|&q| q < ceiling))
+                .collect();
+        grid.push(ceiling);
+        grid.push(static_nprobe);
+        grid.sort_unstable();
+        grid.dedup();
+        for &p in &grid {
+            let step = measure(&mut probe, p);
+            steps.push(step);
+            if step.recall >= tune.recall_target {
+                break;
+            }
+            if let [.., prev, last] = steps.as_slice() {
+                // Flattening is judged on genuine doublings only — the
+                // injected static/ceiling grid points sit closer than 2x
+                // and would otherwise read as a flat step and stop the
+                // climb early.
+                if last.nprobe >= prev.nprobe * 2 && last.recall - prev.recall < tune.epsilon {
+                    break;
+                }
+            }
+        }
+        if !steps.iter().any(|s| s.nprobe == static_nprobe) {
+            // The sweep stopped before reaching the static default;
+            // measure it anyway — it is the floor the choice must beat.
+            let step = measure(&mut probe, static_nprobe);
+            steps.push(step);
+            steps.sort_by_key(|s| s.nprobe);
+        }
+        let static_recall =
+            steps.iter().find(|s| s.nprobe == static_nprobe).expect("static step measured").recall;
+        let best_recall = steps.iter().map(|s| s.recall).fold(0.0f64, f64::max);
+        // Cheapest width that (a) never loses recall to the static
+        // default and (b) meets the target where the sweep could.
+        let goal = tune.recall_target.min(best_recall).max(static_recall);
+        let chosen = *steps
+            .iter()
+            .find(|s| s.recall >= goal)
+            .expect("best_recall meets the goal by construction");
+        self.spec.set_ivf_nprobe(chosen.nprobe);
+        // A recalibration must reach members that survive in place: a
+        // refreshed index never re-reads the spec, so without this it
+        // would keep probing at the previously tuned width.
+        for member in &mut self.members {
+            member.index.set_nprobe(chosen.nprobe);
+        }
+        self.tuning = Some(TuningOutcome {
+            nlist: ceiling,
+            static_nprobe,
+            chosen_nprobe: chosen.nprobe,
+            shards: match &self.spec {
+                IndexSpec::Sharded { shards, .. } => *shards,
+                _ => 1,
+            },
+            sample: sample_n,
+            k,
+            static_recall,
+            chosen_recall: chosen.recall,
+            steps,
+            calibrate_secs: t0.elapsed().as_secs_f64(),
+        });
+        // The probe index is bitwise what member 0 would build from the
+        // tuned spec (nprobe is a search-time parameter; quantizer
+        // training saw the same rows and seed) — reuse it instead of
+        // training the same index twice.
+        probe.set_nprobe(chosen.nprobe);
+        Some(MemberState { index: probe, rows: view_r.to_vec() })
+    }
+
     fn retrieve(
         &mut self,
         views_r: &[&[f32]],
@@ -251,6 +531,10 @@ impl RetrievalEngine {
         max_size: usize,
     ) -> CandidateSet {
         let n = views_r.len();
+        // Calibration hands back the index it built over member 0's
+        // view; reused below when member 0 has no prior state.
+        let mut prebuilt0: Option<MemberState> =
+            if n > 0 { self.calibrate(views_r[0], views_s[0], dim, k) } else { None };
         // A committee-size change invalidates the member↔state pairing.
         if self.members.len() != n {
             self.members.clear();
@@ -264,6 +548,7 @@ impl RetrievalEngine {
         let mut states: Vec<MemberState> = Vec::with_capacity(n);
         let mut drift_samples = 0usize;
 
+        let mut quantizer_invalidated = false;
         let mut absorb = |stats: &mut EngineRoundStats, info: &BuildInfo, had_prev: bool| {
             stats.build_secs += info.secs;
             if info.incremental {
@@ -274,7 +559,17 @@ impl RetrievalEngine {
             if had_prev {
                 stats.mean_drift += info.drift;
                 drift_samples += 1;
+                if !info.incremental {
+                    // A member with prior state rebuilt from scratch:
+                    // its quantizer retrained on drifted rows, so the
+                    // calibrated nprobe no longer describes the index it
+                    // was measured on. Recalibrate next round.
+                    quantizer_invalidated = true;
+                }
             }
+            // Same staleness through the other door: a refresh whose
+            // growth-triggered retrain replaced the quantizer in place.
+            quantizer_invalidated |= info.retrained;
         };
 
         if self.pipeline_depth == 0 || n <= 1 {
@@ -286,6 +581,7 @@ impl RetrievalEngine {
                     &self.spec,
                     self.incremental_threshold,
                     prev[m].take(),
+                    if m == 0 { prebuilt0.take() } else { None },
                     views_r[m],
                     dim,
                 );
@@ -309,7 +605,8 @@ impl RetrievalEngine {
                 let (tx, rx) = pipeline::bounded(self.pipeline_depth);
                 s.spawn(move || {
                     for (m, view) in views_r.iter().enumerate() {
-                        let out = prepare_member(spec, threshold, prev[m].take(), view, dim);
+                        let pre = if m == 0 { prebuilt0.take() } else { None };
+                        let out = prepare_member(spec, threshold, prev[m].take(), pre, view, dim);
                         if tx.send(out).is_err() {
                             break;
                         }
@@ -329,6 +626,9 @@ impl RetrievalEngine {
         }
 
         self.members = states;
+        if quantizer_invalidated {
+            self.calibrated = false;
+        }
         if drift_samples > 0 {
             stats.mean_drift /= drift_samples as f64;
         }
@@ -507,6 +807,156 @@ mod tests {
         engine.retrieve_committee(&views(20, 2, 18), &views(10, 2, 19), DIM, 2, 100);
         assert_eq!(engine.last_round().rebuilt_members, 2);
         assert_eq!(engine.last_round().incremental_members, 0);
+    }
+
+    /// `members` views of a clustered corpus plus matching probe views:
+    /// `n_rows` points in `clusters` tight blobs (the shape committee
+    /// embeddings actually take), probes perturbed from corpus rows.
+    fn clustered_views(
+        n_rows: usize,
+        nq: usize,
+        members: usize,
+        clusters: usize,
+        seed: u64,
+    ) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<f32> = (0..clusters * DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let point = |i: usize, rng: &mut StdRng| -> Vec<f32> {
+            let c = i % clusters;
+            centers[c * DIM..(c + 1) * DIM]
+                .iter()
+                .map(|&x| x + rng.gen_range(-0.01f32..0.01))
+                .collect()
+        };
+        let mut vr = Vec::new();
+        let mut vs = Vec::new();
+        for _ in 0..members {
+            vr.push((0..n_rows).flat_map(|i| point(i, &mut rng)).collect());
+            vs.push((0..nq).flat_map(|i| point(i, &mut rng)).collect());
+        }
+        (vr, vs)
+    }
+
+    fn ivf_spec(nlist: usize, nprobe: usize) -> IndexSpec {
+        IndexSpec::IvfFlat(dial_ann::IvfParams { nlist, nprobe, ..Default::default() })
+    }
+
+    #[test]
+    fn tuner_is_deterministic_and_never_worse_than_static() {
+        let (vr, vs) = clustered_views(600, 120, 2, 12, 50);
+        let run = || {
+            let mut e =
+                RetrievalEngine::with_tuning(ivf_spec(24, 3), 0.0, 2, TuneConfig::default());
+            let cand = e.retrieve_committee(&vr, &vs, DIM, 5, 2_000);
+            (cand, e.last_tuning().cloned().expect("an IVF spec must calibrate"))
+        };
+        let (cand_a, a) = run();
+        let (cand_b, b) = run();
+        // Calibration determinism: same data, same chosen width, same
+        // measured recall at every step (latency is recorded but never
+        // consulted), same retrieved candidates.
+        assert_eq!(a.chosen_nprobe, b.chosen_nprobe);
+        assert_eq!(a.shards, b.shards);
+        let key = |t: &TuningOutcome| {
+            t.steps.iter().map(|s| (s.nprobe, s.recall.to_bits())).collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b));
+        assert_eq!(cand_a.pairs(), cand_b.pairs());
+        // The tuner never loses recall to the static default, and never
+        // scans more than the ceiling.
+        assert!(a.chosen_recall >= a.static_recall, "{a:?}");
+        assert!(a.chosen_nprobe <= a.nlist);
+        assert!(a.steps.iter().any(|s| s.nprobe == a.static_nprobe), "floor must be measured");
+        assert!(a.calibrate_secs > 0.0);
+    }
+
+    #[test]
+    fn tuner_calibrates_sharded_ivf_through_the_knob() {
+        let (vr, vs) = clustered_views(600, 100, 1, 10, 51);
+        let spec = ivf_spec(12, 2).sharded(2);
+        let mut e = RetrievalEngine::with_tuning(spec, 0.0, 0, TuneConfig::default());
+        e.retrieve_committee(&vr, &vs, DIM, 4, 1_000);
+        let t = e.last_tuning().expect("sharded IVF carries the knob");
+        assert_eq!(t.shards, 2);
+        assert!(t.chosen_recall >= t.static_recall);
+        assert!(t.nlist <= 12, "ceiling is the smallest per-shard nlist");
+    }
+
+    #[test]
+    fn tuning_is_a_noop_for_knobless_specs() {
+        // A flat spec (what auto resolves to below the size ceiling) has
+        // no nprobe knob: the armed tuner must retrieve bit-for-bit what
+        // the untuned engine does — `--auto-tune` off or on, today's
+        // static-auto candidate sets are reproduced exactly.
+        let vr = views(50, 2, 52);
+        let vs = views(30, 2, 53);
+        let mut tuned =
+            RetrievalEngine::with_tuning(IndexSpec::Flat, 0.0, 2, TuneConfig::default());
+        let mut plain = RetrievalEngine::new(IndexSpec::Flat, 0.0, 2);
+        let a = tuned.retrieve_committee(&vr, &vs, DIM, 3, 500);
+        let b = plain.retrieve_committee(&vr, &vs, DIM, 3, 500);
+        assert_eq!(a.pairs(), b.pairs());
+        assert!(tuned.last_tuning().is_none());
+    }
+
+    #[test]
+    fn quantizer_invalidating_rebuild_triggers_recalibration() {
+        let (vr, vs) = clustered_views(400, 80, 1, 8, 54);
+        let (vr2, vs2) = clustered_views(400, 80, 1, 8, 99); // different blobs
+        let mut e = RetrievalEngine::with_tuning(ivf_spec(16, 2), 1e-6, 0, TuneConfig::default());
+        e.retrieve_committee(&vr, &vs, DIM, 4, 1_000);
+        let first = e.last_tuning().cloned().unwrap();
+        // Fully drifted rows: the member rebuilds (quantizer retrains),
+        // which must invalidate the calibration...
+        e.retrieve_committee(&vr2, &vs2, DIM, 4, 1_000);
+        assert_eq!(e.last_round().rebuilt_members, 1);
+        // ...so the next round recalibrates against the new embeddings:
+        // its sweep matches a fresh engine calibrated on them directly,
+        // and the refreshed member probes at the recalibrated width (the
+        // candidates match a fresh engine's bit-for-bit).
+        let got = e.retrieve_committee(&vr2, &vs2, DIM, 4, 1_000);
+        let recal = e.last_tuning().cloned().unwrap();
+        let mut fresh =
+            RetrievalEngine::with_tuning(ivf_spec(16, 2), 1e-6, 0, TuneConfig::default());
+        let want_cand = fresh.retrieve_committee(&vr2, &vs2, DIM, 4, 1_000);
+        let want = fresh.last_tuning().cloned().unwrap();
+        let key = |t: &TuningOutcome| {
+            (
+                t.chosen_nprobe,
+                t.steps.iter().map(|s| (s.nprobe, s.recall.to_bits())).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(key(&recal), key(&want));
+        assert_eq!(got.pairs(), want_cand.pairs());
+        // Sanity: the record really was replaced (first round's steps
+        // were measured on the old blobs).
+        let _ = first;
+    }
+
+    #[test]
+    fn growth_retrain_during_refresh_invalidates_calibration() {
+        // An IVF index built over a tiny seed pool clamps nlist to it; a
+        // refresh that appends past RETRAIN_GROWTH retrains the
+        // quantizer in place (the probe-width ceiling changes), and the
+        // engine must recalibrate against the new quantizer.
+        let (vr, vs) = clustered_views(30, 40, 1, 6, 60);
+        let mut e =
+            RetrievalEngine::with_tuning(ivf_spec(64, 4), f64::MAX, 0, TuneConfig::default());
+        e.retrieve_committee(&vr, &vs, DIM, 3, 1_000);
+        let first = e.last_tuning().cloned().unwrap();
+        assert_eq!(first.nlist, 30, "build clamps nlist (and the ceiling) to the seed pool");
+        // Grow the member's view 5x: the in-place refresh retrains.
+        let mut grown = vr.clone();
+        grown[0].extend(views(120, 1, 61).remove(0));
+        e.retrieve_committee(&grown, &vs, DIM, 3, 1_000);
+        assert_eq!(e.last_round().incremental_members, 1, "growth must ride the refresh path");
+        // Next round: recalibrated, with the un-clamped ceiling.
+        e.retrieve_committee(&grown, &vs, DIM, 3, 1_000);
+        assert_eq!(
+            e.last_tuning().unwrap().nlist,
+            64,
+            "recalibration must see the retrained nlist"
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub use config::{
     SelectionStrategy,
 };
 pub use encode::{encode_list, ListEmbeddings};
-pub use engine::{EngineRoundStats, RetrievalEngine};
+pub use engine::{
+    recall_at_k, EngineRoundStats, RetrievalEngine, TuneConfig, TuneStep, TuningOutcome,
+};
 pub use eval::{all_pairs_prf, blocker_recall, test_prf, Prf};
 pub use matcher::{Matcher, MATCHER_PREFIX};
 pub use oracle::Oracle;
