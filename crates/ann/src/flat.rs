@@ -2,6 +2,7 @@
 
 use crate::kernels::{self, QUERY_BLOCK, ROW_BLOCK};
 use crate::metric::Metric;
+use crate::rowstore::{RowFormat, RowStore};
 use crate::topk::{Hit, TopK};
 use rayon::prelude::*;
 
@@ -15,19 +16,38 @@ use rayon::prelude::*;
 /// list sizes (thousands to a few hundred thousand records) this is
 /// competitive with approximate structures while being exact, which is
 /// why it is the default blocker index.
+///
+/// Rows live in a [`RowStore`]: the default [`RowFormat::F32`] scans the
+/// stored slice zero-copy (bitwise the pre-rowstore behaviour, so
+/// "exact" keeps meaning *exact*), while f16/bf16 halve scan bandwidth
+/// at the cost of per-component storage rounding — norms and distances
+/// are then computed from the decoded rows, so the index is exact *over
+/// what it stored*, and recall against f32 ground truth is a measured,
+/// gated property rather than a guarantee.
 #[derive(Debug, Clone)]
 pub struct FlatIndex {
     dim: usize,
     metric: Metric,
-    data: Vec<f32>,
-    /// Per-row kernel norms ([`kernels::metric_norms`] convention).
+    data: RowStore,
+    /// Per-row kernel norms ([`kernels::metric_norms`] convention),
+    /// computed from the rows as stored (i.e. decoded).
     norms: Vec<f32>,
 }
 
 impl FlatIndex {
     pub fn new(dim: usize, metric: Metric) -> Self {
+        Self::with_format(dim, metric, RowFormat::F32)
+    }
+
+    /// A flat index whose rows are stored in `format`.
+    pub fn with_format(dim: usize, metric: Metric, format: RowFormat) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        FlatIndex { dim, metric, data: Vec::new(), norms: Vec::new() }
+        FlatIndex { dim, metric, data: RowStore::new(dim, format), norms: Vec::new() }
+    }
+
+    /// Storage format of the rows.
+    pub fn row_format(&self) -> RowFormat {
+        self.data.format()
     }
 
     pub fn dim(&self) -> usize {
@@ -40,7 +60,7 @@ impl FlatIndex {
 
     /// Number of stored vectors.
     pub fn len(&self) -> usize {
-        self.data.len() / self.dim
+        self.data.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -51,8 +71,10 @@ impl FlatIndex {
     pub fn add(&mut self, v: &[f32]) -> u32 {
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
         let id = self.len() as u32;
-        self.data.extend_from_slice(v);
-        self.norms.push(kernels::metric_norm(self.metric, v));
+        self.data.push_rows(v);
+        let mut scratch = Vec::new();
+        let dec = self.data.decoded_range(id as usize, 1, &mut scratch);
+        self.norms.push(kernels::metric_norm(self.metric, dec));
         id
     }
 
@@ -70,10 +92,14 @@ impl FlatIndex {
     pub fn add_batch(&mut self, flat: &[f32]) {
         if self.data.is_empty() && !flat.is_empty() && !flat.len().is_multiple_of(self.dim) {
             self.dim = flat.len();
+            self.data.set_dim(self.dim);
         }
         crate::metric::assert_packed(flat.len(), self.dim);
-        self.data.extend_from_slice(flat);
-        self.norms.extend(kernels::metric_norms(self.metric, flat, self.dim));
+        let row0 = self.len();
+        self.data.push_rows(flat);
+        let mut scratch = Vec::new();
+        let dec = self.data.decoded_range(row0, self.len() - row0, &mut scratch);
+        self.norms.extend(kernels::metric_norms(self.metric, dec, self.dim));
     }
 
     /// Overwrite the stored vector `id` in place, recomputing its kernel
@@ -84,9 +110,10 @@ impl FlatIndex {
     pub fn overwrite(&mut self, id: u32, v: &[f32]) {
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
         assert!((id as usize) < self.len(), "overwrite id {id} out of range");
-        let i = id as usize * self.dim;
-        self.data[i..i + self.dim].copy_from_slice(v);
-        self.norms[id as usize] = kernels::metric_norm(self.metric, v);
+        self.data.overwrite_row(id, v);
+        let mut scratch = Vec::new();
+        let dec = self.data.decoded_range(id as usize, 1, &mut scratch);
+        self.norms[id as usize] = kernels::metric_norm(self.metric, dec);
     }
 
     /// Incremental update to match `data` (the full new packed row set):
@@ -109,10 +136,13 @@ impl FlatIndex {
         true
     }
 
-    /// Stored vector by id.
+    /// Stored vector by id. Only meaningful for [`RowFormat::F32`]
+    /// stores (a compressed row has no full-width slice to borrow); the
+    /// callers — the pre-kernel scalar oracle below — are f32-only.
     pub fn vector(&self, id: u32) -> &[f32] {
+        let data = self.data.as_f32().expect("vector(): rows are stored compressed, not f32");
         let i = id as usize * self.dim;
-        &self.data[i..i + self.dim]
+        &data[i..i + self.dim]
     }
 
     /// Exact top-`k` nearest vectors to `query`, via the blocked kernel
@@ -142,12 +172,22 @@ impl FlatIndex {
         let q_norms = kernels::metric_norms(self.metric, queries, self.dim);
         let mut tops: Vec<TopK> = (0..nq).map(|_| TopK::new(k)).collect();
         let mut tile = vec![0.0f32; nq * ROW_BLOCK];
+        let n = self.len();
         let mut base = 0usize;
-        for rows in self.data.chunks(self.dim * ROW_BLOCK) {
-            let nr = rows.len() / self.dim;
+        while base < n {
+            let nr = (n - base).min(ROW_BLOCK);
+            let rows = self.data.view_range(base, nr);
             let r_norms = &self.norms[base..base + nr];
             let tile = &mut tile[..nq * nr];
-            kernels::distance_batch(self.metric, queries, &q_norms, rows, r_norms, self.dim, tile);
+            kernels::distance_batch_rows(
+                self.metric,
+                queries,
+                &q_norms,
+                rows,
+                r_norms,
+                self.dim,
+                tile,
+            );
             for (qi, top) in tops.iter_mut().enumerate() {
                 for (j, &d) in tile[qi * nr..(qi + 1) * nr].iter().enumerate() {
                     top.push((base + j) as u32, d);
@@ -245,6 +285,25 @@ mod tests {
         let hits = ix.search(&[1.0, 2.0, 3.0], 1);
         assert_eq!(hits[0].id, 0);
         assert_eq!(hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn compressed_rows_keep_neighbours_and_exact_self_match() {
+        for format in [RowFormat::F16, RowFormat::Bf16] {
+            let mut ix = FlatIndex::with_format(2, Metric::L2, format);
+            for x in 0..10 {
+                ix.add(&[x as f32, 0.0]);
+            }
+            assert_eq!(ix.row_format(), format);
+            let hits = ix.search(&[3.2, 0.0], 3);
+            let ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
+            assert_eq!(ids, vec![3, 4, 2], "{format:?}");
+            // Small integers encode exactly in both half formats, so a
+            // self-match still scores exactly zero.
+            let hits = ix.search(&[7.0, 0.0], 1);
+            assert_eq!(hits[0].id, 7);
+            assert_eq!(hits[0].distance, 0.0, "{format:?}");
+        }
     }
 
     #[test]

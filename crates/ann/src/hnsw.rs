@@ -141,6 +141,13 @@ impl HnswIndex {
         self.params.ef_search = ef.max(1);
     }
 
+    /// The tuner's beam knob: `(ceiling, current ef_search)`. The beam
+    /// cannot usefully exceed the node count, so that is the sweep
+    /// ceiling (mirroring `nprobe`'s `nlist` ceiling on IVF).
+    pub fn ef_search_knob(&self) -> (usize, usize) {
+        (self.len().max(1), self.params.ef_search)
+    }
+
     fn vector(&self, id: u32) -> &[f32] {
         let i = id as usize * self.dim;
         &self.data[i..i + self.dim]

@@ -13,6 +13,7 @@ use crate::hnsw::{HnswIndex, HnswParams};
 use crate::ivf::{IvfFlatIndex, IvfParams};
 use crate::metric::Metric;
 use crate::pq::PqIndex;
+use crate::rowstore::RowFormat;
 use crate::sharded::ShardedIndex;
 use crate::topk::Hit;
 
@@ -98,6 +99,27 @@ pub trait AnnIndex: Send + Sync {
     /// child has one, so a partial retune is impossible.
     fn set_nprobe(&mut self, nprobe: usize) -> bool {
         let _ = nprobe;
+        false
+    }
+
+    /// The HNSW beam-width tuning knob, when this index is HNSW-backed
+    /// (directly, or every shard of a composite): `(max, current)` where
+    /// `max` is the largest meaningful `ef_search` (the smallest shard's
+    /// node count) and `current` is the beam width probes run at now.
+    /// `None` for families without an `ef_search` trade-off. Mirrors
+    /// [`nprobe_knob`](AnnIndex::nprobe_knob) so the auto-tuner can sweep
+    /// either family through one code path.
+    fn ef_search_knob(&self) -> Option<(usize, usize)> {
+        None
+    }
+
+    /// Set the HNSW beam width
+    /// ([`ef_search_knob`](AnnIndex::ef_search_knob)). Returns `false` —
+    /// and changes nothing — when the index has no such knob; composites
+    /// refuse unless *every* child has one, so a partial retune is
+    /// impossible.
+    fn set_ef_search(&mut self, ef: usize) -> bool {
+        let _ = ef;
         false
     }
 
@@ -218,6 +240,13 @@ impl AnnIndex for HnswIndex {
     fn add_batch(&mut self, flat: &[f32]) {
         HnswIndex::add_batch(self, flat)
     }
+    fn ef_search_knob(&self) -> Option<(usize, usize)> {
+        Some(HnswIndex::ef_search_knob(self))
+    }
+    fn set_ef_search(&mut self, ef: usize) -> bool {
+        HnswIndex::set_ef_search(self, ef);
+        true
+    }
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         HnswIndex::search(self, query, k)
     }
@@ -315,6 +344,52 @@ impl IndexSpec {
         }
     }
 
+    /// The HNSW parameters this spec builds with, when it is HNSW-backed
+    /// — directly or through any depth of [`IndexSpec::Sharded`]
+    /// wrapping. `None` for every other family.
+    pub fn hnsw_params(&self) -> Option<&HnswParams> {
+        match self {
+            IndexSpec::Hnsw(p) => Some(p),
+            IndexSpec::Sharded { inner, .. } => inner.hnsw_params(),
+            _ => None,
+        }
+    }
+
+    /// Rewrite the `ef_search` an HNSW-backed spec builds with (floored
+    /// at 1 — there is no static ceiling: the meaningful maximum depends
+    /// on the built index's node count, which the index-level knob
+    /// reports). Returns `false` for specs without an HNSW core.
+    pub fn set_hnsw_ef_search(&mut self, ef: usize) -> bool {
+        match self {
+            IndexSpec::Hnsw(p) => {
+                p.ef_search = ef.max(1);
+                true
+            }
+            IndexSpec::Sharded { inner, .. } => inner.set_hnsw_ef_search(ef),
+            _ => false,
+        }
+    }
+
+    /// The recall/latency knob this spec exposes to the auto-tuner, as
+    /// `(knob name, current width)`: `("nprobe", ..)` for IVF-backed
+    /// specs, `("ef_search", ..)` for HNSW-backed ones, `None` for
+    /// knobless families (Flat, PQ) — the tuner skips those.
+    pub fn knob_params(&self) -> Option<(&'static str, usize)> {
+        if let Some(p) = self.ivf_params() {
+            return Some(("nprobe", p.nprobe));
+        }
+        self.hnsw_params().map(|p| ("ef_search", p.ef_search))
+    }
+
+    /// Route a tuned width to whichever knob this spec has
+    /// ([`IndexSpec::knob_params`]); `false` for knobless specs.
+    pub fn set_knob_width(&mut self, width: usize) -> bool {
+        if self.ivf_params().is_some() {
+            return self.set_ivf_nprobe(width);
+        }
+        self.set_hnsw_ef_search(width)
+    }
+
     /// Build an index of this family over packed row-major `data`.
     ///
     /// Panics if `dim == 0`, or if `data.len()` is not a multiple of `dim`
@@ -326,21 +401,38 @@ impl IndexSpec {
     /// round-robin distribution is already in place when rows arrive via
     /// `add_batch`.
     pub fn build(&self, data: &[f32], dim: usize, metric: Metric) -> Box<dyn AnnIndex> {
+        self.build_rows(data, dim, metric, RowFormat::F32)
+    }
+
+    /// [`IndexSpec::build`] with scan rows stored in `rows`. The scan
+    /// families (Flat, IVF-Flat, and Sharded over them) store packed
+    /// rows in that format; PQ and HNSW ignore it — PQ stores trained
+    /// codes, not rows, and the graph family keeps full-width rows for
+    /// its traversal-order-sensitive distance evaluations.
+    pub fn build_rows(
+        &self,
+        data: &[f32],
+        dim: usize,
+        metric: Metric,
+        rows: RowFormat,
+    ) -> Box<dyn AnnIndex> {
         assert!(dim > 0, "index dimension must be positive");
         crate::metric::assert_packed(data.len(), dim);
         if let IndexSpec::Sharded { inner, shards } = self {
-            return Box::new(ShardedIndex::build(inner, *shards, data, dim, metric));
+            return Box::new(ShardedIndex::build_rows(inner, *shards, data, dim, metric, rows));
         }
         if data.is_empty() {
-            return Box::new(FlatIndex::new(dim, metric));
+            return Box::new(FlatIndex::with_format(dim, metric, rows));
         }
         match self {
             IndexSpec::Flat => {
-                let mut ix = FlatIndex::new(dim, metric);
+                let mut ix = FlatIndex::with_format(dim, metric, rows);
                 ix.add_batch(data);
                 Box::new(ix)
             }
-            IndexSpec::IvfFlat(params) => Box::new(IvfFlatIndex::build(data, dim, metric, *params)),
+            IndexSpec::IvfFlat(params) => {
+                Box::new(IvfFlatIndex::build_rows(data, dim, metric, *params, rows))
+            }
             IndexSpec::Pq(params) => {
                 let nbits = params.nbits.clamp(1, 8);
                 Box::new(PqIndex::build(
@@ -487,5 +579,61 @@ mod tests {
         assert_eq!(clamp_subspaces(30, 8), 6);
         assert_eq!(clamp_subspaces(7, 4), 1);
         assert_eq!(clamp_subspaces(6, 100), 6);
+    }
+
+    #[test]
+    fn knob_params_names_the_right_knob_per_family() {
+        let mut ivf = IndexSpec::IvfFlat(IvfParams { nlist: 8, nprobe: 2, ..Default::default() });
+        assert_eq!(ivf.knob_params(), Some(("nprobe", 2)));
+        assert!(ivf.set_knob_width(5));
+        assert_eq!(ivf.knob_params(), Some(("nprobe", 5)));
+
+        let mut hnsw = IndexSpec::Hnsw(HnswParams { ef_search: 12, ..Default::default() });
+        assert_eq!(hnsw.knob_params(), Some(("ef_search", 12)));
+        assert!(hnsw.set_knob_width(40));
+        assert_eq!(hnsw.knob_params(), Some(("ef_search", 40)));
+        // Unlike nprobe (capped at nlist), ef_search has no static
+        // ceiling in the spec — only the 1 floor.
+        assert!(hnsw.set_knob_width(0));
+        assert_eq!(hnsw.knob_params(), Some(("ef_search", 1)));
+
+        // Sharded wrapping routes through to the core spec.
+        let mut wrapped = hnsw.sharded(3);
+        assert_eq!(wrapped.knob_params(), Some(("ef_search", 1)));
+        assert!(wrapped.set_knob_width(9));
+        assert_eq!(wrapped.knob_params(), Some(("ef_search", 9)));
+
+        // Knobless families report none and refuse widths.
+        for mut spec in [IndexSpec::Flat, IndexSpec::Pq(PqParams::default())] {
+            assert_eq!(spec.knob_params(), None);
+            assert!(!spec.set_knob_width(5));
+        }
+    }
+
+    #[test]
+    fn build_rows_stores_compressed_rows_for_scan_families() {
+        use crate::rowstore::{f16_to_f32, f32_to_f16};
+        let dim = 4;
+        let data = random_data(60, dim, 21);
+        // Flat and Sharded(Flat) built over f16 rows must both rank
+        // against the *decoded* rows — identical hits, exact distances
+        // against a flat index fed the decoded data directly.
+        let decoded: Vec<f32> = data.iter().map(|&x| f16_to_f32(f32_to_f16(x))).collect();
+        let oracle = IndexSpec::Flat.build(&decoded, dim, Metric::L2);
+        for spec in [IndexSpec::Flat, IndexSpec::Flat.sharded(3)] {
+            let ix = spec.build_rows(&data, dim, Metric::L2, RowFormat::F16);
+            assert_eq!(ix.len(), 60);
+            for qi in [0usize, 17, 59] {
+                let q = &data[qi * dim..(qi + 1) * dim];
+                assert_eq!(ix.search(q, 5), oracle.search(q, 5), "{} qi={qi}", spec.name());
+            }
+        }
+        // Graph/quantized families ignore the row format: HNSW built
+        // with f16 requested still matches its f32 build bitwise.
+        let spec = IndexSpec::Hnsw(HnswParams::default());
+        let a = spec.build_rows(&data, dim, Metric::L2, RowFormat::F16);
+        let b = spec.build(&data, dim, Metric::L2);
+        let q = &data[0..dim];
+        assert_eq!(a.search(q, 5), b.search(q, 5));
     }
 }

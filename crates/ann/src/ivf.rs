@@ -8,6 +8,7 @@
 use crate::kernels;
 use crate::kmeans::{kmeans, KMeans};
 use crate::metric::Metric;
+use crate::rowstore::{RowFormat, RowStore};
 use crate::topk::{Hit, TopK};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,8 +50,12 @@ pub struct IvfFlatIndex {
     quantizer: KMeans,
     /// Per-list vector ids.
     lists: Vec<Vec<u32>>,
-    /// Original vectors, packed (ids index into this).
-    data: Vec<f32>,
+    /// Original vectors, packed in the configured [`RowFormat`] (ids
+    /// index into this). Norms and the coarse quantizer are derived from
+    /// the rows *as stored* (decoded), so probe arithmetic, training,
+    /// and growth retrains stay mutually consistent; for f32 the store
+    /// is bitwise the input and nothing changes.
+    data: RowStore,
     /// Per-row kernel norms ([`kernels::metric_norms`] convention),
     /// maintained through [`IvfFlatIndex::add_batch`].
     row_norms: Vec<f32>,
@@ -85,7 +90,21 @@ impl IvfFlatIndex {
     /// Train the coarse quantizer on `data` and build the inverted lists.
     /// `nlist` is clamped to the number of vectors (and un-clamped again
     /// by growth-triggered retraining, see [`RETRAIN_GROWTH`]).
-    pub fn build(data: &[f32], dim: usize, metric: Metric, mut params: IvfParams) -> Self {
+    pub fn build(data: &[f32], dim: usize, metric: Metric, params: IvfParams) -> Self {
+        Self::build_rows(data, dim, metric, params, RowFormat::F32)
+    }
+
+    /// [`IvfFlatIndex::build`] with rows stored in `format`. The coarse
+    /// quantizer trains on the rows as stored (decoded), so assignment
+    /// at probe time agrees with training — and for f32 this is bitwise
+    /// the historical build.
+    pub fn build_rows(
+        data: &[f32],
+        dim: usize,
+        metric: Metric,
+        mut params: IvfParams,
+        format: RowFormat,
+    ) -> Self {
         assert!(dim > 0 && data.len().is_multiple_of(dim), "bad packed data");
         let n = data.len() / dim;
         assert!(n > 0, "cannot build an IVF index over zero vectors");
@@ -93,13 +112,20 @@ impl IvfFlatIndex {
         params.nlist = params.nlist.min(n).max(1);
         params.nprobe = params.nprobe.min(params.nlist).max(1);
 
+        let mut store = RowStore::new(dim, format);
+        store.push_rows(data);
         let mut rng = StdRng::seed_from_u64(params.seed);
-        let quantizer = kmeans(data, dim, params.nlist, params.train_iters, &mut rng);
+        let mut scratch = Vec::new();
+        let (quantizer, row_norms) = {
+            let rows = store.decoded_all(&mut scratch);
+            let quantizer = kmeans(rows, dim, params.nlist, params.train_iters, &mut rng);
+            let row_norms = kernels::metric_norms(metric, rows, dim);
+            (quantizer, row_norms)
+        };
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); params.nlist];
         for (i, &a) in quantizer.assignments.iter().enumerate() {
             lists[a as usize].push(i as u32);
         }
-        let row_norms = kernels::metric_norms(metric, data, dim);
         let row_list = quantizer.assignments.clone();
         IvfFlatIndex {
             dim,
@@ -107,7 +133,7 @@ impl IvfFlatIndex {
             params,
             quantizer,
             lists,
-            data: data.to_vec(),
+            data: store,
             row_norms,
             row_list,
             requested_nlist,
@@ -115,6 +141,11 @@ impl IvfFlatIndex {
             trained_rows: n,
             generation: 0,
         }
+    }
+
+    /// Storage format of the rows.
+    pub fn row_format(&self) -> RowFormat {
+        self.data.format()
     }
 
     /// How many times the coarse quantizer has been retrained since
@@ -129,7 +160,7 @@ impl IvfFlatIndex {
     }
 
     pub fn len(&self) -> usize {
-        self.data.len() / self.dim
+        self.data.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -149,11 +180,15 @@ impl IvfFlatIndex {
     pub fn add(&mut self, v: &[f32]) -> u32 {
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
         let id = self.len() as u32;
-        let list = self.quantizer.nearest_centroid(v);
+        self.data.push_rows(v);
+        let mut scratch = Vec::new();
+        let (list, norm) = {
+            let dec = self.data.decoded_range(id as usize, 1, &mut scratch);
+            (self.quantizer.nearest_centroid(dec), kernels::metric_norm(self.metric, dec))
+        };
         self.lists[list as usize].push(id);
         self.row_list.push(list);
-        self.data.extend_from_slice(v);
-        self.row_norms.push(kernels::metric_norm(self.metric, v));
+        self.row_norms.push(norm);
         id
     }
 
@@ -165,26 +200,38 @@ impl IvfFlatIndex {
         crate::metric::assert_packed(flat.len(), self.dim);
         const BLOCK: usize = 64;
         let k = self.params.nlist;
+        let row0 = self.len();
+        let n_new = flat.len() / self.dim;
+        self.data.push_rows(flat);
         let mut tile = vec![0.0f32; BLOCK * k];
-        for rows in flat.chunks(self.dim * BLOCK) {
-            let nr = rows.len() / self.dim;
-            let row_sq = kernels::sq_norms(rows, self.dim);
-            kernels::sq_l2_batch(
-                rows,
-                &row_sq,
-                &self.quantizer.centroids,
-                &self.quantizer.centroid_sq,
-                self.dim,
-                &mut tile[..nr * k],
-            );
-            for (row, dists) in rows.chunks(self.dim).zip(tile[..nr * k].chunks(k)) {
-                let id = self.len() as u32;
-                let list = kernels::argmin(dists);
+        let mut scratch = Vec::new();
+        let mut b0 = 0usize;
+        while b0 < n_new {
+            let nr = (n_new - b0).min(BLOCK);
+            // Assignment runs over the rows as stored (decoded), like
+            // training did; for f32 the decoded block is the input.
+            let (assignments, norms) = {
+                let rows = self.data.decoded_range(row0 + b0, nr, &mut scratch);
+                let row_sq = kernels::sq_norms(rows, self.dim);
+                kernels::sq_l2_batch(
+                    rows,
+                    &row_sq,
+                    &self.quantizer.centroids,
+                    &self.quantizer.centroid_sq,
+                    self.dim,
+                    &mut tile[..nr * k],
+                );
+                let assignments: Vec<usize> =
+                    tile[..nr * k].chunks(k).map(kernels::argmin).collect();
+                (assignments, kernels::metric_norms(self.metric, rows, self.dim))
+            };
+            for (j, (list, norm)) in assignments.into_iter().zip(norms).enumerate() {
+                let id = (row0 + b0 + j) as u32;
                 self.lists[list].push(id);
                 self.row_list.push(list as u32);
-                self.data.extend_from_slice(row);
-                self.row_norms.push(kernels::metric_norm(self.metric, row));
+                self.row_norms.push(norm);
             }
+            b0 += nr;
         }
         // Batch growth (the engine's streaming path) checks the retrain
         // trigger once per batch; per-row `add` stays assignment-only so
@@ -211,8 +258,11 @@ impl IvfFlatIndex {
         self.params.nlist = self.requested_nlist.min(n).max(1);
         self.params.nprobe = self.requested_nprobe.min(self.params.nlist).max(1);
         let mut rng = StdRng::seed_from_u64(self.params.seed);
-        self.quantizer =
-            kmeans(&self.data, self.dim, self.params.nlist, self.params.train_iters, &mut rng);
+        let mut scratch = Vec::new();
+        self.quantizer = {
+            let rows = self.data.decoded_all(&mut scratch);
+            kmeans(rows, self.dim, self.params.nlist, self.params.train_iters, &mut rng)
+        };
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); self.params.nlist];
         for (i, &a) in self.quantizer.assignments.iter().enumerate() {
             lists[a as usize].push(i as u32);
@@ -230,8 +280,13 @@ impl IvfFlatIndex {
     pub fn overwrite(&mut self, id: u32, v: &[f32]) {
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
         assert!((id as usize) < self.len(), "overwrite id {id} out of range");
+        self.data.overwrite_row(id, v);
+        let mut scratch = Vec::new();
+        let (new_list, norm) = {
+            let dec = self.data.decoded_range(id as usize, 1, &mut scratch);
+            (self.quantizer.nearest_centroid(dec), kernels::metric_norm(self.metric, dec))
+        };
         let old_list = self.row_list[id as usize] as usize;
-        let new_list = self.quantizer.nearest_centroid(v);
         if new_list as usize != old_list {
             let pos = self.lists[old_list]
                 .iter()
@@ -247,9 +302,7 @@ impl IvfFlatIndex {
             dst.insert(at, id);
             self.row_list[id as usize] = new_list;
         }
-        let i = id as usize * self.dim;
-        self.data[i..i + self.dim].copy_from_slice(v);
-        self.row_norms[id as usize] = kernels::metric_norm(self.metric, v);
+        self.row_norms[id as usize] = norm;
     }
 
     /// Incremental update to match `data` (full new packed row set): rows
@@ -288,22 +341,56 @@ impl IvfFlatIndex {
         let q_norm = kernels::metric_norm(self.metric, query);
         let mut top = TopK::new(k);
         let mut block = Vec::new();
-        for list in self.quantizer.nearest_centroids(query, self.params.nprobe) {
-            let ids = &self.lists[list as usize];
-            block.clear();
-            block.resize(ids.len(), 0.0);
-            kernels::distance_gather(
-                self.metric,
-                query,
-                q_norm,
-                &self.data,
-                &self.row_norms,
-                self.dim,
-                ids,
-                &mut block,
-            );
-            for (&id, &d) in ids.iter().zip(&block) {
-                top.push(id, d);
+        match self.data.as_f32() {
+            // f32 rows: the gathered kernel scans the store zero-copy
+            // against the cached norms, exactly as before.
+            Some(data) => {
+                for list in self.quantizer.nearest_centroids(query, self.params.nprobe) {
+                    let ids = &self.lists[list as usize];
+                    block.clear();
+                    block.resize(ids.len(), 0.0);
+                    kernels::distance_gather(
+                        self.metric,
+                        query,
+                        q_norm,
+                        data,
+                        &self.row_norms,
+                        self.dim,
+                        ids,
+                        &mut block,
+                    );
+                    for (&id, &d) in ids.iter().zip(&block) {
+                        top.push(id, d);
+                    }
+                }
+            }
+            // Compressed rows: gather each probed list's rows (decoded)
+            // and its *cached* norms into contiguous scratch, then score
+            // as a one-query tile — norms are never recomputed from row
+            // data at probe time.
+            None => {
+                let mut rowbuf = Vec::new();
+                let mut normbuf = Vec::new();
+                for list in self.quantizer.nearest_centroids(query, self.params.nprobe) {
+                    let ids = &self.lists[list as usize];
+                    self.data.gather_decoded(ids, &mut rowbuf);
+                    normbuf.clear();
+                    normbuf.extend(ids.iter().map(|&id| self.row_norms[id as usize]));
+                    block.clear();
+                    block.resize(ids.len(), 0.0);
+                    kernels::distance_batch(
+                        self.metric,
+                        query,
+                        &[q_norm],
+                        &rowbuf,
+                        &normbuf,
+                        self.dim,
+                        &mut block,
+                    );
+                    for (&id, &d) in ids.iter().zip(&block) {
+                        top.push(id, d);
+                    }
+                }
             }
         }
         top.into_sorted()
@@ -469,6 +556,46 @@ mod tests {
         ix.add_batch(&random_data(100, dim, 34));
         assert_eq!(ix.params().nlist, 16);
         assert_eq!(ix.params().nprobe, 12, "retrain must keep the tuned width");
+    }
+
+    #[test]
+    fn compressed_full_probe_matches_compressed_flat() {
+        // At nprobe == nlist the IVF scan covers every row, and the
+        // gathered compressed path must score bitwise like the flat
+        // fused tiles over the same stored (decoded) rows.
+        let dim = 8;
+        let data = random_data(300, dim, 51);
+        for format in [RowFormat::F16, RowFormat::Bf16] {
+            let params = IvfParams { nlist: 8, nprobe: 8, ..Default::default() };
+            let ivf = IvfFlatIndex::build_rows(&data, dim, Metric::L2, params, format);
+            assert_eq!(ivf.row_format(), format);
+            let mut flat = FlatIndex::with_format(dim, Metric::L2, format);
+            flat.add_batch(&data);
+            for qi in [0usize, 123, 299] {
+                let q = &data[qi * dim..(qi + 1) * dim];
+                assert_eq!(ivf.search(q, 10), flat.search(q, 10), "{format:?} qi={qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_growth_retrain_matches_fresh_compressed_build() {
+        // The retrain path trains on decoded rows, so growing a
+        // compressed index reproduces a fresh compressed build exactly.
+        let dim = 8;
+        let seed_pool = random_data(20, dim, 61);
+        let grown = random_data(380, dim, 62);
+        let params = IvfParams { nlist: 16, nprobe: 4, ..Default::default() };
+        let mut ix = IvfFlatIndex::build_rows(&seed_pool, dim, Metric::L2, params, RowFormat::F16);
+        ix.add_batch(&grown);
+        let mut all = seed_pool.clone();
+        all.extend_from_slice(&grown);
+        let fresh = IvfFlatIndex::build_rows(&all, dim, Metric::L2, params, RowFormat::F16);
+        assert_eq!(ix.params(), fresh.params());
+        for qi in [0usize, 25, 399] {
+            let q = &all[qi * dim..(qi + 1) * dim];
+            assert_eq!(ix.search(q, 7), fresh.search(q, 7), "qi={qi}");
+        }
     }
 
     #[test]

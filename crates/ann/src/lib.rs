@@ -23,7 +23,12 @@
 //! [`kernels`] — norm-decomposed, lane-accumulated query-block × row-block
 //! tiles with per-index precomputed row norms — rather than one scalar
 //! [`Metric::distance`](metric::Metric::distance) call per `(query, row)`
-//! pair.
+//! pair. The kernels dispatch at runtime to explicit SIMD (AVX2 on
+//! x86-64, NEON on aarch64) with the autovectorized loops as a
+//! bitwise-identical fallback, and the scan families (Flat, IVF-Flat,
+//! Sharded) can store rows half-width ([`rowstore`]: f16 / bf16) to
+//! halve scan memory traffic, trading exact-ranking parity for a
+//! recall-gated approximation.
 //!
 //! All families implement the object-safe [`AnnIndex`] trait and build
 //! through [`IndexSpec`], so the backend is a runtime choice —
@@ -41,6 +46,7 @@ pub mod kernels;
 pub mod kmeans;
 pub mod metric;
 pub mod pq;
+pub mod rowstore;
 pub mod sharded;
 pub mod topk;
 
@@ -48,9 +54,12 @@ pub use flat::FlatIndex;
 pub use hnsw::{HnswIndex, HnswParams};
 pub use index::{AnnIndex, IndexSpec, PqParams};
 pub use ivf::{IvfFlatIndex, IvfParams, RETRAIN_GROWTH};
-pub use kernels::{cosine_batch, sq_l2_batch};
+pub use kernels::{
+    cosine_batch, force_scalar, set_force_scalar, simd_label, simd_level, sq_l2_batch, SimdLevel,
+};
 pub use kmeans::{kmeans, kmeans_pp_seed, KMeans};
 pub use metric::{normalize, sq_l2, Metric};
 pub use pq::{PqIndex, ProductQuantizer};
+pub use rowstore::{RowFormat, RowStore, RowsView};
 pub use sharded::ShardedIndex;
 pub use topk::{merge_topk, Hit, TopK};

@@ -18,6 +18,7 @@
 use crate::flat::FlatIndex;
 use crate::index::{AnnIndex, IndexSpec};
 use crate::metric::Metric;
+use crate::rowstore::RowFormat;
 use crate::topk::{merge_topk, Hit};
 use rayon::prelude::*;
 
@@ -25,6 +26,7 @@ use rayon::prelude::*;
 pub struct ShardedIndex {
     dim: usize,
     metric: Metric,
+    rows: RowFormat,
     children: Vec<Box<dyn AnnIndex>>,
 }
 
@@ -40,6 +42,20 @@ impl ShardedIndex {
         dim: usize,
         metric: Metric,
     ) -> Self {
+        Self::build_rows(inner, shards, data, dim, metric, RowFormat::F32)
+    }
+
+    /// [`ShardedIndex::build`] with every child storing its scan rows in
+    /// `rows` (remembered so empty children re-dimmed on a later
+    /// [`ShardedIndex::add_batch`] keep the same storage format).
+    pub fn build_rows(
+        inner: &IndexSpec,
+        shards: usize,
+        data: &[f32],
+        dim: usize,
+        metric: Metric,
+        rows: RowFormat,
+    ) -> Self {
         assert!(dim > 0, "index dimension must be positive");
         crate::metric::assert_packed(data.len(), dim);
         let shards = shards.max(1);
@@ -49,8 +65,8 @@ impl ShardedIndex {
             bufs[g % shards].extend_from_slice(row);
         }
         let children: Vec<Box<dyn AnnIndex>> =
-            bufs.par_iter().map(|b| inner.build(b, dim, metric)).collect();
-        ShardedIndex { dim, metric, children }
+            bufs.par_iter().map(|b| inner.build_rows(b, dim, metric, rows)).collect();
+        ShardedIndex { dim, metric, rows, children }
     }
 
     pub fn dim(&self) -> usize {
@@ -164,6 +180,34 @@ impl ShardedIndex {
         true
     }
 
+    /// The composite HNSW beam-width knob: `Some` only when *every*
+    /// child exposes one, reporting the smallest per-shard ceiling (the
+    /// smallest shard's node count) and the first child's current
+    /// `ef_search`. Mirrors [`ShardedIndex::nprobe_knob`].
+    pub fn ef_search_knob(&self) -> Option<(usize, usize)> {
+        let mut ceiling = usize::MAX;
+        let mut current = None;
+        for child in &self.children {
+            let (c_max, c_cur) = child.ef_search_knob()?;
+            ceiling = ceiling.min(c_max);
+            current.get_or_insert(c_cur);
+        }
+        current.map(|cur| (ceiling, cur))
+    }
+
+    /// Route a beam-width override to every shard; refused (and nothing
+    /// changed) unless all children carry the knob, so the shards can
+    /// never end up probing at mixed beam widths.
+    pub fn set_ef_search(&mut self, ef: usize) -> bool {
+        if self.ef_search_knob().is_none() {
+            return false;
+        }
+        for child in &mut self.children {
+            child.set_ef_search(ef);
+        }
+        true
+    }
+
     /// Incremental update to match `data` (the full new packed row set,
     /// in *global* row order): each changed global id is routed to its
     /// shard as a local overwrite, appended rows continue the round-robin.
@@ -246,7 +290,7 @@ impl ShardedIndex {
             // round-robin split of the *next* batch.
             self.dim = flat.len();
             for child in self.children.iter_mut() {
-                *child = Box::new(FlatIndex::new(self.dim, self.metric));
+                *child = Box::new(FlatIndex::with_format(self.dim, self.metric, self.rows));
             }
         }
         crate::metric::assert_packed(flat.len(), self.dim);
@@ -288,6 +332,12 @@ impl AnnIndex for ShardedIndex {
     }
     fn set_nprobe(&mut self, nprobe: usize) -> bool {
         ShardedIndex::set_nprobe(self, nprobe)
+    }
+    fn ef_search_knob(&self) -> Option<(usize, usize)> {
+        ShardedIndex::ef_search_knob(self)
+    }
+    fn set_ef_search(&mut self, ef: usize) -> bool {
+        ShardedIndex::set_ef_search(self, ef)
     }
     fn train_generation(&self) -> u64 {
         self.children.iter().map(|c| c.train_generation()).sum()
@@ -466,6 +516,30 @@ mod tests {
         let mut flat = ShardedIndex::build(&IndexSpec::Flat, 3, &data, dim, Metric::L2);
         assert_eq!(flat.nprobe_knob(), None);
         assert!(!flat.set_nprobe(5));
+    }
+
+    #[test]
+    fn ef_search_knob_routes_to_every_shard() {
+        use crate::hnsw::HnswParams;
+        let dim = 4;
+        let data = random_data(90, dim, 17);
+        let hnsw = IndexSpec::Hnsw(HnswParams { ef_search: 12, ..Default::default() });
+        let mut ix = ShardedIndex::build(&hnsw, 3, &data, dim, Metric::L2);
+        // Ceiling is the smallest shard's node count: 90 rows over 3
+        // shards is an even 30-per-shard split.
+        assert_eq!(ix.ef_search_knob(), Some((30, 12)));
+        assert!(ix.set_ef_search(25));
+        assert_eq!(ix.ef_search_knob(), Some((30, 25)));
+        // IVF shards have a probe knob, not a beam knob; and flat shards
+        // have neither. The composite refuses both, untouched.
+        use crate::ivf::IvfParams;
+        let ivf = IndexSpec::IvfFlat(IvfParams { nlist: 8, nprobe: 2, ..Default::default() });
+        let mut ivf_ix = ShardedIndex::build(&ivf, 3, &data, dim, Metric::L2);
+        assert_eq!(ivf_ix.ef_search_knob(), None);
+        assert!(!ivf_ix.set_ef_search(5));
+        let mut flat = ShardedIndex::build(&IndexSpec::Flat, 3, &data, dim, Metric::L2);
+        assert_eq!(flat.ef_search_knob(), None);
+        assert!(!flat.set_ef_search(5));
     }
 
     #[test]

@@ -2,14 +2,18 @@
 
 use dial_ann::{
     kernels, kmeans, sq_l2, FlatIndex, HnswParams, IndexSpec, IvfFlatIndex, IvfParams, Metric,
-    PqIndex, PqParams, TopK,
+    PqIndex, PqParams, RowFormat, TopK,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn packed(n: usize, dim: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-5.0f32..5.0, n * dim)
+}
+
+fn bits(x: &[f32]) -> Vec<u32> {
+    x.iter().map(|v| v.to_bits()).collect()
 }
 
 /// Rank rows by `(distance, id)` — the one retrieval order everything
@@ -347,6 +351,86 @@ proptest! {
         grown.extend_from_slice(&data[..dim]);
         prop_assert!(!sharded.refresh(&grown, &[]), "appending must consult the children");
         prop_assert!(!sharded.refresh(&data, &[0]), "overwriting must consult the children");
+    }
+
+    #[test]
+    fn dispatched_tiles_are_bitwise_the_scalar_oracle(raw in proptest::collection::vec(-5.0f32..5.0, 190)) {
+        // The runtime-dispatched SIMD tiles must reproduce the scalar
+        // kernels BITWISE on f32 — not approximately. Dims off the
+        // 8-lane grid (5, 13, 19) exercise the scalar tail the vector
+        // body hands back.
+        let (nq, nr) = (3usize, 7usize);
+        for dim in [1usize, 5, 8, 13, 19] {
+            let queries = &raw[..nq * dim];
+            let rows = &raw[nq * dim..(nq + nr) * dim];
+            let q_sq = kernels::sq_norms(queries, dim);
+            let r_sq = kernels::sq_norms(rows, dim);
+            let mut simd = vec![0.0f32; nq * nr];
+            let mut scalar = vec![0.0f32; nq * nr];
+            kernels::sq_l2_batch(queries, &q_sq, rows, &r_sq, dim, &mut simd);
+            kernels::sq_l2_batch_scalar(queries, &q_sq, rows, &r_sq, dim, &mut scalar);
+            prop_assert_eq!(bits(&simd), bits(&scalar), "sq_l2 tile, dim {}", dim);
+            prop_assert_eq!(ranking(&simd), ranking(&scalar), "sq_l2 ranking, dim {}", dim);
+            let q_n = kernels::metric_norms(Metric::Cosine, queries, dim);
+            let r_n = kernels::metric_norms(Metric::Cosine, rows, dim);
+            kernels::cosine_batch(queries, &q_n, rows, &r_n, dim, &mut simd);
+            kernels::cosine_batch_scalar(queries, &q_n, rows, &r_n, dim, &mut scalar);
+            prop_assert_eq!(bits(&simd), bits(&scalar), "cosine tile, dim {}", dim);
+            prop_assert_eq!(ranking(&simd), ranking(&scalar), "cosine ranking, dim {}", dim);
+        }
+    }
+
+    #[test]
+    fn dispatched_gather_and_argmin_match_scalar_bitwise(
+        data in packed(40, 13),
+        q in proptest::collection::vec(-5.0f32..5.0, 13),
+        ids in proptest::collection::vec(0u32..40, 1..25),
+    ) {
+        // The IVF probe path (gather by id) and the quantizer assignment
+        // argmin share the same bitwise-parity contract as the tiles.
+        let dim = 13;
+        for metric in [Metric::L2, Metric::Cosine] {
+            let r_norms = kernels::metric_norms(metric, &data, dim);
+            let q_norm = kernels::metric_norm(metric, &q);
+            let mut simd = vec![0.0f32; ids.len()];
+            let mut scalar = vec![0.0f32; ids.len()];
+            kernels::distance_gather(metric, &q, q_norm, &data, &r_norms, dim, &ids, &mut simd);
+            kernels::distance_gather_scalar(metric, &q, q_norm, &data, &r_norms, dim, &ids, &mut scalar);
+            prop_assert_eq!(bits(&simd), bits(&scalar), "gather, {:?}", metric);
+            prop_assert_eq!(kernels::argmin(&scalar), kernels::argmin_scalar(&scalar), "argmin, {:?}", metric);
+        }
+    }
+
+    #[test]
+    fn compressed_rows_clear_the_recall_floor(seed in 0u64..1000) {
+        // Half-width rows trade bitwise ranking for recall: on clustered
+        // data (k-sized blobs, well-separated centers — the regime the
+        // format targets) recall@10 against the f32 flat ground truth
+        // must hold the same >= 0.99 floor the bench gate enforces.
+        let (dim, clusters, per, k) = (16usize, 40usize, 10usize, 10usize);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(clusters * per * dim);
+        let mut queries = Vec::with_capacity(clusters * dim);
+        for _ in 0..clusters {
+            let center: Vec<f32> = (0..dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+            for _ in 0..per {
+                data.extend(center.iter().map(|c| c + rng.gen_range(-0.02f32..0.02)));
+            }
+            queries.extend(center.iter().map(|c| c + rng.gen_range(-0.02f32..0.02)));
+        }
+        let exact = IndexSpec::Flat.build(&data, dim, Metric::L2);
+        for format in [RowFormat::F16, RowFormat::Bf16] {
+            let ix = IndexSpec::Flat.build_rows(&data, dim, Metric::L2, format);
+            let mut overlap = 0usize;
+            for qi in 0..clusters {
+                let q = &queries[qi * dim..(qi + 1) * dim];
+                let truth: std::collections::HashSet<u32> =
+                    exact.search(q, k).into_iter().map(|h| h.id).collect();
+                overlap += ix.search(q, k).into_iter().filter(|h| truth.contains(&h.id)).count();
+            }
+            let recall = overlap as f32 / (clusters * k) as f32;
+            prop_assert!(recall >= 0.99, "{} recall@{} = {}", format.label(), k, recall);
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Reproduce every table and figure of the DIAL paper's evaluation.
 //!
 //! ```text
-//! cargo run --release --bin repro -- <experiment> [--backend=<spec>] [--shards=<n>] [--auto-tune]
+//! cargo run --release --bin repro -- <experiment> [--backend=<spec>] [--rows=<fmt>]
+//!                                                  [--shards=<n>] [--auto-tune]
 //!
 //! experiments:
 //!   table1   dataset statistics
@@ -28,6 +29,10 @@
 //!                     | hnsw[:m[,ef_search]] | auto (size heuristic),
 //!                     optionally with a `@<shards>` suffix (e.g.
 //!                     ivf:64,8@4)
+//!   --rows=<fmt>      scan-row storage for flat/IVF retrieval indexes:
+//!                     f32 (default) | f16 | bf16 — half-width rows halve
+//!                     the scan footprint and rank against the decoded
+//!                     values (quantized/graph backends ignore it)
 //!   --shards=<n>      round-robin shards per retrieval index (default 1;
 //!                     n > 1 builds shards concurrently and merges top-k;
 //!                     wins over a `@<shards>` spec suffix)
@@ -41,8 +46,9 @@
 //!
 //! Environment: `REPRO_SCALE` (bench|smoke|paper), `REPRO_ROUNDS`,
 //! `REPRO_SEEDS`, `REPRO_OUT`, `REPRO_BACKEND` (same values as
-//! `--backend`), `REPRO_SHARDS` (same as `--shards`), and
-//! `REPRO_DATASETS` (comma-separated subset of `WA,AG,DA,DS,AB`).
+//! `--backend`), `REPRO_ROWS` (same as `--rows`), `REPRO_SHARDS` (same
+//! as `--shards`), and `REPRO_DATASETS` (comma-separated subset of
+//! `WA,AG,DA,DS,AB`).
 
 use dial_bench::report::{pct, print_table, secs, write_json};
 use dial_bench::runner::{self, run_jedai_row, run_rf_row, run_tplm, ExpContext, TplmRunSummary};
@@ -51,7 +57,8 @@ use dial_core::{
 };
 use dial_datasets::Benchmark;
 
-const USAGE: &str = "usage: repro <experiment> [--backend=<spec>] [--shards=<n>] [--auto-tune]
+const USAGE: &str = "usage: repro <experiment> [--backend=<spec>] [--rows=<fmt>] [--shards=<n>]
+                     [--auto-tune]
 
 experiments:
   table1    dataset statistics
@@ -85,6 +92,12 @@ options:
                                               resolved family)
                      each optionally suffixed with @<shards>, e.g.
                      ivf:64,8@4 (an explicit --shards flag wins).
+  --rows=<fmt>       scan-row storage for flat/IVF retrieval indexes:
+                     f32 (default, exact storage) | f16 | bf16. Half-width
+                     rows halve the scan footprint and decode to f32 inside
+                     the distance kernels, so ranking is against the decoded
+                     values; quantized (pq) and graph (hnsw) backends keep
+                     their own storage and ignore the flag.
   --shards=<n>       round-robin shards per retrieval index (default 1).
                      n > 1 builds the shards concurrently and merges the
                      per-shard top-k at probe time; sharded flat retrieval
@@ -92,13 +105,14 @@ options:
   --auto-tune        close the auto-tuning loop from observed metrics:
                      before the first round the retrieval engine probes a
                      held-out sample of S against the exact flat ground
-                     truth, raises IVF nprobe until marginal recall@k
-                     flattens (never settling below the static default's
-                     recall), and — for `auto` with no explicit --shards —
-                     picks the shard count from worker-thread count and
-                     per-shard size. Off by default: the static heuristic's
+                     truth, raises the backend's knob (IVF nprobe, HNSW
+                     ef_search) until marginal recall@k flattens (never
+                     settling below the static default's recall), and —
+                     for `auto` with no explicit --shards — picks the
+                     shard count from worker-thread count and per-shard
+                     size. Off by default: the static heuristic's
                      candidate sets are reproduced bit-for-bit. Runs that
-                     calibrated print a `tuning` table (chosen nprobe and
+                     calibrated print a `tuning` table (chosen width and
                      shards, measured recall/latency at each sweep step).
 
 environment:
@@ -106,6 +120,7 @@ environment:
   REPRO_ROUNDS=<n>                active-learning rounds (default 5)
   REPRO_SEEDS=<n>                 averaged seeds (default 1)
   REPRO_BACKEND=<spec>            same values as --backend
+  REPRO_ROWS=<fmt>                same values as --rows
   REPRO_SHARDS=<n>                same values as --shards
   REPRO_AUTO_TUNE=1               same as --auto-tune
   REPRO_DATASETS=WA,AG,DA,DS,AB  benchmark subset
@@ -114,6 +129,7 @@ environment:
 fn main() {
     let mut backend_flag: Option<(IndexBackend, Option<usize>)> = None;
     let mut shards_flag: Option<usize> = None;
+    let mut rows_flag: Option<dial_core::RowFormat> = None;
     let mut auto_tune_flag = false;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -128,6 +144,11 @@ fn main() {
         } else if a == "--shards" {
             let v = args.next().unwrap_or_default();
             shards_flag = Some(parse_shards_or_exit(&v));
+        } else if let Some(v) = a.strip_prefix("--rows=") {
+            rows_flag = Some(parse_rows_or_exit(v));
+        } else if a == "--rows" {
+            let v = args.next().unwrap_or_default();
+            rows_flag = Some(parse_rows_or_exit(&v));
         } else if a == "--auto-tune" {
             auto_tune_flag = true;
         } else {
@@ -151,13 +172,18 @@ fn main() {
     if let Some(s) = shards_flag {
         ctx.shards = s;
     }
+    if let Some(r) = rows_flag {
+        ctx.rows = r;
+    }
     ctx.auto_tune |= auto_tune_flag;
     eprintln!(
-        "# context: scale={:?} rounds={} seeds={:?} backend={} shards={} auto_tune={} datasets={:?}",
+        "# context: scale={:?} rounds={} seeds={:?} backend={} rows={} shards={} auto_tune={} \
+         datasets={:?}",
         ctx.scale,
         ctx.rounds,
         ctx.seeds,
         ctx.backend.label(),
+        ctx.rows.label(),
         ctx.shards,
         ctx.auto_tune,
         five(&ctx)
@@ -221,6 +247,13 @@ fn parse_shards_or_exit(v: &str) -> usize {
             std::process::exit(2);
         }
     }
+}
+
+fn parse_rows_or_exit(v: &str) -> dial_core::RowFormat {
+    dial_core::RowFormat::parse(v).unwrap_or_else(|| {
+        eprintln!("--rows {v:?} not recognized (f32 | f16 | bf16)\n\n{USAGE}");
+        std::process::exit(2);
+    })
 }
 
 /// The five DeepMatcher-style benchmarks, optionally filtered by
@@ -501,9 +534,10 @@ fn table9(ctx: &ExpContext) {
 }
 
 /// The `tuning` report table: for every run whose retrieval engine
-/// calibrated, the measured recall/latency of each `nprobe` sweep step
-/// and the chosen configuration (width, shard count, static baseline).
-/// Each record also lands in `tuning.jsonl`.
+/// calibrated, the measured recall/latency of each knob sweep step
+/// (IVF `nprobe` or HNSW `ef_search`) and the chosen configuration
+/// (width, shard count, static baseline). Each record also lands in
+/// `tuning.jsonl`.
 fn print_tuning(entries: &[(String, dial_core::TuningOutcome)]) {
     if entries.is_empty() {
         return;
@@ -515,7 +549,7 @@ fn print_tuning(entries: &[(String, dial_core::TuningOutcome)]) {
             rows.push(vec![
                 label.clone(),
                 "step".into(),
-                s.nprobe.to_string(),
+                format!("{}={}", t.knob, s.width),
                 format!("{:.3}", s.recall),
                 format!("{:.0}", s.probe_ns_per_query),
             ]);
@@ -523,19 +557,19 @@ fn print_tuning(entries: &[(String, dial_core::TuningOutcome)]) {
         rows.push(vec![
             label.clone(),
             "chosen".into(),
-            t.chosen_nprobe.to_string(),
+            format!("{}={}", t.knob, t.chosen_width),
             format!("{:.3}", t.chosen_recall),
             format!(
-                "shards={} static nprobe={} cal={:.0}ms",
+                "shards={} static width={} cal={:.0}ms",
                 t.shards,
-                t.static_nprobe,
+                t.static_width,
                 t.calibrate_secs * 1e3
             ),
         ]);
     }
     print_table(
-        "Tuning: observed-recall nprobe calibration (per run)",
-        &["Run", "Case", "nprobe", "Recall@k", "ns/query"],
+        "Tuning: observed-recall knob calibration (per run)",
+        &["Run", "Case", "Width", "Recall@k", "ns/query"],
         &rows,
     );
 }

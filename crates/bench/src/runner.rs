@@ -23,10 +23,14 @@ pub struct ExpContext {
     /// `repro --shards=` flag; default 1 = unsharded).
     pub shards: usize,
     /// Observed-metrics auto-tuning (`REPRO_AUTO_TUNE` or the `repro
-    /// --auto-tune` flag): the retrieval engine calibrates IVF-backed
-    /// runs — `nprobe` from a measured recall sweep, shard count from
-    /// worker-thread count — instead of trusting the static defaults.
+    /// --auto-tune` flag): the retrieval engine calibrates knobbed runs
+    /// — IVF `nprobe` / HNSW `ef_search` from a measured recall sweep,
+    /// shard count from worker-thread count — instead of trusting the
+    /// static defaults.
     pub auto_tune: bool,
+    /// Scan-row storage format for flat/IVF retrieval indexes
+    /// (`REPRO_ROWS` or the `repro --rows=` flag; default f32).
+    pub rows: dial_core::RowFormat,
 }
 
 impl ExpContext {
@@ -69,7 +73,22 @@ impl ExpContext {
             Err(_) | Ok("0") | Ok("false") => false,
             Ok(_) => true,
         };
-        ExpContext { scale, rounds, seeds: (0..n_seeds).collect(), backend, shards, auto_tune }
+        let rows = match std::env::var("REPRO_ROWS") {
+            Err(_) => dial_core::RowFormat::F32,
+            Ok(v) => dial_core::RowFormat::parse(&v).unwrap_or_else(|| {
+                eprintln!("REPRO_ROWS {v:?} not recognized (f32 | f16 | bf16)");
+                std::process::exit(2);
+            }),
+        };
+        ExpContext {
+            scale,
+            rounds,
+            seeds: (0..n_seeds).collect(),
+            backend,
+            shards,
+            auto_tune,
+            rows,
+        }
     }
 
     /// Base DIAL configuration for a benchmark at this context's scale.
@@ -81,6 +100,7 @@ impl ExpContext {
         cfg.rounds = self.rounds;
         cfg.seed = seed;
         cfg.index_backend = self.backend;
+        cfg.row_format = self.rows;
         cfg.index_shards = self.shards;
         cfg.auto_tune = self.auto_tune;
         cfg.abt_buy_like = matches!(bench, Benchmark::AbtBuy);
@@ -202,7 +222,7 @@ impl crate::report::ToJson for dial_core::TuneStep {
     fn to_json(&self) -> String {
         use crate::report::{json_f64, json_obj};
         json_obj(&[
-            ("nprobe", self.nprobe.to_string()),
+            ("width", self.width.to_string()),
             ("recall", json_f64(self.recall)),
             ("ns_per_query", json_f64(self.probe_ns_per_query)),
         ])
@@ -214,9 +234,10 @@ impl crate::report::ToJson for dial_core::TuningOutcome {
         use crate::report::{json_f64, json_obj};
         let steps: Vec<String> = self.steps.iter().map(crate::report::ToJson::to_json).collect();
         json_obj(&[
-            ("nlist", self.nlist.to_string()),
-            ("static_nprobe", self.static_nprobe.to_string()),
-            ("chosen_nprobe", self.chosen_nprobe.to_string()),
+            ("knob", crate::report::json_str(&self.knob)),
+            ("ceiling", self.ceiling.to_string()),
+            ("static_width", self.static_width.to_string()),
+            ("chosen_width", self.chosen_width.to_string()),
             ("shards", self.shards.to_string()),
             ("sample", self.sample.to_string()),
             ("k", self.k.to_string()),
@@ -423,6 +444,7 @@ mod tests {
             backend: IndexBackend::Flat,
             shards: 1,
             auto_tune: false,
+            rows: dial_core::RowFormat::F32,
         };
         let s = run_tplm(&ctx, Benchmark::AbtBuy, "DIAL", |cfg| {
             *cfg = DialConfig { rounds: 2, ..DialConfig::smoke() };

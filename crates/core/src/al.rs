@@ -191,6 +191,7 @@ impl DialSystem {
         } else {
             RetrievalEngine::new(index_spec.clone(), cfg.incremental_threshold, cfg.pipeline_depth)
         };
+        engine.set_rows(cfg.row_format);
         let cand_cap = cfg.cand_size.resolve(data.s.len(), data.dups().len(), cfg.abt_buy_like);
         let k = if cfg.abt_buy_like { cfg.k.max(20) } else { cfg.k };
 
@@ -489,7 +490,7 @@ mod tests {
         let result = sys.run(&data, None);
         let t = result.tuning.as_ref().expect("an IVF run under --auto-tune must calibrate");
         assert!(t.chosen_recall >= t.static_recall, "{t:?}");
-        assert!(t.chosen_nprobe >= 1 && t.chosen_nprobe <= t.nlist);
+        assert!(t.chosen_width >= 1 && t.chosen_width <= t.ceiling);
         assert!(!t.steps.is_empty());
         // The untuned run keeps no record.
         let data2 = Benchmark::AbtBuy.generate(ScaleProfile::Smoke, 1);

@@ -385,6 +385,11 @@ pub struct DialConfig {
     /// ANN backend for all embedding retrieval (Index-By-Committee and the
     /// single-index strategies).
     pub index_backend: IndexBackend,
+    /// Storage format for the scan rows of flat/IVF retrieval indexes
+    /// (f32 by default; f16/bf16 halve the scan footprint, ranking
+    /// against the decoded rows — see `dial_ann::RowFormat`). Quantized
+    /// and graph backends ignore it.
+    pub row_format: dial_ann::RowFormat,
     /// Round-robin shard count for every retrieval index: `1` (default)
     /// builds one index per committee member exactly as before; `n > 1`
     /// splits each member's rows across `n` child indexes built
@@ -466,6 +471,7 @@ impl Default for DialConfig {
             k: 3,
             cand_size: CandSize::Medium,
             index_backend: IndexBackend::Flat,
+            row_format: dial_ann::RowFormat::F32,
             index_shards: 1,
             incremental_threshold: 0.0,
             auto_tune: false,

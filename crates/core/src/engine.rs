@@ -41,7 +41,7 @@
 
 use crate::candidates::{probe_blocked, Candidate, CandidateSet};
 use crate::encode::ListEmbeddings;
-use dial_ann::{AnnIndex, FlatIndex, Hit, IndexSpec, Metric};
+use dial_ann::{AnnIndex, FlatIndex, Hit, IndexSpec, Metric, RowFormat};
 use rayon::pipeline;
 use std::time::Instant;
 
@@ -108,7 +108,9 @@ impl Default for TuneConfig {
 /// One measured step of the calibration sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct TuneStep {
-    pub nprobe: usize,
+    /// The knob width this step probed at (`nprobe` for IVF-backed
+    /// specs, `ef_search` for HNSW-backed ones).
+    pub width: usize,
     /// recall@k of the sample probes against the exact flat ground truth.
     pub recall: f64,
     /// Wall-clock nanoseconds per sample query at this width (recorded
@@ -120,23 +122,27 @@ pub struct TuneStep {
 /// What the calibration stage measured and decided.
 #[derive(Debug, Clone)]
 pub struct TuningOutcome {
-    /// Largest meaningful probe width (the smallest per-shard `nlist`).
-    pub nlist: usize,
+    /// Which knob the sweep turned: `"nprobe"` (IVF-backed specs) or
+    /// `"ef_search"` (HNSW-backed).
+    pub knob: String,
+    /// Largest meaningful width: the smallest per-shard `nlist` for the
+    /// probe knob, the smallest shard's node count for the beam knob.
+    pub ceiling: usize,
     /// The static heuristic's width — what the run would have used
     /// untuned.
-    pub static_nprobe: usize,
+    pub static_width: usize,
     /// The tuned width every member index now probes at.
-    pub chosen_nprobe: usize,
+    pub chosen_width: usize,
     /// Shard count of the calibrated spec.
     pub shards: usize,
     /// Held-out probes measured per step.
     pub sample: usize,
     /// Neighbours per probe the recall was measured at.
     pub k: usize,
-    /// Measured recall@k at `static_nprobe` / at `chosen_nprobe`.
+    /// Measured recall@k at `static_width` / at `chosen_width`.
     pub static_recall: f64,
     pub chosen_recall: f64,
-    /// Every measured step, ascending by `nprobe`.
+    /// Every measured step, ascending by width.
     pub steps: Vec<TuneStep>,
     /// Wall-clock cost of the whole calibration (ground truth + build +
     /// sweep).
@@ -151,6 +157,10 @@ pub struct RetrievalEngine {
     spec: IndexSpec,
     incremental_threshold: f64,
     pipeline_depth: usize,
+    /// Storage format for member-index scan rows (see
+    /// [`RetrievalEngine::set_rows`]); calibration ground truth always
+    /// scans the uncompressed f32 rows.
+    rows: RowFormat,
     members: Vec<MemberState>,
     last: EngineRoundStats,
     tune: Option<TuneConfig>,
@@ -159,11 +169,11 @@ pub struct RetrievalEngine {
     /// invalidating rebuilds (a member with prior state rebuilt from
     /// scratch, i.e. retrained on drifted rows).
     calibrated: bool,
-    /// The spec's `nprobe` before any calibration touched it — the
+    /// The spec's knob width before any calibration touched it — the
     /// static heuristic's width, and the recall floor every calibration
     /// (including recalibrations after the spec was already tuned)
     /// measures itself against.
-    baseline_nprobe: Option<usize>,
+    baseline_width: Option<usize>,
     tuning: Option<TuningOutcome>,
 }
 
@@ -225,6 +235,7 @@ pub fn recall_at_k(hits: &[Vec<Hit>], truth: &[Vec<Hit>], k: usize) -> f64 {
 fn prepare_member(
     spec: &IndexSpec,
     threshold: f64,
+    rows: RowFormat,
     prev: Option<MemberState>,
     prebuilt: Option<MemberState>,
     view: &[f32],
@@ -248,7 +259,8 @@ fn prepare_member(
             return (state, info);
         }
     }
-    let rebuild = || MemberState { index: spec.build(view, dim, Metric::L2), rows: view.to_vec() };
+    let rebuild =
+        || MemberState { index: spec.build_rows(view, dim, Metric::L2, rows), rows: view.to_vec() };
     let mut info = BuildInfo { secs: 0.0, incremental: false, drift: 0.0, retrained: false };
     let state = match prev {
         // Compatible prior state: same width, no rows dropped (an index
@@ -306,27 +318,43 @@ impl RetrievalEngine {
             spec,
             incremental_threshold,
             pipeline_depth,
+            rows: RowFormat::default(),
             members: Vec::new(),
             last: EngineRoundStats::default(),
             tune: None,
             calibrated: false,
-            baseline_nprobe: None,
+            baseline_width: None,
             tuning: None,
+        }
+    }
+
+    /// Store member-index scan rows in `format` (f32 by default; f16 or
+    /// bf16 halve the scan footprint at a small recall cost the armed
+    /// tuner observes and compensates for, since calibration ground
+    /// truth always comes from an exact f32 scan). Changing the format
+    /// drops cached member state — the stored rows are re-encoded on the
+    /// next retrieval.
+    pub fn set_rows(&mut self, format: RowFormat) {
+        if format != self.rows {
+            self.rows = format;
+            self.reset();
         }
     }
 
     /// [`RetrievalEngine::new`] with the observed-metrics auto-tuner
     /// armed: before the first retrieval (and again after a
-    /// quantizer-invalidating rebuild) the engine calibrates IVF-backed
-    /// specs — it probes a held-out sample of `S` against the exact flat
-    /// ground truth over `R`, sweeps `nprobe` upward until marginal
-    /// recall@k flattens below `tune.epsilon` or `tune.recall_target` is
-    /// met, and locks in the smallest width whose recall is at least
+    /// quantizer-invalidating rebuild) the engine calibrates knobbed
+    /// specs — IVF-backed ones through `nprobe`, HNSW-backed ones
+    /// through `ef_search` — it probes a held-out sample of `S` against
+    /// the exact flat ground truth over `R`, sweeps the knob upward
+    /// until marginal recall@k flattens below `tune.epsilon` or
+    /// `tune.recall_target` is met, and locks in the smallest width
+    /// whose recall is at least
     /// `max(min(target, best swept), static default's recall)` — the
     /// tuner never chooses worse recall than the static heuristic it
     /// replaces, and prefers the cheapest width at equal recall. Specs
-    /// without an `nprobe` knob (flat, PQ, HNSW, or a sharded composite
-    /// with any knobless shard) retrieve exactly as under
+    /// without a knob (flat, PQ, or a sharded composite with any
+    /// knobless shard) retrieve exactly as under
     /// [`RetrievalEngine::new`].
     pub fn with_tuning(
         spec: IndexSpec,
@@ -335,7 +363,7 @@ impl RetrievalEngine {
         tune: TuneConfig,
     ) -> Self {
         let mut engine = RetrievalEngine::new(spec, incremental_threshold, pipeline_depth);
-        engine.baseline_nprobe = engine.spec.ivf_params().map(|p| p.nprobe);
+        engine.baseline_width = engine.spec.knob_params().map(|(_, w)| w);
         engine.tune = Some(tune);
         engine
     }
@@ -395,9 +423,9 @@ impl RetrievalEngine {
     }
 
     /// The calibration stage (see [`RetrievalEngine::with_tuning`]):
-    /// measure recall@k of a held-out probe sample at increasing `nprobe`
-    /// and rewrite the spec's width with the cheapest one that loses
-    /// nothing. Runs once per quantizer generation; member 0's views
+    /// measure recall@k of a held-out probe sample at increasing knob
+    /// width and rewrite the spec's width with the cheapest one that
+    /// loses nothing. Runs once per quantizer generation; member 0's views
     /// stand in for the workload (every member indexes a view of the
     /// same `R` and probes a view of the same `S`). The choice depends
     /// only on measured recall — never on measured latency — so two
@@ -410,7 +438,7 @@ impl RetrievalEngine {
         k: usize,
     ) -> Option<MemberState> {
         let tune = self.tune?;
-        if self.calibrated || self.spec.ivf_params().is_none() {
+        if self.calibrated || self.spec.knob_params().is_none() {
             return None;
         }
         let (n, nq) = (view_r.len() / dim, view_s.len() / dim);
@@ -429,25 +457,27 @@ impl RetrievalEngine {
         let truth = flat.search_batch(sample, k);
         // One probe index builds the index the sweep re-probes at every
         // width; the members themselves build after the spec is tuned.
-        let mut probe = self.spec.build(view_r, dim, Metric::L2);
-        let Some((ceiling, built_nprobe)) = probe.nprobe_knob() else {
-            // The spec is IVF-backed but the built index lost the knob
+        let mut probe = self.spec.build_rows(view_r, dim, Metric::L2, self.rows);
+        let Some((ceiling, built_width)) = probe.nprobe_knob().or_else(|| probe.ef_search_knob())
+        else {
+            // The spec is knob-backed but the built index lost the knob
             // (e.g. a shard built over no rows fell back to flat):
             // nothing to tune, but the build is still a valid member-0
             // index — hand it back for reuse.
             return Some(MemberState { index: probe, rows: view_r.to_vec() });
         };
+        let knob = self.spec.knob_params().map(|(name, _)| name).expect("gated on knob_params");
         // The comparison floor is the *heuristic's* width, not whatever
         // a previous calibration tuned the spec to.
-        let static_nprobe = self.baseline_nprobe.unwrap_or(built_nprobe).min(ceiling).max(1);
+        let static_width = self.baseline_width.unwrap_or(built_width).min(ceiling).max(1);
         let mut steps: Vec<TuneStep> = Vec::new();
-        let measure = |probe: &mut Box<dyn AnnIndex>, nprobe: usize| {
-            probe.set_nprobe(nprobe);
+        let measure = |probe: &mut Box<dyn AnnIndex>, width: usize| {
+            let _ = probe.set_nprobe(width) || probe.set_ef_search(width);
             let t = Instant::now();
             let hits = probe.search_batch(sample, k);
             let ns = t.elapsed().as_nanos() as f64 / sample_n as f64;
             let recall = recall_at_k(&hits, &truth, k);
-            TuneStep { nprobe, recall, probe_ns_per_query: ns }
+            TuneStep { width, recall, probe_ns_per_query: ns }
         };
         // Sweep grid: powers of two up to the ceiling, plus the static
         // default (so the comparison point is always measured) and the
@@ -456,7 +486,7 @@ impl RetrievalEngine {
             std::iter::successors(Some(1usize), |p| p.checked_mul(2).filter(|&q| q < ceiling))
                 .collect();
         grid.push(ceiling);
-        grid.push(static_nprobe);
+        grid.push(static_width);
         grid.sort_unstable();
         grid.dedup();
         for &p in &grid {
@@ -470,20 +500,20 @@ impl RetrievalEngine {
                 // injected static/ceiling grid points sit closer than 2x
                 // and would otherwise read as a flat step and stop the
                 // climb early.
-                if last.nprobe >= prev.nprobe * 2 && last.recall - prev.recall < tune.epsilon {
+                if last.width >= prev.width * 2 && last.recall - prev.recall < tune.epsilon {
                     break;
                 }
             }
         }
-        if !steps.iter().any(|s| s.nprobe == static_nprobe) {
+        if !steps.iter().any(|s| s.width == static_width) {
             // The sweep stopped before reaching the static default;
             // measure it anyway — it is the floor the choice must beat.
-            let step = measure(&mut probe, static_nprobe);
+            let step = measure(&mut probe, static_width);
             steps.push(step);
-            steps.sort_by_key(|s| s.nprobe);
+            steps.sort_by_key(|s| s.width);
         }
         let static_recall =
-            steps.iter().find(|s| s.nprobe == static_nprobe).expect("static step measured").recall;
+            steps.iter().find(|s| s.width == static_width).expect("static step measured").recall;
         let best_recall = steps.iter().map(|s| s.recall).fold(0.0f64, f64::max);
         // Cheapest width that (a) never loses recall to the static
         // default and (b) meets the target where the sweep could.
@@ -492,17 +522,19 @@ impl RetrievalEngine {
             .iter()
             .find(|s| s.recall >= goal)
             .expect("best_recall meets the goal by construction");
-        self.spec.set_ivf_nprobe(chosen.nprobe);
+        self.spec.set_knob_width(chosen.width);
         // A recalibration must reach members that survive in place: a
         // refreshed index never re-reads the spec, so without this it
         // would keep probing at the previously tuned width.
         for member in &mut self.members {
-            member.index.set_nprobe(chosen.nprobe);
+            let _ =
+                member.index.set_nprobe(chosen.width) || member.index.set_ef_search(chosen.width);
         }
         self.tuning = Some(TuningOutcome {
-            nlist: ceiling,
-            static_nprobe,
-            chosen_nprobe: chosen.nprobe,
+            knob: knob.to_string(),
+            ceiling,
+            static_width,
+            chosen_width: chosen.width,
             shards: match &self.spec {
                 IndexSpec::Sharded { shards, .. } => *shards,
                 _ => 1,
@@ -515,10 +547,10 @@ impl RetrievalEngine {
             calibrate_secs: t0.elapsed().as_secs_f64(),
         });
         // The probe index is bitwise what member 0 would build from the
-        // tuned spec (nprobe is a search-time parameter; quantizer
-        // training saw the same rows and seed) — reuse it instead of
-        // training the same index twice.
-        probe.set_nprobe(chosen.nprobe);
+        // tuned spec (both knobs are search-time parameters; quantizer/
+        // graph construction saw the same rows and seed) — reuse it
+        // instead of training the same index twice.
+        let _ = probe.set_nprobe(chosen.width) || probe.set_ef_search(chosen.width);
         Some(MemberState { index: probe, rows: view_r.to_vec() })
     }
 
@@ -580,6 +612,7 @@ impl RetrievalEngine {
                 let (state, info) = prepare_member(
                     &self.spec,
                     self.incremental_threshold,
+                    self.rows,
                     prev[m].take(),
                     if m == 0 { prebuilt0.take() } else { None },
                     views_r[m],
@@ -600,13 +633,15 @@ impl RetrievalEngine {
             // member order, so slot m is member m by construction.
             let spec = &self.spec;
             let threshold = self.incremental_threshold;
+            let rows = self.rows;
             let had_prev: Vec<bool> = prev.iter().map(Option::is_some).collect();
             std::thread::scope(|s| {
                 let (tx, rx) = pipeline::bounded(self.pipeline_depth);
                 s.spawn(move || {
                     for (m, view) in views_r.iter().enumerate() {
                         let pre = if m == 0 { prebuilt0.take() } else { None };
-                        let out = prepare_member(spec, threshold, prev[m].take(), pre, view, dim);
+                        let out =
+                            prepare_member(spec, threshold, rows, prev[m].take(), pre, view, dim);
                         if tx.send(out).is_err() {
                             break;
                         }
@@ -855,18 +890,19 @@ mod tests {
         // Calibration determinism: same data, same chosen width, same
         // measured recall at every step (latency is recorded but never
         // consulted), same retrieved candidates.
-        assert_eq!(a.chosen_nprobe, b.chosen_nprobe);
+        assert_eq!(a.chosen_width, b.chosen_width);
         assert_eq!(a.shards, b.shards);
+        assert_eq!(a.knob, "nprobe");
         let key = |t: &TuningOutcome| {
-            t.steps.iter().map(|s| (s.nprobe, s.recall.to_bits())).collect::<Vec<_>>()
+            t.steps.iter().map(|s| (s.width, s.recall.to_bits())).collect::<Vec<_>>()
         };
         assert_eq!(key(&a), key(&b));
         assert_eq!(cand_a.pairs(), cand_b.pairs());
         // The tuner never loses recall to the static default, and never
         // scans more than the ceiling.
         assert!(a.chosen_recall >= a.static_recall, "{a:?}");
-        assert!(a.chosen_nprobe <= a.nlist);
-        assert!(a.steps.iter().any(|s| s.nprobe == a.static_nprobe), "floor must be measured");
+        assert!(a.chosen_width <= a.ceiling);
+        assert!(a.steps.iter().any(|s| s.width == a.static_width), "floor must be measured");
         assert!(a.calibrate_secs > 0.0);
     }
 
@@ -879,7 +915,7 @@ mod tests {
         let t = e.last_tuning().expect("sharded IVF carries the knob");
         assert_eq!(t.shards, 2);
         assert!(t.chosen_recall >= t.static_recall);
-        assert!(t.nlist <= 12, "ceiling is the smallest per-shard nlist");
+        assert!(t.ceiling <= 12, "ceiling is the smallest per-shard nlist");
     }
 
     #[test]
@@ -922,8 +958,8 @@ mod tests {
         let want = fresh.last_tuning().cloned().unwrap();
         let key = |t: &TuningOutcome| {
             (
-                t.chosen_nprobe,
-                t.steps.iter().map(|s| (s.nprobe, s.recall.to_bits())).collect::<Vec<_>>(),
+                t.chosen_width,
+                t.steps.iter().map(|s| (s.width, s.recall.to_bits())).collect::<Vec<_>>(),
             )
         };
         assert_eq!(key(&recal), key(&want));
@@ -944,7 +980,7 @@ mod tests {
             RetrievalEngine::with_tuning(ivf_spec(64, 4), f64::MAX, 0, TuneConfig::default());
         e.retrieve_committee(&vr, &vs, DIM, 3, 1_000);
         let first = e.last_tuning().cloned().unwrap();
-        assert_eq!(first.nlist, 30, "build clamps nlist (and the ceiling) to the seed pool");
+        assert_eq!(first.ceiling, 30, "build clamps nlist (and the ceiling) to the seed pool");
         // Grow the member's view 5x: the in-place refresh retrains.
         let mut grown = vr.clone();
         grown[0].extend(views(120, 1, 61).remove(0));
@@ -953,10 +989,70 @@ mod tests {
         // Next round: recalibrated, with the un-clamped ceiling.
         e.retrieve_committee(&grown, &vs, DIM, 3, 1_000);
         assert_eq!(
-            e.last_tuning().unwrap().nlist,
+            e.last_tuning().unwrap().ceiling,
             64,
             "recalibration must see the retrained nlist"
         );
+    }
+
+    fn hnsw_spec(ef: usize) -> IndexSpec {
+        IndexSpec::Hnsw(dial_ann::HnswParams { ef_search: ef, ..Default::default() })
+    }
+
+    #[test]
+    fn tuner_calibrates_hnsw_ef_search() {
+        let (vr, vs) = clustered_views(600, 100, 1, 12, 55);
+        let mut e = RetrievalEngine::with_tuning(hnsw_spec(4), 0.0, 0, TuneConfig::default());
+        e.retrieve_committee(&vr, &vs, DIM, 5, 2_000);
+        let t = e.last_tuning().cloned().expect("an HNSW spec must calibrate");
+        assert_eq!(t.knob, "ef_search");
+        assert_eq!(t.ceiling, 600, "beam ceiling is the node count");
+        assert!(t.chosen_recall >= t.static_recall, "{t:?}");
+        assert!(t.steps.iter().any(|s| s.width == t.static_width), "floor must be measured");
+        // The tuned width is written back to the spec, so the rebuilds
+        // HNSW pays every round (it declines in-place refresh) keep it.
+        assert_eq!(e.spec.knob_params(), Some(("ef_search", t.chosen_width)));
+    }
+
+    #[test]
+    fn tuner_calibrates_sharded_hnsw_through_the_knob() {
+        let (vr, vs) = clustered_views(600, 80, 1, 10, 56);
+        let spec = hnsw_spec(4).sharded(2);
+        let mut e = RetrievalEngine::with_tuning(spec, 0.0, 0, TuneConfig::default());
+        e.retrieve_committee(&vr, &vs, DIM, 4, 1_000);
+        let t = e.last_tuning().expect("sharded HNSW carries the knob");
+        assert_eq!(t.knob, "ef_search");
+        assert_eq!(t.shards, 2);
+        assert_eq!(t.ceiling, 300, "ceiling is the smallest shard's node count");
+        assert!(t.chosen_recall >= t.static_recall, "{t:?}");
+    }
+
+    #[test]
+    fn compressed_rows_ride_the_engine_end_to_end() {
+        // An f16-rows engine must rank against the *decoded* rows: its
+        // retrieval is bitwise an f32 engine fed the f16-roundtripped
+        // embeddings, and the incremental path still engages (the stored
+        // f32 drift baseline is unchanged by the storage format).
+        use dial_ann::rowstore::{f16_to_f32, f32_to_f16};
+        let vr = views(50, 2, 70);
+        let vs = views(30, 2, 71);
+        let decoded: Vec<Vec<f32>> =
+            vr.iter().map(|v| v.iter().map(|&x| f16_to_f32(f32_to_f16(x))).collect()).collect();
+        let mut half = RetrievalEngine::new(IndexSpec::Flat, 0.0, 2);
+        half.set_rows(RowFormat::F16);
+        let mut full = RetrievalEngine::new(IndexSpec::Flat, 0.0, 2);
+        let got = half.retrieve_committee(&vr, &vs, DIM, 3, 500);
+        let want = full.retrieve_committee(&decoded, &vs, DIM, 3, 500);
+        assert_eq!(got.pairs(), want.pairs());
+        // Unchanged views: the refresh path, not a rebuild.
+        let again = half.retrieve_committee(&vr, &vs, DIM, 3, 500);
+        assert_eq!(again.pairs(), want.pairs());
+        assert_eq!(half.last_round().incremental_members, 2);
+        // Switching formats drops cached state (stored rows would
+        // otherwise keep the old encoding).
+        half.set_rows(RowFormat::Bf16);
+        half.retrieve_committee(&vr, &vs, DIM, 3, 500);
+        assert_eq!(half.last_round().rebuilt_members, 2);
     }
 
     #[test]

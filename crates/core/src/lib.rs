@@ -35,6 +35,7 @@ pub use config::{
     BlockerObjective, BlockingStrategy, CandSize, DialConfig, IndexBackend, NegativeSource,
     SelectionStrategy,
 };
+pub use dial_ann::RowFormat;
 pub use encode::{encode_list, ListEmbeddings};
 pub use engine::{
     recall_at_k, EngineRoundStats, RetrievalEngine, TuneConfig, TuneStep, TuningOutcome,
