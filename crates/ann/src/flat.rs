@@ -3,6 +3,7 @@
 use crate::kernels::{self, QUERY_BLOCK, ROW_BLOCK};
 use crate::metric::Metric;
 use crate::rowstore::{RowFormat, RowStore};
+use crate::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::topk::{Hit, TopK};
 use rayon::prelude::*;
 
@@ -217,6 +218,40 @@ impl FlatIndex {
     pub fn search_batch_scalar(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
         assert_eq!(queries.len() % self.dim, 0, "query batch length not a multiple of dim");
         queries.par_chunks(self.dim).map(|q| self.search_scalar(q, k)).collect()
+    }
+
+    /// Serialize the full trained state (rows as stored, cached norms)
+    /// into the family-private snapshot payload.
+    pub(crate) fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_usize(self.dim);
+        w.put_u8(snapshot::metric_code(self.metric));
+        w.put_u8(snapshot::rowformat_code(self.data.format()));
+        w.put_f32_slice(&self.norms);
+        let (full, half) = self.data.raw_parts();
+        w.put_f32_slice(full);
+        w.put_u16_slice(half);
+        w.into_bytes()
+    }
+
+    /// Rebuild a flat index from [`FlatIndex::snapshot_bytes`] output.
+    /// The result is bitwise the serialized index: rows and norms are
+    /// restored verbatim, never recomputed.
+    pub(crate) fn from_snapshot_bytes(bytes: &[u8]) -> Result<FlatIndex, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes);
+        let dim = r.get_usize()?;
+        let metric = snapshot::metric_from_code(r.get_u8()?)?;
+        let format = snapshot::rowformat_from_code(r.get_u8()?)?;
+        let norms = r.get_f32_slice()?;
+        let full = r.get_f32_slice()?;
+        let half = r.get_u16_slice()?;
+        r.finish()?;
+        let data = RowStore::from_raw(dim, format, full, half)
+            .ok_or(SnapshotError::Corrupt("flat row store shape"))?;
+        if norms.len() != data.len() {
+            return Err(SnapshotError::Corrupt("flat norm count != row count"));
+        }
+        Ok(FlatIndex { dim, metric, data, norms })
     }
 }
 

@@ -7,6 +7,7 @@
 
 use crate::kernels;
 use crate::metric::Metric;
+use crate::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::topk::{Hit, TopK};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -366,6 +367,134 @@ impl HnswIndex {
     pub fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
         assert_eq!(queries.len() % self.dim, 0, "bad query batch");
         queries.par_chunks(self.dim).map(|q| self.search(q, k)).collect()
+    }
+
+    /// Build parameters (including any post-build `ef_search` override) —
+    /// what spec validation compares a snapshot against.
+    pub fn params(&self) -> HnswParams {
+        self.params
+    }
+
+    /// Append-only incremental update ([`crate::AnnIndex::refresh`]
+    /// contract): an overwritten row would invalidate graph edges chosen
+    /// against the old vector, so any `changed` entry declines the update
+    /// and forces a rebuild. With nothing changed, rows past the current
+    /// length are inserted through [`HnswIndex::add_batch`] — bitwise the
+    /// graph a persistent index would have grown, because the level rng
+    /// advances one draw per insert from wherever the build left it.
+    pub fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
+        if !changed.is_empty() {
+            return false;
+        }
+        crate::metric::assert_packed(data.len(), self.dim);
+        let n_old = self.len();
+        assert!(data.len() / self.dim >= n_old, "refresh cannot shrink an index");
+        self.add_batch(&data[n_old * self.dim..]);
+        true
+    }
+
+    /// Serialize the full built state: parameters, the layered adjacency
+    /// lists, per-node levels and norms, the entry point, and the rows.
+    /// The level rng is not stored — it is a pure function of
+    /// `(seed, len())`, replayed on load (one draw per insert).
+    pub(crate) fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_usize(self.dim);
+        w.put_u8(snapshot::metric_code(self.metric));
+        w.put_usize(self.params.m);
+        w.put_usize(self.params.ef_construction);
+        w.put_usize(self.params.ef_search);
+        w.put_u64(self.params.seed);
+        w.put_u32(self.entry);
+        w.put_usize(self.node_level.len());
+        for &l in &self.node_level {
+            w.put_usize(l);
+        }
+        w.put_f32_slice(&self.data);
+        w.put_f32_slice(&self.norms);
+        w.put_usize(self.layers.len());
+        for layer in &self.layers {
+            w.put_usize(layer.len());
+            for neigh in layer {
+                w.put_u32_slice(neigh);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuild from [`HnswIndex::snapshot_bytes`] output. The graph comes
+    /// back verbatim (probes are bitwise the saved index's), and the
+    /// replayed rng means post-load [`HnswIndex::add`] inserts land
+    /// exactly where they would have on the never-snapshotted index.
+    pub(crate) fn from_snapshot_bytes(bytes: &[u8]) -> Result<HnswIndex, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes);
+        let dim = r.get_usize()?;
+        let metric = snapshot::metric_from_code(r.get_u8()?)?;
+        let params = HnswParams {
+            m: r.get_usize()?,
+            ef_construction: r.get_usize()?,
+            ef_search: r.get_usize()?,
+            seed: r.get_u64()?,
+        };
+        let entry = r.get_u32()?;
+        let n = r.get_usize()?;
+        if n > bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut node_level = Vec::with_capacity(n);
+        for _ in 0..n {
+            node_level.push(r.get_usize()?);
+        }
+        let data = r.get_f32_slice()?;
+        let norms = r.get_f32_slice()?;
+        let n_layers = r.get_usize()?;
+        if n_layers > bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            let n_nodes = r.get_usize()?;
+            if n_nodes > bytes.len() {
+                return Err(SnapshotError::Truncated);
+            }
+            let mut layer = Vec::with_capacity(n_nodes);
+            for _ in 0..n_nodes {
+                layer.push(r.get_u32_slice()?);
+            }
+            layers.push(layer);
+        }
+        r.finish()?;
+        if dim == 0 || params.m < 2 {
+            return Err(SnapshotError::Corrupt("hnsw parameters"));
+        }
+        if data.len() != n * dim || norms.len() != n {
+            return Err(SnapshotError::Corrupt("hnsw row/norm shape"));
+        }
+        if n_layers == 0 || (n > 0 && entry as usize >= n) {
+            return Err(SnapshotError::Corrupt("hnsw entry point"));
+        }
+        for (node, &level) in node_level.iter().enumerate() {
+            if level >= n_layers || layers[level].len() <= node {
+                return Err(SnapshotError::Corrupt("hnsw node level past layers"));
+            }
+        }
+        for layer in &layers {
+            if layer.len() > n {
+                return Err(SnapshotError::Corrupt("hnsw layer wider than node count"));
+            }
+            for neigh in layer {
+                if neigh.iter().any(|&x| x as usize >= n) {
+                    return Err(SnapshotError::Corrupt("hnsw edge past node count"));
+                }
+            }
+        }
+        // Replay the level rng to where `n` inserts left it: `add`
+        // consumes exactly one `gen::<f32>()` per insert.
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        for _ in 0..n {
+            let _: f32 = rng.gen();
+        }
+        Ok(HnswIndex { dim, metric, params, data, norms, layers, node_level, entry, rng })
     }
 }
 

@@ -15,7 +15,9 @@ use crate::metric::Metric;
 use crate::pq::PqIndex;
 use crate::rowstore::RowFormat;
 use crate::sharded::ShardedIndex;
+use crate::snapshot::{self, SnapshotError};
 use crate::topk::Hit;
+use std::path::Path;
 
 /// A built nearest-neighbour index, ready to probe.
 ///
@@ -63,9 +65,10 @@ pub trait AnnIndex: Send + Sync {
     /// child) and must be discarded. Exact families (Flat, and Sharded
     /// over exact children) refresh bitwise-identically to a rebuild;
     /// IVF re-assigns changed rows against its stale trained quantizer
-    /// (same contract as its `add_batch`); PQ and HNSW keep the default
-    /// because a row overwrite would silently invalidate trained
-    /// codebooks / graph edges.
+    /// (same contract as its `add_batch`); PQ and HNSW accept only
+    /// *append-only* updates (`changed` empty) — a row overwrite would
+    /// silently invalidate trained codebooks / graph edges, so any
+    /// changed id declines the update.
     fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
         let _ = (data, changed);
         false
@@ -139,6 +142,21 @@ pub trait AnnIndex: Send + Sync {
     /// Top-`k` for many packed queries, one hit list per query in input
     /// order.
     fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>>;
+
+    /// This index's snapshot as `(family tag, family-private payload)` —
+    /// the building block [`AnnIndex::save_snapshot`] wraps in the
+    /// versioned container and composite families nest per shard.
+    fn snapshot_blob(&self) -> (u8, Vec<u8>);
+
+    /// Serialize the trained index into a versioned, checksummed
+    /// snapshot file. Loading it back (via
+    /// [`crate::snapshot::load_index`] or the spec-validated
+    /// [`IndexSpec::load_snapshot`]) yields an index whose probes are
+    /// bitwise identical to this one's.
+    fn save_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
+        let (family, payload) = self.snapshot_blob();
+        snapshot::save_to_file(path, family, &payload)
+    }
 }
 
 impl AnnIndex for FlatIndex {
@@ -165,6 +183,9 @@ impl AnnIndex for FlatIndex {
     }
     fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
         FlatIndex::search_batch(self, queries, k)
+    }
+    fn snapshot_blob(&self) -> (u8, Vec<u8>) {
+        (snapshot::FAMILY_FLAT, self.snapshot_bytes())
     }
 }
 
@@ -204,6 +225,9 @@ impl AnnIndex for IvfFlatIndex {
     fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
         IvfFlatIndex::search_batch(self, queries, k)
     }
+    fn snapshot_blob(&self) -> (u8, Vec<u8>) {
+        (snapshot::FAMILY_IVF, self.snapshot_bytes())
+    }
 }
 
 impl AnnIndex for PqIndex {
@@ -219,11 +243,20 @@ impl AnnIndex for PqIndex {
     fn add_batch(&mut self, flat: &[f32]) {
         PqIndex::add_batch(self, flat)
     }
+    // Append-only refresh; `can_refresh` stays `false` so composites
+    // still decline ahead of any mutation (their refresh may route
+    // overwrites to this family, which cannot honour them).
+    fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
+        PqIndex::refresh(self, data, changed)
+    }
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         PqIndex::search(self, query, k)
     }
     fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
         PqIndex::search_batch(self, queries, k)
+    }
+    fn snapshot_blob(&self) -> (u8, Vec<u8>) {
+        (snapshot::FAMILY_PQ, self.snapshot_bytes())
     }
 }
 
@@ -240,6 +273,10 @@ impl AnnIndex for HnswIndex {
     fn add_batch(&mut self, flat: &[f32]) {
         HnswIndex::add_batch(self, flat)
     }
+    // Append-only refresh; `can_refresh` stays `false` (see the PQ impl).
+    fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
+        HnswIndex::refresh(self, data, changed)
+    }
     fn ef_search_knob(&self) -> Option<(usize, usize)> {
         Some(HnswIndex::ef_search_knob(self))
     }
@@ -252,6 +289,9 @@ impl AnnIndex for HnswIndex {
     }
     fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
         HnswIndex::search_batch(self, queries, k)
+    }
+    fn snapshot_blob(&self) -> (u8, Vec<u8>) {
+        (snapshot::FAMILY_HNSW, self.snapshot_bytes())
     }
 }
 
@@ -448,6 +488,212 @@ impl IndexSpec {
             IndexSpec::Sharded { .. } => unreachable!("handled above"),
         }
     }
+
+    /// The snapshot family tag this spec builds ([`AnnIndex::snapshot_blob`]).
+    pub(crate) fn family_tag(&self) -> u8 {
+        match self {
+            IndexSpec::Flat => snapshot::FAMILY_FLAT,
+            IndexSpec::IvfFlat(_) => snapshot::FAMILY_IVF,
+            IndexSpec::Pq(_) => snapshot::FAMILY_PQ,
+            IndexSpec::Hnsw(_) => snapshot::FAMILY_HNSW,
+            IndexSpec::Sharded { .. } => snapshot::FAMILY_SHARDED,
+        }
+    }
+
+    /// Load a snapshot file *as an instance of this spec*: beyond the
+    /// container's structural checks (magic, version, checksum, payload
+    /// layout), the stored family, dimensionality, metric, row format,
+    /// and training parameters must match what [`IndexSpec::build_rows`]
+    /// with the same arguments would produce — a snapshot written under
+    /// a different configuration is rejected (and the caller rebuilds),
+    /// never silently served. Post-build tuning knobs (`nprobe`,
+    /// `ef_search`) are reset to the spec's values so the loaded index
+    /// probes exactly like a fresh build from this spec.
+    pub fn load_snapshot(
+        &self,
+        path: &Path,
+        dim: usize,
+        metric: Metric,
+        rows: RowFormat,
+    ) -> Result<Box<dyn AnnIndex>, SnapshotError> {
+        let (family, payload) = snapshot::read_file(path)?;
+        self.load_payload(family, &payload, dim, metric, rows)
+    }
+
+    /// [`IndexSpec::load_snapshot`] over an already-decoded tagged
+    /// payload (what the member loader and the sharded manifest recurse
+    /// through).
+    pub(crate) fn load_payload(
+        &self,
+        family: u8,
+        payload: &[u8],
+        dim: usize,
+        metric: Metric,
+        rows: RowFormat,
+    ) -> Result<Box<dyn AnnIndex>, SnapshotError> {
+        let expected = self.family_tag();
+        if family == snapshot::FAMILY_FLAT && expected != snapshot::FAMILY_FLAT {
+            // Mirror of the empty-data special case in `build_rows`: the
+            // quantized families cannot train on zero vectors, so an
+            // empty pool builds (and therefore snapshots) an empty exact
+            // index under any spec. Accept it back — but only empty.
+            let ix = FlatIndex::from_snapshot_bytes(payload)?;
+            if !ix.is_empty() {
+                return Err(SnapshotError::FamilyMismatch { found: family, expected });
+            }
+            check_dim(ix.dim(), dim)?;
+            check_metric(ix.metric(), metric)?;
+            check_rows(ix.row_format(), rows)?;
+            return Ok(Box::new(ix));
+        }
+        if family != expected {
+            return Err(SnapshotError::FamilyMismatch { found: family, expected });
+        }
+        match self {
+            IndexSpec::Flat => {
+                let ix = FlatIndex::from_snapshot_bytes(payload)?;
+                check_dim(ix.dim(), dim)?;
+                check_metric(ix.metric(), metric)?;
+                check_rows(ix.row_format(), rows)?;
+                Ok(Box::new(ix))
+            }
+            IndexSpec::IvfFlat(p) => {
+                let mut ix = IvfFlatIndex::from_snapshot_bytes(payload)?;
+                check_dim(ix.dim(), dim)?;
+                check_metric(ix.metric(), metric)?;
+                check_rows(ix.row_format(), rows)?;
+                let stored = ix.params();
+                if ix.requested_params().0 != p.nlist.max(1) {
+                    return Err(SnapshotError::SpecMismatch("ivf nlist"));
+                }
+                if stored.train_iters != p.train_iters {
+                    return Err(SnapshotError::SpecMismatch("ivf train_iters"));
+                }
+                if stored.seed != p.seed {
+                    return Err(SnapshotError::SpecMismatch("ivf seed"));
+                }
+                // nprobe is a post-build tuning knob, not trained state:
+                // align it to the spec instead of rejecting.
+                ix.set_nprobe(p.nprobe);
+                Ok(Box::new(ix))
+            }
+            IndexSpec::Pq(p) => {
+                let ix = PqIndex::from_snapshot_bytes(payload)?;
+                check_dim(ix.quantizer().dim(), dim)?;
+                check_metric(ix.metric(), metric)?;
+                // PQ stores trained codes, not rows — the row format does
+                // not participate in its build and is not checked. The
+                // training seed is not recoverable from codebooks either;
+                // subspace/codebook shape is what a build from this spec
+                // pins down.
+                if ix.quantizer().subspaces() != clamp_subspaces(dim, p.m) {
+                    return Err(SnapshotError::SpecMismatch("pq subspaces"));
+                }
+                let nbits = p.nbits.clamp(1, 8);
+                let expected_ksub = (1usize << nbits).min(256).min(ix.len()).max(1);
+                if ix.quantizer().codebook_size() != expected_ksub {
+                    return Err(SnapshotError::SpecMismatch("pq codebook size"));
+                }
+                Ok(Box::new(ix))
+            }
+            IndexSpec::Hnsw(p) => {
+                let mut ix = HnswIndex::from_snapshot_bytes(payload)?;
+                check_dim(ix.dim(), dim)?;
+                check_metric(ix.metric(), metric)?;
+                let stored = ix.params();
+                if stored.m != p.m {
+                    return Err(SnapshotError::SpecMismatch("hnsw m"));
+                }
+                if stored.ef_construction != p.ef_construction {
+                    return Err(SnapshotError::SpecMismatch("hnsw ef_construction"));
+                }
+                if stored.seed != p.seed {
+                    return Err(SnapshotError::SpecMismatch("hnsw seed"));
+                }
+                // ef_search is a post-build tuning knob: align, don't reject.
+                ix.set_ef_search(p.ef_search);
+                Ok(Box::new(ix))
+            }
+            IndexSpec::Sharded { inner, shards } => {
+                // Parse the manifest here (not via the unvalidated
+                // `ShardedIndex::from_snapshot_bytes`) so every child is
+                // checked against the inner spec.
+                let mut r = snapshot::SnapshotReader::new(payload);
+                let stored_dim = r.get_usize()?;
+                let stored_metric = snapshot::metric_from_code(r.get_u8()?)?;
+                let stored_rows = snapshot::rowformat_from_code(r.get_u8()?)?;
+                let stored_shards = r.get_usize()?;
+                check_dim(stored_dim, dim)?;
+                check_metric(stored_metric, metric)?;
+                check_rows(stored_rows, rows)?;
+                if stored_shards != (*shards).max(1) {
+                    return Err(SnapshotError::SpecMismatch("shard count"));
+                }
+                let mut children: Vec<Box<dyn AnnIndex>> = Vec::with_capacity(stored_shards);
+                for _ in 0..stored_shards {
+                    let child_family = r.get_u8()?;
+                    let child_payload = r.get_u8_slice()?;
+                    children.push(inner.load_payload(
+                        child_family,
+                        &child_payload,
+                        dim,
+                        metric,
+                        rows,
+                    )?);
+                }
+                r.finish()?;
+                Ok(Box::new(ShardedIndex::from_parts(dim, metric, rows, children)))
+            }
+        }
+    }
+
+    /// Load an engine-member snapshot ([`crate::snapshot::save_member`]):
+    /// the spec-validated index plus the exact f32 rows it was built
+    /// from. The rows let a warm-started engine diff the new round's
+    /// embeddings bitwise and take the same refresh-vs-rebuild path a
+    /// persistent engine would.
+    pub fn load_member_snapshot(
+        &self,
+        path: &Path,
+        dim: usize,
+        metric: Metric,
+        rows: RowFormat,
+    ) -> Result<(Vec<f32>, Box<dyn AnnIndex>), SnapshotError> {
+        let (family, payload) = snapshot::read_file(path)?;
+        if family != snapshot::FAMILY_MEMBER {
+            return Err(SnapshotError::FamilyMismatch {
+                found: family,
+                expected: snapshot::FAMILY_MEMBER,
+            });
+        }
+        let (member_rows, child_family, child_payload) = snapshot::parse_member(&payload)?;
+        let ix = self.load_payload(child_family, &child_payload, dim, metric, rows)?;
+        if member_rows.len() != ix.len() * dim {
+            return Err(SnapshotError::Corrupt("member rows do not match index length"));
+        }
+        Ok((member_rows, ix))
+    }
+}
+
+fn check_dim(found: usize, expected: usize) -> Result<(), SnapshotError> {
+    if found != expected {
+        return Err(SnapshotError::DimMismatch { found, expected });
+    }
+    Ok(())
+}
+
+fn check_metric(found: Metric, expected: Metric) -> Result<(), SnapshotError> {
+    if found != expected {
+        return Err(SnapshotError::MetricMismatch);
+    }
+    Ok(())
+}
+
+fn check_rows(found: RowFormat, expected: RowFormat) -> Result<(), SnapshotError> {
+    if found != expected {
+        return Err(SnapshotError::RowFormatMismatch);
+    }
+    Ok(())
 }
 
 #[cfg(test)]

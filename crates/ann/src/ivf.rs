@@ -9,6 +9,7 @@ use crate::kernels;
 use crate::kmeans::{kmeans, KMeans};
 use crate::metric::Metric;
 use crate::rowstore::{RowFormat, RowStore};
+use crate::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::topk::{Hit, TopK};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -405,6 +406,126 @@ impl IvfFlatIndex {
     /// Fraction of vectors scanned by an average probe (cost model helper).
     pub fn expected_scan_fraction(&self) -> f32 {
         self.params.nprobe as f32 / self.params.nlist as f32
+    }
+
+    /// Build-time `(nlist, nprobe)` request, before the row-count clamp
+    /// — what spec validation compares a snapshot against (the effective
+    /// clamped values depend on row count, the request does not).
+    pub fn requested_params(&self) -> (usize, usize) {
+        (self.requested_nlist, self.requested_nprobe)
+    }
+
+    /// Serialize the full trained state: parameters (requested and
+    /// clamped), the coarse quantizer, every posting list, the row/list
+    /// inverse, cached norms, and the rows as stored.
+    pub(crate) fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_usize(self.dim);
+        w.put_u8(snapshot::metric_code(self.metric));
+        w.put_u8(snapshot::rowformat_code(self.data.format()));
+        w.put_usize(self.params.nlist);
+        w.put_usize(self.params.nprobe);
+        w.put_usize(self.params.train_iters);
+        w.put_u64(self.params.seed);
+        w.put_usize(self.requested_nlist);
+        w.put_usize(self.requested_nprobe);
+        w.put_usize(self.trained_rows);
+        w.put_u64(self.generation);
+        w.put_usize(self.quantizer.k);
+        w.put_usize(self.quantizer.dim);
+        w.put_f32_slice(&self.quantizer.centroids);
+        w.put_f32_slice(&self.quantizer.centroid_sq);
+        w.put_u32_slice(&self.quantizer.assignments);
+        w.put_f32(self.quantizer.inertia);
+        w.put_usize(self.quantizer.iterations);
+        w.put_usize(self.lists.len());
+        for list in &self.lists {
+            w.put_u32_slice(list);
+        }
+        w.put_u32_slice(&self.row_list);
+        w.put_f32_slice(&self.row_norms);
+        let (full, half) = self.data.raw_parts();
+        w.put_f32_slice(full);
+        w.put_u16_slice(half);
+        w.into_bytes()
+    }
+
+    /// Rebuild from [`IvfFlatIndex::snapshot_bytes`] output. Nothing is
+    /// retrained or recomputed — quantizer, lists, and norms come back
+    /// verbatim, so a loaded index probes bitwise like the saved one.
+    pub(crate) fn from_snapshot_bytes(bytes: &[u8]) -> Result<IvfFlatIndex, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes);
+        let dim = r.get_usize()?;
+        let metric = snapshot::metric_from_code(r.get_u8()?)?;
+        let format = snapshot::rowformat_from_code(r.get_u8()?)?;
+        let params = IvfParams {
+            nlist: r.get_usize()?,
+            nprobe: r.get_usize()?,
+            train_iters: r.get_usize()?,
+            seed: r.get_u64()?,
+        };
+        let requested_nlist = r.get_usize()?;
+        let requested_nprobe = r.get_usize()?;
+        let trained_rows = r.get_usize()?;
+        let generation = r.get_u64()?;
+        let quantizer = KMeans {
+            k: r.get_usize()?,
+            dim: r.get_usize()?,
+            centroids: r.get_f32_slice()?,
+            centroid_sq: r.get_f32_slice()?,
+            assignments: r.get_u32_slice()?,
+            inertia: r.get_f32()?,
+            iterations: r.get_usize()?,
+        };
+        let n_lists = r.get_usize()?;
+        if n_lists != params.nlist {
+            return Err(SnapshotError::Corrupt("ivf list count != nlist"));
+        }
+        let mut lists = Vec::with_capacity(n_lists);
+        for _ in 0..n_lists {
+            lists.push(r.get_u32_slice()?);
+        }
+        let row_list = r.get_u32_slice()?;
+        let row_norms = r.get_f32_slice()?;
+        let full = r.get_f32_slice()?;
+        let half = r.get_u16_slice()?;
+        r.finish()?;
+        if dim == 0 || quantizer.dim != dim || quantizer.centroids.len() != quantizer.k * dim {
+            return Err(SnapshotError::Corrupt("ivf quantizer shape"));
+        }
+        let data = RowStore::from_raw(dim, format, full, half)
+            .ok_or(SnapshotError::Corrupt("ivf row store shape"))?;
+        let n = data.len();
+        if row_norms.len() != n || row_list.len() != n {
+            return Err(SnapshotError::Corrupt("ivf per-row array length"));
+        }
+        if lists.iter().map(Vec::len).sum::<usize>() != n {
+            return Err(SnapshotError::Corrupt("ivf posting lists do not cover the rows"));
+        }
+        for (row, &list) in row_list.iter().enumerate() {
+            if list as usize >= n_lists {
+                return Err(SnapshotError::Corrupt("ivf row assigned past nlist"));
+            }
+            // Posting lists keep ascending id order (build and overwrite
+            // both preserve it), so the inverse check can bisect.
+            if lists[list as usize].binary_search(&(row as u32)).is_err() {
+                return Err(SnapshotError::Corrupt("ivf row_list inverse broken"));
+            }
+        }
+        Ok(IvfFlatIndex {
+            dim,
+            metric,
+            params,
+            quantizer,
+            lists,
+            data,
+            row_norms,
+            row_list,
+            requested_nlist,
+            requested_nprobe,
+            trained_rows,
+            generation,
+        })
     }
 }
 

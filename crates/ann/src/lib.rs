@@ -35,6 +35,13 @@
 //! `dial-core` plumbs it from `DialConfig` down to Index-By-Committee
 //! retrieval.
 //!
+//! Every trained index also serializes into a versioned, checksummed
+//! on-disk snapshot ([`snapshot`]): `AnnIndex::save_snapshot` writes it,
+//! [`IndexSpec::load_snapshot`] loads it back with full spec validation,
+//! and a loaded index probes bitwise like the one that was saved — so a
+//! process restart pays file I/O instead of k-means / graph
+//! construction.
+//!
 //! [`kmeans`] (with k-means++ seeding) is exported for reuse by the BADGE
 //! selector in `dial-core`.
 
@@ -48,6 +55,7 @@ pub mod metric;
 pub mod pq;
 pub mod rowstore;
 pub mod sharded;
+pub mod snapshot;
 pub mod topk;
 
 pub use flat::FlatIndex;
@@ -62,4 +70,7 @@ pub use metric::{normalize, sq_l2, Metric};
 pub use pq::{PqIndex, ProductQuantizer};
 pub use rowstore::{RowFormat, RowStore, RowsView};
 pub use sharded::ShardedIndex;
+pub use snapshot::{
+    load_index, save_member, save_member_blob, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use topk::{merge_topk, Hit, TopK};

@@ -16,6 +16,7 @@
 use crate::kernels;
 use crate::kmeans::kmeans;
 use crate::metric::{normalize, Metric};
+use crate::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::topk::{Hit, TopK};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -280,6 +281,102 @@ impl PqIndex {
     pub fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
         assert_eq!(queries.len() % self.pq.dim, 0, "bad query batch");
         queries.par_chunks(self.pq.dim).map(|q| self.search(q, k)).collect()
+    }
+
+    /// Append-only incremental update ([`crate::AnnIndex::refresh`]
+    /// contract): PQ stores codes, not rows, so an overwritten row cannot
+    /// be re-encoded consistently with what the caller diffed against —
+    /// any `changed` entry declines the update and forces a rebuild. With
+    /// nothing changed, rows past the current length are encoded against
+    /// the trained codebooks via [`PqIndex::add_batch`], exactly what a
+    /// persistent index would have done as those rows streamed in.
+    pub fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
+        if !changed.is_empty() {
+            return false;
+        }
+        crate::metric::assert_packed(data.len(), self.pq.dim);
+        let n_old = self.len();
+        assert!(data.len() / self.pq.dim >= n_old, "refresh cannot shrink an index");
+        self.add_batch(&data[n_old * self.pq.dim..]);
+        true
+    }
+
+    /// Serialize the full trained state: codebooks, cached codebook
+    /// norms, every code, and the cosine zero-row mask.
+    pub(crate) fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_usize(self.pq.dim);
+        w.put_usize(self.pq.m);
+        w.put_usize(self.pq.ksub);
+        w.put_u8(snapshot::metric_code(self.metric));
+        for cb in &self.pq.codebooks {
+            w.put_f32_slice(cb);
+        }
+        for sq in &self.pq.codebook_sq {
+            w.put_f32_slice(sq);
+        }
+        w.put_u8_slice(&self.codes);
+        w.put_usize(self.zero_rows.len());
+        for &z in &self.zero_rows {
+            w.put_u8(z as u8);
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuild from [`PqIndex::snapshot_bytes`] output. Codebooks and
+    /// codes are restored verbatim — no retraining, no re-encoding — so
+    /// a loaded index scores ADC bitwise like the saved one.
+    pub(crate) fn from_snapshot_bytes(bytes: &[u8]) -> Result<PqIndex, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes);
+        let dim = r.get_usize()?;
+        let m = r.get_usize()?;
+        let ksub = r.get_usize()?;
+        let metric = snapshot::metric_from_code(r.get_u8()?)?;
+        if dim == 0 || m == 0 || !dim.is_multiple_of(m) || ksub == 0 || ksub > 256 {
+            return Err(SnapshotError::Corrupt("pq shape"));
+        }
+        let dsub = dim / m;
+        let mut codebooks = Vec::with_capacity(m);
+        for _ in 0..m {
+            let cb = r.get_f32_slice()?;
+            if cb.len() != ksub * dsub {
+                return Err(SnapshotError::Corrupt("pq codebook shape"));
+            }
+            codebooks.push(cb);
+        }
+        let mut codebook_sq = Vec::with_capacity(m);
+        for _ in 0..m {
+            let sq = r.get_f32_slice()?;
+            if sq.len() != ksub {
+                return Err(SnapshotError::Corrupt("pq codebook norm shape"));
+            }
+            codebook_sq.push(sq);
+        }
+        let codes = r.get_u8_slice()?;
+        let n_zero = r.get_usize()?;
+        let mut zero_rows = Vec::with_capacity(n_zero.min(codes.len()));
+        for _ in 0..n_zero {
+            zero_rows.push(r.get_u8()? != 0);
+        }
+        r.finish()?;
+        if !codes.len().is_multiple_of(m) {
+            return Err(SnapshotError::Corrupt("pq code bytes not a multiple of m"));
+        }
+        let n = codes.len() / m;
+        if codes.iter().any(|&c| c as usize >= ksub) {
+            return Err(SnapshotError::Corrupt("pq code past codebook size"));
+        }
+        match metric {
+            Metric::Cosine if zero_rows.len() != n => {
+                return Err(SnapshotError::Corrupt("pq zero-row mask length"));
+            }
+            Metric::L2 if !zero_rows.is_empty() => {
+                return Err(SnapshotError::Corrupt("pq zero-row mask under l2"));
+            }
+            _ => {}
+        }
+        let pq = ProductQuantizer { dim, m, ksub, codebooks, codebook_sq };
+        Ok(PqIndex { pq, metric, codes, zero_rows })
     }
 }
 

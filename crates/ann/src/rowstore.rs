@@ -289,6 +289,36 @@ impl RowStore {
         self.decoded_range(0, self.len(), scratch)
     }
 
+    /// The raw backing storage `(full, half)` in stored layout — what
+    /// snapshots persist. Exactly one of the two is non-empty for a
+    /// populated store, per [`Self::format`].
+    pub(crate) fn raw_parts(&self) -> (&[f32], &[u16]) {
+        (&self.full, &self.half)
+    }
+
+    /// Rebuild a store from snapshot parts. Returns `None` when the
+    /// parts are structurally invalid for `(dim, format)`: a component
+    /// count that is not a whole number of rows, or data in the wrong
+    /// backing vector for the format.
+    pub(crate) fn from_raw(
+        dim: usize,
+        format: RowFormat,
+        full: Vec<f32>,
+        half: Vec<u16>,
+    ) -> Option<RowStore> {
+        if dim == 0 {
+            return None;
+        }
+        let (used, other) = match format {
+            RowFormat::F32 => (full.len(), half.len()),
+            _ => (half.len(), full.len()),
+        };
+        if other != 0 || !used.is_multiple_of(dim) {
+            return None;
+        }
+        Some(RowStore { format, dim, full, half })
+    }
+
     /// Gather the rows named by `ids` (in order) into `out` as packed,
     /// decoded f32 — the scratch block for gathered scans over
     /// compressed rows (IVF posting lists).

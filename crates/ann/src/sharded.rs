@@ -19,6 +19,7 @@ use crate::flat::FlatIndex;
 use crate::index::{AnnIndex, IndexSpec};
 use crate::metric::Metric;
 use crate::rowstore::RowFormat;
+use crate::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::topk::{merge_topk, Hit};
 use rayon::prelude::*;
 
@@ -306,6 +307,63 @@ impl ShardedIndex {
             }
         }
     }
+
+    /// Reassemble a composite from already-loaded children — the
+    /// spec-validated snapshot path, which loads and checks each child
+    /// against the inner spec before handing them over. `children` must
+    /// be the full ordered shard set of one saved composite.
+    pub(crate) fn from_parts(
+        dim: usize,
+        metric: Metric,
+        rows: RowFormat,
+        children: Vec<Box<dyn AnnIndex>>,
+    ) -> Self {
+        assert!(!children.is_empty(), "a sharded index needs at least one shard");
+        ShardedIndex { dim, metric, rows, children }
+    }
+
+    /// Serialize as a manifest of per-shard child snapshots: each child's
+    /// own tagged payload, nested in shard order. Loading rebuilds each
+    /// child through its family's verbatim path, so the composite probes
+    /// bitwise like the saved one.
+    pub(crate) fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_usize(self.dim);
+        w.put_u8(snapshot::metric_code(self.metric));
+        w.put_u8(snapshot::rowformat_code(self.rows));
+        w.put_usize(self.children.len());
+        for child in &self.children {
+            let (family, payload) = child.snapshot_blob();
+            w.put_u8(family);
+            w.put_u8_slice(&payload);
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuild from [`ShardedIndex::snapshot_bytes`] output, dispatching
+    /// each child blob to its family's loader.
+    pub(crate) fn from_snapshot_bytes(bytes: &[u8]) -> Result<ShardedIndex, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes);
+        let dim = r.get_usize()?;
+        let metric = snapshot::metric_from_code(r.get_u8()?)?;
+        let rows = snapshot::rowformat_from_code(r.get_u8()?)?;
+        let shards = r.get_usize()?;
+        if dim == 0 || shards == 0 || shards > bytes.len() {
+            return Err(SnapshotError::Corrupt("sharded manifest shape"));
+        }
+        let mut children: Vec<Box<dyn AnnIndex>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let family = r.get_u8()?;
+            let payload = r.get_u8_slice()?;
+            let child = snapshot::load_child(family, &payload)?;
+            if child.dim() != dim || child.metric() != metric {
+                return Err(SnapshotError::Corrupt("sharded child dim/metric"));
+            }
+            children.push(child);
+        }
+        r.finish()?;
+        Ok(ShardedIndex { dim, metric, rows, children })
+    }
 }
 
 impl AnnIndex for ShardedIndex {
@@ -347,6 +405,9 @@ impl AnnIndex for ShardedIndex {
     }
     fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
         ShardedIndex::search_batch(self, queries, k)
+    }
+    fn snapshot_blob(&self) -> (u8, Vec<u8>) {
+        (snapshot::FAMILY_SHARDED, self.snapshot_bytes())
     }
 }
 

@@ -1,12 +1,35 @@
 //! Property-based tests for the ANN indexes.
 
 use dial_ann::{
-    kernels, kmeans, sq_l2, FlatIndex, HnswParams, IndexSpec, IvfFlatIndex, IvfParams, Metric,
-    PqIndex, PqParams, RowFormat, TopK,
+    kernels, kmeans, sq_l2, AnnIndex, FlatIndex, HnswParams, IndexSpec, IvfFlatIndex, IvfParams,
+    Metric, PqIndex, PqParams, RowFormat, SnapshotError, TopK,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// A unique temp path per test site (the proptest shim runs cases
+/// sequentially, so one path per tag never races).
+fn snap_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dial_snap_proptest_{}_{tag}.snap", std::process::id()))
+}
+
+/// Save → load an index through the spec-validated path and return the
+/// loaded copy.
+fn roundtrip(
+    spec: &IndexSpec,
+    ix: &dyn AnnIndex,
+    dim: usize,
+    metric: Metric,
+    rows: RowFormat,
+    tag: &str,
+) -> Box<dyn AnnIndex> {
+    let path = snap_path(tag);
+    ix.save_snapshot(&path).expect("snapshot save");
+    let loaded = spec.load_snapshot(&path, dim, metric, rows).expect("snapshot load");
+    let _ = std::fs::remove_file(&path);
+    loaded
+}
 
 fn packed(n: usize, dim: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-5.0f32..5.0, n * dim)
@@ -330,25 +353,40 @@ proptest! {
     }
 
     #[test]
-    fn trained_families_decline_refresh(data in packed(50, 8)) {
-        // PQ and HNSW keep the default full-rebuild contract: refresh
-        // returns false and the caller rebuilds. (Asserted through the
-        // trait so a future override is a conscious decision.)
+    fn trained_families_accept_append_only_refresh(data in packed(50, 8), tail in packed(3, 8)) {
+        // PQ and HNSW refresh is append-only: any changed id declines
+        // (an overwrite would invalidate trained codebooks / graph
+        // edges), while an append-only update must equal build +
+        // add_batch exactly — the warm-start reuse path.
         let dim = 8;
+        let mut grown = data.clone();
+        grown.extend_from_slice(&tail);
         for spec in [
             IndexSpec::Pq(PqParams { m: 4, nbits: 5, seed: 0 }),
             IndexSpec::Hnsw(HnswParams::default()),
         ] {
             let mut ix = spec.build(&data, dim, Metric::L2);
-            prop_assert!(!ix.refresh(&data, &[]), "{} must decline in-place refresh", spec.name());
+            prop_assert!(!ix.refresh(&data, &[0]), "{} must decline an overwrite", spec.name());
+            // Declined refreshes leave the index untouched; rebuild for
+            // the append check per the refresh contract.
+            let mut ix = spec.build(&data, dim, Metric::L2);
+            prop_assert!(ix.refresh(&grown, &[]), "{} must accept append-only", spec.name());
+            let mut appended = spec.build(&data, dim, Metric::L2);
+            appended.add_batch(&tail);
+            prop_assert_eq!(
+                ix.search_batch(&grown[0..4 * dim], 6),
+                appended.search_batch(&grown[0..4 * dim], 6),
+                "{} append-only refresh != add_batch", spec.name()
+            );
+            prop_assert!(!ix.can_refresh(), "{} still declines composite refresh", spec.name());
         }
         // Sharded over a declining child: a true no-op (same rows,
         // nothing changed) short-circuits to success without consulting
-        // the children, but any actual work propagates the decline.
+        // the children, but any actual work propagates the decline —
+        // the composite would route overwrites child-by-child, and
+        // can_refresh (not the append-only special case) is its gate.
         let mut sharded = IndexSpec::Hnsw(HnswParams::default()).sharded(2).build(&data, dim, Metric::L2);
         prop_assert!(sharded.refresh(&data, &[]), "no-op refresh is trivially in place");
-        let mut grown = data.clone();
-        grown.extend_from_slice(&data[..dim]);
         prop_assert!(!sharded.refresh(&grown, &[]), "appending must consult the children");
         prop_assert!(!sharded.refresh(&data, &[0]), "overwriting must consult the children");
     }
@@ -445,4 +483,183 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn snapshot_roundtrip_is_bitwise_for_every_family(data in packed(50, 8), k in 1usize..12) {
+        // The tentpole correctness anchor: snapshot -> load -> probe must
+        // equal build -> probe EXACTLY (same ids, same distances) for
+        // every family, shard count, row format, and metric. Probing the
+        // full stored set leaves no row's ranking unchecked.
+        let dim = 8;
+        let specs = [
+            IndexSpec::Flat,
+            IndexSpec::IvfFlat(IvfParams { nlist: 8, nprobe: 3, ..Default::default() }),
+            IndexSpec::Pq(PqParams { m: 4, nbits: 5, seed: 0 }),
+            IndexSpec::Hnsw(HnswParams::default()),
+        ];
+        let queries = &data[0..6 * dim];
+        for metric in [Metric::L2, Metric::Cosine] {
+            for base in &specs {
+                // Row formats only shape the scan families; PQ stores
+                // codes and HNSW full-width rows, so F32 covers them.
+                let formats: &[RowFormat] = match base {
+                    IndexSpec::Flat | IndexSpec::IvfFlat(_) =>
+                        &[RowFormat::F32, RowFormat::F16, RowFormat::Bf16],
+                    _ => &[RowFormat::F32],
+                };
+                for &rows in formats {
+                    for shards in [0usize, 1, 2, 7] {
+                        let spec = if shards == 0 {
+                            base.clone()
+                        } else {
+                            base.clone().sharded(shards)
+                        };
+                        let built = spec.build_rows(&data, dim, metric, rows);
+                        let tag = format!("{}_{}s", spec.name(), shards);
+                        let loaded = roundtrip(&spec, built.as_ref(), dim, metric, rows, &tag);
+                        prop_assert_eq!(loaded.len(), built.len());
+                        prop_assert_eq!(
+                            loaded.search_batch(queries, k),
+                            built.search_batch(queries, k),
+                            "{} shards={} rows={} {:?}", base.name(), shards, rows.label(), metric
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_then_grow_matches_never_snapshotted_growth(data in packed(40, 6), tail in packed(5, 6), k in 1usize..10) {
+        // Warm start's second half: a loaded index must keep evolving
+        // exactly like the index that never left memory. HNSW is the
+        // hard case (its level rng must resume mid-stream — one draw per
+        // insert); IVF/PQ assign against trained structures and Flat is
+        // stateless, but all four ride the same assertion.
+        let dim = 6;
+        let specs = [
+            IndexSpec::Flat,
+            IndexSpec::IvfFlat(IvfParams { nlist: 6, nprobe: 6, ..Default::default() }),
+            IndexSpec::Pq(PqParams { m: 3, nbits: 4, seed: 0 }),
+            IndexSpec::Hnsw(HnswParams::default()),
+        ];
+        let mut grown = data.clone();
+        grown.extend_from_slice(&tail);
+        for spec in &specs {
+            let mut stayed = spec.build(&data, dim, Metric::L2);
+            let mut loaded = roundtrip(
+                spec, stayed.as_ref(), dim, Metric::L2, RowFormat::F32,
+                &format!("grow_{}", spec.name()),
+            );
+            stayed.add_batch(&tail);
+            loaded.add_batch(&tail);
+            prop_assert_eq!(
+                loaded.search_batch(&grown[0..5 * dim], k),
+                stayed.search_batch(&grown[0..5 * dim], k),
+                "{} diverged after post-load growth", spec.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_load_rejects_spec_and_shape_mismatches() {
+    // Satellite red paths at the spec layer: a snapshot written under a
+    // different configuration must come back as a typed error (the
+    // caller's fall-back-to-build signal), never a wrong index.
+    let dim = 8;
+    let mut rng = StdRng::seed_from_u64(7);
+    let data: Vec<f32> = (0..50 * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let spec = IndexSpec::IvfFlat(IvfParams { nlist: 8, nprobe: 3, ..Default::default() });
+    let ix = spec.build(&data, dim, Metric::L2);
+    let path = snap_path("red_paths");
+    ix.save_snapshot(&path).expect("save");
+
+    // Wrong family expectation.
+    assert!(matches!(
+        IndexSpec::Flat.load_snapshot(&path, dim, Metric::L2, RowFormat::F32),
+        Err(SnapshotError::FamilyMismatch { .. })
+    ));
+    // Wrong dimensionality / metric / row format.
+    assert!(matches!(
+        spec.load_snapshot(&path, dim + 1, Metric::L2, RowFormat::F32),
+        Err(SnapshotError::DimMismatch { .. })
+    ));
+    assert!(matches!(
+        spec.load_snapshot(&path, dim, Metric::Cosine, RowFormat::F32),
+        Err(SnapshotError::MetricMismatch)
+    ));
+    assert!(matches!(
+        spec.load_snapshot(&path, dim, Metric::L2, RowFormat::F16),
+        Err(SnapshotError::RowFormatMismatch)
+    ));
+    // Different trained parameters (nlist / seed); nprobe alone is a
+    // post-build knob and must NOT invalidate the snapshot.
+    let other = IndexSpec::IvfFlat(IvfParams { nlist: 16, nprobe: 3, ..Default::default() });
+    assert!(matches!(
+        other.load_snapshot(&path, dim, Metric::L2, RowFormat::F32),
+        Err(SnapshotError::SpecMismatch(_))
+    ));
+    let reseeded =
+        IndexSpec::IvfFlat(IvfParams { nlist: 8, nprobe: 3, seed: 9, ..Default::default() });
+    assert!(matches!(
+        reseeded.load_snapshot(&path, dim, Metric::L2, RowFormat::F32),
+        Err(SnapshotError::SpecMismatch(_))
+    ));
+    let retuned = IndexSpec::IvfFlat(IvfParams { nlist: 8, nprobe: 7, ..Default::default() });
+    let loaded =
+        retuned.load_snapshot(&path, dim, Metric::L2, RowFormat::F32).expect("nprobe is a knob");
+    assert_eq!(loaded.nprobe_knob(), Some((8, 7)), "loaded index aligned to the spec's nprobe");
+
+    // Structural corruption inside the container is still caught.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        spec.load_snapshot(&path, dim, Metric::L2, RowFormat::F32),
+        Err(SnapshotError::ChecksumMismatch)
+    ));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn empty_pool_snapshot_loads_under_any_spec() {
+    // An empty pool builds an empty exact index whatever the spec (the
+    // quantized families cannot train on zero rows) — its snapshot must
+    // load back under the same spec, mirroring `build_rows`.
+    let dim = 4;
+    for spec in [
+        IndexSpec::Flat,
+        IndexSpec::IvfFlat(IvfParams::default()),
+        IndexSpec::Pq(PqParams::default()),
+        IndexSpec::Hnsw(HnswParams::default()),
+        IndexSpec::Hnsw(HnswParams::default()).sharded(3),
+    ] {
+        let ix = spec.build(&[], dim, Metric::L2);
+        let path = snap_path(&format!("empty_{}", spec.name()));
+        ix.save_snapshot(&path).expect("save");
+        let loaded = spec
+            .load_snapshot(&path, dim, Metric::L2, RowFormat::F32)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+        assert!(loaded.is_empty(), "{}", spec.name());
+        assert!(loaded.search(&[0.0; 4], 3).is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn sharded_snapshot_rejects_wrong_shard_count() {
+    let dim = 4;
+    let mut rng = StdRng::seed_from_u64(11);
+    let data: Vec<f32> = (0..30 * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let spec = IndexSpec::Flat.sharded(3);
+    let ix = spec.build(&data, dim, Metric::L2);
+    let path = snap_path("shard_count");
+    ix.save_snapshot(&path).expect("save");
+    assert!(matches!(
+        IndexSpec::Flat.sharded(4).load_snapshot(&path, dim, Metric::L2, RowFormat::F32),
+        Err(SnapshotError::SpecMismatch(_))
+    ));
+    let _ = std::fs::remove_file(&path);
 }

@@ -17,7 +17,13 @@
 //! * **pipeline** — the committee build/probe overlap: wall-clock of the
 //!   [`dial_core::RetrievalEngine`] at `pipeline_depth = 0` (strictly
 //!   sequential) vs a pipelined depth, with candidate-set identity
-//!   checked.
+//!   checked;
+//! * **snapshot** — versioned on-disk snapshots per backend: save a
+//!   trained index, load it back through
+//!   [`dial_ann::IndexSpec::load_snapshot`] in the same process, check
+//!   the loaded index probes bitwise like the built one, and record the
+//!   load-vs-build speedup (the warm-start payoff — file I/O instead of
+//!   k-means / graph construction).
 //!
 //! The report records the worker-thread count
 //! ([`rayon::current_num_threads`], pinnable via `RAYON_NUM_THREADS`)
@@ -100,6 +106,29 @@ pub struct PipelineRow {
     pub identical: bool,
 }
 
+/// One snapshot round-trip case: save a trained index, load it back
+/// under the same spec, and compare against paying the build again.
+#[derive(Debug, Clone)]
+pub struct SnapshotRow {
+    pub backend: String,
+    /// Row storage format the snapshot preserves (`f32`, `f16`, `bf16`).
+    pub rows: String,
+    pub n: usize,
+    pub dim: usize,
+    /// Training cost the snapshot amortizes away.
+    pub build_ms: f64,
+    /// Serialize + write the versioned container.
+    pub save_ms: f64,
+    /// Read + validate + reconstruct the index.
+    pub load_ms: f64,
+    /// On-disk size of the snapshot file.
+    pub bytes: u64,
+    /// `build_ms / load_ms` — what a warm start saves over a cold build.
+    pub speedup: f64,
+    /// Loaded index returns bitwise the same hits as the built one.
+    pub exact: bool,
+}
+
 /// One `(label, nprobe)` point of the auto-tuner comparison: the
 /// calibration sweep's steps plus the `static` (untuned heuristic
 /// default) and `tuned` (chosen) configurations measured head to head.
@@ -152,6 +181,7 @@ pub struct AnnBenchReport {
     pub probe: Vec<AnnBenchRow>,
     pub incremental: Vec<IncrementalRow>,
     pub pipeline: Vec<PipelineRow>,
+    pub snapshot: Vec<SnapshotRow>,
     pub tuning: Option<TuningReport>,
 }
 
@@ -204,6 +234,23 @@ impl ToJson for PipelineRow {
     }
 }
 
+impl ToJson for SnapshotRow {
+    fn to_json(&self) -> String {
+        json_obj(&[
+            ("backend", json_str(&self.backend)),
+            ("rows", json_str(&self.rows)),
+            ("n", self.n.to_string()),
+            ("dim", self.dim.to_string()),
+            ("build_ms", json_f64(self.build_ms)),
+            ("save_ms", json_f64(self.save_ms)),
+            ("load_ms", json_f64(self.load_ms)),
+            ("bytes", self.bytes.to_string()),
+            ("speedup", json_f64(self.speedup)),
+            ("exact", self.exact.to_string()),
+        ])
+    }
+}
+
 impl ToJson for TuningRow {
     fn to_json(&self) -> String {
         json_obj(&[
@@ -247,6 +294,7 @@ impl ToJson for AnnBenchReport {
             ("probe", arr(self.probe.iter().map(ToJson::to_json).collect())),
             ("incremental", arr(self.incremental.iter().map(ToJson::to_json).collect())),
             ("pipeline", arr(self.pipeline.iter().map(ToJson::to_json).collect())),
+            ("snapshot", arr(self.snapshot.iter().map(ToJson::to_json).collect())),
             ("tuning", self.tuning.as_ref().map_or("null".into(), ToJson::to_json)),
         ])
     }
@@ -279,6 +327,7 @@ pub fn run(smoke: bool) -> AnnBenchReport {
         probe: run_probe(smoke),
         incremental: run_incremental(smoke),
         pipeline: run_pipeline(smoke),
+        snapshot: run_snapshot(smoke),
         tuning: Some(run_tuning(smoke)),
     }
 }
@@ -580,6 +629,54 @@ fn run_pipeline(smoke: bool) -> Vec<PipelineRow> {
     }]
 }
 
+/// Snapshot round-trip per backend: build, save the versioned container,
+/// load it back under the same spec, and verify the loaded index probes
+/// bitwise like the built one. `speedup` is the warm-start payoff:
+/// training cost over file-I/O cost.
+fn run_snapshot(smoke: bool) -> Vec<SnapshotRow> {
+    let (n, dim, nq, k) = if smoke { (2_000, 64, 64, 10) } else { (10_000, 128, 256, 10) };
+    let base = data(n, dim, 6);
+    let queries = data(nq, dim, 7);
+    let dir = std::env::temp_dir().join(format!("dial_snap_{}", std::process::id()));
+    let cases: Vec<(&str, IndexSpec, RowFormat)> = vec![
+        ("flat", IndexSpec::Flat, RowFormat::F32),
+        ("flat_f16", IndexSpec::Flat, RowFormat::F16),
+        (
+            "ivf:64,8",
+            IndexSpec::IvfFlat(IvfParams { nlist: 64, nprobe: 8, ..Default::default() }),
+            RowFormat::F32,
+        ),
+        ("pq:8,6", IndexSpec::Pq(PqParams { m: 8, nbits: 6, seed: 0 }), RowFormat::F32),
+        ("hnsw:16,48", IndexSpec::Hnsw(HnswParams::default()), RowFormat::F32),
+        ("flat@4", IndexSpec::Flat.sharded(4), RowFormat::F32),
+    ];
+    let mut rows = Vec::new();
+    for (name, spec, format) in cases {
+        let path = dir.join(format!("{}.snap", name.replace([':', ',', '@'], "_")));
+        let (build_ns, built) = time_ns(1, || spec.build_rows(&base, dim, Metric::L2, format));
+        let (save_ns, saved) = time_ns(1, || built.save_snapshot(&path));
+        saved.unwrap_or_else(|e| panic!("{name}: snapshot save failed: {e}"));
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let (load_ns, loaded) = time_ns(1, || spec.load_snapshot(&path, dim, Metric::L2, format));
+        let loaded = loaded.unwrap_or_else(|e| panic!("{name}: snapshot load failed: {e}"));
+        let _ = std::fs::remove_file(&path);
+        rows.push(SnapshotRow {
+            backend: name.into(),
+            rows: format.label().into(),
+            n,
+            dim,
+            build_ms: build_ns / 1e6,
+            save_ms: save_ns / 1e6,
+            load_ms: load_ns / 1e6,
+            bytes,
+            speedup: build_ns / load_ns.max(1.0),
+            exact: loaded.search_batch(&queries, k) == built.search_batch(&queries, k),
+        });
+    }
+    let _ = std::fs::remove_dir(&dir);
+    rows
+}
+
 /// Render the sweeps as fixed-width tables.
 pub fn print(report: &AnnBenchReport) {
     let rows = &report.probe;
@@ -650,6 +747,39 @@ pub fn print(report: &AnnBenchReport) {
         &cells,
     );
 
+    let cells: Vec<Vec<String>> = report
+        .snapshot
+        .iter()
+        .map(|r| {
+            vec![
+                r.backend.clone(),
+                r.rows.clone(),
+                format!("{}x{}", r.n, r.dim),
+                format!("{:.1}", r.build_ms),
+                format!("{:.2}", r.save_ms),
+                format!("{:.2}", r.load_ms),
+                format!("{:.1}", r.bytes as f64 / 1024.0),
+                format!("{:.1}x", r.speedup),
+                r.exact.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Snapshot round-trip: load a trained index vs build it again",
+        &[
+            "Backend",
+            "Rows",
+            "Corpus",
+            "Build(ms)",
+            "Save(ms)",
+            "Load(ms)",
+            "KiB",
+            "Speedup",
+            "Exact",
+        ],
+        &cells,
+    );
+
     if let Some(t) = &report.tuning {
         let cells: Vec<Vec<String>> = t
             .steps
@@ -710,7 +840,11 @@ pub fn write(report: &AnnBenchReport) {
 /// * the drift-0 incremental round must not be slower than a full
 ///   rebuild, and must not lose candidate-set exactness;
 /// * the pipelined committee must retrieve exactly what the sequential
-///   one does (no wall-clock bound — a 1-core runner cannot overlap).
+///   one does (no wall-clock bound — a 1-core runner cannot overlap);
+/// * every snapshot-loaded index must probe bitwise like the one that
+///   was saved, and for the train-heavy families (IVF's k-means, HNSW's
+///   graph construction) loading must be at least 5x cheaper than
+///   building — the warm-start payoff the feature exists for.
 pub fn assert_no_regression(report: &AnnBenchReport) {
     let rows = &report.probe;
     let flat =
@@ -759,6 +893,24 @@ pub fn assert_no_regression(report: &AnnBenchReport) {
     }
     for r in &report.pipeline {
         assert!(r.identical, "pipelined committee diverged from the sequential candidate set");
+    }
+    for r in &report.snapshot {
+        assert!(
+            r.exact,
+            "{}: snapshot-loaded index no longer probes bitwise like the saved one",
+            r.backend
+        );
+        if r.backend.starts_with("ivf") || r.backend.starts_with("hnsw") {
+            assert!(
+                r.speedup >= 5.0,
+                "{}: snapshot load ({:.2} ms) is not >= 5x cheaper than the build ({:.2} ms): \
+                 {:.1}x",
+                r.backend,
+                r.load_ms,
+                r.build_ms,
+                r.speedup
+            );
+        }
     }
     if let Some(t) = &report.tuning {
         assert!(
@@ -857,6 +1009,32 @@ mod tests {
                 overlap: 1.3,
                 identical: true,
             }],
+            snapshot: vec![
+                SnapshotRow {
+                    backend: "ivf:64,8".into(),
+                    rows: "f32".into(),
+                    n: 10,
+                    dim: 4,
+                    build_ms: 50.0,
+                    save_ms: 0.4,
+                    load_ms: 0.5,
+                    bytes: 4096,
+                    speedup: 100.0,
+                    exact: true,
+                },
+                SnapshotRow {
+                    backend: "hnsw:16,48".into(),
+                    rows: "f32".into(),
+                    n: 10,
+                    dim: 4,
+                    build_ms: 80.0,
+                    save_ms: 0.6,
+                    load_ms: 1.0,
+                    bytes: 8192,
+                    speedup: 80.0,
+                    exact: true,
+                },
+            ],
             tuning: Some(TuningReport {
                 n: 10,
                 dim: 4,
@@ -885,6 +1063,7 @@ mod tests {
         assert!(j.contains("\"simd\":\"avx2\""), "{j}");
         assert!(j.contains("\"incremental\":[") && j.contains("\"exact\":true"), "{j}");
         assert!(j.contains("\"pipeline\":[") && j.contains("\"identical\":true"), "{j}");
+        assert!(j.contains("\"snapshot\":[") && j.contains("\"save_ms\":0.4"), "{j}");
         assert!(j.contains("\"tuning\":{") && j.contains("\"chosen_nprobe\":2"), "{j}");
         // The regression gate passes this healthy report... (probe rows
         // absent would panic on the flat lookup, so give it one).
@@ -936,6 +1115,20 @@ mod tests {
         let mut bad = ok.clone();
         bad.incremental[0].refresh_ms = 5.0;
         assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        // A snapshot load that lost bitwise parity fails...
+        let mut bad = ok.clone();
+        bad.snapshot[0].exact = false;
+        assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        // ...as does a train-heavy family whose load fell under the 5x
+        // warm-start floor; a slow *flat* load is tolerated (nothing to
+        // amortize — the build is already memcpy-speed).
+        let mut bad = ok.clone();
+        bad.snapshot[1].speedup = 3.0;
+        assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        let mut slow_flat = ok.clone();
+        slow_flat.snapshot[0].backend = "flat".into();
+        slow_flat.snapshot[0].speedup = 0.5;
+        assert_no_regression(&slow_flat);
         // Tuned recall below the static baseline fails.
         let mut bad = ok.clone();
         bad.tuning.as_mut().unwrap().tuned_recall = 0.5;

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release --bin repro -- <experiment> [--backend=<spec>] [--rows=<fmt>]
 //!                                                  [--shards=<n>] [--auto-tune]
+//!                                                  [--snapshot-dir=<dir>]
 //!
 //! experiments:
 //!   table1   dataset statistics
@@ -42,13 +43,17 @@
 //!                     that loses nothing, and (for `auto` with no
 //!                     explicit --shards) pick the shard count from
 //!                     worker threads; prints a `tuning` table
+//!   --snapshot-dir=<dir>  persist round-0 member indexes as versioned
+//!                     snapshots under `<dir>/<dataset>-s<seed>/` and
+//!                     warm-start from any already there; retrieval is
+//!                     bit-for-bit the cold run's either way
 //! ```
 //!
 //! Environment: `REPRO_SCALE` (bench|smoke|paper), `REPRO_ROUNDS`,
 //! `REPRO_SEEDS`, `REPRO_OUT`, `REPRO_BACKEND` (same values as
 //! `--backend`), `REPRO_ROWS` (same as `--rows`), `REPRO_SHARDS` (same
-//! as `--shards`), and `REPRO_DATASETS` (comma-separated subset of
-//! `WA,AG,DA,DS,AB`).
+//! as `--shards`), `REPRO_SNAPSHOT_DIR` (same as `--snapshot-dir`), and
+//! `REPRO_DATASETS` (comma-separated subset of `WA,AG,DA,DS,AB`).
 
 use dial_bench::report::{pct, print_table, secs, write_json};
 use dial_bench::runner::{self, run_jedai_row, run_rf_row, run_tplm, ExpContext, TplmRunSummary};
@@ -58,7 +63,7 @@ use dial_core::{
 use dial_datasets::Benchmark;
 
 const USAGE: &str = "usage: repro <experiment> [--backend=<spec>] [--rows=<fmt>] [--shards=<n>]
-                     [--auto-tune]
+                     [--auto-tune] [--snapshot-dir=<dir>]
 
 experiments:
   table1    dataset statistics
@@ -114,6 +119,17 @@ options:
                      candidate sets are reproduced bit-for-bit. Runs that
                      calibrated print a `tuning` table (chosen width and
                      shards, measured recall/latency at each sweep step).
+  --snapshot-dir=<dir>  versioned index snapshots + warm start: after the
+                     first AL round each run persists its trained member
+                     indexes under <dir>/<dataset>-s<seed>/ (written on a
+                     background thread, overlapping selection), and the
+                     next run with the same flag loads them back on a
+                     background thread overlapping round-0 training —
+                     paying file I/O instead of k-means/graph builds. A
+                     snapshot that fails validation (corrupt, truncated,
+                     or from a different backend/width/row format) warns
+                     and falls back to a cold build; warm and cold runs
+                     retrieve bit-for-bit the same candidates either way.
 
 environment:
   REPRO_SCALE=bench|smoke|paper   dataset scale (default bench)
@@ -123,6 +139,7 @@ environment:
   REPRO_ROWS=<fmt>                same values as --rows
   REPRO_SHARDS=<n>                same values as --shards
   REPRO_AUTO_TUNE=1               same as --auto-tune
+  REPRO_SNAPSHOT_DIR=<dir>        same as --snapshot-dir
   REPRO_DATASETS=WA,AG,DA,DS,AB  benchmark subset
   REPRO_OUT=<dir>                 JSONL output directory (default results/)";
 
@@ -131,6 +148,7 @@ fn main() {
     let mut shards_flag: Option<usize> = None;
     let mut rows_flag: Option<dial_core::RowFormat> = None;
     let mut auto_tune_flag = false;
+    let mut snapshot_dir_flag: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -151,6 +169,10 @@ fn main() {
             rows_flag = Some(parse_rows_or_exit(&v));
         } else if a == "--auto-tune" {
             auto_tune_flag = true;
+        } else if let Some(v) = a.strip_prefix("--snapshot-dir=") {
+            snapshot_dir_flag = Some(v.to_string());
+        } else if a == "--snapshot-dir" {
+            snapshot_dir_flag = Some(args.next().unwrap_or_default());
         } else {
             positional.push(a);
         }
@@ -176,9 +198,12 @@ fn main() {
         ctx.rows = r;
     }
     ctx.auto_tune |= auto_tune_flag;
+    if let Some(dir) = snapshot_dir_flag.filter(|v| !v.is_empty()) {
+        ctx.snapshot_dir = Some(dir);
+    }
     eprintln!(
         "# context: scale={:?} rounds={} seeds={:?} backend={} rows={} shards={} auto_tune={} \
-         datasets={:?}",
+         snapshots={} datasets={:?}",
         ctx.scale,
         ctx.rounds,
         ctx.seeds,
@@ -186,6 +211,7 @@ fn main() {
         ctx.rows.label(),
         ctx.shards,
         ctx.auto_tune,
+        ctx.snapshot_dir.as_deref().unwrap_or("off"),
         five(&ctx)
     );
     match which {

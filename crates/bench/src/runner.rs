@@ -31,6 +31,12 @@ pub struct ExpContext {
     /// Scan-row storage format for flat/IVF retrieval indexes
     /// (`REPRO_ROWS` or the `repro --rows=` flag; default f32).
     pub rows: dial_core::RowFormat,
+    /// Root directory for versioned index snapshots (`REPRO_SNAPSHOT_DIR`
+    /// or the `repro --snapshot-dir=` flag): every run persists its
+    /// round-0 member indexes under `<dir>/<dataset>-s<seed>/` and
+    /// warm-starts from them when present. `None` (default) disables
+    /// snapshotting; warm and cold runs retrieve bit-for-bit alike.
+    pub snapshot_dir: Option<String>,
 }
 
 impl ExpContext {
@@ -80,6 +86,7 @@ impl ExpContext {
                 std::process::exit(2);
             }),
         };
+        let snapshot_dir = std::env::var("REPRO_SNAPSHOT_DIR").ok().filter(|v| !v.is_empty());
         ExpContext {
             scale,
             rounds,
@@ -88,6 +95,7 @@ impl ExpContext {
             shards,
             auto_tune,
             rows,
+            snapshot_dir,
         }
     }
 
@@ -103,6 +111,15 @@ impl ExpContext {
         cfg.row_format = self.rows;
         cfg.index_shards = self.shards;
         cfg.auto_tune = self.auto_tune;
+        if let Some(dir) = &self.snapshot_dir {
+            // Keyed per (dataset, seed) so sweeps over both never load a
+            // snapshot trained on different rows; a spec mismatch inside
+            // one key (e.g. a backend sweep) is caught by snapshot
+            // validation and falls back to a cold build.
+            cfg.snapshot_dir =
+                Some(std::path::PathBuf::from(dir).join(format!("{}-s{seed}", bench.short_name())));
+            cfg.warm_start = true;
+        }
         cfg.abt_buy_like = matches!(bench, Benchmark::AbtBuy);
         if matches!(bench, Benchmark::Multilingual) {
             // §4.5: freeze the TPLM for the multilingual dataset. The
@@ -445,6 +462,7 @@ mod tests {
             shards: 1,
             auto_tune: false,
             rows: dial_core::RowFormat::F32,
+            snapshot_dir: None,
         };
         let s = run_tplm(&ctx, Benchmark::AbtBuy, "DIAL", |cfg| {
             *cfg = DialConfig { rounds: 2, ..DialConfig::smoke() };

@@ -2,6 +2,7 @@
 
 use dial_ann::{HnswParams, IndexSpec, IvfParams, PqParams};
 use dial_tplm::TplmConfig;
+use std::path::PathBuf;
 
 /// Which embeddings feed the nearest-neighbour blocker (paper §4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,22 +104,52 @@ impl IndexBackend {
     /// lists.
     pub const AUTO_FLAT_MAX: usize = 50_000;
 
-    /// Minimum rows a shard must hold before the auto-tuner's shard
-    /// heuristic ([`IndexBackend::auto_shards`]) will split further: a
-    /// shard below this is cheap enough to probe that the per-shard
-    /// top-k merge overhead dominates, and the per-shard IVF lists
-    /// (`√(n/shards)` of them, each `√(n/shards)` rows long) get too
-    /// short to amortize their coarse-quantization step.
-    pub const AUTO_SHARD_MIN_ROWS: usize = 25_000;
+    /// Safety margin of the shard cost model: splitting must save at
+    /// least this many times the merge overhead it adds before
+    /// [`IndexBackend::auto_shards`] will take it. A wide margin keeps
+    /// the pick stable against micro-measurement noise — near the
+    /// break-even point the two sides of the inequality are within the
+    /// timer's jitter, and a margin of 4 puts the decision boundary well
+    /// outside it.
+    pub const SHARD_MERGE_SAFETY: f64 = 4.0;
 
-    /// Shard count for an auto-tuned run: one shard per worker thread,
-    /// capped so every shard keeps at least
-    /// [`IndexBackend::AUTO_SHARD_MIN_ROWS`] rows (per-list size is
-    /// `√(rows/shard)`, so the floor also bounds list length from
-    /// below). Deterministic in `(n_rows, workers)` — the calibration
-    /// determinism guarantee includes the shard pick.
+    /// Shard count for an auto-tuned run, from an explicit cost model:
+    /// the largest `s ≤ workers` whose per-shard scan work still
+    /// outweighs the merge overhead it adds —
+    /// `(n/s)·scan ≥ SHARD_MERGE_SAFETY · s · merge` — or `1` when no
+    /// split pays for itself. Replaces the old static 25k-row-per-shard
+    /// floor, which encoded one machine's break-even point as a
+    /// universal constant: on hosts where `merge_topk` is cheap relative
+    /// to the scan the floor under-sharded, and vice versa.
+    /// Deterministic in its four arguments — the calibration determinism
+    /// guarantee includes the shard pick.
+    pub fn auto_shards_with_model(
+        n_rows: usize,
+        workers: usize,
+        scan_ns_per_row: f64,
+        merge_ns_per_list: f64,
+    ) -> usize {
+        if n_rows == 0 || workers <= 1 {
+            return 1;
+        }
+        let scan = scan_ns_per_row.max(f64::MIN_POSITIVE);
+        let merge = merge_ns_per_list.max(0.0);
+        (2..=workers)
+            .rev()
+            .find(|&s| {
+                (n_rows as f64 / s as f64) * scan >= Self::SHARD_MERGE_SAFETY * s as f64 * merge
+            })
+            .unwrap_or(1)
+    }
+
+    /// [`IndexBackend::auto_shards_with_model`] fed by a one-time
+    /// micro-measurement of this host's actual per-row scan cost and
+    /// per-list `merge_topk` cost (cached for the process, so every pick
+    /// in a run sees the same model and stays deterministic in
+    /// `(n_rows, workers)`).
     pub fn auto_shards(n_rows: usize, workers: usize) -> usize {
-        workers.max(1).min((n_rows / Self::AUTO_SHARD_MIN_ROWS).max(1))
+        let (scan, merge) = measured_shard_costs();
+        Self::auto_shards_with_model(n_rows, workers, scan, merge)
     }
 
     /// Resolve the `Auto` heuristic against the row count the index will
@@ -311,6 +342,57 @@ impl IndexBackend {
     }
 }
 
+/// One-time micro-measurement behind [`IndexBackend::auto_shards`]:
+/// `(scan_ns_per_row, merge_ns_per_list)` on this host. The scan side
+/// times a blocked flat probe over a small synthetic corpus (the same
+/// kernel a shard scans with); the merge side times [`merge_topk`] over
+/// the per-shard hit lists a fan-out produces. Both are amortized over
+/// enough repetitions that the quantities land well above timer
+/// granularity, and the result is cached for the process.
+fn measured_shard_costs() -> (f64, f64) {
+    use dial_ann::{merge_topk, FlatIndex, Hit, Metric};
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static COSTS: OnceLock<(f64, f64)> = OnceLock::new();
+    *COSTS.get_or_init(|| {
+        const DIM: usize = 32;
+        const ROWS: usize = 2_048;
+        const QUERIES: usize = 16;
+        const K: usize = 10;
+        // Deterministic synthetic rows (a Weyl sequence — no RNG needed;
+        // the kernel's cost does not depend on the values).
+        let data: Vec<f32> = (0..ROWS * DIM)
+            .map(|i| (i.wrapping_mul(2_654_435_761) % 10_000) as f32 / 10_000.0)
+            .collect();
+        let mut ix = FlatIndex::new(DIM, Metric::L2);
+        ix.add_batch(&data);
+        let queries = &data[..QUERIES * DIM];
+        let hits = ix.search_batch(queries, K); // warm the cache once
+        let t = Instant::now();
+        let _ = ix.search_batch(queries, K);
+        let scan_ns = t.elapsed().as_nanos() as f64 / (QUERIES * ROWS) as f64;
+        // Merge cost: combine 8 per-shard top-k lists, many times over.
+        const LISTS: usize = 8;
+        const REPS: usize = 2_000;
+        let lists: Vec<Vec<Hit>> = (0..LISTS)
+            .map(|l| {
+                (0..K)
+                    .map(|i| Hit {
+                        id: (l * K + i) as u32,
+                        distance: hits[0].get(i).map_or(i as f32, |h| h.distance),
+                    })
+                    .collect()
+            })
+            .collect();
+        let t = Instant::now();
+        for _ in 0..REPS {
+            std::hint::black_box(merge_topk(std::hint::black_box(&lists), K));
+        }
+        let merge_ns = t.elapsed().as_nanos() as f64 / (REPS * LISTS) as f64;
+        (scan_ns.max(1e-3), merge_ns.max(1e-3))
+    })
+}
+
 /// Candidate-set size policy (§4.6.3, Table 6).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CandSize {
@@ -443,6 +525,22 @@ pub struct DialConfig {
     pub negatives: NegativeSource,
     pub objective: BlockerObjective,
     pub selection: SelectionStrategy,
+    /// Directory for versioned member-index snapshots: after the first
+    /// round's retrieval the engine persists every committee member's
+    /// trained index (and the exact rows it indexed) here, written on a
+    /// background thread that overlaps the selection stage. `None` (the
+    /// default) disables persistence entirely.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Load member snapshots from [`DialConfig::snapshot_dir`] at run
+    /// start (on a background thread overlapping round-0 committee
+    /// training) and warm-start the retrieval engine from them. A
+    /// snapshot that is corrupt, truncated, or was written under a
+    /// different index spec / embedding width / row format is rejected
+    /// with a warning and the run falls back to a cold build; a loaded
+    /// snapshot whose rows no longer match the fresh embeddings is
+    /// rebuilt by the engine's bitwise row comparison — either way the
+    /// warm run's retrievals are bit-for-bit the cold run's.
+    pub warm_start: bool,
     /// Freeze the TPLM trunk during matcher training (the paper does this
     /// for the multilingual dataset, §4.5).
     pub freeze_trunk: bool,
@@ -483,6 +581,8 @@ impl Default for DialConfig {
             negatives: NegativeSource::Random,
             objective: BlockerObjective::Contrastive,
             selection: SelectionStrategy::Uncertainty,
+            snapshot_dir: None,
+            warm_start: false,
             freeze_trunk: false,
             pretrain_epochs: 2,
             seed: 0,
@@ -531,7 +631,8 @@ impl DialConfig {
     /// The shard count a run over `n_rows` rows actually uses: the
     /// configured [`DialConfig::index_shards`], unless auto-tuning is on
     /// with the `Auto` backend and no explicit sharding — then the count
-    /// comes from the worker-thread count and the per-shard row floor
+    /// comes from the worker-thread count and the measured scan-vs-merge
+    /// cost model
     /// ([`IndexBackend::auto_shards`]).
     pub fn resolved_shards(&self, n_rows: usize) -> usize {
         if self.auto_tune && self.index_shards <= 1 && self.index_backend == IndexBackend::Auto {
@@ -746,15 +847,44 @@ mod tests {
     }
 
     #[test]
-    fn auto_shards_respects_workers_and_row_floor() {
+    fn shard_cost_model_picks_the_break_even_split() {
         use IndexBackend as B;
-        // Capped by the worker count...
-        assert_eq!(B::auto_shards(1_000_000, 8), 8);
-        // ...and by the per-shard row floor.
-        assert_eq!(B::auto_shards(120_000, 8), 4);
-        assert_eq!(B::auto_shards(30_000, 8), 1);
+        // With scan = merge = 1 ns the inequality is n/s >= 4s, i.e.
+        // s <= sqrt(n)/2: exact picks at synthetic costs.
+        assert_eq!(B::auto_shards_with_model(1_000_000, 8, 1.0, 1.0), 8, "capped by workers");
+        assert_eq!(B::auto_shards_with_model(256, 8, 1.0, 1.0), 8, "sqrt(256)/2 = 8 exactly");
+        assert_eq!(B::auto_shards_with_model(255, 8, 1.0, 1.0), 7);
+        assert_eq!(B::auto_shards_with_model(100, 8, 1.0, 1.0), 5);
+        assert_eq!(B::auto_shards_with_model(15, 8, 1.0, 1.0), 1, "no split pays for itself");
+        // A pricier merge shifts break-even toward fewer shards; a
+        // pricier scan toward more.
+        assert_eq!(B::auto_shards_with_model(100, 8, 1.0, 25.0), 1);
+        assert_eq!(B::auto_shards_with_model(100, 8, 100.0, 1.0), 8);
+        // Degenerate inputs never panic and never split.
+        assert_eq!(B::auto_shards_with_model(0, 8, 1.0, 1.0), 1);
+        assert_eq!(B::auto_shards_with_model(1_000_000, 0, 1.0, 1.0), 1);
+        assert_eq!(B::auto_shards_with_model(1_000_000, 1, 1.0, 1.0), 1);
+        assert_eq!(B::auto_shards_with_model(100, 8, 0.0, 0.0), 8, "zero costs still bounded");
+    }
+
+    #[test]
+    fn auto_shards_is_bounded_monotone_and_deterministic() {
+        use IndexBackend as B;
+        // The measured model can land anywhere on a given host; what
+        // must always hold: within [1, workers], monotone nondecreasing
+        // in n (the process-cached costs are fixed), 1 on degenerate
+        // input, and the same answer every call.
+        let mut prev = 1usize;
+        for n in [0usize, 1_000, 30_000, 120_000, 1_000_000, 10_000_000] {
+            let s = B::auto_shards(n, 8);
+            assert!((1..=8).contains(&s), "auto_shards({n}, 8) = {s} out of bounds");
+            assert!(s >= prev, "more rows must never shard less ({n}: {s} < {prev})");
+            assert_eq!(s, B::auto_shards(n, 8), "must be deterministic per process");
+            prev = s;
+        }
         assert_eq!(B::auto_shards(0, 8), 1);
         assert_eq!(B::auto_shards(1_000_000, 0), 1, "a zero worker count still shards once");
+        assert_eq!(B::auto_shards(10_000_000, 4), 4, "a huge corpus saturates the workers");
     }
 
     #[test]
@@ -771,7 +901,7 @@ mod tests {
         // A concrete backend never gets auto-sharded.
         let concrete = DialConfig { index_backend: IndexBackend::Flat, ..base.clone() };
         assert_eq!(concrete.resolved_shards(1_000_000), 1);
-        // Unsharded Auto under --auto-tune picks from workers + row floor.
+        // Unsharded Auto under --auto-tune picks from workers + cost model.
         let workers = rayon::current_num_threads();
         assert_eq!(base.resolved_shards(1_000_000), IndexBackend::auto_shards(1_000_000, workers));
         // With auto_tune off, index_spec_for reproduces the static

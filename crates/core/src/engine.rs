@@ -41,8 +41,10 @@
 
 use crate::candidates::{probe_blocked, Candidate, CandidateSet};
 use crate::encode::ListEmbeddings;
-use dial_ann::{AnnIndex, FlatIndex, Hit, IndexSpec, Metric, RowFormat};
+use dial_ann::{save_member_blob, AnnIndex, FlatIndex, Hit, IndexSpec, Metric, RowFormat};
 use rayon::pipeline;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// One committee member's persistent retrieval state: the live index and
@@ -175,6 +177,27 @@ pub struct RetrievalEngine {
     /// measures itself against.
     baseline_width: Option<usize>,
     tuning: Option<TuningOutcome>,
+    /// Directory for member snapshots (see
+    /// [`RetrievalEngine::set_snapshot`]); `None` disables persistence.
+    snapshot_dir: Option<PathBuf>,
+    /// The embedding width snapshots were validated against at load.
+    snapshot_dim: usize,
+    /// First-round member snapshots already written (or handed to the
+    /// saver thread) for this engine lifetime.
+    snapshot_saved: bool,
+    /// Background snapshot loader: spawned by `set_snapshot` so the file
+    /// reads and structural validation overlap whatever the caller does
+    /// before the first retrieval (round-0 committee training in the AL
+    /// loop); joined — double-buffer style, between probe rounds, never
+    /// mid-probe — at the first `retrieve`.
+    loader: Option<JoinHandle<(Vec<MemberState>, f64)>>,
+    /// Background snapshot saver: blobs are serialized on the retrieve
+    /// thread (memory-speed), files are written here, overlapping the AL
+    /// loop's selection stage.
+    saver: Option<JoinHandle<f64>>,
+    /// Seconds of background snapshot work (load + save) accumulated
+    /// since the last [`RetrievalEngine::take_background_secs`].
+    bg_secs: f64,
 }
 
 /// Mean cosine shift between two equal-length packed row sets: the
@@ -325,6 +348,12 @@ impl RetrievalEngine {
             calibrated: false,
             baseline_width: None,
             tuning: None,
+            snapshot_dir: None,
+            snapshot_dim: 0,
+            snapshot_saved: false,
+            loader: None,
+            saver: None,
+            bg_secs: 0.0,
         }
     }
 
@@ -366,6 +395,144 @@ impl RetrievalEngine {
         engine.baseline_width = engine.spec.knob_params().map(|(_, w)| w);
         engine.tune = Some(tune);
         engine
+    }
+
+    /// Arm member-snapshot persistence: after the first retrieval the
+    /// engine writes each member's index + rows to
+    /// `dir/member-<m>.snap` on a background thread, and — when
+    /// `warm_start` is set — a background loader starts reading any
+    /// snapshots already there *now*, so the file I/O and validation
+    /// overlap whatever runs before the first retrieval (round-0
+    /// committee training in the AL loop). Loaded members install as the
+    /// double buffer's back side: they become each member's *previous*
+    /// state, and the first retrieval's bitwise row comparison decides
+    /// no-op-refresh versus rebuild exactly as a persistent engine's
+    /// second round would — so a warm run retrieves bit-for-bit what a
+    /// cold run does, whether the stored rows still match or not. Any
+    /// rejected snapshot (corrupt, truncated, or written under a
+    /// different spec / dim / row format) logs a warning and falls back
+    /// to a cold build.
+    ///
+    /// Call after [`RetrievalEngine::set_rows`] — loading validates
+    /// against the engine's current row format. `dim` is the embedding
+    /// width the snapshots must carry.
+    pub fn set_snapshot(&mut self, dir: Option<PathBuf>, warm_start: bool, dim: usize) {
+        self.join_background();
+        self.snapshot_dir = dir;
+        self.snapshot_dim = dim;
+        self.snapshot_saved = false;
+        let Some(dir) = self.snapshot_dir.clone() else { return };
+        if !warm_start || dim == 0 {
+            return;
+        }
+        let spec = self.spec.clone();
+        let rows = self.rows;
+        self.loader = Some(std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let mut loaded: Vec<MemberState> = Vec::new();
+            loop {
+                let path = dir.join(format!("member-{}.snap", loaded.len()));
+                if !path.exists() {
+                    break;
+                }
+                match spec.load_member_snapshot(&path, dim, Metric::L2, rows) {
+                    Ok((rows_vec, index)) => loaded.push(MemberState { index, rows: rows_vec }),
+                    Err(e) => {
+                        eprintln!(
+                            "[engine] warm start: snapshot {} rejected ({e}); \
+                             falling back to a cold build",
+                            path.display()
+                        );
+                        loaded.clear();
+                        break;
+                    }
+                }
+            }
+            (loaded, t0.elapsed().as_secs_f64())
+        }));
+    }
+
+    /// Seconds of background snapshot work (loads + saves) done since
+    /// the last call, joining any thread still in flight. The AL loop
+    /// reads this after each round's selection stage to report how much
+    /// snapshot I/O was hidden behind foreground work.
+    pub fn take_background_secs(&mut self) -> f64 {
+        self.join_background();
+        std::mem::take(&mut self.bg_secs)
+    }
+
+    fn join_background(&mut self) {
+        if let Some(h) = self.loader.take() {
+            if let Ok((_, secs)) = h.join() {
+                self.bg_secs += secs;
+            }
+        }
+        if let Some(h) = self.saver.take() {
+            if let Ok(secs) = h.join() {
+                self.bg_secs += secs;
+            }
+        }
+    }
+
+    /// Join the loader (if armed) and install its members as the
+    /// previous-round state, provided the committee shape matches and no
+    /// retrieval populated the engine first.
+    fn take_loaded(&mut self, n: usize, dim: usize) {
+        let Some(handle) = self.loader.take() else { return };
+        let (loaded, secs) = match handle.join() {
+            Ok(out) => out,
+            Err(_) => return,
+        };
+        self.bg_secs += secs;
+        if loaded.is_empty() || !self.members.is_empty() {
+            return;
+        }
+        if loaded.len() != n || dim != self.snapshot_dim {
+            eprintln!(
+                "[engine] warm start: {} member snapshot(s) of width {} do not fit a \
+                 committee of {n} at width {dim}; ignoring them",
+                loaded.len(),
+                self.snapshot_dim
+            );
+            return;
+        }
+        self.members = loaded;
+    }
+
+    /// Hand the first retrieval's member states to the saver thread.
+    /// Only the first round is persisted: it is the expensive build a
+    /// warm restart wants to skip, and later rounds mutate members
+    /// in place (refresh) or rebuild cheaply from cached state.
+    fn maybe_save(&mut self) {
+        if self.snapshot_saved || self.members.is_empty() {
+            return;
+        }
+        let Some(dir) = self.snapshot_dir.clone() else { return };
+        self.snapshot_saved = true;
+        struct MemberBlob {
+            rows: Vec<f32>,
+            family: u8,
+            payload: Vec<u8>,
+        }
+        let blobs: Vec<MemberBlob> = self
+            .members
+            .iter()
+            .map(|m| {
+                let (family, payload) = m.index.snapshot_blob();
+                MemberBlob { rows: m.rows.clone(), family, payload }
+            })
+            .collect();
+        self.saver = Some(std::thread::spawn(move || {
+            let t0 = Instant::now();
+            for (m, MemberBlob { rows, family, payload }) in blobs.into_iter().enumerate() {
+                let path = dir.join(format!("member-{m}.snap"));
+                if let Err(e) = save_member_blob(&path, &rows, family, &payload) {
+                    eprintln!("[engine] snapshot save {} failed: {e}", path.display());
+                    break;
+                }
+            }
+            t0.elapsed().as_secs_f64()
+        }));
     }
 
     /// Timings and reuse counters of the most recent retrieval.
@@ -563,6 +730,9 @@ impl RetrievalEngine {
         max_size: usize,
     ) -> CandidateSet {
         let n = views_r.len();
+        // Swap in background-loaded snapshot members (if any) before the
+        // round starts — between probe batches, never mid-probe.
+        self.take_loaded(n, dim);
         // Calibration hands back the index it built over member 0's
         // view; reused below when member 0 has no prior state.
         let mut prebuilt0: Option<MemberState> =
@@ -661,6 +831,7 @@ impl RetrievalEngine {
         }
 
         self.members = states;
+        self.maybe_save();
         if quantizer_invalidated {
             self.calibrated = false;
         }
@@ -675,6 +846,13 @@ impl RetrievalEngine {
             scored.extend(part);
         }
         CandidateSet::from_scored(scored, max_size)
+    }
+}
+
+impl Drop for RetrievalEngine {
+    fn drop(&mut self) {
+        // Never leak a background snapshot thread past the engine.
+        self.join_background();
     }
 }
 
@@ -790,16 +968,25 @@ mod tests {
 
     #[test]
     fn declining_family_falls_back_to_rebuild() {
-        // HNSW declines in-place refresh; the engine must rebuild (and
-        // still answer correctly) even under a permissive threshold.
+        // PQ and HNSW accept append-only refreshes but decline row
+        // overwrites; with an overwritten row under a permissive
+        // threshold the engine must rebuild (and still answer exactly
+        // like a fresh committee build). Unchanged views, by contrast,
+        // now ride the no-op refresh even for these families.
         let spec = IndexSpec::Hnsw(dial_ann::HnswParams::default());
         let vr = views(40, 1, 12);
         let vs = views(20, 1, 13);
         let mut engine = RetrievalEngine::new(spec.clone(), f64::MAX, 2);
         engine.retrieve_committee(&vr, &vs, DIM, 3, 500);
         let got = engine.retrieve_committee(&vr, &vs, DIM, 3, 500);
-        assert_eq!(engine.last_round().rebuilt_members, 1);
+        assert_eq!(engine.last_round().incremental_members, 1, "no-op refresh is accepted");
         let want = index_by_committee(&vr, &vs, DIM, 3, 500, &spec);
+        assert_eq!(got.pairs(), want.pairs());
+        let mut moved = vr.clone();
+        moved[0][3] += 0.25; // overwrite one stored row
+        let got = engine.retrieve_committee(&moved, &vs, DIM, 3, 500);
+        assert_eq!(engine.last_round().rebuilt_members, 1, "overwrites still decline");
+        let want = index_by_committee(&moved, &vs, DIM, 3, 500, &spec);
         assert_eq!(got.pairs(), want.pairs());
     }
 
@@ -1053,6 +1240,104 @@ mod tests {
         half.set_rows(RowFormat::Bf16);
         half.retrieve_committee(&vr, &vs, DIM, 3, 500);
         assert_eq!(half.last_round().rebuilt_members, 2);
+    }
+
+    fn snap_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dial_engine_snap_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn warm_start_retrieves_bitwise_like_cold_and_skips_the_rebuild() {
+        let vr = views(60, 2, 80);
+        let vs = views(30, 2, 81);
+        for spec in [IndexSpec::Flat, ivf_spec(8, 3), IndexSpec::Flat.sharded(3), hnsw_spec(16)] {
+            let dir = snap_dir(&format!("warm_{}", spec.name()));
+            // Cold engine: builds from scratch, saves member snapshots.
+            let mut cold = RetrievalEngine::new(spec.clone(), 0.0, 2);
+            cold.set_snapshot(Some(dir.clone()), false, DIM);
+            let want = cold.retrieve_committee(&vr, &vs, DIM, 3, 500);
+            assert!(cold.take_background_secs() > 0.0, "saver must run ({})", spec.name());
+            assert!(dir.join("member-1.snap").exists(), "{}", spec.name());
+            // Warm engine: loads them, takes the no-op refresh path, and
+            // retrieves bit-for-bit the cold candidates.
+            let mut warm = RetrievalEngine::new(spec.clone(), 0.0, 2);
+            warm.set_snapshot(Some(dir.clone()), true, DIM);
+            let got = warm.retrieve_committee(&vr, &vs, DIM, 3, 500);
+            assert_eq!(got.pairs(), want.pairs(), "{}", spec.name());
+            let st = warm.last_round();
+            assert_eq!(st.incremental_members, 2, "warm start must not rebuild ({})", spec.name());
+            assert_eq!(st.rebuilt_members, 0, "{}", spec.name());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn warm_start_with_drifted_rows_rebuilds_and_stays_exact() {
+        // Snapshots from one run, embeddings from another: the bitwise
+        // row comparison must notice and rebuild — same trajectory as a
+        // cold run on the new rows.
+        let dir = snap_dir("drifted");
+        let vs = views(25, 2, 83);
+        let mut first = RetrievalEngine::new(IndexSpec::Flat, 0.0, 2);
+        first.set_snapshot(Some(dir.clone()), false, DIM);
+        first.retrieve_committee(&views(40, 2, 82), &vs, DIM, 3, 500);
+        first.take_background_secs();
+        let moved = views(40, 2, 99);
+        let mut warm = RetrievalEngine::new(IndexSpec::Flat, 0.0, 2);
+        warm.set_snapshot(Some(dir.clone()), true, DIM);
+        let got = warm.retrieve_committee(&moved, &vs, DIM, 3, 500);
+        assert_eq!(warm.last_round().rebuilt_members, 2);
+        let want = index_by_committee(&moved, &vs, DIM, 3, 500, &IndexSpec::Flat);
+        assert_eq!(got.pairs(), want.pairs());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_snapshots_fall_back_to_a_cold_build() {
+        let dir = snap_dir("corrupt");
+        let vr = views(40, 2, 84);
+        let vs = views(25, 2, 85);
+        let mut first = RetrievalEngine::new(IndexSpec::Flat, 0.0, 2);
+        first.set_snapshot(Some(dir.clone()), false, DIM);
+        let want = first.retrieve_committee(&vr, &vs, DIM, 3, 500);
+        first.take_background_secs();
+        let run_warm = |spec: IndexSpec, dim: usize| {
+            let mut warm = RetrievalEngine::new(spec, 0.0, 2);
+            warm.set_snapshot(Some(dir.clone()), true, dim);
+            let got = warm.retrieve_committee(&vr, &vs, DIM, 3, 500);
+            (got, warm.last_round().rebuilt_members)
+        };
+        // Flip a byte mid-file: checksum rejects it, cold build follows.
+        let path = dir.join("member-0.snap");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let (got, rebuilt) = run_warm(IndexSpec::Flat, DIM);
+        assert_eq!(rebuilt, 2, "corrupt snapshot must fall back to rebuild");
+        assert_eq!(got.pairs(), want.pairs());
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        // Truncation is caught the same way.
+        let keep = bytes.len() / 3;
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        let (got, rebuilt) = run_warm(IndexSpec::Flat, DIM);
+        assert_eq!(rebuilt, 2, "truncated snapshot must fall back to rebuild");
+        assert_eq!(got.pairs(), want.pairs());
+        std::fs::write(&path, &bytes).unwrap();
+        // A spec mismatch (snapshots were Flat, engine wants IVF) and a
+        // width mismatch both discard the snapshots up front.
+        let (got, rebuilt) = run_warm(ivf_spec(8, 2), DIM);
+        assert_eq!(rebuilt, 2, "family mismatch must fall back to rebuild");
+        let want_ivf = index_by_committee(&vr, &vs, DIM, 3, 500, &ivf_spec(8, 2));
+        assert_eq!(got.pairs(), want_ivf.pairs());
+        let (got, rebuilt) = run_warm(IndexSpec::Flat, DIM + 1);
+        assert_eq!(rebuilt, 2, "dim mismatch must fall back to rebuild");
+        assert_eq!(got.pairs(), want.pairs());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
