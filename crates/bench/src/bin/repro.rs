@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release --bin repro -- <experiment> [--backend=<spec>] [--rows=<fmt>]
 //!                                                  [--shards=<n>] [--auto-tune]
-//!                                                  [--snapshot-dir=<dir>]
+//!                                                  [--snapshot-dir=<dir>] [--threads=<n>]
 //!
 //! experiments:
 //!   table1   dataset statistics
@@ -22,6 +22,9 @@
 //!   backends ANN backend sweep: recall + latency per index family
 //!   bench    ANN kernel micro-bench (ns/query + recall per backend,
 //!            persisted to BENCH_ann.json; REPRO_SCALE=smoke bounds it)
+//!   serve    open-loop serving bench: QPS-at-SLO, latency percentiles,
+//!            shed/reject counts (persisted to BENCH_serve.json;
+//!            `--smoke` or REPRO_SCALE=smoke bounds it)
 //!   all      everything above in order
 //!
 //! options:
@@ -47,6 +50,9 @@
 //!                     snapshots under `<dir>/<dataset>-s<seed>/` and
 //!                     warm-start from any already there; retrieval is
 //!                     bit-for-bit the cold run's either way
+//!   --threads=<n>     pin the work-stealing executor's worker count
+//!                     (the programmatic form of RAYON_NUM_THREADS);
+//!                     recorded in BENCH_ann.json and BENCH_serve.json
 //! ```
 //!
 //! Environment: `REPRO_SCALE` (bench|smoke|paper), `REPRO_ROUNDS`,
@@ -63,7 +69,7 @@ use dial_core::{
 use dial_datasets::Benchmark;
 
 const USAGE: &str = "usage: repro <experiment> [--backend=<spec>] [--rows=<fmt>] [--shards=<n>]
-                     [--auto-tune] [--snapshot-dir=<dir>]
+                     [--auto-tune] [--snapshot-dir=<dir>] [--threads=<n>]
 
 experiments:
   table1    dataset statistics
@@ -82,6 +88,11 @@ experiments:
   bench     ANN kernel micro-bench: blocked search_batch vs the scalar
             path, ns/query + recall per backend and shard count, written
             to BENCH_ann.json (REPRO_SCALE=smoke for a bounded run)
+  serve     open-loop serving bench over the query service: zipf-skewed
+            arrivals at a calibrated rate ladder, p50/p95/p99 latency,
+            shed/reject counts, and QPS-at-SLO, written to
+            BENCH_serve.json with its regression gate applied
+            (`--smoke` or REPRO_SCALE=smoke for the CI-bounded run)
   all       everything above in order
 
 options:
@@ -130,6 +141,12 @@ options:
                      or from a different backend/width/row format) warns
                      and falls back to a cold build; warm and cold runs
                      retrieve bit-for-bit the same candidates either way.
+  --threads=<n>      pin the work-stealing executor's worker count — the
+                     programmatic form of RAYON_NUM_THREADS, resolved
+                     before any parallel work. Applies to kernel scans,
+                     shard builds, and the serving layer's batch probes;
+                     the effective count is recorded in BENCH_ann.json
+                     and BENCH_serve.json as \"threads\".
 
 environment:
   REPRO_SCALE=bench|smoke|paper   dataset scale (default bench)
@@ -149,6 +166,8 @@ fn main() {
     let mut rows_flag: Option<dial_core::RowFormat> = None;
     let mut auto_tune_flag = false;
     let mut snapshot_dir_flag: Option<String> = None;
+    let mut threads_flag: Option<usize> = None;
+    let mut smoke_flag = false;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -173,8 +192,23 @@ fn main() {
             snapshot_dir_flag = Some(v.to_string());
         } else if a == "--snapshot-dir" {
             snapshot_dir_flag = Some(args.next().unwrap_or_default());
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            threads_flag = Some(parse_threads_or_exit(v));
+        } else if a == "--threads" {
+            let v = args.next().unwrap_or_default();
+            threads_flag = Some(parse_threads_or_exit(&v));
+        } else if a == "--smoke" {
+            smoke_flag = true;
         } else {
             positional.push(a);
+        }
+    }
+    // Pin the executor before anything runs in parallel: the count is
+    // resolved once for the process lifetime.
+    if let Some(n) = threads_flag {
+        let effective = rayon::set_num_threads(n);
+        if effective != n {
+            eprintln!("# --threads={n} came too late: executor already resolved to {effective}");
         }
     }
     let which = positional.first().map(String::as_str).unwrap_or("help");
@@ -230,6 +264,7 @@ fn main() {
         "table10" => table10(&ctx),
         "backends" => backends(&ctx),
         "bench" => ann_kernel_bench(&ctx),
+        "serve" => serve_bench(&ctx, smoke_flag),
         "all" => {
             table1(&ctx);
             fig4_fig5(&ctx, false);
@@ -244,6 +279,7 @@ fn main() {
             table10(&ctx);
             backends(&ctx);
             ann_kernel_bench(&ctx);
+            serve_bench(&ctx, smoke_flag);
         }
         other => {
             eprintln!("unknown experiment {other:?}\n\n{USAGE}");
@@ -270,6 +306,16 @@ fn parse_shards_or_exit(v: &str) -> usize {
         Ok(n) if n >= 1 => n,
         _ => {
             eprintln!("--shards {v:?} not recognized (positive integer)\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_threads_or_exit(v: &str) -> usize {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("--threads {v:?} not recognized (positive integer)\n\n{USAGE}");
             std::process::exit(2);
         }
     }
@@ -541,7 +587,7 @@ fn table9(ctx: &ExpContext) {
         let s = run_tplm(ctx, b, "DIAL", runner::strategy_mutator(BlockingStrategy::Dial));
         write_json("table9", &s);
         if let Some(t) = &s.tuning {
-            tuned.push((format!("{}/DIAL", b.short_name()), t.clone()));
+            tuned.push((format!("{}/DIAL", b.short_name()), t.clone(), s.overlap_ratio));
         }
         rows.push(vec![
             b.short_name().into(),
@@ -549,28 +595,62 @@ fn table9(ctx: &ExpContext) {
             secs(s.timing_train_committee),
             secs(s.timing_indexing_retrieval),
             secs(s.timing_selection),
+            overlap_cell(s.overlap_ratio),
         ]);
     }
     print_table(
         "Table 9: time (s) per operation in the final AL round",
-        &["Dataset", "Train Matcher", "Train Committee", "Indexing&Retrieval", "Selection"],
+        &[
+            "Dataset",
+            "Train Matcher",
+            "Train Committee",
+            "Indexing&Retrieval",
+            "Selection",
+            "Overlap",
+        ],
         &rows,
     );
     print_tuning(&tuned);
 }
 
+/// The snapshot-save overlap as a table cell: the fraction of background
+/// snapshot I/O hidden behind selection (`RoundTimings::overlap_ratio`),
+/// `-` when the run had no background saves to hide.
+fn overlap_cell(overlap_ratio: f64) -> String {
+    if overlap_ratio > 0.0 {
+        format!("{:.0}%", overlap_ratio * 100.0)
+    } else {
+        "-".into()
+    }
+}
+
 /// The `tuning` report table: for every run whose retrieval engine
 /// calibrated, the measured recall/latency of each knob sweep step
 /// (IVF `nprobe` or HNSW `ef_search`) and the chosen configuration
-/// (width, shard count, static baseline). Each record also lands in
-/// `tuning.jsonl`.
-fn print_tuning(entries: &[(String, dial_core::TuningOutcome)]) {
+/// (width, shard count, static baseline), plus the run's snapshot-save
+/// overlap ratio. Each record also lands in `tuning.jsonl`, wrapped as
+/// `{"run": ..., "overlap_ratio": ..., "tuning": {...}}`.
+fn print_tuning(entries: &[(String, dial_core::TuningOutcome, f64)]) {
     if entries.is_empty() {
         return;
     }
+    struct TuningRecord<'a> {
+        run: &'a str,
+        overlap_ratio: f64,
+        tuning: &'a dial_core::TuningOutcome,
+    }
+    impl dial_bench::report::ToJson for TuningRecord<'_> {
+        fn to_json(&self) -> String {
+            dial_bench::report::json_obj(&[
+                ("run", dial_bench::report::json_str(self.run)),
+                ("overlap_ratio", dial_bench::report::json_f64(self.overlap_ratio)),
+                ("tuning", dial_bench::report::ToJson::to_json(self.tuning)),
+            ])
+        }
+    }
     let mut rows = Vec::new();
-    for (label, t) in entries {
-        write_json("tuning", t);
+    for (label, t, overlap) in entries {
+        write_json("tuning", &TuningRecord { run: label, overlap_ratio: *overlap, tuning: t });
         for s in &t.steps {
             rows.push(vec![
                 label.clone(),
@@ -586,10 +666,11 @@ fn print_tuning(entries: &[(String, dial_core::TuningOutcome)]) {
             format!("{}={}", t.knob, t.chosen_width),
             format!("{:.3}", t.chosen_recall),
             format!(
-                "shards={} static width={} cal={:.0}ms",
+                "shards={} static width={} cal={:.0}ms overlap={}",
                 t.shards,
                 t.static_width,
-                t.calibrate_secs * 1e3
+                t.calibrate_secs * 1e3,
+                overlap_cell(*overlap),
             ),
         ]);
     }
@@ -633,6 +714,7 @@ fn backends(ctx: &ExpContext) {
                 tuned.push((
                     format!("{}/{}", b.short_name(), backend.label_sharded(shards)),
                     t.clone(),
+                    s.overlap_ratio,
                 ));
             }
             // Report the shard count the run actually resolved: under
@@ -651,12 +733,22 @@ fn backends(ctx: &ExpContext) {
                 pct(l.all_f1),
                 format!("{:.3}", s.timing_indexing_retrieval),
                 secs(s.rt_secs),
+                overlap_cell(s.overlap_ratio),
             ]);
         }
     }
     print_table(
         "Backends: ANN index family vs blocker recall and retrieval latency",
-        &["Dataset", "Backend", "Shards", "Recall", "All-pairs F1", "Index&Retrieval(s)", "RT(s)"],
+        &[
+            "Dataset",
+            "Backend",
+            "Shards",
+            "Recall",
+            "All-pairs F1",
+            "Index&Retrieval(s)",
+            "RT(s)",
+            "Overlap",
+        ],
         &rows,
     );
     print_tuning(&tuned);
@@ -670,6 +762,18 @@ fn ann_kernel_bench(ctx: &ExpContext) {
     let rows = dial_bench::annbench::run(smoke);
     dial_bench::annbench::print(&rows);
     dial_bench::annbench::write(&rows);
+}
+
+/// Open-loop serving bench: offered-rate ladder with zipfian skew over
+/// the query service, persisted to `BENCH_serve.json`, with the
+/// regression gate applied in-process (the CI `serve-smoke` job relies
+/// on a gate failure exiting non-zero).
+fn serve_bench(ctx: &ExpContext, smoke_flag: bool) {
+    let smoke = smoke_flag || matches!(ctx.scale, dial_datasets::ScaleProfile::Smoke);
+    let report = dial_bench::servebench::run(smoke);
+    dial_bench::servebench::print(&report);
+    dial_bench::servebench::write(&report);
+    dial_bench::servebench::assert_no_regression(&report);
 }
 
 fn table10(ctx: &ExpContext) {

@@ -13,6 +13,7 @@
 pub mod annbench;
 pub mod report;
 pub mod runner;
+pub mod servebench;
 
 pub use report::{print_table, write_json};
 pub use runner::{run_jedai_row, run_rf_row, run_tplm, ExpContext, TplmRunSummary};

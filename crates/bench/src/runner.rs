@@ -182,6 +182,10 @@ pub struct TplmRunSummary {
     pub timing_selection: f64,
     /// The paper's RT: blocking + matching time in the final round.
     pub rt_secs: f64,
+    /// Best background-snapshot-save overlap across rounds (last seed):
+    /// `RoundTimings::overlap_ratio`, the fraction of snapshot I/O
+    /// hidden behind selection. 0 when snapshots are off.
+    pub overlap_ratio: f64,
     /// The retrieval engine's calibration record (first seed's run),
     /// present only for auto-tuned IVF-backed runs.
     pub tuning: Option<dial_core::TuningOutcome>,
@@ -230,6 +234,7 @@ impl crate::report::ToJson for TplmRunSummary {
             ("timing_indexing_retrieval", json_f64(self.timing_indexing_retrieval)),
             ("timing_selection", json_f64(self.timing_selection)),
             ("rt_secs", json_f64(self.rt_secs)),
+            ("overlap_ratio", json_f64(self.overlap_ratio)),
             ("tuning", self.tuning.as_ref().map_or("null".into(), crate::report::ToJson::to_json)),
         ])
     }
@@ -291,6 +296,7 @@ pub fn run_tplm(
 ) -> TplmRunSummary {
     let mut acc: Vec<Vec<RoundMetrics>> = Vec::new();
     let mut last_timings = (0.0, 0.0, 0.0, 0.0, 0.0);
+    let mut overlap_ratio = 0.0f64;
     let mut tuning = None;
     for &seed in &ctx.seeds {
         let cached = dataset(bench, ctx.scale, seed);
@@ -307,6 +313,7 @@ pub fn run_tplm(
         let t = &result.last().timings;
         last_timings =
             (t.train_matcher, t.train_committee, t.indexing_retrieval, t.selection, t.find_dups);
+        overlap_ratio = result.rounds.iter().map(|m| m.timings.overlap_ratio).fold(0.0, f64::max);
         tuning = tuning.or(result.tuning);
         acc.push(result.rounds);
     }
@@ -333,6 +340,7 @@ pub fn run_tplm(
         timing_indexing_retrieval: last_timings.2,
         timing_selection: last_timings.3,
         rt_secs: last_timings.4,
+        overlap_ratio,
         tuning,
     }
 }

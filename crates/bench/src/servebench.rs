@@ -1,0 +1,603 @@
+//! Open-loop serving bench: QPS-at-SLO for the [`dial_core::serve`]
+//! layer, persisted to `REPRO_OUT/BENCH_serve.json`.
+//!
+//! Kernel micro-benches (`BENCH_ann.json`) measure ns/query with the
+//! batch already formed. This harness measures what a *service* delivers
+//! when the batches have to form themselves: single-query requests
+//! arrive on an **open-loop** schedule (arrival times fixed up front —
+//! a slow server cannot slow the clients down, so queueing delay shows
+//! up as latency instead of silently throttling the load), with
+//! **zipfian skew** over a clustered query pool (a few hot queries
+//! dominate, as user traffic does), at a ladder of offered rates
+//! calibrated against the measured scan capacity:
+//!
+//! * **fixed** rows at 0.25×, 0.5×, 1×, and 2× the measured capacity —
+//!   under-load, half-load, saturation, and overload;
+//! * one **burst** row: the same average rate as the 1× row but arriving
+//!   in back-to-back volleys, the pattern that exercises coalescing and
+//!   the admission queue's depth.
+//!
+//! Each row records p50/p95/p99 latency over *served* requests,
+//! shed/reject counts, achieved QPS, and a correctness sweep: every
+//! served response is compared hit-by-hit (ids and f32 distance bits)
+//! against a precomputed direct `search` on an identical index. A row
+//! **meets the SLO** when its p99 is within [`SLO_US`] and it neither
+//! shed nor rejected anything; `qps_at_slo` — the headline number — is
+//! the highest achieved QPS among SLO-meeting rows.
+//!
+//! Determinism contract: arrival schedules, the query pool, and the
+//! zipf draw are all seeded, so *which* queries are offered is identical
+//! across runs and worker counts; latencies and shed/reject splits vary
+//! with the machine, but `correctness_violations` must be zero at every
+//! worker count — that is the invariant [`assert_no_regression`] gates
+//! and the CI `serve-smoke` job enforces.
+
+use crate::report::{json_f64, json_obj, json_str, print_table, ToJson};
+use dial_ann::{FlatIndex, Hit, Metric};
+use dial_core::{QueryService, ServeConfig, ServeError, Ticket};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// The latency objective: p99 of served requests must come in under
+/// 50 ms. Generous on purpose — the gate must hold on a loaded 2-core
+/// CI runner; the recorded percentiles are the precise trajectory.
+pub const SLO_US: f64 = 50_000.0;
+
+/// One offered-load point.
+#[derive(Debug, Clone)]
+pub struct ServeBenchRow {
+    /// `fixed` (Poisson-less constant spacing) or `burst` (volleys).
+    pub pattern: String,
+    /// The open-loop arrival rate the schedule was built for.
+    pub offered_qps: f64,
+    pub submitted: u64,
+    pub served: u64,
+    /// Deadline-shed before scanning (queue wait exceeded the SLO).
+    pub shed: u64,
+    /// Rejected at admission with `Overloaded` (queue full).
+    pub rejected: u64,
+    /// Latency percentiles over served requests, admission → response.
+    pub p50_us: f64,
+    pub p95_us: f64,
+    pub p99_us: f64,
+    /// Served requests over the row's wall-clock.
+    pub achieved_qps: f64,
+    /// Served responses that differed from a direct single-query
+    /// `search` — must be zero, at any worker count.
+    pub correctness_violations: u64,
+    /// p99 within the SLO and nothing shed or rejected.
+    pub met_slo: bool,
+}
+
+/// The full serving sweep.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Executor worker count in force (`--threads` / `RAYON_NUM_THREADS`
+    /// pinnable) — the compute under every dispatch worker.
+    pub threads: usize,
+    /// Dispatch worker threads of the benched service.
+    pub workers: usize,
+    pub queue_capacity: usize,
+    pub batch_max: usize,
+    /// Corpus rows / dimensionality / neighbours per request.
+    pub n: usize,
+    pub dim: usize,
+    pub k: usize,
+    pub slo_us: f64,
+    /// Highest achieved QPS among rows meeting the SLO — 0 when no row
+    /// did, which the regression gate treats as a failure.
+    pub qps_at_slo: f64,
+    pub rows: Vec<ServeBenchRow>,
+}
+
+impl ToJson for ServeBenchRow {
+    fn to_json(&self) -> String {
+        json_obj(&[
+            ("pattern", json_str(&self.pattern)),
+            ("offered_qps", json_f64(self.offered_qps)),
+            ("submitted", self.submitted.to_string()),
+            ("served", self.served.to_string()),
+            ("shed", self.shed.to_string()),
+            ("rejected", self.rejected.to_string()),
+            ("p50_us", json_f64(self.p50_us)),
+            ("p95_us", json_f64(self.p95_us)),
+            ("p99_us", json_f64(self.p99_us)),
+            ("achieved_qps", json_f64(self.achieved_qps)),
+            ("correctness_violations", self.correctness_violations.to_string()),
+            ("met_slo", self.met_slo.to_string()),
+        ])
+    }
+}
+
+impl ToJson for ServeBenchReport {
+    fn to_json(&self) -> String {
+        let rows: Vec<String> = self.rows.iter().map(ToJson::to_json).collect();
+        json_obj(&[
+            ("threads", self.threads.to_string()),
+            ("workers", self.workers.to_string()),
+            ("queue_capacity", self.queue_capacity.to_string()),
+            ("batch_max", self.batch_max.to_string()),
+            ("n", self.n.to_string()),
+            ("dim", self.dim.to_string()),
+            ("k", self.k.to_string()),
+            ("slo_us", json_f64(self.slo_us)),
+            ("qps_at_slo", json_f64(self.qps_at_slo)),
+            ("rows", format!("[\n  {}\n ]", rows.join(",\n  "))),
+        ])
+    }
+}
+
+/// Clustered corpus + query pool (same shape as the tuner workload:
+/// queries land near corpus blobs, so every request has near neighbours
+/// worth finding).
+fn clustered(
+    n: usize,
+    pool: usize,
+    dim: usize,
+    clusters: usize,
+    seed: u64,
+) -> (Vec<f32>, Vec<Vec<f32>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<f32> = (0..clusters * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let mut points = |count: usize| -> Vec<f32> {
+        (0..count)
+            .flat_map(|i| {
+                let c = i % clusters;
+                centers[c * dim..(c + 1) * dim]
+                    .iter()
+                    .map(|&x| x + rng.gen_range(-0.05f32..0.05))
+                    .collect::<Vec<f32>>()
+            })
+            .collect()
+    };
+    let base = points(n);
+    let queries = points(pool).chunks(dim).map(<[f32]>::to_vec).collect();
+    (base, queries)
+}
+
+/// Zipf(s) sampler over `0..n` by inverse-CDF on precomputed cumulative
+/// weights: rank `i` is drawn with probability ∝ `1/(i+1)^s`. At
+/// `s = 1` (the classic web-traffic skew this harness uses) the top
+/// handful of pool queries dominate the offered load.
+struct Zipf {
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        Zipf { cum }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let r: f64 = rng.gen_range(0.0..1.0);
+        self.cum.partition_point(|&c| c < r).min(self.cum.len() - 1)
+    }
+}
+
+/// Sorted-latency percentile (nearest-rank on the sorted slice).
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let ix = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[ix.min(sorted_ns.len() - 1)] as f64 / 1e3
+}
+
+/// The arrival schedule of one row: offsets (ns from row start) and the
+/// zipf-drawn pool index of each request. Built before the clock starts
+/// — the open-loop guarantee — and a pure function of the seed, so the
+/// offered load is identical across runs and worker counts.
+fn schedule(
+    pattern: &str,
+    rate_qps: f64,
+    n_req: usize,
+    pool: usize,
+    seed: u64,
+) -> Vec<(u64, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(pool, 1.0);
+    let gap_ns = 1e9 / rate_qps;
+    (0..n_req)
+        .map(|i| {
+            let at = match pattern {
+                // Volleys of 64 back-to-back arrivals, spaced so the
+                // average rate matches `rate_qps`.
+                "burst" => (i / 64) as f64 * gap_ns * 64.0,
+                _ => i as f64 * gap_ns,
+            };
+            (at as u64, zipf.sample(&mut rng))
+        })
+        .collect()
+}
+
+/// Offer one row's schedule to a fresh service and fold the ticket
+/// outcomes into a [`ServeBenchRow`].
+#[allow(clippy::too_many_arguments)]
+fn run_row(
+    pattern: &str,
+    rate_qps: f64,
+    n_req: usize,
+    index: FlatIndex,
+    pool: &[Vec<f32>],
+    truth: &[Vec<Hit>],
+    k: usize,
+    cfg: &ServeConfig,
+) -> ServeBenchRow {
+    let sched = schedule(pattern, rate_qps, n_req, pool.len(), 0xD1A1 ^ pattern.len() as u64);
+    let svc = QueryService::new(Box::new(index), cfg.clone());
+    let mut tickets: Vec<(usize, Result<Ticket, ServeError>)> = Vec::with_capacity(n_req);
+    let t0 = Instant::now();
+    for &(at_ns, pool_ix) in &sched {
+        // Open loop: wait out the schedule, never the server. Sleep the
+        // bulk, spin the tail (sleep granularity is coarser than the
+        // inter-arrival gaps at high rates).
+        loop {
+            let now = t0.elapsed().as_nanos() as u64;
+            if now >= at_ns {
+                break;
+            }
+            let left = at_ns - now;
+            if left > 1_000_000 {
+                std::thread::sleep(Duration::from_nanos(left - 500_000));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        tickets.push((pool_ix, svc.submit(pool[pool_ix].clone(), k, None)));
+    }
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(n_req);
+    let (mut served, mut shed, mut rejected, mut violations) = (0u64, 0u64, 0u64, 0u64);
+    for (pool_ix, outcome) in tickets {
+        match outcome {
+            Err(ServeError::Overloaded) => rejected += 1,
+            Err(e) => panic!("unexpected submit failure: {e}"),
+            Ok(ticket) => match ticket.wait() {
+                Ok(resp) => {
+                    served += 1;
+                    latencies_ns.push(resp.finished_ns.saturating_sub(resp.admitted_ns));
+                    if !bitwise_eq(&resp.hits, &truth[pool_ix]) {
+                        violations += 1;
+                    }
+                }
+                Err(ServeError::DeadlineExceeded { .. }) => shed += 1,
+                Err(e) => panic!("unexpected ticket failure: {e}"),
+            },
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    svc.shutdown();
+    latencies_ns.sort_unstable();
+    let p99_us = percentile_us(&latencies_ns, 99.0);
+    ServeBenchRow {
+        pattern: pattern.into(),
+        offered_qps: rate_qps,
+        submitted: n_req as u64,
+        served,
+        shed,
+        rejected,
+        p50_us: percentile_us(&latencies_ns, 50.0),
+        p95_us: percentile_us(&latencies_ns, 95.0),
+        p99_us,
+        achieved_qps: served as f64 / wall,
+        correctness_violations: violations,
+        met_slo: served > 0 && shed == 0 && rejected == 0 && p99_us <= SLO_US,
+    }
+}
+
+fn bitwise_eq(got: &[Hit], want: &[Hit]) -> bool {
+    got.len() == want.len()
+        && got
+            .iter()
+            .zip(want)
+            .all(|(g, w)| g.id == w.id && g.distance.to_bits() == w.distance.to_bits())
+}
+
+/// Run the sweep. `smoke` bounds corpus size, request counts, and the
+/// per-row duration for CI.
+pub fn run(smoke: bool) -> ServeBenchReport {
+    let (n, dim, pool_n, k, clusters, row_secs) =
+        if smoke { (2_000, 64, 256, 10, 32, 0.3) } else { (10_000, 128, 512, 10, 64, 1.0) };
+    let (base, pool) = clustered(n, pool_n, dim, clusters, 50);
+
+    let build = || {
+        let mut ix = FlatIndex::new(dim, Metric::L2);
+        ix.add_batch(&base);
+        ix
+    };
+    // Ground truth: one direct single-query search per pool entry, on an
+    // identical index — the responses every served request must match
+    // bitwise.
+    let reference = build();
+    let truth: Vec<Vec<Hit>> = pool.iter().map(|q| reference.search(q, k)).collect();
+
+    // Calibrate the rate ladder against this host's measured batch-scan
+    // capacity, so "2× capacity" genuinely overloads a fast machine and
+    // doesn't bury a slow one.
+    let packed: Vec<f32> = pool.iter().flatten().copied().collect();
+    let t0 = Instant::now();
+    let _ = reference.search_batch(&packed, k);
+    let ns_per_query = (t0.elapsed().as_nanos() as f64 / pool.len() as f64).max(1.0);
+    let capacity_qps = 1e9 / ns_per_query;
+
+    let cfg = ServeConfig {
+        queue_capacity: if smoke { 256 } else { 1024 },
+        batch_max: if smoke { 64 } else { dial_core::ADMISSION_BLOCK },
+        workers: rayon::current_num_threads().clamp(1, 4),
+        // The deadline doubles as the shedding policy: a request whose
+        // queue wait alone blows the SLO is answered immediately instead
+        // of wasting a scan on it.
+        default_deadline: Some(Duration::from_micros(SLO_US as u64)),
+    };
+
+    let n_req = |rate: f64| ((rate * row_secs) as usize).clamp(64, if smoke { 600 } else { 4_000 });
+    let mut rows = Vec::new();
+    for mult in [0.25, 0.5, 1.0, 2.0] {
+        let rate = capacity_qps * mult;
+        rows.push(run_row("fixed", rate, n_req(rate), build(), &pool, &truth, k, &cfg));
+    }
+    let burst_rate = capacity_qps;
+    rows.push(run_row("burst", burst_rate, n_req(burst_rate), build(), &pool, &truth, k, &cfg));
+
+    let qps_at_slo = rows.iter().filter(|r| r.met_slo).map(|r| r.achieved_qps).fold(0.0, f64::max);
+    ServeBenchReport {
+        threads: rayon::current_num_threads(),
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity,
+        batch_max: cfg.batch_max,
+        n,
+        dim,
+        k,
+        slo_us: SLO_US,
+        qps_at_slo,
+        rows,
+    }
+}
+
+/// Render the sweep as a fixed-width table.
+pub fn print(report: &ServeBenchReport) {
+    let cells: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.pattern.clone(),
+                format!("{:.0}", r.offered_qps),
+                r.submitted.to_string(),
+                r.served.to_string(),
+                r.shed.to_string(),
+                r.rejected.to_string(),
+                format!("{:.0}", r.p50_us),
+                format!("{:.0}", r.p95_us),
+                format!("{:.0}", r.p99_us),
+                format!("{:.0}", r.achieved_qps),
+                r.correctness_violations.to_string(),
+                if r.met_slo { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Serving bench: {}x{} corpus, k = {}, {} workers x {} threads, queue {}, batch <= {}, \
+             SLO p99 <= {:.0} us -> QPS@SLO = {:.0}",
+            report.n,
+            report.dim,
+            report.k,
+            report.workers,
+            report.threads,
+            report.queue_capacity,
+            report.batch_max,
+            report.slo_us,
+            report.qps_at_slo
+        ),
+        &[
+            "Pattern", "Offered", "Sub", "Served", "Shed", "Rej", "p50(us)", "p95(us)", "p99(us)",
+            "QPS", "Viol", "SLO",
+        ],
+        &cells,
+    );
+}
+
+/// Persist to `REPRO_OUT/BENCH_serve.json` (one JSON object, overwritten
+/// each run — the *current* serving profile, like `BENCH_ann.json`).
+pub fn write(report: &ServeBenchReport) {
+    let dir = std::env::var("REPRO_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").into());
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("servebench: cannot create {dir}: {e}");
+        return;
+    }
+    let path = std::path::Path::new(&dir).join("BENCH_serve.json");
+    if let Err(e) = std::fs::write(&path, format!("{}\n", report.to_json())) {
+        eprintln!("servebench: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Loud gate for the CI `serve-smoke` job:
+///
+/// * **correctness is absolute** — zero served responses may differ from
+///   a direct single-query `search`, at any load and any worker count;
+/// * **accounting must close** — every submitted request resolves as
+///   exactly one of served, shed, or rejected (a leak here means a
+///   ticket hung or double-resolved);
+/// * **the lightest load must meet the SLO** — the 0.25×-capacity row
+///   must serve everything (nothing shed or rejected) with p99 within
+///   bound, so `qps_at_slo` is always backed by at least one row;
+/// * overload rows may shed and reject freely — that is the mechanism
+///   working, not a regression.
+pub fn assert_no_regression(report: &ServeBenchReport) {
+    for r in &report.rows {
+        assert_eq!(
+            r.correctness_violations, 0,
+            "{} @ {:.0} qps: {} served responses differed from direct search",
+            r.pattern, r.offered_qps, r.correctness_violations
+        );
+        assert_eq!(
+            r.served + r.shed + r.rejected,
+            r.submitted,
+            "{} @ {:.0} qps: request accounting does not close",
+            r.pattern,
+            r.offered_qps
+        );
+    }
+    let lightest = report
+        .rows
+        .iter()
+        .filter(|r| r.pattern == "fixed")
+        .min_by(|a, b| a.offered_qps.total_cmp(&b.offered_qps))
+        .expect("at least one fixed-rate row");
+    assert!(
+        lightest.met_slo,
+        "lightest fixed row ({:.0} qps) missed the SLO: p99 {:.0} us (bound {:.0}), shed {}, \
+         rejected {}",
+        lightest.offered_qps, lightest.p99_us, report.slo_us, lightest.shed, lightest.rejected
+    );
+    assert!(
+        report.qps_at_slo > 0.0,
+        "no offered-load row met the SLO (p99 <= {:.0} us with nothing shed/rejected)",
+        report.slo_us
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy_row(pattern: &str, qps: f64) -> ServeBenchRow {
+        ServeBenchRow {
+            pattern: pattern.into(),
+            offered_qps: qps,
+            submitted: 100,
+            served: 100,
+            shed: 0,
+            rejected: 0,
+            p50_us: 120.0,
+            p95_us: 450.0,
+            p99_us: 900.0,
+            achieved_qps: qps * 0.98,
+            correctness_violations: 0,
+            met_slo: true,
+        }
+    }
+
+    fn healthy_report() -> ServeBenchReport {
+        ServeBenchReport {
+            threads: 2,
+            workers: 2,
+            queue_capacity: 256,
+            batch_max: 64,
+            n: 2_000,
+            dim: 64,
+            k: 10,
+            slo_us: SLO_US,
+            qps_at_slo: 4_900.0,
+            rows: vec![healthy_row("fixed", 5_000.0), healthy_row("burst", 5_000.0)],
+        }
+    }
+
+    #[test]
+    fn report_json_is_wellformed() {
+        let j = healthy_report().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"threads\":2"));
+        assert!(j.contains("\"workers\":2"));
+        assert!(j.contains("\"qps_at_slo\":4900"));
+        assert!(j.contains("\"pattern\":\"fixed\""));
+        assert!(j.contains("\"correctness_violations\":0"));
+        assert!(j.contains("\"met_slo\":true"));
+    }
+
+    #[test]
+    fn gate_passes_a_healthy_report_and_fails_each_red_path() {
+        let ok = healthy_report();
+        assert_no_regression(&ok);
+        // A single correctness violation fails, even on an overload row.
+        let mut bad = ok.clone();
+        bad.rows[1].correctness_violations = 1;
+        assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        // Accounting that does not close fails (a hung or lost ticket).
+        let mut bad = ok.clone();
+        bad.rows[0].served = 99;
+        assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        // The lightest fixed row missing the SLO fails...
+        let mut bad = ok.clone();
+        bad.rows[0].p99_us = SLO_US + 1.0;
+        bad.rows[0].met_slo = false;
+        assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        // ...including by shedding under light load.
+        let mut bad = ok.clone();
+        bad.rows[0].shed = 5;
+        bad.rows[0].served = 95;
+        bad.rows[0].met_slo = false;
+        assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        // An overload row shedding/rejecting is fine — the mechanism at
+        // work — as long as accounting closes and correctness holds.
+        let mut overloaded = ok.clone();
+        overloaded.rows[1] = ServeBenchRow {
+            pattern: "fixed".into(),
+            offered_qps: 20_000.0,
+            submitted: 100,
+            served: 60,
+            shed: 25,
+            rejected: 15,
+            met_slo: false,
+            ..healthy_row("fixed", 20_000.0)
+        };
+        assert_no_regression(&overloaded);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let zipf = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            let ix = zipf.sample(&mut rng);
+            assert!(ix < 100);
+            counts[ix] += 1;
+        }
+        assert!(
+            counts[0] > counts[50] && counts[0] > 10_000 / 100,
+            "rank 0 must dominate a uniform draw: {} hits",
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_monotone() {
+        let a = schedule("fixed", 1_000.0, 50, 16, 1);
+        let b = schedule("fixed", 1_000.0, 50, 16, 1);
+        assert_eq!(a, b, "same seed, same schedule — the determinism contract");
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "offsets must be non-decreasing");
+        let burst = schedule("burst", 1_000.0, 128, 16, 1);
+        assert_eq!(burst[0].0, burst[63].0, "a volley arrives back-to-back");
+        assert!(burst[64].0 > burst[63].0, "volleys are spaced apart");
+    }
+
+    #[test]
+    fn percentiles_pick_nearest_rank() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        assert_eq!(percentile_us(&ns, 50.0), 51.0);
+        assert_eq!(percentile_us(&ns, 99.0), 99.0);
+        assert_eq!(percentile_us(&[], 99.0), 0.0);
+    }
+
+    #[test]
+    fn smoke_sweep_serves_correctly_end_to_end() {
+        // The real harness at smoke scale: the full gate must pass, and
+        // the report must carry every row pattern.
+        let report = run(true);
+        assert_eq!(report.rows.len(), 5);
+        assert!(report.rows.iter().any(|r| r.pattern == "burst"));
+        assert_no_regression(&report);
+    }
+}

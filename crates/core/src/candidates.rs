@@ -25,7 +25,7 @@ use std::collections::HashMap;
 /// queries cache-hot through the index's own query-block × row-block
 /// kernel tiles; the work-stealing executor balances the blocks' probe
 /// cost across cores even when some probes land on expensive regions.
-const PROBE_BLOCK: usize = 512;
+pub(crate) const PROBE_BLOCK: usize = 512;
 
 /// A scored candidate pair `(r, s)` with its smallest observed embedding
 /// distance across committee members and its best per-probe rank (0 = it

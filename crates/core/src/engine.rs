@@ -554,6 +554,19 @@ impl RetrievalEngine {
         self.tuning = None;
     }
 
+    /// Detach member `m`'s built index from the engine and hand it to the
+    /// caller — the hand-off from batch AL rounds to the long-lived
+    /// serving layer ([`crate::serve::QueryService`]). The member's
+    /// cached rows go with it, so the engine rebuilds that member from
+    /// scratch on its next retrieval (as after [`Self::reset`]). Returns
+    /// `None` when `m` has no built state yet.
+    pub fn take_member_index(&mut self, m: usize) -> Option<Box<dyn AnnIndex>> {
+        if m >= self.members.len() {
+            return None;
+        }
+        Some(self.members.remove(m).index)
+    }
+
     /// Index-By-Committee through the persistent engine: member `m`'s
     /// view of `R` is indexed (incrementally when the drift allows) and
     /// probed with its view of `S`; all members' scored pairs pool into

@@ -27,6 +27,7 @@ pub mod eval;
 pub mod matcher;
 pub mod oracle;
 pub mod select;
+pub mod serve;
 
 pub use al::{DialSystem, RoundMetrics, RoundTimings, RunResult};
 pub use blocker::{Committee, CommitteeMember, COMMITTEE_PREFIX};
@@ -44,3 +45,7 @@ pub use eval::{all_pairs_prf, blocker_recall, test_prf, Prf};
 pub use matcher::{Matcher, MATCHER_PREFIX};
 pub use oracle::Oracle;
 pub use select::{entropy, select, SelectionInputs};
+pub use serve::{
+    ManualClock, MonotonicClock, QueryService, ServeClock, ServeConfig, ServeError, ServeResponse,
+    ServeStats, Ticket, ADMISSION_BLOCK,
+};

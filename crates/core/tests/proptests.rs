@@ -8,7 +8,7 @@ use dial_core::{
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 proptest! {
@@ -104,5 +104,63 @@ proptest! {
         // And both equal the stateless reference implementation.
         let reference = index_by_committee(&views_r, &views_s, dim, k, 400, &spec);
         prop_assert_eq!(refreshed.pairs(), reference.pairs());
+    }
+}
+
+proptest! {
+    #[test]
+    fn served_responses_bitwise_match_direct_search_through_the_queue(
+        rows in proptest::collection::vec(-2.0f32..2.0, 40 * 4..120 * 4),
+        qraw in proptest::collection::vec(-2.0f32..2.0, 4..40 * 4),
+        workers in 0usize..4,
+        batch_max in 1usize..9,
+        seed in 0u64..50,
+    ) {
+        // The serving-layer exactness guarantee: whatever batches the
+        // admission queue coalesces and however many workers race over
+        // them, every response is bitwise identical to a direct
+        // single-query `search` on the same index — ids and f32
+        // distance bits both.
+        let dim = 4;
+        let rows = &rows[..rows.len() / dim * dim];
+        let queries: Vec<Vec<f32>> =
+            qraw.chunks_exact(dim).map(<[f32]>::to_vec).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ks: Vec<usize> = queries.iter().map(|_| rng.gen_range(1..8)).collect();
+
+        let build = || {
+            let mut ix = dial_ann::FlatIndex::new(dim, Default::default());
+            ix.add_batch(rows);
+            ix
+        };
+        let reference = build();
+        let svc = dial_core::QueryService::new(
+            Box::new(build()),
+            dial_core::ServeConfig {
+                queue_capacity: queries.len().max(1),
+                batch_max,
+                workers,
+                default_deadline: None,
+            },
+        );
+        let tickets: Vec<dial_core::Ticket> = queries
+            .iter()
+            .zip(&ks)
+            .map(|(q, &k)| svc.submit(q.clone(), k, None).unwrap())
+            .collect();
+        if workers == 0 {
+            svc.pump();
+        }
+        let stats = svc.shutdown();
+        prop_assert_eq!(stats.served as usize, queries.len());
+        for ((ticket, q), &k) in tickets.into_iter().zip(&queries).zip(&ks) {
+            let got = ticket.wait().unwrap().hits;
+            let want = reference.search(q, k);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.id, w.id);
+                prop_assert_eq!(g.distance.to_bits(), w.distance.to_bits());
+            }
+        }
     }
 }

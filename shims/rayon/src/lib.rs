@@ -39,9 +39,12 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelSlice};
 }
 
+/// The worker count, resolved once: a [`set_num_threads`] call wins,
+/// then the env override, then `available_parallelism`.
+static THREADS: OnceLock<usize> = OnceLock::new();
+
 /// Worker count: env override or `available_parallelism`.
 pub fn current_num_threads() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
         for var in ["RAYON_NUM_THREADS", "DIAL_NUM_THREADS"] {
             if let Some(n) = std::env::var(var).ok().and_then(|v| v.parse::<usize>().ok()) {
@@ -52,6 +55,17 @@ pub fn current_num_threads() -> usize {
         }
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     })
+}
+
+/// Pin the worker count programmatically (the `repro --threads=N` flag),
+/// overriding `RAYON_NUM_THREADS`/`DIAL_NUM_THREADS`. The count is
+/// resolved once for the process lifetime, so this must run before the
+/// first parallel operation reads it; `n` is clamped to at least 1.
+/// Returns the count now in force — equal to `n` when the call landed in
+/// time, the previously resolved count when it came too late.
+pub fn set_num_threads(n: usize) -> usize {
+    let n = n.max(1);
+    *THREADS.get_or_init(|| n)
 }
 
 /// A lazily evaluated, indexed pipeline stage. `pull(i)` produces the item
@@ -494,6 +508,18 @@ mod tests {
     use super::prelude::*;
     use crate::Gen;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn set_num_threads_resolves_once_and_agrees_with_current() {
+        // The count resolves once per process: whichever of
+        // set_num_threads / current_num_threads ran first (tests share
+        // the process) fixed it, and every later call sees that value.
+        let a = crate::set_num_threads(3);
+        let b = crate::set_num_threads(7);
+        assert_eq!(a, b, "a second set_num_threads must not change the resolved count");
+        assert_eq!(crate::current_num_threads(), a);
+        assert!(a >= 1);
+    }
 
     #[test]
     fn map_preserves_order() {

@@ -1,26 +1,36 @@
-//! Bounded single-producer single-consumer channel for two-stage
-//! pipelines.
+//! Bounded FIFO channel for pipelines and serving queues.
 //!
-//! The committee retrieval engine streams freshly built member indexes
-//! from a builder thread to the probing thread through one of these:
-//! member *i*'s shard build overlaps member *i−1*'s `search_batch`
-//! probes, and the bound (the pipeline depth) keeps at most `cap` built
-//! indexes resident beyond the one being probed — build latency is
-//! hidden, peak memory stays bounded.
+//! Two consumers in the workspace, one primitive:
 //!
-//! Deliberately minimal: blocking `send`/`recv` on a `Mutex` +
-//! `Condvar` ring, close-on-drop from either side, and a draining
-//! iterator on the receiver. Items flow strictly FIFO, so a consumer
-//! that tags work by sequence number sees it in exactly the order the
-//! producer staged it — what makes a pipelined merge deterministic.
+//! * the committee retrieval engine streams freshly built member indexes
+//!   from a builder thread to the probing thread (strict SPSC): member
+//!   *i*'s shard build overlaps member *i−1*'s `search_batch` probes, and
+//!   the bound (the pipeline depth) keeps at most `cap` built indexes
+//!   resident beyond the one being probed — build latency is hidden, peak
+//!   memory stays bounded;
+//! * the query-serving layer (`dial_core::serve`) uses the same channel
+//!   as its **bounded admission queue**: many request threads hold cloned
+//!   [`Sender`]s and [`Sender::try_send`] rejects instead of blocking
+//!   when the queue is full — that rejection *is* the backpressure
+//!   signal.
+//!
+//! Deliberately minimal: blocking `send`/`recv` plus non-blocking
+//! `try_send`/`try_recv` on a `Mutex` + `Condvar` ring, close-on-drop
+//! from either side (the channel closes when the *last* sender clone
+//! goes, including a sender dropped by a panicking producer's unwind),
+//! and a draining iterator on the receiver. Items flow strictly FIFO, so
+//! a consumer that tags work by sequence number sees it in exactly the
+//! order the producers staged it — what makes a pipelined merge
+//! deterministic, and what keeps a serving queue's admission order fair.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
 struct State<T> {
     buf: VecDeque<T>,
-    /// True once the opposite side has hung up.
-    sender_gone: bool,
+    /// Live [`Sender`] clones; the channel closes when this hits 0.
+    senders: usize,
+    /// True once the receiver has hung up.
     receiver_gone: bool,
 }
 
@@ -29,16 +39,38 @@ struct Shared<T> {
     cap: usize,
     /// Signalled when space frees up (senders wait on this).
     space: Condvar,
-    /// Signalled when an item arrives or the sender hangs up.
+    /// Signalled when an item arrives or the last sender hangs up.
     items: Condvar,
 }
 
-/// Producing half of a bounded SPSC channel; dropping it closes the
+/// Producing half of the bounded channel. Cloneable — every clone is an
+/// independent producer (MPSC); dropping the *last* clone closes the
 /// channel (the receiver drains what was sent, then sees the end).
 pub struct Sender<T>(Arc<Shared<T>>);
 
-/// Consuming half; dropping it makes further `send`s fail fast.
+/// Consuming half (single consumer); dropping it makes further `send`s
+/// fail fast.
 pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// Why a [`Sender::try_send`] did not enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The buffer is at capacity — the backpressure signal. The item
+    /// comes back to the caller untouched.
+    Full(T),
+    /// The receiver is gone; nobody will ever consume the item.
+    Disconnected(T),
+}
+
+/// Why a [`Receiver::try_recv`] returned no item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing buffered right now, but senders are still alive.
+    Empty,
+    /// Nothing buffered and every sender is gone: the channel is closed
+    /// and fully drained.
+    Disconnected,
+}
 
 /// Create a bounded FIFO channel holding at most `cap` in-flight items
 /// (`cap` is clamped to at least 1 — a zero-capacity rendezvous would
@@ -47,7 +79,7 @@ pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
         state: Mutex::new(State {
             buf: VecDeque::with_capacity(cap.max(1)),
-            sender_gone: false,
+            senders: 1,
             receiver_gone: false,
         }),
         cap: cap.max(1),
@@ -73,19 +105,44 @@ impl<T> Sender<T> {
         self.0.items.notify_one();
         Ok(())
     }
+
+    /// Enqueue without blocking: `Full(item)` when the buffer is at
+    /// capacity (the admission-queue backpressure path — reject, don't
+    /// wait), `Disconnected(item)` when the receiver is gone.
+    pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.0.state.lock().unwrap();
+        if st.receiver_gone {
+            return Err(TrySendError::Disconnected(item));
+        }
+        if st.buf.len() >= self.0.cap {
+            return Err(TrySendError::Full(item));
+        }
+        st.buf.push_back(item);
+        self.0.items.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().unwrap().senders += 1;
+        Sender(self.0.clone())
+    }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         let mut st = self.0.state.lock().unwrap();
-        st.sender_gone = true;
-        self.0.items.notify_all();
+        st.senders -= 1;
+        if st.senders == 0 {
+            self.0.items.notify_all();
+        }
     }
 }
 
 impl<T> Receiver<T> {
-    /// Block until an item is available; `None` once the sender has hung
-    /// up and the buffer is drained.
+    /// Block until an item is available; `None` once every sender has
+    /// hung up and the buffer is drained.
     pub fn recv(&self) -> Option<T> {
         let mut st = self.0.state.lock().unwrap();
         loop {
@@ -93,10 +150,26 @@ impl<T> Receiver<T> {
                 self.0.space.notify_one();
                 return Some(item);
             }
-            if st.sender_gone {
+            if st.senders == 0 {
                 return None;
             }
             st = self.0.items.wait(st).unwrap();
+        }
+    }
+
+    /// Dequeue without blocking: `Empty` when nothing is buffered but
+    /// producers live on (the coalescing path — take what's there, don't
+    /// wait for more), `Disconnected` once the channel is closed and
+    /// drained.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.0.state.lock().unwrap();
+        match st.buf.pop_front() {
+            Some(item) => {
+                self.0.space.notify_one();
+                Ok(item)
+            }
+            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
         }
     }
 }
@@ -201,5 +274,141 @@ mod tests {
             assert_eq!(got.len(), 10);
             assert_eq!(*got[3], "v3");
         });
+    }
+
+    #[test]
+    fn try_send_rejects_on_full_and_succeeds_after_drain() {
+        let (tx, rx) = bounded::<u32>(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        // At capacity: the item comes straight back — backpressure.
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn full_then_drained_capacity_cycling() {
+        // Many fill-to-cap / drain-to-empty cycles: the ring must come
+        // back to exactly the same capacity every time — no leaked slots,
+        // no phantom items.
+        let (tx, rx) = bounded::<usize>(4);
+        let mut expected = 0usize;
+        for cycle in 0..100 {
+            let mut accepted = 0;
+            loop {
+                match tx.try_send(cycle * 1000 + accepted) {
+                    Ok(()) => accepted += 1,
+                    Err(TrySendError::Full(_)) => break,
+                    Err(TrySendError::Disconnected(_)) => panic!("receiver alive"),
+                }
+            }
+            assert_eq!(accepted, 4, "cycle {cycle}: capacity drifted");
+            let mut drained = 0;
+            while let Ok(v) = rx.try_recv() {
+                assert_eq!(v, cycle * 1000 + drained);
+                drained += 1;
+                expected += 1;
+            }
+            assert_eq!(drained, 4, "cycle {cycle}: drain count drifted");
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+        assert_eq!(expected, 400);
+    }
+
+    #[test]
+    fn mpsc_cloned_senders_deliver_everything_in_per_producer_order() {
+        const PRODUCERS: usize = 4;
+        const PER: usize = 200;
+        let (tx, rx) = bounded::<(usize, usize)>(2);
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..PER {
+                        tx.send((p, i)).unwrap();
+                    }
+                });
+            }
+            // The original handle must also count as a sender: drop it so
+            // the channel closes when the last clone goes.
+            drop(tx);
+            let got: Vec<(usize, usize)> = rx.collect();
+            assert_eq!(got.len(), PRODUCERS * PER);
+            // Global order is interleaved, but each producer's items must
+            // arrive in the order it sent them (FIFO per sender).
+            for p in 0..PRODUCERS {
+                let seq: Vec<usize> =
+                    got.iter().filter(|(q, _)| *q == p).map(|&(_, i)| i).collect();
+                assert_eq!(seq, (0..PER).collect::<Vec<_>>(), "producer {p} reordered");
+            }
+        });
+    }
+
+    #[test]
+    fn receiver_drop_under_contention_unblocks_every_sender() {
+        // Several producers blocked in `send` on a full channel must all
+        // fail fast — not deadlock — when the receiver hangs up.
+        const PRODUCERS: usize = 4;
+        let (tx, rx) = bounded::<usize>(1);
+        tx.send(0).unwrap(); // fill the buffer so everyone below blocks
+        let failed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let tx = tx.clone();
+                let failed = &failed;
+                s.spawn(move || {
+                    // Blocking send into a full channel; unblocked only by
+                    // the receiver's drop.
+                    if tx.send(p + 1).is_err() {
+                        failed.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+        });
+        assert_eq!(failed.load(Ordering::SeqCst), PRODUCERS);
+        assert_eq!(tx.try_send(99), Err(TrySendError::Disconnected(99)));
+    }
+
+    #[test]
+    fn sender_panic_closes_the_channel_after_drain() {
+        // A producer that panics mid-stream drops its Sender during
+        // unwind: the consumer must drain what was sent, then see the
+        // clean end of the channel — never hang.
+        let (tx, rx) = bounded::<u32>(8);
+        let producer = std::thread::spawn(move || {
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            panic!("producer died after two items");
+        });
+        let got: Vec<u32> = rx.collect();
+        assert_eq!(got, vec![1, 2]);
+        assert!(producer.join().is_err(), "the producer must have panicked");
+    }
+
+    #[test]
+    fn one_panicking_clone_does_not_close_a_shared_channel() {
+        // With several live senders, one clone unwinding must not end the
+        // stream for the rest.
+        let (tx, rx) = bounded::<u32>(8);
+        let doomed = tx.clone();
+        let t = std::thread::spawn(move || {
+            doomed.send(1).unwrap();
+            panic!("one producer of several died");
+        });
+        assert!(t.join().is_err());
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty), "survivor still holds it open");
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 }
