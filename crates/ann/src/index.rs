@@ -520,6 +520,25 @@ impl IndexSpec {
         self.load_payload(family, &payload, dim, metric, rows)
     }
 
+    /// [`IndexSpec::load_snapshot`] over an in-memory
+    /// [`AnnIndex::snapshot_blob`] — the file-free round-trip that
+    /// clones a live index bitwise: `spec.load_blob(ix.snapshot_blob())`
+    /// yields an independent index whose probes are identical to `ix`'s.
+    /// The serving layer uses this to duplicate an engine member for a
+    /// hot swap without detaching it, and the same spec-validation rules
+    /// as the file path apply (a blob written under a different
+    /// configuration is rejected, never served).
+    pub fn load_blob(
+        &self,
+        family: u8,
+        payload: &[u8],
+        dim: usize,
+        metric: Metric,
+        rows: RowFormat,
+    ) -> Result<Box<dyn AnnIndex>, SnapshotError> {
+        self.load_payload(family, payload, dim, metric, rows)
+    }
+
     /// [`IndexSpec::load_snapshot`] over an already-decoded tagged
     /// payload (what the member loader and the sharded manifest recurse
     /// through).

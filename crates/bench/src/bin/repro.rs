@@ -22,8 +22,9 @@
 //!   backends ANN backend sweep: recall + latency per index family
 //!   bench    ANN kernel micro-bench (ns/query + recall per backend,
 //!            persisted to BENCH_ann.json; REPRO_SCALE=smoke bounds it)
-//!   serve    open-loop serving bench: QPS-at-SLO, latency percentiles,
-//!            shed/reject counts (persisted to BENCH_serve.json;
+//!   serve    open-loop serving bench: QPS-at-SLO with the result cache
+//!            off and on, latency percentiles, cache-hit/coalesce
+//!            splits, shed/reject counts (persisted to BENCH_serve.json;
 //!            `--smoke` or REPRO_SCALE=smoke bounds it)
 //!   all      everything above in order
 //!
@@ -89,9 +90,10 @@ experiments:
             path, ns/query + recall per backend and shard count, written
             to BENCH_ann.json (REPRO_SCALE=smoke for a bounded run)
   serve     open-loop serving bench over the query service: zipf-skewed
-            arrivals at a calibrated rate ladder, p50/p95/p99 latency,
-            shed/reject counts, and QPS-at-SLO, written to
-            BENCH_serve.json with its regression gate applied
+            arrivals at a calibrated rate ladder, run with the result
+            cache off and on, p50/p95/p99 latency, cache-hit/coalesce
+            splits, shed/reject counts, and QPS-at-SLO per cache mode,
+            written to BENCH_serve.json with its regression gate applied
             (`--smoke` or REPRO_SCALE=smoke for the CI-bounded run)
   all       everything above in order
 

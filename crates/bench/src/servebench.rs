@@ -17,26 +17,38 @@
 //!   in back-to-back volleys, the pattern that exercises coalescing and
 //!   the admission queue's depth.
 //!
-//! Each row records p50/p95/p99 latency over *served* requests,
-//! shed/reject counts, achieved QPS, and a correctness sweep: every
-//! served response is compared hit-by-hit (ids and f32 distance bits)
-//! against a precomputed direct `search` on an identical index. A row
-//! **meets the SLO** when its p99 is within [`SLO_US`] and it neither
-//! shed nor rejected anything; `qps_at_slo` — the headline number — is
-//! the highest achieved QPS among SLO-meeting rows.
+//! The whole ladder runs **twice — result cache off, then on** — because
+//! zipfian skew is exactly the regime the cache exists for: the hot head
+//! of the pool repeats, and a repeat served from the cache pays no scan.
+//! Each row records its cache mode, the scanned/cache-hit/coalesced
+//! split of served requests (with the derived hit and coalesce rates),
+//! p50/p95/p99 latency over *served* requests, shed/reject counts,
+//! achieved QPS, and a correctness sweep: every served response —
+//! cached, coalesced, or fresh — is compared hit-by-hit (ids and f32
+//! distance bits) against a precomputed direct `search` on an identical
+//! index. A row **meets the SLO** when its p99 is within [`SLO_US`] and
+//! it neither shed nor rejected anything; `qps_at_slo` — the headline
+//! number — is the highest achieved QPS among SLO-meeting rows, with
+//! the per-mode splits (`qps_at_slo_off`, `qps_at_slo_on`) and their
+//! ratio (`cache_uplift`) recorded alongside.
 //!
 //! Determinism contract: arrival schedules, the query pool, and the
 //! zipf draw are all seeded, so *which* queries are offered is identical
-//! across runs and worker counts; latencies and shed/reject splits vary
-//! with the machine, but `correctness_violations` must be zero at every
-//! worker count — that is the invariant [`assert_no_regression`] gates
-//! and the CI `serve-smoke` job enforces.
+//! across runs, worker counts, and cache modes; latencies and
+//! shed/reject splits vary with the machine, but
+//! `correctness_violations` must be zero at every worker count and in
+//! both cache modes — that is the invariant [`assert_no_regression`]
+//! gates and the CI `serve-smoke` job enforces, together with the
+//! serve-side closure `served == scanned + hits + coalesced`, a nonzero
+//! cache-on hit count, and cache-on QPS-at-SLO holding the cache-off
+//! level.
 
 use crate::report::{json_f64, json_obj, json_str, print_table, ToJson};
 use dial_ann::{FlatIndex, Hit, Metric};
 use dial_core::{QueryService, ServeConfig, ServeError, Ticket};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The latency objective: p99 of served requests must come in under
@@ -44,11 +56,19 @@ use std::time::{Duration, Instant};
 /// CI runner; the recorded percentiles are the precise trajectory.
 pub const SLO_US: f64 = 50_000.0;
 
+/// Headroom on the cache-on vs cache-off QPS-at-SLO gate: the cached
+/// ladder must reach at least this fraction of the uncached one. Not
+/// 1.0 because both numbers are wall-clock measurements on a shared CI
+/// runner — the gate catches the cache *costing* throughput, not noise.
+pub const CACHE_UPLIFT_FLOOR: f64 = 0.95;
+
 /// One offered-load point.
 #[derive(Debug, Clone)]
 pub struct ServeBenchRow {
     /// `fixed` (Poisson-less constant spacing) or `burst` (volleys).
     pub pattern: String,
+    /// Result-cache mode this row ran under: `"on"` or `"off"`.
+    pub cache: String,
     /// The open-loop arrival rate the schedule was built for.
     pub offered_qps: f64,
     pub submitted: u64,
@@ -57,6 +77,17 @@ pub struct ServeBenchRow {
     pub shed: u64,
     /// Rejected at admission with `Overloaded` (queue full).
     pub rejected: u64,
+    /// Served requests that paid an index scan.
+    pub scanned: u64,
+    /// Served requests answered from the result cache.
+    pub hits: u64,
+    /// Served requests answered by another request's scan (in-batch
+    /// duplicates + cross-worker single flight).
+    pub coalesced: u64,
+    /// `hits / served` (0 when nothing was served).
+    pub hit_rate: f64,
+    /// `coalesced / served` (0 when nothing was served).
+    pub coalesce_rate: f64,
     /// Latency percentiles over served requests, admission → response.
     pub p50_us: f64,
     pub p95_us: f64,
@@ -64,13 +95,13 @@ pub struct ServeBenchRow {
     /// Served requests over the row's wall-clock.
     pub achieved_qps: f64,
     /// Served responses that differed from a direct single-query
-    /// `search` — must be zero, at any worker count.
+    /// `search` — must be zero, at any worker count, cached or not.
     pub correctness_violations: u64,
     /// p99 within the SLO and nothing shed or rejected.
     pub met_slo: bool,
 }
 
-/// The full serving sweep.
+/// The full serving sweep: the rate ladder under cache off, then on.
 #[derive(Debug, Clone)]
 pub struct ServeBenchReport {
     /// Executor worker count in force (`--threads` / `RAYON_NUM_THREADS`
@@ -80,14 +111,25 @@ pub struct ServeBenchReport {
     pub workers: usize,
     pub queue_capacity: usize,
     pub batch_max: usize,
+    /// Result-cache sizing of the cache-on rows (the cache-off rows run
+    /// with `cache_entries = 0`).
+    pub cache_entries: usize,
+    pub cache_bytes: usize,
     /// Corpus rows / dimensionality / neighbours per request.
     pub n: usize,
     pub dim: usize,
     pub k: usize,
     pub slo_us: f64,
-    /// Highest achieved QPS among rows meeting the SLO — 0 when no row
-    /// did, which the regression gate treats as a failure.
+    /// Highest achieved QPS among rows meeting the SLO, either mode —
+    /// 0 when no row did, which the regression gate treats as a failure.
     pub qps_at_slo: f64,
+    /// The same, restricted to cache-off rows.
+    pub qps_at_slo_off: f64,
+    /// The same, restricted to cache-on rows.
+    pub qps_at_slo_on: f64,
+    /// `qps_at_slo_on / qps_at_slo_off` (0 when the off ladder failed) —
+    /// what the result cache buys on this traffic.
+    pub cache_uplift: f64,
     pub rows: Vec<ServeBenchRow>,
 }
 
@@ -95,11 +137,17 @@ impl ToJson for ServeBenchRow {
     fn to_json(&self) -> String {
         json_obj(&[
             ("pattern", json_str(&self.pattern)),
+            ("cache", json_str(&self.cache)),
             ("offered_qps", json_f64(self.offered_qps)),
             ("submitted", self.submitted.to_string()),
             ("served", self.served.to_string()),
             ("shed", self.shed.to_string()),
             ("rejected", self.rejected.to_string()),
+            ("scanned", self.scanned.to_string()),
+            ("hits", self.hits.to_string()),
+            ("coalesced", self.coalesced.to_string()),
+            ("hit_rate", json_f64(self.hit_rate)),
+            ("coalesce_rate", json_f64(self.coalesce_rate)),
             ("p50_us", json_f64(self.p50_us)),
             ("p95_us", json_f64(self.p95_us)),
             ("p99_us", json_f64(self.p99_us)),
@@ -118,11 +166,16 @@ impl ToJson for ServeBenchReport {
             ("workers", self.workers.to_string()),
             ("queue_capacity", self.queue_capacity.to_string()),
             ("batch_max", self.batch_max.to_string()),
+            ("cache_entries", self.cache_entries.to_string()),
+            ("cache_bytes", self.cache_bytes.to_string()),
             ("n", self.n.to_string()),
             ("dim", self.dim.to_string()),
             ("k", self.k.to_string()),
             ("slo_us", json_f64(self.slo_us)),
             ("qps_at_slo", json_f64(self.qps_at_slo)),
+            ("qps_at_slo_off", json_f64(self.qps_at_slo_off)),
+            ("qps_at_slo_on", json_f64(self.qps_at_slo_on)),
+            ("cache_uplift", json_f64(self.cache_uplift)),
             ("rows", format!("[\n  {}\n ]", rows.join(",\n  "))),
         ])
     }
@@ -130,14 +183,16 @@ impl ToJson for ServeBenchReport {
 
 /// Clustered corpus + query pool (same shape as the tuner workload:
 /// queries land near corpus blobs, so every request has near neighbours
-/// worth finding).
+/// worth finding). The pool is `Arc<[f32]>` so every zipfian repeat
+/// submits the same allocation — the serving layer's `Arc` payload path
+/// end to end.
 fn clustered(
     n: usize,
     pool: usize,
     dim: usize,
     clusters: usize,
     seed: u64,
-) -> (Vec<f32>, Vec<Vec<f32>>) {
+) -> (Vec<f32>, Vec<Arc<[f32]>>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let centers: Vec<f32> = (0..clusters * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
     let mut points = |count: usize| -> Vec<f32> {
@@ -152,7 +207,7 @@ fn clustered(
             .collect()
     };
     let base = points(n);
-    let queries = points(pool).chunks(dim).map(<[f32]>::to_vec).collect();
+    let queries = points(pool).chunks(dim).map(Arc::from).collect();
     (base, queries)
 }
 
@@ -196,7 +251,8 @@ fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
 /// The arrival schedule of one row: offsets (ns from row start) and the
 /// zipf-drawn pool index of each request. Built before the clock starts
 /// — the open-loop guarantee — and a pure function of the seed, so the
-/// offered load is identical across runs and worker counts.
+/// offered load is identical across runs, worker counts, and cache
+/// modes (both cache rows of a pattern replay the same request stream).
 fn schedule(
     pattern: &str,
     rate_qps: f64,
@@ -221,14 +277,14 @@ fn schedule(
 }
 
 /// Offer one row's schedule to a fresh service and fold the ticket
-/// outcomes into a [`ServeBenchRow`].
+/// outcomes and the service's cache counters into a [`ServeBenchRow`].
 #[allow(clippy::too_many_arguments)]
 fn run_row(
     pattern: &str,
     rate_qps: f64,
     n_req: usize,
     index: FlatIndex,
-    pool: &[Vec<f32>],
+    pool: &[Arc<[f32]>],
     truth: &[Vec<Hit>],
     k: usize,
     cfg: &ServeConfig,
@@ -253,6 +309,7 @@ fn run_row(
                 std::hint::spin_loop();
             }
         }
+        // `Arc` clone: the hot query repeats without reallocating.
         tickets.push((pool_ix, svc.submit(pool[pool_ix].clone(), k, None)));
     }
     let mut latencies_ns: Vec<u64> = Vec::with_capacity(n_req);
@@ -275,16 +332,23 @@ fn run_row(
         }
     }
     let wall = t0.elapsed().as_secs_f64().max(1e-9);
-    svc.shutdown();
+    let stats = svc.shutdown();
     latencies_ns.sort_unstable();
     let p99_us = percentile_us(&latencies_ns, 99.0);
+    let rate = |num: u64| if served > 0 { num as f64 / served as f64 } else { 0.0 };
     ServeBenchRow {
         pattern: pattern.into(),
+        cache: if cfg.cache_entries > 0 { "on".into() } else { "off".into() },
         offered_qps: rate_qps,
         submitted: n_req as u64,
         served,
         shed,
         rejected,
+        scanned: stats.scanned,
+        hits: stats.hits,
+        coalesced: stats.coalesced,
+        hit_rate: rate(stats.hits),
+        coalesce_rate: rate(stats.coalesced),
         p50_us: percentile_us(&latencies_ns, 50.0),
         p95_us: percentile_us(&latencies_ns, 95.0),
         p99_us,
@@ -302,8 +366,9 @@ fn bitwise_eq(got: &[Hit], want: &[Hit]) -> bool {
             .all(|(g, w)| g.id == w.id && g.distance.to_bits() == w.distance.to_bits())
 }
 
-/// Run the sweep. `smoke` bounds corpus size, request counts, and the
-/// per-row duration for CI.
+/// Run the sweep — the whole rate ladder twice, cache off then on.
+/// `smoke` bounds corpus size, request counts, and the per-row duration
+/// for CI.
 pub fn run(smoke: bool) -> ServeBenchReport {
     let (n, dim, pool_n, k, clusters, row_secs) =
         if smoke { (2_000, 64, 256, 10, 32, 0.3) } else { (10_000, 128, 512, 10, 64, 1.0) };
@@ -316,20 +381,25 @@ pub fn run(smoke: bool) -> ServeBenchReport {
     };
     // Ground truth: one direct single-query search per pool entry, on an
     // identical index — the responses every served request must match
-    // bitwise.
+    // bitwise, whether scanned, coalesced, or cached.
     let reference = build();
     let truth: Vec<Vec<Hit>> = pool.iter().map(|q| reference.search(q, k)).collect();
 
     // Calibrate the rate ladder against this host's measured batch-scan
     // capacity, so "2× capacity" genuinely overloads a fast machine and
-    // doesn't bury a slow one.
-    let packed: Vec<f32> = pool.iter().flatten().copied().collect();
+    // doesn't bury a slow one. Both cache modes share the calibration —
+    // the offered load is identical; only the serving changes.
+    let packed: Vec<f32> = pool.iter().flat_map(|q| q.iter().copied()).collect();
     let t0 = Instant::now();
     let _ = reference.search_batch(&packed, k);
     let ns_per_query = (t0.elapsed().as_nanos() as f64 / pool.len() as f64).max(1.0);
     let capacity_qps = 1e9 / ns_per_query;
 
-    let cfg = ServeConfig {
+    // Cache-on sizing: room for the whole pool (so hit rate is bounded
+    // by skew and churn, not capacity) under a modest byte budget.
+    let cache_entries = pool_n * 2;
+    let cache_bytes = 4 << 20;
+    let cfg = |entries: usize| ServeConfig {
         queue_capacity: if smoke { 256 } else { 1024 },
         batch_max: if smoke { 64 } else { dial_core::ADMISSION_BLOCK },
         workers: rayon::current_num_threads().clamp(1, 4),
@@ -337,28 +407,44 @@ pub fn run(smoke: bool) -> ServeBenchReport {
         // queue wait alone blows the SLO is answered immediately instead
         // of wasting a scan on it.
         default_deadline: Some(Duration::from_micros(SLO_US as u64)),
+        cache_entries: entries,
+        cache_bytes,
     };
 
     let n_req = |rate: f64| ((rate * row_secs) as usize).clamp(64, if smoke { 600 } else { 4_000 });
     let mut rows = Vec::new();
-    for mult in [0.25, 0.5, 1.0, 2.0] {
-        let rate = capacity_qps * mult;
-        rows.push(run_row("fixed", rate, n_req(rate), build(), &pool, &truth, k, &cfg));
+    for entries in [0, cache_entries] {
+        let cfg = cfg(entries);
+        for mult in [0.25, 0.5, 1.0, 2.0] {
+            let rate = capacity_qps * mult;
+            rows.push(run_row("fixed", rate, n_req(rate), build(), &pool, &truth, k, &cfg));
+        }
+        let burst_rate = capacity_qps;
+        rows.push(run_row("burst", burst_rate, n_req(burst_rate), build(), &pool, &truth, k, &cfg));
     }
-    let burst_rate = capacity_qps;
-    rows.push(run_row("burst", burst_rate, n_req(burst_rate), build(), &pool, &truth, k, &cfg));
 
-    let qps_at_slo = rows.iter().filter(|r| r.met_slo).map(|r| r.achieved_qps).fold(0.0, f64::max);
+    let best = |mode: &str| {
+        rows.iter()
+            .filter(|r| r.cache == mode && r.met_slo)
+            .map(|r| r.achieved_qps)
+            .fold(0.0, f64::max)
+    };
+    let (qps_at_slo_off, qps_at_slo_on) = (best("off"), best("on"));
     ServeBenchReport {
         threads: rayon::current_num_threads(),
-        workers: cfg.workers,
-        queue_capacity: cfg.queue_capacity,
-        batch_max: cfg.batch_max,
+        workers: rayon::current_num_threads().clamp(1, 4),
+        queue_capacity: if smoke { 256 } else { 1024 },
+        batch_max: if smoke { 64 } else { dial_core::ADMISSION_BLOCK },
+        cache_entries,
+        cache_bytes,
         n,
         dim,
         k,
         slo_us: SLO_US,
-        qps_at_slo,
+        qps_at_slo: qps_at_slo_off.max(qps_at_slo_on),
+        qps_at_slo_off,
+        qps_at_slo_on,
+        cache_uplift: if qps_at_slo_off > 0.0 { qps_at_slo_on / qps_at_slo_off } else { 0.0 },
         rows,
     }
 }
@@ -371,13 +457,15 @@ pub fn print(report: &ServeBenchReport) {
         .map(|r| {
             vec![
                 r.pattern.clone(),
+                r.cache.clone(),
                 format!("{:.0}", r.offered_qps),
-                r.submitted.to_string(),
                 r.served.to_string(),
+                r.scanned.to_string(),
+                r.hits.to_string(),
+                r.coalesced.to_string(),
                 r.shed.to_string(),
                 r.rejected.to_string(),
                 format!("{:.0}", r.p50_us),
-                format!("{:.0}", r.p95_us),
                 format!("{:.0}", r.p99_us),
                 format!("{:.0}", r.achieved_qps),
                 r.correctness_violations.to_string(),
@@ -388,7 +476,8 @@ pub fn print(report: &ServeBenchReport) {
     print_table(
         &format!(
             "Serving bench: {}x{} corpus, k = {}, {} workers x {} threads, queue {}, batch <= {}, \
-             SLO p99 <= {:.0} us -> QPS@SLO = {:.0}",
+             cache {} entries / {} KiB, SLO p99 <= {:.0} us -> QPS@SLO off {:.0} / on {:.0} \
+             (uplift {:.2}x)",
             report.n,
             report.dim,
             report.k,
@@ -396,12 +485,16 @@ pub fn print(report: &ServeBenchReport) {
             report.threads,
             report.queue_capacity,
             report.batch_max,
+            report.cache_entries,
+            report.cache_bytes / 1024,
             report.slo_us,
-            report.qps_at_slo
+            report.qps_at_slo_off,
+            report.qps_at_slo_on,
+            report.cache_uplift,
         ),
         &[
-            "Pattern", "Offered", "Sub", "Served", "Shed", "Rej", "p50(us)", "p95(us)", "p99(us)",
-            "QPS", "Viol", "SLO",
+            "Pattern", "Cache", "Offered", "Served", "Scan", "Hit", "Coal", "Shed", "Rej",
+            "p50(us)", "p99(us)", "QPS", "Viol", "SLO",
         ],
         &cells,
     );
@@ -425,46 +518,90 @@ pub fn write(report: &ServeBenchReport) {
 /// Loud gate for the CI `serve-smoke` job:
 ///
 /// * **correctness is absolute** — zero served responses may differ from
-///   a direct single-query `search`, at any load and any worker count;
-/// * **accounting must close** — every submitted request resolves as
-///   exactly one of served, shed, or rejected (a leak here means a
-///   ticket hung or double-resolved);
-/// * **the lightest load must meet the SLO** — the 0.25×-capacity row
-///   must serve everything (nothing shed or rejected) with p99 within
-///   bound, so `qps_at_slo` is always backed by at least one row;
+///   a direct single-query `search`, at any load, any worker count, and
+///   in both cache modes (a cached or coalesced response counts exactly
+///   like a fresh scan);
+/// * **accounting must close, twice** — every submitted request resolves
+///   as exactly one of served, shed, or rejected, and every *served*
+///   request was answered by exactly one of a paid scan, a cache hit, or
+///   a coalesced attach (`served == scanned + hits + coalesced`; a leak
+///   on either side means a ticket hung, double-resolved, or was
+///   double-counted);
+/// * **the lightest load must meet the SLO in both modes** — the
+///   0.25×-capacity row must serve everything with p99 in bound whether
+///   the cache is on or off, so both per-mode QPS-at-SLO numbers are
+///   backed by at least one row;
+/// * **the cache must actually cache** — zipfian skew guarantees
+///   repeats, so the cache-on rows must record at least one hit in
+///   aggregate, and cache-on QPS-at-SLO may not fall below
+///   [`CACHE_UPLIFT_FLOOR`] of cache-off (the cache may be a no-op on
+///   some ladders; it must never be a tax);
 /// * overload rows may shed and reject freely — that is the mechanism
 ///   working, not a regression.
 pub fn assert_no_regression(report: &ServeBenchReport) {
     for r in &report.rows {
         assert_eq!(
             r.correctness_violations, 0,
-            "{} @ {:.0} qps: {} served responses differed from direct search",
-            r.pattern, r.offered_qps, r.correctness_violations
+            "{} (cache {}) @ {:.0} qps: {} served responses differed from direct search",
+            r.pattern, r.cache, r.offered_qps, r.correctness_violations
         );
         assert_eq!(
             r.served + r.shed + r.rejected,
             r.submitted,
-            "{} @ {:.0} qps: request accounting does not close",
+            "{} (cache {}) @ {:.0} qps: request accounting does not close",
             r.pattern,
+            r.cache,
             r.offered_qps
         );
+        assert_eq!(
+            r.scanned + r.hits + r.coalesced,
+            r.served,
+            "{} (cache {}) @ {:.0} qps: serve accounting does not close \
+             (scanned {} + hits {} + coalesced {} != served {})",
+            r.pattern,
+            r.cache,
+            r.offered_qps,
+            r.scanned,
+            r.hits,
+            r.coalesced,
+            r.served
+        );
     }
-    let lightest = report
-        .rows
-        .iter()
-        .filter(|r| r.pattern == "fixed")
-        .min_by(|a, b| a.offered_qps.total_cmp(&b.offered_qps))
-        .expect("at least one fixed-rate row");
+    for mode in ["off", "on"] {
+        let lightest = report
+            .rows
+            .iter()
+            .filter(|r| r.pattern == "fixed" && r.cache == mode)
+            .min_by(|a, b| a.offered_qps.total_cmp(&b.offered_qps))
+            .expect("at least one fixed-rate row per cache mode");
+        assert!(
+            lightest.met_slo,
+            "lightest fixed row (cache {}, {:.0} qps) missed the SLO: p99 {:.0} us (bound {:.0}), \
+             shed {}, rejected {}",
+            mode,
+            lightest.offered_qps,
+            lightest.p99_us,
+            report.slo_us,
+            lightest.shed,
+            lightest.rejected
+        );
+    }
+    let on_hits: u64 = report.rows.iter().filter(|r| r.cache == "on").map(|r| r.hits).sum();
     assert!(
-        lightest.met_slo,
-        "lightest fixed row ({:.0} qps) missed the SLO: p99 {:.0} us (bound {:.0}), shed {}, \
-         rejected {}",
-        lightest.offered_qps, lightest.p99_us, report.slo_us, lightest.shed, lightest.rejected
+        on_hits > 0,
+        "zipfian traffic produced zero cache hits across every cache-on row — the cache is dead"
     );
     assert!(
         report.qps_at_slo > 0.0,
         "no offered-load row met the SLO (p99 <= {:.0} us with nothing shed/rejected)",
         report.slo_us
+    );
+    assert!(
+        report.qps_at_slo_on >= report.qps_at_slo_off * CACHE_UPLIFT_FLOOR,
+        "cache-on QPS-at-SLO ({:.0}) fell below cache-off ({:.0}) — the cache is a tax on the \
+         zipfian ladder",
+        report.qps_at_slo_on,
+        report.qps_at_slo_off
     );
 }
 
@@ -472,14 +609,21 @@ pub fn assert_no_regression(report: &ServeBenchReport) {
 mod tests {
     use super::*;
 
-    fn healthy_row(pattern: &str, qps: f64) -> ServeBenchRow {
+    fn healthy_row(pattern: &str, cache: &str, qps: f64) -> ServeBenchRow {
+        let hits = if cache == "on" { 55 } else { 0 };
         ServeBenchRow {
             pattern: pattern.into(),
+            cache: cache.into(),
             offered_qps: qps,
             submitted: 100,
             served: 100,
             shed: 0,
             rejected: 0,
+            scanned: 100 - hits - 5,
+            hits,
+            coalesced: 5,
+            hit_rate: hits as f64 / 100.0,
+            coalesce_rate: 0.05,
             p50_us: 120.0,
             p95_us: 450.0,
             p99_us: 900.0,
@@ -495,12 +639,22 @@ mod tests {
             workers: 2,
             queue_capacity: 256,
             batch_max: 64,
+            cache_entries: 512,
+            cache_bytes: 4 << 20,
             n: 2_000,
             dim: 64,
             k: 10,
             slo_us: SLO_US,
-            qps_at_slo: 4_900.0,
-            rows: vec![healthy_row("fixed", 5_000.0), healthy_row("burst", 5_000.0)],
+            qps_at_slo: 6_800.0,
+            qps_at_slo_off: 4_900.0,
+            qps_at_slo_on: 6_800.0,
+            cache_uplift: 6_800.0 / 4_900.0,
+            rows: vec![
+                healthy_row("fixed", "off", 5_000.0),
+                healthy_row("burst", "off", 5_000.0),
+                healthy_row("fixed", "on", 7_000.0),
+                healthy_row("burst", "on", 7_000.0),
+            ],
         }
     }
 
@@ -510,7 +664,11 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"threads\":2"));
         assert!(j.contains("\"workers\":2"));
-        assert!(j.contains("\"qps_at_slo\":4900"));
+        assert!(j.contains("\"cache_entries\":512"));
+        assert!(j.contains("\"qps_at_slo_off\":4900"));
+        assert!(j.contains("\"qps_at_slo_on\":6800"));
+        assert!(j.contains("\"cache\":\"on\""));
+        assert!(j.contains("\"hits\":55"));
         assert!(j.contains("\"pattern\":\"fixed\""));
         assert!(j.contains("\"correctness_violations\":0"));
         assert!(j.contains("\"met_slo\":true"));
@@ -520,24 +678,44 @@ mod tests {
     fn gate_passes_a_healthy_report_and_fails_each_red_path() {
         let ok = healthy_report();
         assert_no_regression(&ok);
-        // A single correctness violation fails, even on an overload row.
+        // A single correctness violation fails, even on a cached row.
         let mut bad = ok.clone();
-        bad.rows[1].correctness_violations = 1;
+        bad.rows[3].correctness_violations = 1;
         assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
-        // Accounting that does not close fails (a hung or lost ticket).
+        // Request accounting that does not close fails (a hung ticket).
         let mut bad = ok.clone();
         bad.rows[0].served = 99;
         assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
-        // The lightest fixed row missing the SLO fails...
+        // Serve accounting that does not close fails (a double-counted
+        // or unattributed response).
         let mut bad = ok.clone();
-        bad.rows[0].p99_us = SLO_US + 1.0;
-        bad.rows[0].met_slo = false;
+        bad.rows[2].scanned += 1;
         assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        // The lightest fixed row missing the SLO fails, in either mode...
+        for row_ix in [0usize, 2] {
+            let mut bad = ok.clone();
+            bad.rows[row_ix].p99_us = SLO_US + 1.0;
+            bad.rows[row_ix].met_slo = false;
+            assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        }
         // ...including by shedding under light load.
         let mut bad = ok.clone();
         bad.rows[0].shed = 5;
         bad.rows[0].served = 95;
+        bad.rows[0].scanned -= 5;
         bad.rows[0].met_slo = false;
+        assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        // A dead cache (zero hits on zipfian traffic) fails.
+        let mut bad = ok.clone();
+        for r in bad.rows.iter_mut().filter(|r| r.cache == "on") {
+            r.scanned += r.hits;
+            r.hits = 0;
+        }
+        assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        // The cache costing QPS-at-SLO fails.
+        let mut bad = ok.clone();
+        bad.qps_at_slo_on = bad.qps_at_slo_off * 0.5;
+        bad.cache_uplift = 0.5;
         assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
         // An overload row shedding/rejecting is fine — the mechanism at
         // work — as long as accounting closes and correctness holds.
@@ -549,8 +727,11 @@ mod tests {
             served: 60,
             shed: 25,
             rejected: 15,
+            scanned: 55,
+            hits: 0,
+            coalesced: 5,
             met_slo: false,
-            ..healthy_row("fixed", 20_000.0)
+            ..healthy_row("fixed", "off", 20_000.0)
         };
         assert_no_regression(&overloaded);
     }
@@ -593,11 +774,15 @@ mod tests {
 
     #[test]
     fn smoke_sweep_serves_correctly_end_to_end() {
-        // The real harness at smoke scale: the full gate must pass, and
-        // the report must carry every row pattern.
+        // The real harness at smoke scale: the full gate must pass —
+        // bitwise truth in both cache modes, closing accounting, live
+        // cache — and the report must carry every row pattern twice.
         let report = run(true);
-        assert_eq!(report.rows.len(), 5);
-        assert!(report.rows.iter().any(|r| r.pattern == "burst"));
+        assert_eq!(report.rows.len(), 10);
+        for mode in ["off", "on"] {
+            assert_eq!(report.rows.iter().filter(|r| r.cache == mode).count(), 5);
+            assert!(report.rows.iter().any(|r| r.cache == mode && r.pattern == "burst"));
+        }
         assert_no_regression(&report);
     }
 }

@@ -567,6 +567,36 @@ impl RetrievalEngine {
         Some(self.members.remove(m).index)
     }
 
+    /// Clone member `m`'s built index for serving *without* disturbing
+    /// the engine: the snapshot blob round-trips through
+    /// [`IndexSpec::load_blob`], so the copy probes bitwise-identically
+    /// to the member, while the engine keeps its state and can continue
+    /// incremental rounds. This is the "serve round *r* while round
+    /// *r+1* trains" hand-off: push the clone into a live
+    /// [`crate::serve::QueryService`] via
+    /// [`crate::serve::QueryService::install_index`] after each round,
+    /// and the service's generation bump retires every cached result
+    /// from round *r-1*. Returns `None` when `m` has no built state or
+    /// the round-trip fails validation (the clone is then unsafe to
+    /// serve).
+    pub fn clone_member_index(&self, m: usize) -> Option<Box<dyn AnnIndex>> {
+        let member = self.members.get(m)?;
+        let (family, payload) = member.index.snapshot_blob();
+        match self.spec.load_blob(
+            family,
+            &payload,
+            member.index.dim(),
+            member.index.metric(),
+            self.rows,
+        ) {
+            Ok(ix) => Some(ix),
+            Err(e) => {
+                eprintln!("[engine] member {m} snapshot clone failed: {e}");
+                None
+            }
+        }
+    }
+
     /// Index-By-Committee through the persistent engine: member `m`'s
     /// view of `R` is indexed (incrementally when the drift allows) and
     /// probed with its view of `S`; all members' scored pairs pool into

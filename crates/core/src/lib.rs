@@ -19,6 +19,7 @@
 
 pub mod al;
 pub mod blocker;
+pub mod cache;
 pub mod candidates;
 pub mod config;
 pub mod encode;
@@ -31,6 +32,7 @@ pub mod serve;
 
 pub use al::{DialSystem, RoundMetrics, RoundTimings, RunResult};
 pub use blocker::{Committee, CommitteeMember, COMMITTEE_PREFIX};
+pub use cache::{CacheLookup, ResultCache};
 pub use candidates::{index_by_committee, index_single, Candidate, CandidateSet};
 pub use config::{
     BlockerObjective, BlockingStrategy, CandSize, DialConfig, IndexBackend, NegativeSource,

@@ -1,5 +1,6 @@
 //! Long-lived query serving over a built index: batched admission,
-//! backpressure, and deadline shedding.
+//! backpressure, deadline shedding, result caching, single-flight
+//! coalescing, and zero-downtime index hot-swap.
 //!
 //! Every probe-path optimisation so far — blocked kernels, SIMD dispatch,
 //! sharded scatter-gather, snapshot warm start — is only exercised by
@@ -12,36 +13,71 @@
 //! inner loops run on the work-stealing executor, so `--threads=N` (or
 //! `RAYON_NUM_THREADS`) sizes the compute under every worker.
 //!
-//! Three load-control mechanisms, in the order a request meets them:
+//! Load-control mechanisms, in the order a request meets them:
 //!
 //! 1. **Backpressure** — [`QueryService::submit`] never blocks: a full
 //!    queue rejects with [`ServeError::Overloaded`] immediately, so
 //!    clients learn about saturation at admission time, not after a
 //!    queueing delay.
-//! 2. **Coalescing** — a worker takes the oldest waiting request, then
-//!    greedily drains whatever else is queued (up to `batch_max`) into
-//!    one `search_batch` call. Under light load batches are small and
-//!    latency is low; under heavy load batches grow toward the blocked
-//!    kernel's sweet spot and throughput rises — batching effort scales
-//!    with pressure by construction.
+//! 2. **Batch coalescing** — a worker takes the oldest waiting request,
+//!    then greedily drains whatever else is queued (up to `batch_max`)
+//!    into one `search_batch` call. Under light load batches are small
+//!    and latency is low; under heavy load batches grow toward the
+//!    blocked kernel's sweet spot and throughput rises.
 //! 3. **Deadline shedding** — a request whose *queue wait* exceeds its
 //!    deadline is answered [`ServeError::DeadlineExceeded`] before any
 //!    scan work happens. Shedding is all-or-nothing: a shed request
-//!    contributes zero queries to the batch (tested via a
-//!    counting-index harness).
+//!    contributes zero queries to the batch.
+//!
+//! Then two mechanisms that remove scan work entirely on skewed traffic
+//! (the regime the zipfian load harness drives, where a few hot queries
+//! dominate):
+//!
+//! 4. **Result cache** — a sharded, bounded LRU ([`crate::cache`]) keyed
+//!    by `(query bit pattern, k, generation)` with full bitwise key
+//!    verification on every hit. A repeat of a hot query is answered
+//!    from the cache without touching the index.
+//! 5. **Single-flight coalescing** — identical requests (same query
+//!    bits, same k) that dispatch *together* collapse to one scan whose
+//!    result fans out to every waiting [`Ticket`]: duplicates inside a
+//!    batch ride their group's single packed query, and a worker that
+//!    misses the cache while another worker is already scanning the same
+//!    key at the same generation attaches its requests to that in-flight
+//!    scan instead of issuing its own. Coalesced serves are counted
+//!    separately from cache hits ([`ServeStats`]).
+//!
+//! **Generations and hot swap.** The service owns its index behind a
+//! read–write lock and stamps every mutation with a monotone
+//! **generation counter**: [`QueryService::install_index`] (replace the
+//! whole index with a freshly built one — the zero-downtime "serve round
+//! *r* while round *r+1* trains" swap), [`QueryService::refresh`]
+//! (in-place row update), and the tuner knobs
+//! [`QueryService::set_nprobe`] / [`QueryService::set_ef_search`]. Cache
+//! entries carry the generation they were scanned at, and a lookup only
+//! hits at the *current* generation — so a mutation invalidates the
+//! whole cache in O(1) and a stale result is never served: the first
+//! identical query after a swap misses and rescans against the new
+//! index. Dispatch reads the generation under the index read lock, so a
+//! scan, the generation it stamps, and the entries it caches are always
+//! mutually consistent.
 //!
 //! Correctness is inherited, not re-argued: the [`AnnIndex`] contract
-//! says `search_batch` equals mapping `search` in order, and the service
-//! packs survivor queries in arrival order and splits results one list
-//! per query — so every response is **bitwise identical** to a direct
-//! single-query [`AnnIndex::search`] call, independent of how requests
-//! happened to be batched or how many workers raced. The proptests at
-//! the bottom of this module drive that end-to-end through the queue.
+//! says `search_batch` equals mapping `search` in order; the service
+//! packs one query per *unique* key in arrival order and fans each hit
+//! list out to that key's requests, and cached entries are verbatim
+//! copies of such a scan at the same generation — so every response is
+//! **bitwise identical** to a direct single-query [`AnnIndex::search`]
+//! call on the index version that served it, however requests were
+//! batched, cached, coalesced, or raced over by workers. The proptests
+//! in `crates/core/tests/proptests.rs` drive that end-to-end through the
+//! queue, cache sizes included.
 
+use crate::cache::{bits_eq, key_hash, CacheLookup, ResultCache};
 use dial_ann::{AnnIndex, Hit};
 use rayon::pipeline::{self, TryRecvError, TrySendError};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -121,6 +157,15 @@ pub struct ServeConfig {
     /// Deadline applied to requests submitted without one. `None`
     /// disables shedding for such requests.
     pub default_deadline: Option<Duration>,
+    /// Result-cache capacity in entries; `0` disables the cache
+    /// entirely (single-flight coalescing still applies). Sizing rule of
+    /// thumb: cover the hot set — under zipfian skew a cache of a few
+    /// hundred entries absorbs the bulk of repeats.
+    pub cache_entries: usize,
+    /// Result-cache capacity in approximate bytes across all cache
+    /// shards (`0` = no byte bound; the entry bound still applies). One
+    /// entry costs about `dim * 4 + k * 8` bytes plus fixed overhead.
+    pub cache_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -130,6 +175,8 @@ impl Default for ServeConfig {
             batch_max: ADMISSION_BLOCK,
             workers: 1,
             default_deadline: None,
+            cache_entries: 4096,
+            cache_bytes: 16 << 20,
         }
     }
 }
@@ -170,11 +217,13 @@ impl std::error::Error for ServeError {}
 /// side channel.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeResponse {
-    /// Top-`k` hits — bitwise identical to `index.search(&query, k)`.
+    /// Top-`k` hits — bitwise identical to `index.search(&query, k)` on
+    /// the index generation that served the request.
     pub hits: Vec<Hit>,
     /// Clock reading when the request entered the queue.
     pub admitted_ns: u64,
-    /// Clock reading when the batch containing it finished scanning.
+    /// Clock reading when the request was answered (batch scan finished,
+    /// or the cache hit resolved).
     pub finished_ns: u64,
 }
 
@@ -217,11 +266,13 @@ impl Ticket {
     }
 }
 
-/// A queued query. Dropping it unanswered (service teardown with a
-/// non-empty queue) resolves its ticket with [`ServeError::Shutdown`],
-/// so no waiter can hang.
+/// A queued query. The payload is one shared `Arc<[f32]>` allocation:
+/// admission, in-batch dedup, the single-flight table, and the cache key
+/// all hold the same buffer — no per-stage copies. Dropping a request
+/// unanswered (service teardown with a non-empty queue) resolves its
+/// ticket with [`ServeError::Shutdown`], so no waiter can hang.
 struct Request {
-    query: Vec<f32>,
+    query: Arc<[f32]>,
     k: usize,
     admitted_ns: u64,
     deadline_ns: Option<u64>,
@@ -236,8 +287,14 @@ impl Drop for Request {
 }
 
 /// Monotone counters of everything the service did; snapshot via
-/// [`QueryService::stats`]. Invariant (once the queue is drained):
-/// `submitted == served + shed + rejected`.
+/// [`QueryService::stats`]. Two closure invariants hold once the queue
+/// is drained (gated by the serving bench and the end-to-end proptest):
+///
+/// * `submitted == served + shed + rejected` — every admitted request
+///   resolves exactly once;
+/// * `served == scanned + hits + coalesced` — every served request was
+///   answered by exactly one of: paying a scan, a verified cache hit,
+///   or attaching to another request's scan.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests that passed validation and were offered to the queue.
@@ -248,8 +305,36 @@ pub struct ServeStats {
     pub shed: u64,
     /// Requests answered with hits.
     pub served: u64,
-    /// `search_batch` calls issued (one per coalesced k-group).
+    /// `search_batch`/`search` calls issued (one per coalesced k-group).
     pub batches: u64,
+    /// Served requests that paid an index scan (one per unique scanned
+    /// key per dispatch).
+    pub scanned: u64,
+    /// Served requests answered from the result cache (bitwise-verified
+    /// hits at the current generation).
+    pub hits: u64,
+    /// Cache lookups that found nothing servable (no entry, hash
+    /// collision, or a stale generation). One lookup happens per unique
+    /// key per dispatch, so `misses` counts *scans the cache could not
+    /// save*, not requests.
+    pub misses: u64,
+    /// Served requests answered by another request's scan — in-batch
+    /// duplicates and cross-worker single-flight attachments.
+    pub coalesced: u64,
+    /// Cache entries evicted by the LRU capacity bounds.
+    pub evictions: u64,
+    /// Stale-generation cache entries removed on discovery (each one is
+    /// a mutation's O(1) invalidation becoming visible).
+    pub invalidations: u64,
+}
+
+impl ServeStats {
+    /// Both closure invariants (see the type docs). Meaningful once the
+    /// queue is drained — mid-flight snapshots may be transiently open.
+    pub fn accounting_closes(&self) -> bool {
+        self.submitted == self.served + self.shed + self.rejected
+            && self.served == self.scanned + self.hits + self.coalesced
+    }
 }
 
 #[derive(Default)]
@@ -259,21 +344,62 @@ struct StatCells {
     shed: AtomicU64,
     served: AtomicU64,
     batches: AtomicU64,
+    scanned: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+/// A scan another dispatch can attach to: the verification query, the
+/// generation it runs at, and the tickets waiting on its result.
+struct InFlight {
+    query: Arc<[f32]>,
+    gen: u64,
+    waiters: Vec<Request>,
+}
+
+/// One unique `(query bits, k)` within a dispatch batch, with every
+/// request that asked for it.
+struct KeyGroup {
+    hash: u64,
+    query: Arc<[f32]>,
+    k: usize,
+    reqs: Vec<Request>,
+    /// This dispatch registered the key in the single-flight table (and
+    /// must release it after the scan).
+    registered: bool,
 }
 
 /// State shared between the submitting side, the workers, and the
 /// manual pump.
 struct Inner {
-    index: Box<dyn AnnIndex>,
+    /// The live index. Scans hold the read side; mutations
+    /// (`install_index`, `refresh`, knob changes) take the write side
+    /// and bump `generation` before releasing it.
+    index: RwLock<Box<dyn AnnIndex>>,
+    /// Pinned at construction; `install_index` enforces it, so `submit`
+    /// validates without touching the index lock.
+    dim: usize,
     clock: Arc<dyn ServeClock>,
     batch_max: usize,
+    /// Monotone index-version counter; every cache entry is stamped
+    /// with it (see the module docs).
+    generation: AtomicU64,
+    cache: Option<ResultCache>,
+    /// The single-flight table: keys being scanned right now, by some
+    /// dispatch, at some generation.
+    inflight: Mutex<HashMap<(u64, usize), InFlight>>,
     stats: StatCells,
 }
 
 impl Inner {
-    /// Answer one coalesced batch: shed expired requests, pack the
-    /// survivors in arrival order, scan once per distinct `k`, split the
-    /// per-query hit lists back out.
+    /// Answer one coalesced batch: shed expired requests, dedup the
+    /// survivors by `(query bits, k)`, serve verified cache hits, attach
+    /// to in-flight scans, then scan the remaining unique keys (packed
+    /// in arrival order, one `search_batch` per distinct `k`) and fan
+    /// each hit list out to its group and any cross-worker waiters.
     fn dispatch(&self, batch: Vec<Request>) {
         let now = self.clock.now_ns();
         let mut survivors: Vec<Request> = Vec::with_capacity(batch.len());
@@ -292,40 +418,161 @@ impl Inner {
         if survivors.is_empty() {
             return;
         }
-        let dim = self.index.dim();
-        // Group by k, preserving arrival order within each group (the
-        // order `search_batch` must match `search` in).
-        let mut groups: Vec<(usize, Vec<Request>)> = Vec::new();
+        // Scans run under the index read lock; the generation is stable
+        // while it is held (mutations bump it under the write lock), so
+        // everything below — lookups, the in-flight gen stamp, cache
+        // inserts — is consistent with the index being scanned.
+        let index = self.index.read().unwrap();
+        let gen = self.generation.load(Ordering::Acquire);
+
+        // Dedup identical requests into key groups, first-arrival order.
+        let mut groups: Vec<KeyGroup> = Vec::new();
+        let mut by_key: HashMap<(u64, usize), usize> = HashMap::new();
         for req in survivors {
-            match groups.iter_mut().find(|(k, _)| *k == req.k) {
-                Some((_, g)) => g.push(req),
-                None => groups.push((req.k, vec![req])),
+            let hash = key_hash(&req.query, req.k);
+            match by_key.get(&(hash, req.k)) {
+                Some(&gi) if bits_eq(&groups[gi].query, &req.query) => groups[gi].reqs.push(req),
+                _ => {
+                    by_key.insert((hash, req.k), groups.len());
+                    groups.push(KeyGroup {
+                        hash,
+                        query: req.query.clone(),
+                        k: req.k,
+                        reqs: vec![req],
+                        registered: false,
+                    });
+                }
             }
         }
-        for (k, group) in groups {
-            let mut packed = Vec::with_capacity(group.len() * dim);
-            for req in &group {
-                packed.extend_from_slice(&req.query);
+
+        // Resolve each group: a verified cache hit serves the whole
+        // group; otherwise attach to an in-flight scan of the same key,
+        // or lead one ourselves.
+        let mut to_scan: Vec<KeyGroup> = Vec::new();
+        for mut group in groups {
+            if let Some(cache) = &self.cache {
+                match cache.lookup_hashed(group.hash, &group.query, group.k, gen) {
+                    CacheLookup::Hit(hits) => {
+                        let finished_ns = self.clock.now_ns();
+                        self.stats.hits.fetch_add(group.reqs.len() as u64, Ordering::Relaxed);
+                        for req in group.reqs {
+                            self.stats.served.fetch_add(1, Ordering::Relaxed);
+                            req.slot.fill(Ok(ServeResponse {
+                                hits: hits.clone(),
+                                admitted_ns: req.admitted_ns,
+                                finished_ns,
+                            }));
+                        }
+                        continue;
+                    }
+                    CacheLookup::Stale => {
+                        self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    CacheLookup::Miss => {
+                        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
-            let hit_lists = self.index.search_batch(&packed, k);
-            debug_assert_eq!(hit_lists.len(), group.len());
+            {
+                let mut inflight = self.inflight.lock().unwrap();
+                match inflight.get_mut(&(group.hash, group.k)) {
+                    // Another worker is scanning this exact key at this
+                    // generation: hand it our requests instead of
+                    // rescanning (single flight). The leader's fan-out
+                    // does all the counting — served and coalesced —
+                    // when it resolves the waiters.
+                    Some(f) if f.gen == gen && bits_eq(&f.query, &group.query) => {
+                        f.waiters.append(&mut group.reqs);
+                        continue;
+                    }
+                    // A colliding or stale-generation leader occupies
+                    // the key: scan ourselves, unregistered.
+                    Some(_) => {}
+                    None => {
+                        inflight.insert(
+                            (group.hash, group.k),
+                            InFlight { query: group.query.clone(), gen, waiters: Vec::new() },
+                        );
+                        group.registered = true;
+                    }
+                }
+            }
+            to_scan.push(group);
+        }
+        if to_scan.is_empty() {
+            return;
+        }
+
+        // Scan the unique keys, one packed `search_batch` per distinct
+        // `k`, groups in arrival order within each (the order
+        // `search_batch` must match `search` in).
+        let mut k_groups: Vec<(usize, Vec<KeyGroup>)> = Vec::new();
+        for g in to_scan {
+            match k_groups.iter_mut().find(|(k, _)| *k == g.k) {
+                Some((_, v)) => v.push(g),
+                None => k_groups.push((g.k, vec![g])),
+            }
+        }
+        for (k, gs) in k_groups {
+            let hit_lists: Vec<Vec<Hit>> = if gs.len() == 1 {
+                // One unique key: probe straight off the shared payload
+                // allocation — no packing copy (`search` is bitwise the
+                // one-query batch per the AnnIndex contract).
+                vec![index.search(&gs[0].query, k)]
+            } else {
+                let mut packed = Vec::with_capacity(gs.len() * self.dim);
+                for g in &gs {
+                    packed.extend_from_slice(&g.query);
+                }
+                index.search_batch(&packed, k)
+            };
+            debug_assert_eq!(hit_lists.len(), gs.len());
             let finished_ns = self.clock.now_ns();
             self.stats.batches.fetch_add(1, Ordering::Relaxed);
-            for (req, hits) in group.into_iter().zip(hit_lists) {
-                self.stats.served.fetch_add(1, Ordering::Relaxed);
-                req.slot.fill(Ok(ServeResponse {
-                    hits,
-                    admitted_ns: req.admitted_ns,
-                    finished_ns,
-                }));
+            for (g, hits) in gs.into_iter().zip(hit_lists) {
+                // Publish to the cache *before* releasing the in-flight
+                // key: a racing dispatch then either finds the entry or
+                // still attaches — never a window with neither.
+                if let Some(cache) = &self.cache {
+                    let evicted =
+                        cache.insert_hashed(g.hash, g.query.clone(), k, gen, hits.clone());
+                    self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
+                }
+                let waiters = match g.registered {
+                    true => self
+                        .inflight
+                        .lock()
+                        .unwrap()
+                        .remove(&(g.hash, g.k))
+                        .map(|f| f.waiters)
+                        .unwrap_or_default(),
+                    false => Vec::new(),
+                };
+                let mut paid_the_scan = true;
+                for req in g.reqs.into_iter().chain(waiters) {
+                    self.stats.served.fetch_add(1, Ordering::Relaxed);
+                    match paid_the_scan {
+                        true => self.stats.scanned.fetch_add(1, Ordering::Relaxed),
+                        false => self.stats.coalesced.fetch_add(1, Ordering::Relaxed),
+                    };
+                    paid_the_scan = false;
+                    req.slot.fill(Ok(ServeResponse {
+                        hits: hits.clone(),
+                        admitted_ns: req.admitted_ns,
+                        finished_ns,
+                    }));
+                }
             }
         }
     }
 }
 
-/// The serving front: owns a built index, a bounded admission queue,
-/// and (optionally) a worker pool. See the module docs for the
-/// admission → coalescing → shedding flow.
+/// The serving front: owns a built index behind a generation-stamped
+/// read–write lock, a bounded admission queue, an optional worker pool,
+/// and the result cache. See the module docs for the admission →
+/// coalescing → shedding → cache/single-flight flow and the hot-swap
+/// semantics.
 pub struct QueryService {
     inner: Arc<Inner>,
     /// `None` once shutdown began (dropping the last sender closes the
@@ -342,7 +589,9 @@ impl QueryService {
     /// Serve `index` under `cfg` on the wall clock. Takes ownership of
     /// the index — typically detached from a
     /// [`crate::RetrievalEngine`] via
-    /// [`crate::RetrievalEngine::take_member_index`], or built/loaded
+    /// [`crate::RetrievalEngine::take_member_index`], cloned without
+    /// disturbing the engine via
+    /// [`crate::RetrievalEngine::clone_member_index`], or built/loaded
     /// directly.
     pub fn new(index: Box<dyn AnnIndex>, cfg: ServeConfig) -> Self {
         Self::with_clock(index, cfg, Arc::new(MonotonicClock::new()))
@@ -356,10 +605,16 @@ impl QueryService {
         clock: Arc<dyn ServeClock>,
     ) -> Self {
         let (tx, rx) = pipeline::bounded::<Request>(cfg.queue_capacity.max(1));
+        let cache =
+            (cfg.cache_entries > 0).then(|| ResultCache::new(cfg.cache_entries, cfg.cache_bytes));
         let inner = Arc::new(Inner {
-            index,
+            dim: index.dim(),
+            index: RwLock::new(index),
             clock,
             batch_max: cfg.batch_max.max(1),
+            generation: AtomicU64::new(0),
+            cache,
+            inflight: Mutex::new(HashMap::new()),
             stats: StatCells::default(),
         });
         let rx = Arc::new(Mutex::new(rx));
@@ -380,17 +635,23 @@ impl QueryService {
     /// [`ServeError::Overloaded`] right away. `deadline` bounds the
     /// *queue wait* (falling back to the config default); the returned
     /// [`Ticket`] resolves with hits, a shed, or a shutdown notice.
+    ///
+    /// The payload converts into one shared `Arc<[f32]>` allocation
+    /// (callers holding `Arc<[f32]>` pools submit repeat queries with no
+    /// allocation at all) that admission, coalescing, and the cache key
+    /// then share.
     pub fn submit(
         &self,
-        query: Vec<f32>,
+        query: impl Into<Arc<[f32]>>,
         k: usize,
         deadline: Option<Duration>,
     ) -> Result<Ticket, ServeError> {
-        if query.len() != self.inner.index.dim() {
+        let query: Arc<[f32]> = query.into();
+        if query.len() != self.inner.dim {
             return Err(ServeError::BadRequest(format!(
                 "query has {} values, index dimension is {}",
                 query.len(),
-                self.inner.index.dim()
+                self.inner.dim
             )));
         }
         if k == 0 {
@@ -441,6 +702,81 @@ impl QueryService {
         }
     }
 
+    /// The current index generation. Bumped by every mutation
+    /// ([`QueryService::install_index`], [`QueryService::refresh`],
+    /// [`QueryService::set_nprobe`], [`QueryService::set_ef_search`]);
+    /// cache entries from older generations are never served.
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.load(Ordering::Acquire)
+    }
+
+    /// Hot-swap the served index for a freshly built one — the
+    /// zero-downtime "serve round *r* while round *r+1* trains"
+    /// hand-off: in-flight scans finish against the old index, the swap
+    /// installs between dispatches, and the generation bump invalidates
+    /// every cached result in O(1), so the next identical query rescans
+    /// against the new index. The new index must have the dimensionality
+    /// the service was built with (admission validates against it
+    /// lock-free); metric and family may change freely.
+    pub fn install_index(&self, index: Box<dyn AnnIndex>) -> Result<(), ServeError> {
+        if index.dim() != self.inner.dim {
+            return Err(ServeError::BadRequest(format!(
+                "installed index has dimension {}, service serves {}",
+                index.dim(),
+                self.inner.dim
+            )));
+        }
+        let mut guard = self.inner.index.write().unwrap();
+        *guard = index;
+        self.inner.generation.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// In-place [`AnnIndex::refresh`] of the served index under the
+    /// write lock, returning whether the family applied it. Any call
+    /// that may have mutated the index bumps the generation (a no-op
+    /// refresh — nothing changed, nothing appended — does not). On a
+    /// `false` return the family declined and the index may be
+    /// partially updated (the `AnnIndex::refresh` contract):
+    /// [`QueryService::install_index`] a rebuilt index before serving
+    /// further traffic.
+    pub fn refresh(&self, data: &[f32], changed: &[u32]) -> bool {
+        let mut guard = self.inner.index.write().unwrap();
+        let before_len = guard.len();
+        let applied = guard.refresh(data, changed);
+        let mutated = !applied || !changed.is_empty() || guard.len() != before_len;
+        if mutated {
+            self.inner.generation.fetch_add(1, Ordering::Release);
+        }
+        applied
+    }
+
+    /// Retune the served index's IVF probe width
+    /// ([`AnnIndex::set_nprobe`]) under the write lock. Returns `false`
+    /// — and bumps nothing — when the index has no such knob; an applied
+    /// retune bumps the generation (a different width ranks different
+    /// candidates, so cached results are stale).
+    pub fn set_nprobe(&self, nprobe: usize) -> bool {
+        let mut guard = self.inner.index.write().unwrap();
+        let applied = guard.set_nprobe(nprobe);
+        if applied {
+            self.inner.generation.fetch_add(1, Ordering::Release);
+        }
+        applied
+    }
+
+    /// Retune the served index's HNSW beam width
+    /// ([`AnnIndex::set_ef_search`]) under the write lock; generation
+    /// semantics as [`QueryService::set_nprobe`].
+    pub fn set_ef_search(&self, ef: usize) -> bool {
+        let mut guard = self.inner.index.write().unwrap();
+        let applied = guard.set_ef_search(ef);
+        if applied {
+            self.inner.generation.fetch_add(1, Ordering::Release);
+        }
+        applied
+    }
+
     /// Counter snapshot (monotone; see [`ServeStats`]).
     pub fn stats(&self) -> ServeStats {
         let s = &self.inner.stats;
@@ -450,6 +786,12 @@ impl QueryService {
             shed: s.shed.load(Ordering::Relaxed),
             served: s.served.load(Ordering::Relaxed),
             batches: s.batches.load(Ordering::Relaxed),
+            scanned: s.scanned.load(Ordering::Relaxed),
+            hits: s.hits.load(Ordering::Relaxed),
+            misses: s.misses.load(Ordering::Relaxed),
+            coalesced: s.coalesced.load(Ordering::Relaxed),
+            evictions: s.evictions.load(Ordering::Relaxed),
+            invalidations: s.invalidations.load(Ordering::Relaxed),
         }
     }
 
@@ -531,7 +873,7 @@ fn take_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dial_ann::{FlatIndex, Metric};
+    use dial_ann::{FlatIndex, IndexSpec, IvfParams, Metric};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use std::sync::atomic::AtomicUsize;
@@ -549,24 +891,38 @@ mod tests {
         (0..nq).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
     }
 
+    fn manual_cfg(queue_capacity: usize) -> ServeConfig {
+        ServeConfig {
+            queue_capacity,
+            batch_max: 64,
+            workers: 0,
+            default_deadline: None,
+            ..ServeConfig::default()
+        }
+    }
+
     fn manual_service(
         index: Box<dyn AnnIndex>,
         queue_capacity: usize,
     ) -> (QueryService, Arc<ManualClock>) {
         let clock = Arc::new(ManualClock::new());
-        let svc = QueryService::with_clock(
-            index,
-            ServeConfig { queue_capacity, batch_max: 64, workers: 0, default_deadline: None },
-            clock.clone(),
-        );
+        let svc = QueryService::with_clock(index, manual_cfg(queue_capacity), clock.clone());
         (svc, clock)
     }
 
     /// Delegating wrapper that counts every query row the index actually
-    /// scans — the instrument proving shed requests never reach the scan.
+    /// scans — the instrument proving shed requests never reach the scan
+    /// and cache hits / coalesced serves skip it.
     struct CountingIndex {
         inner: FlatIndex,
         queries_scanned: Arc<AtomicUsize>,
+    }
+
+    impl CountingIndex {
+        fn over(inner: FlatIndex) -> (Box<dyn AnnIndex>, Arc<AtomicUsize>) {
+            let scanned = Arc::new(AtomicUsize::new(0));
+            (Box::new(CountingIndex { inner, queries_scanned: scanned.clone() }), scanned)
+        }
     }
 
     impl AnnIndex for CountingIndex {
@@ -581,6 +937,12 @@ mod tests {
         }
         fn add_batch(&mut self, flat: &[f32]) {
             AnnIndex::add_batch(&mut self.inner, flat)
+        }
+        fn refresh(&mut self, data: &[f32], changed: &[u32]) -> bool {
+            self.inner.refresh(data, changed)
+        }
+        fn can_refresh(&self) -> bool {
+            true
         }
         fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
             self.queries_scanned.fetch_add(1, Ordering::SeqCst);
@@ -617,6 +979,7 @@ mod tests {
         }
         let s = svc.stats();
         assert_eq!((s.submitted, s.shed, s.served, s.rejected), (6, 3, 3, 0));
+        assert!(s.accounting_closes());
     }
 
     #[test]
@@ -632,9 +995,8 @@ mod tests {
 
     #[test]
     fn shed_requests_never_touch_the_index() {
-        let scanned = Arc::new(AtomicUsize::new(0));
-        let ix = CountingIndex { inner: flat(100, 4, 5), queries_scanned: scanned.clone() };
-        let (svc, clock) = manual_service(Box::new(ix), 64);
+        let (ix, scanned) = CountingIndex::over(flat(100, 4, 5));
+        let (svc, clock) = manual_service(ix, 64);
         let q = queries(10, 4, 6);
         // 7 requests already past deadline at dispatch, 3 alive.
         for v in &q[..7] {
@@ -690,7 +1052,13 @@ mod tests {
         for workers in [0usize, 1, 2, 4] {
             let svc = QueryService::new(
                 Box::new(flat(300, dim, 10)),
-                ServeConfig { queue_capacity: 128, batch_max: 16, workers, default_deadline: None },
+                ServeConfig {
+                    queue_capacity: 128,
+                    batch_max: 16,
+                    workers,
+                    default_deadline: None,
+                    ..ServeConfig::default()
+                },
             );
             let tickets: Vec<Ticket> =
                 qs.iter().zip(&ks).map(|(q, &k)| svc.submit(q.clone(), k, None).unwrap()).collect();
@@ -699,6 +1067,7 @@ mod tests {
             }
             let stats = svc.shutdown();
             assert_eq!(stats.served, qs.len() as u64);
+            assert!(stats.accounting_closes(), "{stats:?}");
             for (i, t) in tickets.into_iter().enumerate() {
                 let resp = t.wait().unwrap();
                 assert_eq!(resp.hits.len(), expected[i].len(), "query {i}, {workers} workers");
@@ -718,7 +1087,13 @@ mod tests {
     fn shutdown_drains_the_queue_before_returning() {
         let svc = QueryService::new(
             Box::new(flat(100, 4, 12)),
-            ServeConfig { queue_capacity: 64, batch_max: 8, workers: 2, default_deadline: None },
+            ServeConfig {
+                queue_capacity: 64,
+                batch_max: 8,
+                workers: 2,
+                default_deadline: None,
+                ..ServeConfig::default()
+            },
         );
         let tickets: Vec<Ticket> =
             queries(40, 4, 13).into_iter().map(|q| svc.submit(q, 5, None).unwrap()).collect();
@@ -741,12 +1116,229 @@ mod tests {
     #[test]
     fn batch_max_bounds_every_search_batch_call() {
         let (svc, _clock) = manual_service(Box::new(flat(100, 4, 15)), 64);
-        // 10 queries, batch_max 64 → manual pump coalesces all ten into
-        // one batch (single k), so exactly one scan call.
+        // 10 distinct queries, batch_max 64 → manual pump coalesces all
+        // ten into one batch (single k), so exactly one scan call.
         for q in queries(10, 4, 16) {
             svc.submit(q, 3, None).unwrap();
         }
         svc.pump();
         assert_eq!(svc.stats().batches, 1, "one k-group, one coalesced scan");
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache_and_skip_the_scan() {
+        let (ix, scanned) = CountingIndex::over(flat(200, 4, 17));
+        let (svc, _clock) = manual_service(ix, 64);
+        let q = queries(1, 4, 18)[0].clone();
+        let first = svc.submit(q.clone(), 5, None).unwrap();
+        svc.pump();
+        let t2 = svc.submit(q.clone(), 5, None).unwrap();
+        let t3 = svc.submit(q.clone(), 5, None).unwrap();
+        svc.pump();
+        let want = first.wait().unwrap().hits;
+        for t in [t2, t3] {
+            let got = t.wait().unwrap().hits;
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!((g.id, g.distance.to_bits()), (w.id, w.distance.to_bits()));
+            }
+        }
+        assert_eq!(scanned.load(Ordering::SeqCst), 1, "repeats must not rescan");
+        let s = svc.stats();
+        assert_eq!((s.scanned, s.hits, s.coalesced), (1, 2, 0));
+        assert!(s.accounting_closes());
+        // Same bits at a different k is a different key: it rescans.
+        svc.submit(q, 4, None).unwrap();
+        svc.pump();
+        assert_eq!(scanned.load(Ordering::SeqCst), 2, "k participates in the cache key");
+    }
+
+    #[test]
+    fn in_batch_duplicates_collapse_to_one_scan_even_without_a_cache() {
+        let (ix, scanned) = CountingIndex::over(flat(200, 4, 19));
+        let clock = Arc::new(ManualClock::new());
+        let svc =
+            QueryService::with_clock(ix, ServeConfig { cache_entries: 0, ..manual_cfg(64) }, clock);
+        let q = queries(1, 4, 20)[0].clone();
+        let tickets: Vec<Ticket> =
+            (0..5).map(|_| svc.submit(q.clone(), 3, None).unwrap()).collect();
+        svc.pump();
+        assert_eq!(scanned.load(Ordering::SeqCst), 1, "five identical requests, one scan");
+        let want = flat(200, 4, 19).search(&q, 3);
+        for t in tickets {
+            let got = t.wait().unwrap().hits;
+            assert_eq!(got, want);
+        }
+        let s = svc.stats();
+        assert_eq!((s.served, s.scanned, s.hits, s.coalesced), (5, 1, 0, 4));
+        assert!(s.accounting_closes());
+        // With the cache off, the next identical query rescans.
+        svc.submit(q, 3, None).unwrap();
+        svc.pump();
+        assert_eq!(scanned.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn install_index_bumps_the_generation_and_the_next_repeat_rescans() {
+        let (ix, scanned_a) = CountingIndex::over(flat(120, 4, 21));
+        let (svc, _clock) = manual_service(ix, 64);
+        let q = queries(1, 4, 22)[0].clone();
+        svc.submit(q.clone(), 5, None).unwrap();
+        svc.pump();
+        svc.submit(q.clone(), 5, None).unwrap();
+        svc.pump();
+        assert_eq!(scanned_a.load(Ordering::SeqCst), 1, "second request is a cache hit");
+        assert_eq!(svc.stats().hits, 1);
+        assert_eq!(svc.generation(), 0);
+
+        // Hot-swap to an index with *different* contents.
+        let (replacement, scanned_b) = CountingIndex::over(flat(120, 4, 23));
+        let truth_after: Vec<Hit> = {
+            let reference = flat(120, 4, 23);
+            reference.search(&q, 5)
+        };
+        scanned_b.store(0, Ordering::SeqCst);
+        svc.install_index(replacement).unwrap();
+        assert_eq!(svc.generation(), 1, "install_index bumps the generation");
+
+        let t = svc.submit(q.clone(), 5, None).unwrap();
+        svc.pump();
+        let got = t.wait().unwrap().hits;
+        assert_eq!(scanned_b.load(Ordering::SeqCst), 1, "post-swap repeat must rescan");
+        assert_eq!(got.len(), truth_after.len());
+        for (g, w) in got.iter().zip(&truth_after) {
+            assert_eq!(
+                (g.id, g.distance.to_bits()),
+                (w.id, w.distance.to_bits()),
+                "post-swap response must come from the NEW index, never the stale cache"
+            );
+        }
+        let s = svc.stats();
+        assert_eq!(s.invalidations, 1, "the stale entry was removed on discovery");
+        assert_eq!(s.hits, 1, "no hit was served across the swap");
+        assert!(s.accounting_closes());
+    }
+
+    #[test]
+    fn install_index_rejects_a_dimension_mismatch() {
+        let (svc, _clock) = manual_service(Box::new(flat(50, 4, 24)), 16);
+        let wrong = Box::new(flat(50, 6, 24));
+        assert!(matches!(svc.install_index(wrong), Err(ServeError::BadRequest(_))));
+        assert_eq!(svc.generation(), 0, "a rejected install must not bump the generation");
+    }
+
+    #[test]
+    fn refresh_invalidates_the_cache_and_serves_the_new_rows() {
+        let dim = 4;
+        let mut rows: Vec<f32> = vec![0.0; 10 * dim];
+        for (i, r) in rows.chunks_mut(dim).enumerate() {
+            r[0] = i as f32;
+        }
+        let mut ix = FlatIndex::new(dim, Metric::L2);
+        ix.add_batch(&rows);
+        let (svc, _clock) = manual_service(Box::new(ix), 16);
+        let q = vec![0.25f32, 0.0, 0.0, 0.0];
+        let t = svc.submit(q.clone(), 1, None).unwrap();
+        svc.pump();
+        assert_eq!(t.wait().unwrap().hits[0].id, 0);
+
+        // Overwrite row 3 to sit exactly on the query point.
+        rows[3 * dim] = 0.25;
+        assert!(svc.refresh(&rows, &[3]));
+        assert_eq!(svc.generation(), 1, "an applied refresh bumps the generation");
+        let t = svc.submit(q.clone(), 1, None).unwrap();
+        svc.pump();
+        let hit = t.wait().unwrap().hits[0];
+        assert_eq!((hit.id, hit.distance), (3, 0.0), "the refreshed row must be served");
+
+        // A no-op refresh (nothing changed, nothing appended) must not
+        // invalidate the cache.
+        assert!(svc.refresh(&rows, &[]));
+        assert_eq!(svc.generation(), 1, "a no-op refresh leaves the generation alone");
+        let t = svc.submit(q, 1, None).unwrap();
+        svc.pump();
+        assert!(t.wait().is_ok());
+        assert_eq!(svc.stats().hits, 1, "the cached entry survived the no-op refresh");
+    }
+
+    #[test]
+    fn knob_changes_bump_the_generation_only_when_applied() {
+        let dim = 4;
+        let mut rng = StdRng::seed_from_u64(25);
+        let rows: Vec<f32> = (0..300 * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let spec = IndexSpec::IvfFlat(IvfParams { nlist: 8, nprobe: 8, ..Default::default() });
+        let (svc, _clock) = manual_service(spec.build(&rows, dim, Metric::L2), 16);
+        let q: Vec<f32> = rows[..dim].to_vec();
+        svc.submit(q.clone(), 3, None).unwrap();
+        svc.pump();
+        assert!(svc.set_nprobe(2), "IVF index must accept the probe-width knob");
+        assert_eq!(svc.generation(), 1);
+        assert!(!svc.set_ef_search(10), "IVF has no beam knob");
+        assert_eq!(svc.generation(), 1, "a refused knob must not bump the generation");
+        // The retuned width is what the rescan sees.
+        let t = svc.submit(q.clone(), 3, None).unwrap();
+        svc.pump();
+        let narrow = {
+            let mut reference = spec.build(&rows, dim, Metric::L2);
+            reference.set_nprobe(2);
+            reference.search(&q, 3)
+        };
+        assert_eq!(t.wait().unwrap().hits, narrow);
+        assert_eq!(svc.stats().hits, 0, "the pre-retune entry was never served");
+    }
+
+    #[test]
+    fn eviction_churn_at_tiny_capacity_stays_correct() {
+        let dim = 4;
+        let reference = flat(150, dim, 26);
+        let clock = Arc::new(ManualClock::new());
+        let svc = QueryService::with_clock(
+            Box::new(flat(150, dim, 26)),
+            ServeConfig { cache_entries: 2, cache_bytes: 0, ..manual_cfg(256) },
+            clock,
+        );
+        let qs = queries(12, dim, 27);
+        // Three passes over 12 distinct queries through a 2-entry cache:
+        // heavy eviction churn, every response still bitwise exact.
+        for _pass in 0..3 {
+            let tickets: Vec<(usize, Ticket)> = qs
+                .iter()
+                .enumerate()
+                .map(|(i, q)| (i, svc.submit(q.clone(), 4, None).unwrap()))
+                .collect();
+            svc.pump();
+            for (i, t) in tickets {
+                let got = t.wait().unwrap().hits;
+                let want = reference.search(&qs[i], 4);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!((g.id, g.distance.to_bits()), (w.id, w.distance.to_bits()));
+                }
+            }
+        }
+        let s = svc.stats();
+        assert!(s.evictions > 0, "a 2-entry cache under 12 keys must evict: {s:?}");
+        assert!(s.accounting_closes(), "{s:?}");
+    }
+
+    #[test]
+    fn a_tiny_byte_budget_disables_caching_but_not_correctness() {
+        let (ix, scanned) = CountingIndex::over(flat(100, 4, 28));
+        let clock = Arc::new(ManualClock::new());
+        let svc = QueryService::with_clock(
+            ix,
+            ServeConfig { cache_entries: 64, cache_bytes: 1, ..manual_cfg(64) },
+            clock,
+        );
+        let q = queries(1, 4, 29)[0].clone();
+        for _ in 0..3 {
+            let t = svc.submit(q.clone(), 2, None).unwrap();
+            svc.pump();
+            assert!(t.wait().is_ok());
+        }
+        assert_eq!(scanned.load(Ordering::SeqCst), 3, "nothing fits the byte budget");
+        let s = svc.stats();
+        assert_eq!((s.hits, s.scanned), (0, 3));
+        assert!(s.accounting_closes());
     }
 }

@@ -111,22 +111,31 @@ proptest! {
     #[test]
     fn served_responses_bitwise_match_direct_search_through_the_queue(
         rows in proptest::collection::vec(-2.0f32..2.0, 40 * 4..120 * 4),
-        qraw in proptest::collection::vec(-2.0f32..2.0, 4..40 * 4),
+        qraw in proptest::collection::vec(-2.0f32..2.0, 2 * 4..10 * 4),
+        n_req in 1usize..40,
         workers in 0usize..4,
         batch_max in 1usize..9,
+        cache_entries in 0usize..8,
         seed in 0u64..50,
     ) {
         // The serving-layer exactness guarantee: whatever batches the
-        // admission queue coalesces and however many workers race over
-        // them, every response is bitwise identical to a direct
-        // single-query `search` on the same index — ids and f32
-        // distance bits both.
+        // admission queue coalesces, however many workers race over
+        // them, and whatever the result cache holds (disabled, smaller
+        // than the pool, or covering it), every response is bitwise
+        // identical to a direct single-query `search` on the same index
+        // — ids and f32 distance bits both. Requests draw with heavy
+        // repetition from a small pool, so cache hits, in-batch
+        // duplicates, and evictions all genuinely occur, and the serve
+        // accounting (`served == scanned + hits + coalesced`) must
+        // close over whichever mix this case produced.
         let dim = 4;
         let rows = &rows[..rows.len() / dim * dim];
-        let queries: Vec<Vec<f32>> =
+        let pool: Vec<Vec<f32>> =
             qraw.chunks_exact(dim).map(<[f32]>::to_vec).collect();
         let mut rng = StdRng::seed_from_u64(seed);
-        let ks: Vec<usize> = queries.iter().map(|_| rng.gen_range(1..8)).collect();
+        let requests: Vec<(usize, usize)> = (0..n_req)
+            .map(|_| (rng.gen_range(0..pool.len()), rng.gen_range(1..8)))
+            .collect();
 
         let build = || {
             let mut ix = dial_ann::FlatIndex::new(dim, Default::default());
@@ -137,25 +146,27 @@ proptest! {
         let svc = dial_core::QueryService::new(
             Box::new(build()),
             dial_core::ServeConfig {
-                queue_capacity: queries.len().max(1),
+                queue_capacity: requests.len(),
                 batch_max,
                 workers,
                 default_deadline: None,
+                cache_entries,
+                cache_bytes: 0,
             },
         );
-        let tickets: Vec<dial_core::Ticket> = queries
+        let tickets: Vec<dial_core::Ticket> = requests
             .iter()
-            .zip(&ks)
-            .map(|(q, &k)| svc.submit(q.clone(), k, None).unwrap())
+            .map(|&(q, k)| svc.submit(pool[q].clone(), k, None).unwrap())
             .collect();
         if workers == 0 {
             svc.pump();
         }
         let stats = svc.shutdown();
-        prop_assert_eq!(stats.served as usize, queries.len());
-        for ((ticket, q), &k) in tickets.into_iter().zip(&queries).zip(&ks) {
+        prop_assert_eq!(stats.served as usize, requests.len());
+        prop_assert!(stats.accounting_closes(), "stats must close: {:?}", stats);
+        for (ticket, &(q, k)) in tickets.into_iter().zip(&requests) {
             let got = ticket.wait().unwrap().hits;
-            let want = reference.search(q, k);
+            let want = reference.search(&pool[q], k);
             prop_assert_eq!(got.len(), want.len());
             for (g, w) in got.iter().zip(&want) {
                 prop_assert_eq!(g.id, w.id);

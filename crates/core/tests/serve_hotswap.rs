@@ -1,0 +1,103 @@
+//! End-to-end "serve round r while round r+1 trains" hand-off: the
+//! engine clones a member index for serving without giving up its own
+//! state, the service caches hot queries against it, and a post-round
+//! [`QueryService::install_index`] hot-swap retires every cached result
+//! — the next identical query rescans against the new index, never the
+//! stale cache.
+
+use dial_ann::IndexSpec;
+use dial_core::{QueryService, RetrievalEngine, ServeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn views(members: usize, rows: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..members).map(|_| (0..rows * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+#[test]
+fn engine_round_serves_and_hot_swaps_without_stale_results() {
+    let dim = 4;
+    let k = 3;
+    let mut engine = RetrievalEngine::new(IndexSpec::Flat, 0.25, 0);
+    let views_s = views(2, 18, dim, 11);
+
+    // Round r: train, then clone member 0's index for serving. The
+    // clone round-trips through the snapshot blob, so it probes
+    // bitwise-identically to the member — and the member stays put.
+    let mut views_r = views(2, 30, dim, 10);
+    engine.retrieve_committee(&views_r, &views_s, dim, k, 400);
+    let serving = engine.clone_member_index(0).expect("member 0 is built");
+    let reference_r = engine.clone_member_index(0).expect("second clone");
+
+    let svc = QueryService::new(
+        serving,
+        ServeConfig { workers: 0, default_deadline: None, ..ServeConfig::default() },
+    );
+    let hot: Vec<f32> = views_s[0][..dim].to_vec();
+
+    // Serve the hot query twice: the repeat must come from the cache.
+    let t1 = svc.submit(hot.clone(), k, None).unwrap();
+    svc.pump();
+    let t2 = svc.submit(hot.clone(), k, None).unwrap();
+    svc.pump();
+    let want_r = reference_r.search(&hot, k);
+    for t in [t1, t2] {
+        let got = t.wait().unwrap().hits;
+        assert_eq!(got.len(), want_r.len());
+        for (g, w) in got.iter().zip(&want_r) {
+            assert_eq!((g.id, g.distance.to_bits()), (w.id, w.distance.to_bits()));
+        }
+    }
+    let s = svc.stats();
+    assert_eq!((s.scanned, s.hits), (1, 1), "the repeat must be a cache hit: {s:?}");
+    assert_eq!(svc.generation(), 0);
+
+    // Round r+1 trains while the service keeps answering: drift member
+    // 0's view hard so its index genuinely changes, retrain, and
+    // hot-swap a fresh clone into the service.
+    for v in views_r[0].iter_mut() {
+        *v = -*v + 0.75;
+    }
+    engine.retrieve_committee(&views_r, &views_s, dim, k, 400);
+    let next = engine.clone_member_index(0).expect("retrained member clones");
+    let reference_r1 = engine.clone_member_index(0).expect("reference clone");
+    svc.install_index(next).expect("same dimensionality installs");
+    assert_eq!(svc.generation(), 1, "a hot swap bumps the generation");
+
+    // The very next identical query must rescan against the NEW index:
+    // no stale-generation cache entry may be served.
+    let t3 = svc.submit(hot.clone(), k, None).unwrap();
+    svc.pump();
+    let got = t3.wait().unwrap().hits;
+    let want_r1 = reference_r1.search(&hot, k);
+    assert_eq!(got.len(), want_r1.len());
+    for (g, w) in got.iter().zip(&want_r1) {
+        assert_eq!(
+            (g.id, g.distance.to_bits()),
+            (w.id, w.distance.to_bits()),
+            "post-swap response must come from the round-(r+1) index"
+        );
+    }
+    let s = svc.stats();
+    assert_eq!(s.hits, 1, "no cache hit may cross the swap");
+    assert_eq!(s.scanned, 2, "the post-swap query paid a fresh scan");
+    assert!(s.invalidations >= 1, "the stale entry is removed on discovery: {s:?}");
+    assert!(s.accounting_closes(), "{s:?}");
+
+    // And the swap repeats: the rescanned result is cached at the new
+    // generation, so the next repeat hits again.
+    let t4 = svc.submit(hot, k, None).unwrap();
+    svc.pump();
+    assert!(t4.wait().is_ok());
+    assert_eq!(svc.stats().hits, 2, "caching resumes at the new generation");
+
+    // The engine never lost its member to the serving clones: an
+    // unchanged round takes the incremental path for both members.
+    engine.retrieve_committee(&views_r, &views_s, dim, k, 400);
+    assert_eq!(
+        engine.last_round().incremental_members,
+        2,
+        "cloning for serving must not detach engine state"
+    );
+}
