@@ -1,0 +1,35 @@
+//! `shardd` — a standalone shard node.
+//!
+//! Serves one shard of a `ShardedIndex` over the wire protocol in
+//! `dial_ann::transport`. The node starts empty; the coordinator ships
+//! it an index with an INSTALL frame (a snapshot blob), then probes it
+//! with SEARCH frames.
+//!
+//! Usage:
+//!
+//! ```text
+//! shardd [bind-addr]      # default 127.0.0.1:0 (free loopback port)
+//! ```
+//!
+//! The first stdout line is `shardd listening on <addr>`, so a parent
+//! process binding port 0 can parse the actual endpoint.
+
+use dial_ann::transport::ShardNode;
+use std::io::Write;
+
+fn main() {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let node = match ShardNode::bind(addr.as_str()) {
+        Ok(node) => node,
+        Err(e) => {
+            eprintln!("shardd: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("shardd listening on {}", node.local_addr());
+    let _ = std::io::stdout().flush();
+    if let Err(e) = node.run() {
+        eprintln!("shardd: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,7 @@ use crate::rowstore::RowFormat;
 use crate::sharded::ShardedIndex;
 use crate::snapshot::{self, SnapshotError};
 use crate::topk::Hit;
+use crate::transport::ShardStatsSnapshot;
 use std::path::Path;
 
 /// A built nearest-neighbour index, ready to probe.
@@ -156,6 +157,13 @@ pub trait AnnIndex: Send + Sync {
     fn save_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
         let (family, payload) = self.snapshot_blob();
         snapshot::save_to_file(path, family, &payload)
+    }
+
+    /// Per-shard probe/hedge/failover counters, for indexes that fan
+    /// probes across shard transports ([`ShardedIndex`]). Single-machine
+    /// families report `None` — there is no shard boundary to account.
+    fn shard_stats(&self) -> Option<ShardStatsSnapshot> {
+        None
     }
 }
 

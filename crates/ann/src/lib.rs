@@ -57,6 +57,7 @@ pub mod rowstore;
 pub mod sharded;
 pub mod snapshot;
 pub mod topk;
+pub mod transport;
 
 pub use flat::FlatIndex;
 pub use hnsw::{HnswIndex, HnswParams};
@@ -69,8 +70,12 @@ pub use kmeans::{kmeans, kmeans_pp_seed, KMeans};
 pub use metric::{normalize, sq_l2, Metric};
 pub use pq::{PqIndex, ProductQuantizer};
 pub use rowstore::{RowFormat, RowStore, RowsView};
-pub use sharded::ShardedIndex;
+pub use sharded::{ShardHandle, ShardedIndex};
 pub use snapshot::{
     load_index, save_member, save_member_blob, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use topk::{merge_topk, Hit, TopK};
+pub use transport::{
+    spawn_loopback, Knob, LocalShard, RemoteShard, ShardNode, ShardProbeStats, ShardStatsSnapshot,
+    ShardTransport, TransportError,
+};

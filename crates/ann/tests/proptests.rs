@@ -188,6 +188,33 @@ proptest! {
     }
 
     #[test]
+    fn sharded_flat_over_loopback_remote_equals_flat(data in packed(29, 4), qi in 0usize..29, k in 1usize..10) {
+        // The transport must be invisible: ship the same composite to
+        // in-process loopback shard nodes (real TCP, real wire frames)
+        // and the hits stay identical — ids and distances, which cross
+        // the wire as f32::to_bits. Nodes are shared across cases; each
+        // case's ship() overwrites them via INSTALL.
+        use std::sync::OnceLock;
+        static NODES: OnceLock<Vec<String>> = OnceLock::new();
+        let nodes = NODES.get_or_init(|| {
+            (0..3).map(|_| dial_ann::spawn_loopback().expect("loopback node").to_string()).collect()
+        });
+        let flat = IndexSpec::Flat.build(&data, 4, Metric::L2);
+        let q = &data[qi * 4..(qi + 1) * 4];
+        for shards in [1usize, 3] {
+            let endpoints: Vec<Vec<String>> =
+                nodes.iter().take(shards).map(|a| vec![a.clone()]).collect();
+            let remote = dial_ann::ShardedIndex::build(&IndexSpec::Flat, shards, &data, 4, Metric::L2)
+                .ship(&endpoints)
+                .expect("ship shards");
+            let got = remote.try_search(q, k).expect("remote search");
+            prop_assert_eq!(got, flat.search(q, k), "shards={}", shards);
+            let batch = remote.try_search_batch(&data[0..3 * 4], k).expect("remote batch");
+            prop_assert_eq!(batch, flat.search_batch(&data[0..3 * 4], k), "shards={} batch", shards);
+        }
+    }
+
+    #[test]
     fn sharded_id_remap_survives_post_build_add_batch(base in packed(13, 3), extra in packed(9, 3), qi in 0usize..22) {
         // Rows appended after the build continue the round-robin, so the
         // local->global arithmetic must keep matching a flat index over

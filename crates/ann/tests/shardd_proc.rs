@@ -1,0 +1,105 @@
+//! End-to-end `shardd` process test: spawn real shard node binaries,
+//! ship a sharded index to them over TCP, and verify probe parity and
+//! process-death error handling. This is the same scenario the CI
+//! `shard-smoke` job runs against the release binary.
+
+use dial_ann::{IndexSpec, Metric, ShardedIndex, TransportError};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+struct ShardProc {
+    child: Child,
+    addr: String,
+}
+
+impl ShardProc {
+    /// Spawn `shardd` on a free loopback port and parse the announced
+    /// endpoint from its first stdout line.
+    fn spawn() -> ShardProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_shardd"))
+            .arg("127.0.0.1:0")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn shardd");
+        let stdout = child.stdout.take().expect("shardd stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("read shardd banner");
+        let addr = line
+            .trim()
+            .strip_prefix("shardd listening on ")
+            .unwrap_or_else(|| panic!("unexpected shardd banner: {line:?}"))
+            .to_string();
+        ShardProc { child, addr }
+    }
+}
+
+impl Drop for ShardProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    (0..n * dim)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+        })
+        .collect()
+}
+
+#[test]
+fn shardd_processes_serve_bitwise_identical_shards() {
+    let dim = 6;
+    let data = random_data(60, dim, 41);
+    let shards = 3;
+    let procs: Vec<ShardProc> = (0..shards).map(|_| ShardProc::spawn()).collect();
+    let endpoints: Vec<Vec<String>> = procs.iter().map(|p| vec![p.addr.clone()]).collect();
+
+    let local = ShardedIndex::build(&IndexSpec::Flat, shards, &data, dim, Metric::L2);
+    let remote = ShardedIndex::build(&IndexSpec::Flat, shards, &data, dim, Metric::L2)
+        .ship(&endpoints)
+        .expect("ship to shardd processes");
+    assert_eq!(remote.len(), local.len());
+
+    for qi in [0usize, 29, 59] {
+        let q = &data[qi * dim..(qi + 1) * dim];
+        let got = remote.try_search(q, 8).expect("remote search");
+        let want = local.search(q, 8);
+        assert_eq!(got.len(), want.len(), "qi={qi}");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.id, w.id, "qi={qi}");
+            assert_eq!(g.distance.to_bits(), w.distance.to_bits(), "qi={qi}");
+        }
+    }
+    let stats = remote.shard_stats();
+    assert_eq!(stats.total().probes, 9, "3 queries fanned to 3 shards");
+    assert!((stats.imbalance() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn killing_a_shardd_process_surfaces_a_typed_error() {
+    let dim = 4;
+    let data = random_data(20, dim, 43);
+    let proc0 = ShardProc::spawn();
+    let proc1 = ShardProc::spawn();
+    let endpoints = vec![vec![proc0.addr.clone()], vec![proc1.addr.clone()]];
+    let remote = ShardedIndex::build(&IndexSpec::Flat, 2, &data, dim, Metric::L2)
+        .ship(&endpoints)
+        .expect("ship");
+    let q = &data[0..dim];
+    assert_eq!(remote.try_search(q, 3).expect("both nodes up").len(), 3);
+
+    drop(proc0); // kill shard 0's only replica
+    let err = remote.try_search(q, 3).expect_err("dead node must surface");
+    assert!(
+        matches!(err, TransportError::Truncated | TransportError::Io(_)),
+        "typed transport error, got {err}"
+    );
+    let stats = remote.shard_stats();
+    assert_eq!(stats.shards[0].errors, 1);
+    assert_eq!(stats.shards[1].errors, 0);
+}

@@ -23,7 +23,13 @@
 //!   [`dial_ann::IndexSpec::load_snapshot`] in the same process, check
 //!   the loaded index probes bitwise like the built one, and record the
 //!   load-vs-build speedup (the warm-start payoff — file I/O instead of
-//!   k-means / graph construction).
+//!   k-means / graph construction);
+//! * **transport** — shard-transport modes head to head: the same
+//!   sharded composite probed in-process, over loopback
+//!   [`dial_ann::RemoteShard`]s (bitwise parity checked per query), and
+//!   with one artificially slowed replica both unhedged and hedged —
+//!   the hedged p99 must not exceed the unhedged p99, which is the
+//!   whole point of firing hedges.
 //!
 //! The report records the worker-thread count
 //! ([`rayon::current_num_threads`], pinnable via `RAYON_NUM_THREADS`)
@@ -36,13 +42,13 @@
 
 use crate::report::{json_f64, json_obj, json_str, print_table, ToJson};
 use dial_ann::{
-    force_scalar, set_force_scalar, simd_label, FlatIndex, HnswParams, IndexSpec, IvfParams,
-    Metric, PqParams, RowFormat,
+    force_scalar, set_force_scalar, simd_label, spawn_loopback, FlatIndex, Hit, HnswParams,
+    IndexSpec, IvfParams, Metric, PqParams, RemoteShard, RowFormat, ShardedIndex,
 };
 use dial_core::{recall_at_k, IndexBackend, RetrievalEngine, TuneConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One measured `(backend, shard count)` case.
 #[derive(Debug, Clone)]
@@ -168,9 +174,34 @@ pub struct TuningReport {
     pub steps: Vec<TuningRow>,
 }
 
+/// One shard-transport mode measured on the same sharded flat corpus:
+/// in-process children, loopback `RemoteShard`s, and the hedging
+/// comparison with one artificially slowed replica.
+#[derive(Debug, Clone)]
+pub struct TransportRow {
+    /// `local`, `loopback`, `loopback_slow_unhedged`, or
+    /// `loopback_slow_hedged`.
+    pub mode: String,
+    pub shards: usize,
+    /// Replicas behind the slowed shard (1 everywhere else).
+    pub replicas: usize,
+    pub n: usize,
+    pub dim: usize,
+    pub k: usize,
+    pub nq: usize,
+    /// Nearest-rank percentiles over per-query `try_search` calls.
+    pub p50_us: f64,
+    pub p99_us: f64,
+    /// Every query returned bitwise the ids and distances of the
+    /// in-process composite.
+    pub exact: bool,
+    pub hedges_fired: u64,
+    pub hedges_won: u64,
+}
+
 /// The full sweep: probe kernels, incremental rounds, pipeline overlap,
-/// the auto-tuner comparison, plus the worker-thread count they all ran
-/// under.
+/// the auto-tuner comparison, the shard-transport comparison, plus the
+/// worker-thread count they all ran under.
 #[derive(Debug, Clone)]
 pub struct AnnBenchReport {
     /// `RAYON_NUM_THREADS`-pinnable worker count the sweep ran with.
@@ -183,6 +214,7 @@ pub struct AnnBenchReport {
     pub pipeline: Vec<PipelineRow>,
     pub snapshot: Vec<SnapshotRow>,
     pub tuning: Option<TuningReport>,
+    pub transport: Vec<TransportRow>,
 }
 
 impl ToJson for AnnBenchRow {
@@ -285,6 +317,25 @@ impl ToJson for TuningReport {
     }
 }
 
+impl ToJson for TransportRow {
+    fn to_json(&self) -> String {
+        json_obj(&[
+            ("mode", json_str(&self.mode)),
+            ("shards", self.shards.to_string()),
+            ("replicas", self.replicas.to_string()),
+            ("n", self.n.to_string()),
+            ("dim", self.dim.to_string()),
+            ("k", self.k.to_string()),
+            ("nq", self.nq.to_string()),
+            ("p50_us", json_f64(self.p50_us)),
+            ("p99_us", json_f64(self.p99_us)),
+            ("exact", self.exact.to_string()),
+            ("hedges_fired", self.hedges_fired.to_string()),
+            ("hedges_won", self.hedges_won.to_string()),
+        ])
+    }
+}
+
 impl ToJson for AnnBenchReport {
     fn to_json(&self) -> String {
         let arr = |rows: Vec<String>| format!("[\n  {}\n ]", rows.join(",\n  "));
@@ -296,6 +347,7 @@ impl ToJson for AnnBenchReport {
             ("pipeline", arr(self.pipeline.iter().map(ToJson::to_json).collect())),
             ("snapshot", arr(self.snapshot.iter().map(ToJson::to_json).collect())),
             ("tuning", self.tuning.as_ref().map_or("null".into(), ToJson::to_json)),
+            ("transport", arr(self.transport.iter().map(ToJson::to_json).collect())),
         ])
     }
 }
@@ -329,6 +381,7 @@ pub fn run(smoke: bool) -> AnnBenchReport {
         pipeline: run_pipeline(smoke),
         snapshot: run_snapshot(smoke),
         tuning: Some(run_tuning(smoke)),
+        transport: run_transport(smoke),
     }
 }
 
@@ -677,6 +730,98 @@ fn run_snapshot(smoke: bool) -> Vec<SnapshotRow> {
     rows
 }
 
+/// Shard-transport comparison: one round-robin sharded flat corpus
+/// probed through each transport mode. `local` keeps the shards
+/// in-process (and is the ground truth for every `exact` column);
+/// `loopback` ships them to socket-served nodes inside this process;
+/// the two `slow` modes give shard 0 a second replica, put an
+/// artificial delay on its preferred one, and measure the tail without
+/// hedging (a hedge delay far beyond the slowdown, so probes always
+/// wait the slow replica out) and with a 100 µs hedge to the fast
+/// replica.
+fn run_transport(smoke: bool) -> Vec<TransportRow> {
+    let (n, dim, nq, k) = if smoke { (2_000, 32, 48, 10) } else { (8_000, 64, 96, 10) };
+    let shards = 3usize;
+    let base = data(n, dim, 8);
+    let queries = data(nq, dim, 9);
+    let slow = Duration::from_millis(3);
+
+    let local = ShardedIndex::build(&IndexSpec::Flat, shards, &base, dim, Metric::L2);
+    let truth: Vec<Vec<Hit>> = queries.chunks(dim).map(|q| local.search(q, k)).collect();
+
+    // Per-query `try_search` latencies (nearest-rank p50/p99 in µs)
+    // plus bitwise parity against the in-process composite.
+    let measure = |ix: &ShardedIndex| -> (f64, f64, bool) {
+        let mut lat: Vec<u64> = Vec::with_capacity(nq);
+        let mut exact = true;
+        for (q, want) in queries.chunks(dim).zip(&truth) {
+            let t0 = Instant::now();
+            let got = ix.try_search(q, k).expect("transport bench probe failed");
+            lat.push(t0.elapsed().as_nanos() as u64);
+            exact &= got.len() == want.len()
+                && got
+                    .iter()
+                    .zip(want)
+                    .all(|(g, w)| g.id == w.id && g.distance.to_bits() == w.distance.to_bits());
+        }
+        lat.sort_unstable();
+        let pct = |p: usize| lat[(lat.len() * p).div_ceil(100) - 1] as f64 / 1e3;
+        (pct(50), pct(99), exact)
+    };
+    let mut rows: Vec<TransportRow> = Vec::new();
+    let mut push = |mode: &str, replicas: usize, ix: &ShardedIndex| {
+        let (p50_us, p99_us, exact) = measure(ix);
+        let totals = ix.shard_stats().total();
+        rows.push(TransportRow {
+            mode: mode.into(),
+            shards,
+            replicas,
+            n,
+            dim,
+            k,
+            nq,
+            p50_us,
+            p99_us,
+            exact,
+            hedges_fired: totals.hedges_fired,
+            hedges_won: totals.hedges_won,
+        });
+    };
+    let nodes = |count: usize| -> Vec<String> {
+        (0..count)
+            .map(|_| spawn_loopback().expect("bind loopback shard node").to_string())
+            .collect()
+    };
+
+    push("local", 1, &local);
+
+    let plain_nodes = nodes(shards);
+    let plain_endpoints: Vec<Vec<String>> = plain_nodes.iter().map(|a| vec![a.clone()]).collect();
+    let loopback = ShardedIndex::build(&IndexSpec::Flat, shards, &base, dim, Metric::L2)
+        .ship(&plain_endpoints)
+        .expect("ship shards to loopback nodes");
+    push("loopback", 1, &loopback);
+
+    // Fresh nodes per slow mode so the artificial delay never leaks:
+    // shard 0 = [slow preferred replica, fast replica], rest one node.
+    let slow_mode = |hedge: Duration| -> ShardedIndex {
+        let addrs = nodes(shards + 1);
+        let mut endpoints = vec![vec![addrs[0].clone(), addrs[1].clone()]];
+        endpoints.extend(addrs[2..].iter().map(|a| vec![a.clone()]));
+        let mut ix = ShardedIndex::build(&IndexSpec::Flat, shards, &base, dim, Metric::L2)
+            .ship(&endpoints)
+            .expect("ship shards to replicated loopback nodes");
+        RemoteShard::connect(&addrs[0])
+            .and_then(|r| r.set_artificial_delay(slow))
+            .expect("slow down shard 0's preferred replica");
+        ix.set_hedge_delay(Some(hedge));
+        ix
+    };
+    push("loopback_slow_unhedged", 2, &slow_mode(Duration::from_secs(5)));
+    push("loopback_slow_hedged", 2, &slow_mode(Duration::from_micros(100)));
+    rows
+}
+
 /// Render the sweeps as fixed-width tables.
 pub fn print(report: &AnnBenchReport) {
     let rows = &report.probe;
@@ -802,6 +947,27 @@ pub fn print(report: &AnnBenchReport) {
             &cells,
         );
     }
+
+    let cells: Vec<Vec<String>> = report
+        .transport
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                format!("{}x{}", r.shards, r.replicas),
+                format!("{}x{}", r.n, r.dim),
+                format!("{:.0}", r.p50_us),
+                format!("{:.0}", r.p99_us),
+                r.exact.to_string(),
+                format!("{}/{}", r.hedges_won, r.hedges_fired),
+            ]
+        })
+        .collect();
+    print_table(
+        "Shard transport: in-process vs loopback nodes vs hedged slow replica",
+        &["Mode", "Shards", "Corpus", "p50(us)", "p99(us)", "Exact", "Hedge won/fired"],
+        &cells,
+    );
 }
 
 /// Persist the report to `REPRO_OUT/BENCH_ann.json` (one JSON object —
@@ -844,7 +1010,11 @@ pub fn write(report: &AnnBenchReport) {
 /// * every snapshot-loaded index must probe bitwise like the one that
 ///   was saved, and for the train-heavy families (IVF's k-means, HNSW's
 ///   graph construction) loading must be at least 5x cheaper than
-///   building — the warm-start payoff the feature exists for.
+///   building — the warm-start payoff the feature exists for;
+/// * every shard-transport mode must return bitwise what the in-process
+///   composite returns, and with one artificially slowed replica the
+///   hedged p99 must not exceed the unhedged p99 — with hedges actually
+///   firing — which is the tail-cutting guarantee hedging exists for.
 pub fn assert_no_regression(report: &AnnBenchReport) {
     let rows = &report.probe;
     let flat =
@@ -943,6 +1113,29 @@ pub fn assert_no_regression(report: &AnnBenchReport) {
             "calibration cost {:.1} ms exceeds its budget of {:.1} ms (10x build + 250 ms)",
             t.calibrate_ms,
             budget_ms
+        );
+    }
+    for r in &report.transport {
+        assert!(
+            r.exact,
+            "{}: transport probe lost bitwise parity with the in-process composite",
+            r.mode
+        );
+    }
+    let unhedged = report.transport.iter().find(|r| r.mode == "loopback_slow_unhedged");
+    let hedged = report.transport.iter().find(|r| r.mode == "loopback_slow_hedged");
+    if let (Some(u), Some(h)) = (unhedged, hedged) {
+        assert!(
+            h.hedges_fired > 0,
+            "hedged slow-replica mode never fired a hedge against a {} us unhedged tail",
+            u.p99_us
+        );
+        assert!(
+            h.p99_us <= u.p99_us,
+            "hedged probes did not cut the slowed replica's tail: p99 {:.0} us hedged > {:.0} us \
+             unhedged",
+            h.p99_us,
+            u.p99_us
         );
     }
 }
@@ -1057,6 +1250,36 @@ mod tests {
                     ns_per_query: 200.0,
                 }],
             }),
+            transport: vec![
+                TransportRow {
+                    mode: "loopback_slow_unhedged".into(),
+                    shards: 3,
+                    replicas: 2,
+                    n: 10,
+                    dim: 4,
+                    k: 1,
+                    nq: 8,
+                    p50_us: 3_000.0,
+                    p99_us: 3_200.0,
+                    exact: true,
+                    hedges_fired: 0,
+                    hedges_won: 0,
+                },
+                TransportRow {
+                    mode: "loopback_slow_hedged".into(),
+                    shards: 3,
+                    replicas: 2,
+                    n: 10,
+                    dim: 4,
+                    k: 1,
+                    nq: 8,
+                    p50_us: 150.0,
+                    p99_us: 400.0,
+                    exact: true,
+                    hedges_fired: 8,
+                    hedges_won: 8,
+                },
+            ],
         };
         let j = report.to_json();
         assert!(j.contains("\"threads\":4"), "{j}");
@@ -1065,6 +1288,11 @@ mod tests {
         assert!(j.contains("\"pipeline\":[") && j.contains("\"identical\":true"), "{j}");
         assert!(j.contains("\"snapshot\":[") && j.contains("\"save_ms\":0.4"), "{j}");
         assert!(j.contains("\"tuning\":{") && j.contains("\"chosen_nprobe\":2"), "{j}");
+        assert!(
+            j.contains("\"transport\":[") && j.contains("\"mode\":\"loopback_slow_hedged\""),
+            "{j}"
+        );
+        assert!(j.contains("\"hedges_fired\":8"), "{j}");
         // The regression gate passes this healthy report... (probe rows
         // absent would panic on the flat lookup, so give it one).
         let mut ok = report.clone();
@@ -1144,6 +1372,18 @@ mod tests {
         // A blown calibration budget fails.
         let mut bad = ok.clone();
         bad.tuning.as_mut().unwrap().calibrate_ms = 10_000.0;
+        assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        // A transport mode that lost bitwise parity fails.
+        let mut bad = ok.clone();
+        bad.transport[1].exact = false;
+        assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        // A hedged tail slower than the slowed unhedged tail fails...
+        let mut bad = ok.clone();
+        bad.transport[1].p99_us = 9_000.0;
+        assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
+        // ...as does a hedged mode that never actually fired a hedge.
+        let mut bad = ok.clone();
+        bad.transport[1].hedges_fired = 0;
         assert!(std::panic::catch_unwind(|| assert_no_regression(&bad)).is_err());
     }
 }

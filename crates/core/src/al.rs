@@ -79,6 +79,11 @@ pub struct RunResult {
     /// auto-tuned and the index family had a knob to turn
     /// (`DialConfig::auto_tune` with an IVF-backed spec).
     pub tuning: Option<TuningOutcome>,
+    /// Per-shard probe counters merged over the final round's committee
+    /// indexes, when the spec was `Sharded` — probe balance and hedge
+    /// activity of the run's retrieval fan-out. `None` for unsharded
+    /// specs.
+    pub shard_stats: Option<dial_ann::ShardStatsSnapshot>,
 }
 
 impl RunResult {
@@ -412,7 +417,11 @@ impl DialSystem {
                 labeled.extend(oracle.label_batch(&picked));
             }
         }
-        RunResult { rounds, tuning: engine.last_tuning().cloned() }
+        RunResult {
+            rounds,
+            tuning: engine.last_tuning().cloned(),
+            shard_stats: engine.shard_stats(),
+        }
     }
 
     /// One committee blocking pass — the shared body of the DIAL and

@@ -546,6 +546,22 @@ impl RetrievalEngine {
         self.tuning.as_ref()
     }
 
+    /// Per-shard probe/hedge/failover counters aggregated over all
+    /// committee members (element-wise, shard by shard), or `None` when
+    /// no member index fans probes across shards — i.e. the spec is not
+    /// `Sharded`. Counters accumulate on the member indexes, so they
+    /// reset where the indexes do ([`Self::reset`], a rebuild round, or
+    /// [`Self::take_member_index`] detaching the member).
+    pub fn shard_stats(&self) -> Option<dial_ann::ShardStatsSnapshot> {
+        let mut merged: Option<dial_ann::ShardStatsSnapshot> = None;
+        for member in &self.members {
+            if let Some(snap) = member.index.shard_stats() {
+                merged.get_or_insert_with(Default::default).merge(&snap);
+            }
+        }
+        merged
+    }
+
     /// Drop all cached member state; the next retrieval rebuilds every
     /// index from scratch (and recalibrates, when the tuner is armed).
     pub fn reset(&mut self) {

@@ -73,7 +73,7 @@
 //! queue, cache sizes included.
 
 use crate::cache::{bits_eq, key_hash, CacheLookup, ResultCache};
-use dial_ann::{AnnIndex, Hit};
+use dial_ann::{AnnIndex, Hit, ShardStatsSnapshot};
 use rayon::pipeline::{self, TryRecvError, TrySendError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -326,6 +326,17 @@ pub struct ServeStats {
     /// Stale-generation cache entries removed on discovery (each one is
     /// a mutation's O(1) invalidation becoming visible).
     pub invalidations: u64,
+    /// Shard probes fanned out by the served index — the sum of
+    /// per-shard probe counts when the index is sharded, 0 otherwise.
+    /// Unlike the service counters above, these accumulate on the
+    /// *index* (they reset when [`QueryService::install_index`] swaps
+    /// it) and count queries × shards, so they sit outside the closure
+    /// invariants. Per-shard detail via [`QueryService::shard_stats`].
+    pub shard_probes: u64,
+    /// Hedge requests the served index fired at slow shard replicas.
+    pub hedges_fired: u64,
+    /// Hedge requests that beat the preferred replica's response.
+    pub hedges_won: u64,
 }
 
 impl ServeStats {
@@ -780,6 +791,7 @@ impl QueryService {
     /// Counter snapshot (monotone; see [`ServeStats`]).
     pub fn stats(&self) -> ServeStats {
         let s = &self.inner.stats;
+        let shard = self.shard_stats().map(|snap| snap.total()).unwrap_or_default();
         ServeStats {
             submitted: s.submitted.load(Ordering::Relaxed),
             rejected: s.rejected.load(Ordering::Relaxed),
@@ -792,7 +804,18 @@ impl QueryService {
             coalesced: s.coalesced.load(Ordering::Relaxed),
             evictions: s.evictions.load(Ordering::Relaxed),
             invalidations: s.invalidations.load(Ordering::Relaxed),
+            shard_probes: shard.probes,
+            hedges_fired: shard.hedges_fired,
+            hedges_won: shard.hedges_won,
         }
+    }
+
+    /// Per-shard probe/hedge/failover counters of the served index, or
+    /// `None` when it has no shard fan-out (single-machine families).
+    /// Counters live on the index itself, so an
+    /// [`QueryService::install_index`] hot-swap starts them over.
+    pub fn shard_stats(&self) -> Option<ShardStatsSnapshot> {
+        self.inner.index.read().unwrap().shard_stats()
     }
 
     /// The worker-count the service was built with (0 = manual mode).
@@ -1176,6 +1199,36 @@ mod tests {
         svc.submit(q, 3, None).unwrap();
         svc.pump();
         assert_eq!(scanned.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn serving_a_sharded_index_surfaces_shard_probe_counters() {
+        let dim = 4;
+        let mut rng = StdRng::seed_from_u64(31);
+        let rows: Vec<f32> = (0..60 * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let sharded = IndexSpec::Flat.sharded(3).build(&rows, dim, Metric::L2);
+        let (svc, _clock) = manual_service(sharded, 64);
+        assert_eq!(svc.stats().shard_probes, 0);
+        for q in queries(5, dim, 32) {
+            svc.submit(q, 4, None).unwrap();
+        }
+        svc.pump();
+        let s = svc.stats();
+        assert!(s.accounting_closes());
+        assert_eq!(s.served, 5);
+        assert_eq!(s.shard_probes, 15, "5 queries fanned to 3 shards");
+        assert_eq!(s.hedges_fired, 0, "local shards never hedge");
+        let snap = svc.shard_stats().expect("sharded index exposes per-shard stats");
+        assert_eq!(snap.shards.len(), 3);
+        assert!((snap.imbalance() - 1.0).abs() < 1e-12);
+
+        // Hot-swapping an unsharded index removes the fan-out: the
+        // shard columns read zero again, the serve counters persist.
+        svc.install_index(Box::new(flat(60, dim, 33))).unwrap();
+        let s = svc.stats();
+        assert_eq!(s.served, 5);
+        assert_eq!(s.shard_probes, 0);
+        assert!(svc.shard_stats().is_none());
     }
 
     #[test]
